@@ -1,0 +1,283 @@
+package mamps
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §5 and EXPERIMENTS.md). Each benchmark runs
+// the corresponding experiment and reports its headline numbers as custom
+// metrics, so `go test -bench=. -benchmem` regenerates the evaluation:
+//
+//   BenchmarkFig6aFSL      — Figure 6(a): MCUs/Mcycle on the FSL platform
+//   BenchmarkFig6bNoC      — Figure 6(b): MCUs/Mcycle on the NoC platform
+//   BenchmarkTable1Steps   — Table 1: per-step times of the automated flow
+//   BenchmarkCAAblation    — Section 6.3: communication-assist gain
+//   BenchmarkNoCArea       — Section 5.3.1: flow-control area overhead
+//   BenchmarkCommOverhead  — Section 6.3: subHeader traffic share
+//   BenchmarkBufferAblation/BenchmarkFIFOAblation — design-choice sweeps
+//
+// Plus micro-benchmarks of the analyses themselves (state-space
+// throughput, HSDF conversion, mapping, platform generation, simulation),
+// which document the cost of each flow stage.
+
+import (
+	"testing"
+
+	"mamps/internal/arch"
+	"mamps/internal/experiments"
+	"mamps/internal/flow"
+	"mamps/internal/hsdf"
+	"mamps/internal/mapping"
+	"mamps/internal/mjpeg"
+	"mamps/internal/platgen"
+	"mamps/internal/sim"
+	"mamps/internal/statespace"
+)
+
+// benchCfg is a slightly smaller workload than the experiment default so
+// the full benchmark suite stays fast.
+func benchCfg() experiments.Config {
+	return experiments.Config{Width: 32, Height: 32, Frames: 2, Quality: 90, Loops: 2, Tiles: 5}
+}
+
+func BenchmarkFig6aFSL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(benchCfg(), arch.FSL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].WorstCase, "wc-MCU/Mcycle")
+			b.ReportMetric(rows[0].Measured, "synthetic-MCU/Mcycle")
+			b.ReportMetric(rows[1].Measured, "testset-MCU/Mcycle")
+		}
+	}
+}
+
+func BenchmarkFig6bNoC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(benchCfg(), arch.NoC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].WorstCase, "wc-MCU/Mcycle")
+			b.ReportMetric(rows[0].Measured, "synthetic-MCU/Mcycle")
+			b.ReportMetric(rows[1].Measured, "testset-MCU/Mcycle")
+		}
+	}
+}
+
+func BenchmarkTable1Steps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Automated {
+					b.ReportMetric(float64(r.Elapsed.Microseconds()), shortName(r.Step)+"-µs")
+				}
+			}
+		}
+	}
+}
+
+func shortName(step string) string {
+	switch step {
+	case "Generating architecture model":
+		return "archgen"
+	case "Mapping the design (SDF3)":
+		return "sdf3map"
+	case "Generating Xilinx project (MAMPS)":
+		return "mampsgen"
+	case "Synthesis of the system":
+		return "synth"
+	case "Executing on platform":
+		return "execute"
+	case "Expected-case analysis (SDF3)":
+		return "expected"
+	default:
+		return "step"
+	}
+}
+
+func BenchmarkCAAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CAAblation(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.GainPercent, "predicted-gain-%")
+			b.ReportMetric((res.MeasuredCA/res.MeasuredPE-1)*100, "measured-gain-%")
+		}
+	}
+}
+
+func BenchmarkNoCArea(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.NoCArea()
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].OverheadPercent, "fc-overhead-%")
+		}
+	}
+}
+
+func BenchmarkCommOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CommOverhead(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Fraction*100, "subheader-%")
+		}
+	}
+}
+
+func BenchmarkBufferAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.BufferAblation(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(pts[0].MemoryByte), "mem-n2-bytes")
+			b.ReportMetric(pts[len(pts)-1].WorstCase*1e6, "bound-n5-MCU/Mcycle")
+		}
+	}
+}
+
+func BenchmarkFIFOAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.FIFOAblation(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(pts[0].WorstCase*1e6, "bound-depth2-MCU/Mcycle")
+			b.ReportMetric(pts[len(pts)-1].WorstCase*1e6, "bound-depth64-MCU/Mcycle")
+		}
+	}
+}
+
+// ---- flow-stage micro-benchmarks ----
+
+func mjpegAppForBench(b *testing.B) (*flow.Config, int) {
+	b.Helper()
+	stream, _, err := mjpeg.EncodeSequence(mjpeg.SeqGradient, 32, 32, 2, 90, mjpeg.Sampling420)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, actors, err := mjpeg.BuildApp(stream)
+	if err != nil {
+		b.Fatal(err)
+	}
+	si := actors.VLD.Info()
+	iters := si.MCUsPerFrame() * si.Frames
+	return &flow.Config{App: app, Tiles: 5, Interconnect: arch.FSL, RefActor: "Raster"}, iters
+}
+
+func BenchmarkStateSpaceThroughputMJPEG(b *testing.B) {
+	cfg, _ := mjpegAppForBench(b)
+	p, err := arch.DefaultTemplate().Generate("p", 5, arch.FSL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := mapping.Map(cfg.App, p, mapping.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := statespace.Analyze(m.Expanded.Graph, statespace.Options{
+			Schedules: m.ExpandedSchedules, MaxStates: 1 << 22,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHSDFConversion(b *testing.B) {
+	g := mjpeg.BuildGraph(mjpeg.Sampling420)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := hsdf.Convert(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMappingMJPEG(b *testing.B) {
+	cfg, _ := mjpegAppForBench(b)
+	p, err := arch.DefaultTemplate().Generate("p", 5, arch.FSL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapping.Map(cfg.App, p, mapping.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlatformGeneration(b *testing.B) {
+	cfg, _ := mjpegAppForBench(b)
+	p, err := arch.DefaultTemplate().Generate("p", 5, arch.FSL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := mapping.Map(cfg.App, p, mapping.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := platgen.Generate(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateMJPEGIteration(b *testing.B) {
+	cfg, iters := mjpegAppForBench(b)
+	p, err := arch.DefaultTemplate().Generate("p", 5, arch.FSL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := mapping.Map(cfg.App, p, mapping.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(m, sim.Options{Iterations: iters, RefActor: "Raster"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMJPEGEncode(b *testing.B) {
+	frames := mjpeg.GenerateSequence(mjpeg.SeqPlasma, 48, 32, 2)
+	si := mjpeg.StreamInfo{W: 48, H: 32, Sampling: mjpeg.Sampling420, Quality: 85, Frames: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mjpeg.Encode(si, frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMJPEGReferenceDecode(b *testing.B) {
+	stream, _, err := mjpeg.EncodeSequence(mjpeg.SeqPlasma, 48, 32, 2, 85, mjpeg.Sampling420)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(stream)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mjpeg.Decode(stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

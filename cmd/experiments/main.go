@@ -1,0 +1,126 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section from the reproduced flow. Select individual
+// experiments with -run (fig6a, fig6b, table1, ca, nocarea, overhead) or
+// run everything (default "all").
+//
+//	go run ./cmd/experiments            # everything
+//	go run ./cmd/experiments -run fig6a # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"mamps/internal/arch"
+	"mamps/internal/experiments"
+)
+
+func main() {
+	runFlag := flag.String("run", "all", "experiment to run: all, fig6a, fig6b, fig6m, table1, ca, nocarea, overhead, buffers, fifo")
+	flag.Parse()
+	cfg := experiments.DefaultConfig()
+
+	want := func(name string) bool { return *runFlag == "all" || *runFlag == name }
+	ran := false
+
+	if want("fig6a") {
+		ran = true
+		rows, err := experiments.Fig6(cfg, arch.FSL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderFig6(rows,
+			"Figure 6(a): worst-case vs expected vs measured throughput, FSL interconnect (MCUs per 10^6 cycles)"))
+	}
+	if want("fig6b") {
+		ran = true
+		rows, err := experiments.Fig6(cfg, arch.NoC)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderFig6(rows,
+			"Figure 6(b): worst-case vs expected vs measured throughput, NoC interconnect (MCUs per 10^6 cycles)"))
+	}
+	if want("fig6m") {
+		ran = true
+		rows, err := experiments.Fig6MeasurementBased(cfg, arch.FSL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderFig6(rows,
+			"Figure 6(a) with the paper's measurement-based WCET methodology (tight worst-case line)"))
+	}
+	if want("table1") {
+		ran = true
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Table 1:", strings.Repeat("-", 40))
+		fmt.Println(experiments.RenderTable1(rows))
+	}
+	if want("ca") {
+		ran = true
+		res, err := experiments.CAAblation(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Section 6.3: communication-assist ablation (same binding):")
+		fmt.Printf("  predicted throughput, PE serialization: %.4f MCU/Mcycle\n", res.PEThroughput*1e6)
+		fmt.Printf("  predicted throughput, CA serialization: %.4f MCU/Mcycle\n", res.CAThroughput*1e6)
+		fmt.Printf("  predicted gain: +%.0f%% (paper: up to 300%%)\n", res.GainPercent)
+		fmt.Printf("  simulator confirmation: PE %.4f -> CA %.4f MCU/Mcycle\n\n",
+			res.MeasuredPE*1e6, res.MeasuredCA*1e6)
+	}
+	if want("nocarea") {
+		ran = true
+		fmt.Println("Section 5.3.1: NoC flow-control area overhead:")
+		fmt.Printf("  %5s %6s %12s %12s %10s\n", "tiles", "mesh", "routers", "routers+FC", "overhead")
+		for _, r := range experiments.NoCArea() {
+			fmt.Printf("  %5d %3dx%-3d %12d %12d %9.1f%%\n",
+				r.Tiles, r.MeshW, r.MeshH, r.SlicesBase, r.SlicesFC, r.OverheadPercent)
+		}
+		fmt.Println()
+	}
+	if want("buffers") {
+		ran = true
+		pts, err := experiments.BufferAblation(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Ablation: buffer allocation policy (iterations of tokens per channel):")
+		fmt.Printf("  %10s %12s %12s %12s\n", "iterations", "bound", "measured", "buffer bytes")
+		for _, p := range pts {
+			fmt.Printf("  %10d %12.4f %12.4f %12d\n", p.Value, p.WorstCase*1e6, p.Measured*1e6, p.MemoryByte)
+		}
+		fmt.Println()
+	}
+	if want("fifo") {
+		ran = true
+		pts, err := experiments.FIFOAblation(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Ablation: FSL FIFO depth (network buffering, w+αn of Figure 4):")
+		fmt.Printf("  %6s %12s %12s\n", "depth", "bound", "measured")
+		for _, p := range pts {
+			fmt.Printf("  %6d %12.4f %12.4f\n", p.Value, p.WorstCase*1e6, p.Measured*1e6)
+		}
+		fmt.Println()
+	}
+	if want("overhead") {
+		ran = true
+		res, err := experiments.CommOverhead(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Section 6.3: subHeader modelling overhead:")
+		fmt.Printf("  subHeader words: %d of %d total (%.2f%%; paper: ~1%%)\n\n",
+			res.SubHeaderWords, res.TotalWords, res.Fraction*100)
+	}
+	if !ran {
+		log.Fatalf("unknown experiment %q", *runFlag)
+	}
+}

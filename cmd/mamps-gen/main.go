@@ -1,0 +1,73 @@
+// Command mamps-gen runs only the MAMPS platform-generation step: it maps
+// an application model onto an architecture and writes the generated
+// artifact tree (MHS netlist, per-tile C sources and schedule tables,
+// NoC VHDL and connection programming, XPS TCL script).
+//
+//	mamps-gen -app app.xml -arch plat.xml -out projectdir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"mamps"
+)
+
+func main() {
+	appPath := flag.String("app", "", "application model XML (required)")
+	archPath := flag.String("arch", "", "architecture model XML (required)")
+	outDir := flag.String("out", "mamps-project", "output directory")
+	list := flag.Bool("list", false, "list generated files instead of writing them")
+	flag.Parse()
+
+	if *appPath == "" || *archPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	appData, err := os.ReadFile(*appPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := mamps.ReadApp(appData)
+	if err != nil {
+		log.Fatal(err)
+	}
+	archData, err := os.ReadFile(*archPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plat, err := mamps.ReadArch(archData)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := mamps.Map(app, plat, mamps.MapOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	project, err := mamps.GenerateProject(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Platform %q: %d tiles, %d connections, ~%d slices, %d BRAMs\n",
+		plat.Name, project.Summary.Tiles, project.Summary.Connections,
+		project.Summary.Area.Slices, project.Summary.Area.BRAMs)
+	if *list {
+		paths := make([]string, 0, len(project.Files))
+		for p := range project.Files {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			fmt.Printf("  %s (%d bytes)\n", p, len(project.Files[p]))
+		}
+		return
+	}
+	if err := project.WriteTo(*outDir); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Wrote %d files to %s\n", len(project.Files), *outDir)
+}

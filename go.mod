@@ -1,0 +1,3 @@
+module mamps
+
+go 1.22

@@ -1,0 +1,145 @@
+// Package appmodel defines the application model of the design flow: the
+// SDF graph of the application together with, per actor, one or more
+// implementations. An implementation binds the actor to a processing
+// element type and carries the metrics the flow needs — worst-case
+// execution time, instruction and data memory requirements — plus the
+// executable behaviour used by the platform simulator.
+//
+// The application model is the common input format shared by the mapping
+// tool (SDF3) and the platform generator (MAMPS); using one format for
+// both is the automation improvement over CA-MPSoC that the paper's
+// Section 2 describes.
+package appmodel
+
+import (
+	"fmt"
+
+	"mamps/internal/arch"
+	"mamps/internal/sdf"
+	"mamps/internal/wcet"
+)
+
+// Token is a value travelling over an SDF channel.
+type Token = any
+
+// FireFunc executes one firing of an actor implementation. in holds one
+// slice per input channel (in the actor's input-port order) with exactly
+// the consumption rate of tokens; the returned slices, one per output
+// channel in port order, must hold exactly the production rate of tokens.
+// The meter must be charged for all work performed; the simulator uses the
+// charge as the firing's execution time.
+type FireFunc func(m *wcet.Meter, in [][]Token) ([][]Token, error)
+
+// InitFunc resets the persistent state of an actor implementation to its
+// power-on state (the actor initialization function of the paper's
+// Listing 1). It is called once before execution starts.
+type InitFunc func() error
+
+// Impl is one implementation of an actor for one PE type.
+type Impl struct {
+	// PE is the processing-element type this implementation runs on.
+	PE arch.PEType
+	// WCET is the analytic worst-case execution time of one firing in
+	// cycles; it must bound every charge Fire makes.
+	WCET int64
+	// InstrMem and DataMem are the memory requirements in bytes,
+	// specified separately to support Harvard-architecture tiles.
+	InstrMem, DataMem int
+	// NeedsPeripherals restricts the actor to the master tile, the only
+	// tile with peripheral access (predictability forbids sharing
+	// peripherals across tiles).
+	NeedsPeripherals bool
+	// Fire and Init give the executable behaviour. They may be nil in
+	// analysis-only models (e.g. loaded from XML).
+	Fire FireFunc
+	Init InitFunc
+	// InitTokens produces the values of the initial tokens on the actor's
+	// output channels (one slice per output port, sized to the channel's
+	// InitialTokens count) — the job of the actor initialization function
+	// in the paper's Listing 1. May be nil if no output channel carries
+	// initial tokens needing values.
+	InitTokens func() ([][]Token, error)
+}
+
+// App is a complete application model.
+type App struct {
+	Name  string
+	Graph *sdf.Graph
+	// Impls lists the available implementations per actor.
+	Impls map[sdf.ActorID][]Impl
+	// TargetThroughput is the application's throughput constraint in
+	// graph iterations per clock cycle (0 = best effort).
+	TargetThroughput float64
+}
+
+// New returns an empty application model around a graph.
+func New(name string, g *sdf.Graph) *App {
+	return &App{Name: name, Graph: g, Impls: make(map[sdf.ActorID][]Impl)}
+}
+
+// AddImpl registers an implementation for an actor.
+func (a *App) AddImpl(actor *sdf.Actor, impl Impl) {
+	a.Impls[actor.ID] = append(a.Impls[actor.ID], impl)
+}
+
+// ImplFor returns the implementation of the actor for the given PE type,
+// or nil if none exists.
+func (a *App) ImplFor(actor sdf.ActorID, pe arch.PEType) *Impl {
+	for i := range a.Impls[actor] {
+		if a.Impls[actor][i].PE == pe {
+			return &a.Impls[actor][i]
+		}
+	}
+	return nil
+}
+
+// Validate checks the model: a structurally valid, consistent graph and at
+// least one implementation with a positive WCET for every actor.
+func (a *App) Validate() error {
+	if a.Graph == nil {
+		return fmt.Errorf("appmodel: %q has no graph", a.Name)
+	}
+	if err := a.Graph.Validate(); err != nil {
+		return err
+	}
+	if _, err := a.Graph.RepetitionVector(); err != nil {
+		return err
+	}
+	for _, actor := range a.Graph.Actors() {
+		impls := a.Impls[actor.ID]
+		if len(impls) == 0 {
+			return fmt.Errorf("appmodel: actor %q has no implementation", actor.Name)
+		}
+		seen := make(map[arch.PEType]bool)
+		for _, im := range impls {
+			if im.PE == "" {
+				return fmt.Errorf("appmodel: actor %q has an implementation without a PE type", actor.Name)
+			}
+			if seen[im.PE] {
+				return fmt.Errorf("appmodel: actor %q has two implementations for PE %q", actor.Name, im.PE)
+			}
+			seen[im.PE] = true
+			if im.WCET <= 0 {
+				return fmt.Errorf("appmodel: actor %q implementation for %q has non-positive WCET", actor.Name, im.PE)
+			}
+			if im.InstrMem < 0 || im.DataMem < 0 {
+				return fmt.Errorf("appmodel: actor %q implementation for %q has negative memory", actor.Name, im.PE)
+			}
+		}
+	}
+	return nil
+}
+
+// InitAll calls the Init function of every implementation that has one.
+func (a *App) InitAll() error {
+	for _, actor := range a.Graph.Actors() {
+		for _, im := range a.Impls[actor.ID] {
+			if im.Init != nil {
+				if err := im.Init(); err != nil {
+					return fmt.Errorf("appmodel: init of %q: %w", actor.Name, err)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package appmodel
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mamps/internal/arch"
+	"mamps/internal/sdf"
+	"mamps/internal/wcet"
+)
+
+// counterApp builds a two-actor app: src produces increasing ints, sink
+// checks ordering. src -> sink rate 1/1 with back-channel for liveness.
+func counterApp(t *testing.T) (*App, *[]int) {
+	t.Helper()
+	g := sdf.NewGraph("count")
+	src := g.AddActor("src", 10)
+	sink := g.AddActor("sink", 5)
+	g.Connect(src, sink, 1, 1, 0)
+	g.Connect(sink, src, 1, 1, 2)
+
+	app := New("count", g)
+	next := 0
+	received := &[]int{}
+	app.AddImpl(src, Impl{
+		PE: arch.MicroBlaze, WCET: 10,
+		Fire: func(m *wcet.Meter, in [][]Token) ([][]Token, error) {
+			m.Add(7)
+			v := next
+			next++
+			return [][]Token{{v}}, nil
+		},
+		Init: func() error { next = 0; return nil },
+		InitTokens: func() ([][]Token, error) {
+			return [][]Token{nil}, nil
+		},
+	})
+	app.AddImpl(sink, Impl{
+		PE: arch.MicroBlaze, WCET: 5,
+		Fire: func(m *wcet.Meter, in [][]Token) ([][]Token, error) {
+			m.Add(3)
+			*received = append(*received, in[0][0].(int))
+			return [][]Token{{struct{}{}}}, nil
+		},
+	})
+	return app, received
+}
+
+func TestValidateOK(t *testing.T) {
+	app, _ := counterApp(t)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateMissingImpl(t *testing.T) {
+	g := sdf.NewGraph("g")
+	a := g.AddActor("a", 1)
+	g.Connect(a, a, 1, 1, 1)
+	app := New("g", g)
+	if err := app.Validate(); err == nil {
+		t.Fatal("expected missing-impl error")
+	}
+}
+
+func TestValidateBadImpls(t *testing.T) {
+	g := sdf.NewGraph("g")
+	a := g.AddActor("a", 1)
+	g.Connect(a, a, 1, 1, 1)
+	cases := []Impl{
+		{PE: "", WCET: 1},
+		{PE: arch.MicroBlaze, WCET: 0},
+		{PE: arch.MicroBlaze, WCET: 1, InstrMem: -1},
+	}
+	for i, im := range cases {
+		app := New("g", g)
+		app.AddImpl(a, im)
+		if err := app.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Duplicate PE type.
+	app := New("g", g)
+	app.AddImpl(a, Impl{PE: arch.MicroBlaze, WCET: 1})
+	app.AddImpl(a, Impl{PE: arch.MicroBlaze, WCET: 2})
+	if err := app.Validate(); err == nil {
+		t.Error("expected duplicate-PE error")
+	}
+}
+
+func TestImplFor(t *testing.T) {
+	app, _ := counterApp(t)
+	src := app.Graph.ActorByName("src")
+	if app.ImplFor(src.ID, arch.MicroBlaze) == nil {
+		t.Fatal("impl not found")
+	}
+	if app.ImplFor(src.ID, "dsp") != nil {
+		t.Fatal("unexpected impl for unknown PE")
+	}
+}
+
+func TestRunProducesOrderedTokens(t *testing.T) {
+	app, received := counterApp(t)
+	profile, err := Run(app, RunOptions{PE: arch.MicroBlaze, RefActor: "sink", Firings: 5, CheckWCET: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(*received) != 5 {
+		t.Fatalf("received %d tokens", len(*received))
+	}
+	for i, v := range *received {
+		if v != i {
+			t.Fatalf("token %d = %d", i, v)
+		}
+	}
+	if profile.Record("src").Max() != 7 || profile.Record("sink").Max() != 3 {
+		t.Error("profile charges wrong")
+	}
+}
+
+func TestRunDetectsWCETViolation(t *testing.T) {
+	app, _ := counterApp(t)
+	src := app.Graph.ActorByName("src")
+	app.Impls[src.ID][0].WCET = 6 // below the 7 cycles Fire charges
+	_, err := Run(app, RunOptions{PE: arch.MicroBlaze, RefActor: "sink", Firings: 2, CheckWCET: true})
+	if err == nil {
+		t.Fatal("expected WCET violation")
+	}
+}
+
+func TestRunDetectsDeadlock(t *testing.T) {
+	g := sdf.NewGraph("dead")
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.Connect(a, b, 1, 1, 0)
+	g.Connect(b, a, 1, 1, 0)
+	app := New("dead", g)
+	fire := func(m *wcet.Meter, in [][]Token) ([][]Token, error) {
+		return [][]Token{{struct{}{}}}, nil
+	}
+	app.AddImpl(a, Impl{PE: arch.MicroBlaze, WCET: 1, Fire: fire})
+	app.AddImpl(b, Impl{PE: arch.MicroBlaze, WCET: 1, Fire: fire})
+	if _, err := Run(app, RunOptions{PE: arch.MicroBlaze, RefActor: "a", Firings: 1}); err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestRunRejectsRateViolations(t *testing.T) {
+	g := sdf.NewGraph("rate")
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.Connect(a, b, 2, 1, 0) // a must produce 2 per firing
+	g.Connect(b, a, 1, 2, 4)
+	app := New("rate", g)
+	app.AddImpl(a, Impl{PE: arch.MicroBlaze, WCET: 1,
+		Fire: func(m *wcet.Meter, in [][]Token) ([][]Token, error) {
+			return [][]Token{{1}}, nil // only one token: rate violation
+		}})
+	app.AddImpl(b, Impl{PE: arch.MicroBlaze, WCET: 1,
+		Fire: func(m *wcet.Meter, in [][]Token) ([][]Token, error) {
+			return [][]Token{{1}}, nil
+		}})
+	if _, err := Run(app, RunOptions{PE: arch.MicroBlaze, RefActor: "b", Firings: 1}); err == nil {
+		t.Fatal("expected rate violation error")
+	}
+}
+
+func TestRunOptionValidation(t *testing.T) {
+	app, _ := counterApp(t)
+	if _, err := Run(app, RunOptions{PE: arch.MicroBlaze, RefActor: "nope", Firings: 1}); err == nil {
+		t.Error("unknown ref actor should fail")
+	}
+	if _, err := Run(app, RunOptions{PE: arch.MicroBlaze, RefActor: "sink", Firings: 0}); err == nil {
+		t.Error("zero firings should fail")
+	}
+	if _, err := Run(app, RunOptions{PE: "dsp", RefActor: "sink", Firings: 1}); err == nil {
+		t.Error("unknown PE should fail")
+	}
+}
+
+func TestInitAllPropagatesErrors(t *testing.T) {
+	g := sdf.NewGraph("g")
+	a := g.AddActor("a", 1)
+	g.Connect(a, a, 1, 1, 1)
+	app := New("g", g)
+	boom := errors.New("boom")
+	app.AddImpl(a, Impl{PE: arch.MicroBlaze, WCET: 1,
+		Fire: func(m *wcet.Meter, in [][]Token) ([][]Token, error) { return [][]Token{{1}}, nil },
+		Init: func() error { return boom },
+	})
+	err := app.InitAll()
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = fmt.Sprintf
+}

@@ -1,0 +1,148 @@
+package appmodel
+
+import (
+	"fmt"
+
+	"mamps/internal/arch"
+	"mamps/internal/wcet"
+)
+
+// RunOptions configures a functional execution.
+type RunOptions struct {
+	// PE selects which implementation of each actor runs.
+	PE arch.PEType
+	// RefActor is the actor whose firing count terminates the run.
+	RefActor string
+	// Firings is the number of reference-actor firings to execute.
+	Firings int
+	// Scenario labels the observations in the returned profile.
+	Scenario string
+	// CheckWCET aborts if any firing charges more than its WCET.
+	CheckWCET bool
+}
+
+// Run executes the application functionally (untimed): actors fire
+// whenever their input tokens are available, channel queues are unbounded,
+// and the run stops after the requested number of reference-actor firings.
+// It returns the execution-time profile of all firings.
+//
+// Run validates the central soundness property of the flow on the way:
+// with CheckWCET set, any firing whose charged cycles exceed the
+// implementation's declared WCET fails the run.
+func Run(a *App, opt RunOptions) (*wcet.Profile, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	g := a.Graph
+	ref := g.ActorByName(opt.RefActor)
+	if ref == nil {
+		return nil, fmt.Errorf("appmodel: unknown reference actor %q", opt.RefActor)
+	}
+	if opt.Firings <= 0 {
+		return nil, fmt.Errorf("appmodel: need a positive firing count")
+	}
+	scenario := opt.Scenario
+	if scenario == "" {
+		scenario = "default"
+	}
+
+	impls := make([]*Impl, g.NumActors())
+	for _, actor := range g.Actors() {
+		im := a.ImplFor(actor.ID, opt.PE)
+		if im == nil {
+			return nil, fmt.Errorf("appmodel: actor %q has no implementation for PE %q", actor.Name, opt.PE)
+		}
+		if im.Fire == nil {
+			return nil, fmt.Errorf("appmodel: actor %q implementation for PE %q is analysis-only", actor.Name, opt.PE)
+		}
+		impls[actor.ID] = im
+	}
+	if err := a.InitAll(); err != nil {
+		return nil, err
+	}
+
+	// Channel queues, seeded with initial tokens.
+	queues := make([][]Token, g.NumChannels())
+	for _, c := range g.Channels() {
+		queues[c.ID] = make([]Token, 0, c.InitialTokens+c.SrcRate)
+	}
+	for _, actor := range g.Actors() {
+		im := impls[actor.ID]
+		var vals [][]Token
+		if im.InitTokens != nil {
+			v, err := im.InitTokens()
+			if err != nil {
+				return nil, fmt.Errorf("appmodel: initial tokens of %q: %w", actor.Name, err)
+			}
+			vals = v
+		}
+		for pi, cid := range actor.Out() {
+			c := g.Channel(cid)
+			for k := 0; k < c.InitialTokens; k++ {
+				var tok Token
+				if vals != nil && pi < len(vals) && k < len(vals[pi]) {
+					tok = vals[pi][k]
+				}
+				queues[cid] = append(queues[cid], tok)
+			}
+		}
+	}
+
+	profile := wcet.NewProfile()
+	var meter wcet.Meter
+	refFirings := 0
+	for refFirings < opt.Firings {
+		progress := false
+		for _, actor := range g.Actors() {
+			if refFirings >= opt.Firings {
+				break
+			}
+			ready := true
+			for _, cid := range actor.In() {
+				if len(queues[cid]) < g.Channel(cid).DstRate {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			in := make([][]Token, len(actor.In()))
+			for pi, cid := range actor.In() {
+				rate := g.Channel(cid).DstRate
+				in[pi] = queues[cid][:rate:rate]
+				queues[cid] = queues[cid][rate:]
+			}
+			meter.Reset()
+			out, err := impls[actor.ID].Fire(&meter, in)
+			if err != nil {
+				return nil, fmt.Errorf("appmodel: firing %q: %w", actor.Name, err)
+			}
+			if len(out) != len(actor.Out()) {
+				return nil, fmt.Errorf("appmodel: actor %q produced %d output ports, want %d", actor.Name, len(out), len(actor.Out()))
+			}
+			for pi, cid := range actor.Out() {
+				c := g.Channel(cid)
+				if len(out[pi]) != c.SrcRate {
+					return nil, fmt.Errorf("appmodel: actor %q produced %d tokens on %q, want rate %d",
+						actor.Name, len(out[pi]), c.Name, c.SrcRate)
+				}
+				queues[cid] = append(queues[cid], out[pi]...)
+			}
+			cycles := meter.Cycles()
+			if opt.CheckWCET && cycles > impls[actor.ID].WCET {
+				return nil, fmt.Errorf("appmodel: actor %q fired with %d cycles, above its WCET %d",
+					actor.Name, cycles, impls[actor.ID].WCET)
+			}
+			profile.Record(actor.Name).Observe(scenario, cycles)
+			progress = true
+			if actor.ID == ref.ID {
+				refFirings++
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("appmodel: deadlock after %d reference firings", refFirings)
+		}
+	}
+	return profile, nil
+}

@@ -1,0 +1,94 @@
+// Package area estimates the FPGA resource usage of a generated platform
+// in Virtex-6 slices and block RAMs. The per-component figures encode the
+// published costs of the template components; the model exists to report
+// platform cost during design-space exploration and to reproduce the
+// paper's NoC observation that adding flow control costs about 12% extra
+// router area (Section 5.3.1).
+package area
+
+import (
+	"mamps/internal/arch"
+	"mamps/internal/noc"
+)
+
+// Per-component slice costs (Virtex-6 slices).
+const (
+	SlicesMicroBlaze = 1500 // MicroBlaze core incl. local bus
+	SlicesNI         = 120  // network interface logic
+	SlicesFSLLink    = 50   // one FSL FIFO
+	SlicesCA         = 340  // communication assist
+	SlicesPeriph     = 220  // peripheral bridge on the master tile
+	// SlicesRouterBase is the SDM router of Yang et al. [17] without flow
+	// control; SlicesRouterFC is the MAMPS version with credit-based flow
+	// control, approximately 12% larger.
+	SlicesRouterBase = 360
+	SlicesRouterFC   = 403
+)
+
+// BRAMBytes is the capacity of one 36 kbit block RAM in bytes.
+const BRAMBytes = 36 * 1024 / 8
+
+// Estimate is an FPGA resource estimate.
+type Estimate struct {
+	Slices int
+	BRAMs  int
+}
+
+// Add accumulates another estimate.
+func (e *Estimate) Add(o Estimate) {
+	e.Slices += o.Slices
+	e.BRAMs += o.BRAMs
+}
+
+// Tile estimates the resources of one tile with the given installed
+// memories.
+func Tile(t *arch.Tile) Estimate {
+	var e Estimate
+	switch t.Kind {
+	case arch.IPTile:
+		e.Slices = SlicesNI // the IP itself is application-specific
+	default:
+		e.Slices = SlicesMicroBlaze + SlicesNI
+		if t.HasCA {
+			e.Slices += SlicesCA
+		}
+		if t.Kind == arch.MasterTile {
+			e.Slices += SlicesPeriph
+		}
+	}
+	mem := t.InstrMem + t.DataMem
+	e.BRAMs = (mem + BRAMBytes - 1) / BRAMBytes
+	return e
+}
+
+// Router estimates one SDM NoC router.
+func Router(flowControl bool) Estimate {
+	if flowControl {
+		return Estimate{Slices: SlicesRouterFC}
+	}
+	return Estimate{Slices: SlicesRouterBase}
+}
+
+// Platform estimates a whole platform. For an FSL platform, links counts
+// the point-to-point connections instantiated; for a NoC platform the mesh
+// determines the router count and links is ignored.
+func Platform(p *arch.Platform, links int) Estimate {
+	var e Estimate
+	for _, t := range p.Tiles {
+		e.Add(Tile(t))
+	}
+	switch p.Interconnect.Kind {
+	case arch.FSL:
+		e.Slices += links * SlicesFSLLink
+	case arch.NoC:
+		w, h := noc.Dimension(len(p.Tiles))
+		e.Slices += w * h * Router(p.Interconnect.FlowControl).Slices
+	}
+	return e
+}
+
+// FlowControlOverhead returns the relative router area increase of adding
+// flow control to the NoC: (FC − base) / base.
+func FlowControlOverhead() float64 {
+	return float64(SlicesRouterFC-SlicesRouterBase) / float64(SlicesRouterBase)
+}

@@ -1,0 +1,78 @@
+package area
+
+import (
+	"math"
+	"testing"
+
+	"mamps/internal/arch"
+)
+
+func TestFlowControlOverheadMatchesPaper(t *testing.T) {
+	// The paper reports that adding flow control to the NoC required
+	// approximately 12% more slices.
+	got := FlowControlOverhead()
+	if math.Abs(got-0.12) > 0.005 {
+		t.Fatalf("flow-control overhead = %.3f, want ~0.12", got)
+	}
+}
+
+func TestTileEstimate(t *testing.T) {
+	master := &arch.Tile{Name: "m", Kind: arch.MasterTile, PE: arch.MicroBlaze,
+		InstrMem: 64 * 1024, DataMem: 64 * 1024, Peripherals: []string{"uart"}}
+	slave := &arch.Tile{Name: "s", Kind: arch.SlaveTile, PE: arch.MicroBlaze,
+		InstrMem: 64 * 1024, DataMem: 64 * 1024}
+	em := Tile(master)
+	es := Tile(slave)
+	if em.Slices <= es.Slices {
+		t.Error("master tile must cost more (peripheral bridge)")
+	}
+	if em.Slices-es.Slices != SlicesPeriph {
+		t.Errorf("master-slave delta = %d, want %d", em.Slices-es.Slices, SlicesPeriph)
+	}
+	// 128 kB needs ceil(131072/4608) = 29 BRAMs.
+	if em.BRAMs != 29 {
+		t.Errorf("BRAMs = %d, want 29", em.BRAMs)
+	}
+	ca := *slave
+	ca.HasCA = true
+	if Tile(&ca).Slices-es.Slices != SlicesCA {
+		t.Error("CA cost not applied")
+	}
+	ip := &arch.Tile{Name: "ip", Kind: arch.IPTile}
+	if Tile(ip).Slices != SlicesNI {
+		t.Errorf("IP tile slices = %d, want NI only", Tile(ip).Slices)
+	}
+}
+
+func TestPlatformEstimateFSLvsNoC(t *testing.T) {
+	tpl := arch.DefaultTemplate()
+	pf, _ := tpl.Generate("f", 5, arch.FSL)
+	pn, _ := tpl.Generate("n", 5, arch.NoC)
+	ef := Platform(pf, 4) // 4 point-to-point links
+	en := Platform(pn, 0)
+	if ef.Slices <= 0 || en.Slices <= 0 {
+		t.Fatal("estimates must be positive")
+	}
+	// NoC (6 routers for 5 tiles in a 3x2 mesh) costs more than 4 FSLs.
+	if en.Slices <= ef.Slices {
+		t.Errorf("NoC (%d) should cost more slices than FSL (%d)", en.Slices, ef.Slices)
+	}
+	// Same tiles, so same BRAM count.
+	if ef.BRAMs != en.BRAMs {
+		t.Errorf("BRAMs differ: %d vs %d", ef.BRAMs, en.BRAMs)
+	}
+}
+
+func TestRouterEstimate(t *testing.T) {
+	if Router(true).Slices != SlicesRouterFC || Router(false).Slices != SlicesRouterBase {
+		t.Error("router estimates wrong")
+	}
+}
+
+func TestEstimateAdd(t *testing.T) {
+	e := Estimate{Slices: 1, BRAMs: 2}
+	e.Add(Estimate{Slices: 10, BRAMs: 20})
+	if e.Slices != 11 || e.BRAMs != 22 {
+		t.Errorf("Add result = %+v", e)
+	}
+}

@@ -1,0 +1,119 @@
+// Package bitio provides MSB-first bit-level readers and writers as used
+// by JPEG-style entropy coding: bits are packed into bytes starting at the
+// most significant bit.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrEndOfStream is returned when a read runs past the end of the input.
+var ErrEndOfStream = errors.New("bitio: end of stream")
+
+// Writer accumulates bits MSB-first into a byte slice.
+type Writer struct {
+	buf  []byte
+	cur  uint8
+	nCur int // bits currently in cur
+}
+
+// NewWriter returns an empty writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// WriteBits appends the n least-significant bits of v, most significant
+// first. n must be in 0..32 and v must fit in n bits.
+func (w *Writer) WriteBits(v uint32, n int) {
+	if n < 0 || n > 32 {
+		panic(fmt.Sprintf("bitio: invalid bit count %d", n))
+	}
+	if n < 32 && v>>uint(n) != 0 {
+		panic(fmt.Sprintf("bitio: value %#x does not fit in %d bits", v, n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		bit := uint8((v >> uint(i)) & 1)
+		w.cur = w.cur<<1 | bit
+		w.nCur++
+		if w.nCur == 8 {
+			w.buf = append(w.buf, w.cur)
+			w.cur, w.nCur = 0, 0
+		}
+	}
+}
+
+// Align pads the current byte with 1-bits (the JPEG convention) and byte
+// aligns the stream.
+func (w *Writer) Align() {
+	for w.nCur != 0 {
+		w.WriteBits(1, 1)
+	}
+}
+
+// BitsWritten returns the total number of bits written so far.
+func (w *Writer) BitsWritten() int64 {
+	return int64(len(w.buf))*8 + int64(w.nCur)
+}
+
+// Bytes returns the accumulated bytes; the stream is aligned first.
+func (w *Writer) Bytes() []byte {
+	w.Align()
+	return w.buf
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf  []byte
+	pos  int // byte position
+	nBit int // bits consumed of buf[pos]
+}
+
+// NewReader returns a reader over buf. The reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint32, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrEndOfStream
+	}
+	b := (r.buf[r.pos] >> uint(7-r.nBit)) & 1
+	r.nBit++
+	if r.nBit == 8 {
+		r.nBit = 0
+		r.pos++
+	}
+	return uint32(b), nil
+}
+
+// ReadBits reads n bits (0..32), MSB first.
+func (r *Reader) ReadBits(n int) (uint32, error) {
+	if n < 0 || n > 32 {
+		panic(fmt.Sprintf("bitio: invalid bit count %d", n))
+	}
+	var v uint32
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | b
+	}
+	return v, nil
+}
+
+// Align discards bits up to the next byte boundary.
+func (r *Reader) Align() {
+	if r.nBit != 0 {
+		r.nBit = 0
+		r.pos++
+	}
+}
+
+// BitsRead returns the total number of bits consumed.
+func (r *Reader) BitsRead() int64 {
+	return int64(r.pos)*8 + int64(r.nBit)
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int64 {
+	return int64(len(r.buf))*8 - r.BitsRead()
+}

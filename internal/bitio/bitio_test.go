@@ -1,0 +1,150 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0, 1)
+	w.WriteBits(0b1100110011, 10)
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadBits(3); v != 0b101 {
+		t.Fatalf("got %b", v)
+	}
+	if v, _ := r.ReadBits(8); v != 0xFF {
+		t.Fatalf("got %x", v)
+	}
+	if v, _ := r.ReadBits(1); v != 0 {
+		t.Fatalf("got %d", v)
+	}
+	if v, _ := r.ReadBits(10); v != 0b1100110011 {
+		t.Fatalf("got %b", v)
+	}
+}
+
+func TestAlignPadsWithOnes(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0, 1)
+	w.Align()
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 0x7F {
+		t.Fatalf("bytes = %x, want 7f (0 then seven 1s)", b)
+	}
+}
+
+func TestBitsWrittenAndRead(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b11, 2)
+	if w.BitsWritten() != 2 {
+		t.Fatalf("BitsWritten = %d", w.BitsWritten())
+	}
+	w.WriteBits(0, 7)
+	if w.BitsWritten() != 9 {
+		t.Fatalf("BitsWritten = %d", w.BitsWritten())
+	}
+	r := NewReader(w.Bytes())
+	r.ReadBits(5)
+	if r.BitsRead() != 5 {
+		t.Fatalf("BitsRead = %d", r.BitsRead())
+	}
+	if r.Remaining() != 11 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xAB})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrEndOfStream {
+		t.Fatalf("err = %v, want ErrEndOfStream", err)
+	}
+	if _, err := r.ReadBits(4); err != ErrEndOfStream {
+		t.Fatalf("err = %v, want ErrEndOfStream", err)
+	}
+}
+
+func TestReaderAlign(t *testing.T) {
+	r := NewReader([]byte{0xF0, 0x0F})
+	r.ReadBits(3)
+	r.Align()
+	if r.BitsRead() != 8 {
+		t.Fatalf("BitsRead after align = %d", r.BitsRead())
+	}
+	v, _ := r.ReadBits(8)
+	if v != 0x0F {
+		t.Fatalf("got %x", v)
+	}
+	r.Align() // already aligned: no-op
+	if r.BitsRead() != 16 {
+		t.Fatalf("BitsRead = %d", r.BitsRead())
+	}
+}
+
+func TestWriteBitsValidation(t *testing.T) {
+	w := NewWriter()
+	for _, f := range []func(){
+		func() { w.WriteBits(0, -1) },
+		func() { w.WriteBits(0, 33) },
+		func() { w.WriteBits(4, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZeroBitWrite(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0, 0)
+	if w.BitsWritten() != 0 {
+		t.Fatal("zero-bit write should write nothing")
+	}
+}
+
+// Property: any sequence of (value, width) pairs round-trips.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		count := int(n%32) + 1
+		type item struct {
+			v uint32
+			n int
+		}
+		items := make([]item, count)
+		w := NewWriter()
+		for i := range items {
+			width := 1 + r.Intn(32)
+			var v uint32
+			if width == 32 {
+				v = r.Uint32()
+			} else {
+				v = r.Uint32() & (1<<uint(width) - 1)
+			}
+			items[i] = item{v, width}
+			w.WriteBits(v, width)
+		}
+		rd := NewReader(w.Bytes())
+		for _, it := range items {
+			got, err := rd.ReadBits(it.n)
+			if err != nil || got != it.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,267 @@
+// Package comm implements the parameterized SDF model of communication
+// over the MAMPS interconnect (the paper's Figure 4). Every SDF channel
+// that is mapped onto the interconnect is replaced by a subgraph that
+// models the three phases of communicating a token:
+//
+//   - serialization at the sending tile: actors s1, s2, s3 split a token
+//     into N 32-bit words at the network interface. s1 carries the
+//     execution time of the serialization code; s2 and s3 have execution
+//     time zero and only model the word handoff and the NI slot that
+//     prevents the next token from being serialized before the current
+//     one has been handed to the network;
+//   - the interconnect: actors c1 (head latency) and c2 (per-word rate)
+//     form a latency-rate model. The connection can hold w words in
+//     simultaneous transmission plus αn words buffered in the network;
+//     this capacity is modelled by credit tokens that the sending side
+//     consumes per word and the receiving side returns per token;
+//   - deserialization at the receiving tile: actors d1, d2, d3 mirror the
+//     sending side; d1 carries the deserialization execution time.
+//
+// Buffer space at the sending and receiving ends (αsrc, αdst) is modelled
+// by space-token back-channels, exactly as in package buffer.
+//
+// This model improves on the CA-MPSoC model of [13] in the two ways the
+// paper claims: (a) it models the fragmentation of tokens into words, and
+// (b) it models the communication channel on the network itself.
+//
+// The expansion is a plain SDF-to-SDF transformation, so the ordinary
+// state-space analysis of the expanded graph yields a throughput bound
+// that is conservative for the generated platform.
+package comm
+
+import (
+	"fmt"
+
+	"mamps/internal/noc"
+	"mamps/internal/sdf"
+)
+
+// Default serialization cost coefficients, in cycles. The MicroBlaze
+// software loop costs a fixed call overhead plus a few cycles per 32-bit
+// word moved to the FSL port; the communication assist of [13] streams
+// words with minimal overhead and, crucially, without occupying the PE.
+const (
+	PESerFixed   = 12
+	PESerPerWord = 4
+	CASerFixed   = 4
+	CASerPerWord = 1
+)
+
+// Params characterizes one interconnect connection for the Figure 4 model.
+type Params struct {
+	// SerFixed/SerPerWord give the execution time of s1 (serialization of
+	// one token of N words): SerFixed + N·SerPerWord.
+	SerFixed   int64
+	SerPerWord int64
+	// DeserFixed/DeserPerWord give the execution time of d1 likewise.
+	DeserFixed   int64
+	DeserPerWord int64
+
+	// Latency is the head latency of one word through the connection
+	// (execution time of c1). At least 1.
+	Latency int64
+	// CyclesPerWord is the per-word occupation of the connection
+	// (execution time of c2, the rate of the latency-rate model). At
+	// least 1.
+	CyclesPerWord int64
+
+	// InFlight (w in Figure 4) is the number of words that can be in
+	// simultaneous transmission; NetBuffer (αn) is the additional
+	// buffering of the connection inside the network. Their sum is the
+	// credit pool of the connection and must be at least 1.
+	InFlight  int
+	NetBuffer int
+
+	// SrcBuffer (αsrc) and DstBuffer (αdst) are the token capacities of
+	// the channel's buffers at the sending and receiving tiles.
+	SrcBuffer int
+	DstBuffer int
+
+	// SrcOnCA and DstOnCA mark (de)serialization performed by a
+	// communication assist (or the network interface of an IP tile)
+	// instead of the PE at the respective end: the s1/d1 actor of that
+	// end then runs concurrently with the actor code and must not be
+	// placed in the tile schedule.
+	SrcOnCA, DstOnCA bool
+}
+
+// OnCA reports whether both ends are handled by communication assists.
+func (p Params) OnCA() bool { return p.SrcOnCA && p.DstOnCA }
+
+// Validate checks the parameter sanity for a channel with the given rates
+// and initial tokens.
+func (p Params) Validate(c *sdf.Channel) error {
+	if p.Latency < 1 || p.CyclesPerWord < 1 {
+		return fmt.Errorf("comm: channel %q: latency and cycles/word must be >= 1", c.Name)
+	}
+	if p.InFlight+p.NetBuffer < 1 {
+		return fmt.Errorf("comm: channel %q: credit pool (w+αn) must be >= 1", c.Name)
+	}
+	if p.SrcBuffer < c.SrcRate {
+		return fmt.Errorf("comm: channel %q: source buffer %d below production rate %d", c.Name, p.SrcBuffer, c.SrcRate)
+	}
+	if p.DstBuffer < c.DstRate {
+		return fmt.Errorf("comm: channel %q: destination buffer %d below consumption rate %d", c.Name, p.DstBuffer, c.DstRate)
+	}
+	if p.DstBuffer < c.InitialTokens {
+		return fmt.Errorf("comm: channel %q: destination buffer %d below initial tokens %d", c.Name, p.DstBuffer, c.InitialTokens)
+	}
+	if p.SerFixed < 0 || p.SerPerWord < 0 || p.DeserFixed < 0 || p.DeserPerWord < 0 {
+		return fmt.Errorf("comm: channel %q: negative serialization cost", c.Name)
+	}
+	return nil
+}
+
+// FSLParams returns the connection parameters of a dedicated FSL link with
+// the given FIFO depth: one cycle of latency, one word per cycle, and the
+// FIFO as network buffering.
+func FSLParams(fifoDepth int) Params {
+	return Params{
+		SerFixed: PESerFixed, SerPerWord: PESerPerWord,
+		DeserFixed: PESerFixed, DeserPerWord: PESerPerWord,
+		Latency:       1,
+		CyclesPerWord: 1,
+		InFlight:      1,
+		NetBuffer:     fifoDepth,
+	}
+}
+
+// NoCParams returns the connection parameters derived from a programmed
+// NoC connection's latency-rate timing.
+func NoCParams(t noc.Timing) Params {
+	return Params{
+		SerFixed: PESerFixed, SerPerWord: PESerPerWord,
+		DeserFixed: PESerFixed, DeserPerWord: PESerPerWord,
+		Latency:       t.LatencyCycles,
+		CyclesPerWord: t.CyclesPerWord,
+		InFlight:      t.InFlightWords,
+		NetBuffer:     t.BufferWords,
+	}
+}
+
+// WithCA returns a copy of p with the (de)serialization of both ends
+// performed by communication assists: the CA's cost coefficients replace
+// the PE's and the work leaves the processing elements. This is the
+// transformation of the paper's Section 6.3 experiment.
+func (p Params) WithCA() Params {
+	return p.WithSrcCA().WithDstCA()
+}
+
+// WithSrcCA offloads the sending end only (a CA or IP tile at the
+// producer).
+func (p Params) WithSrcCA() Params {
+	p.SerFixed, p.SerPerWord = CASerFixed, CASerPerWord
+	p.SrcOnCA = true
+	return p
+}
+
+// WithDstCA offloads the receiving end only.
+func (p Params) WithDstCA() Params {
+	p.DeserFixed, p.DeserPerWord = CASerFixed, CASerPerWord
+	p.DstOnCA = true
+	return p
+}
+
+// ChannelActors identifies the model actors created for one expanded
+// channel, named as in Figure 4.
+type ChannelActors struct {
+	S1, S2, S3 sdf.ActorID
+	C1, C2     sdf.ActorID
+	D1, D2, D3 sdf.ActorID
+}
+
+// Expansion is the result of expanding a graph's inter-tile channels.
+type Expansion struct {
+	// Graph is the expanded SDF graph. The original actors keep their
+	// IDs; model actors are appended after them.
+	Graph *sdf.Graph
+	// PerChannel maps each expanded original channel to its model actors.
+	PerChannel map[sdf.ChannelID]ChannelActors
+}
+
+// Expand returns a new graph in which every channel listed in params is
+// replaced by the Figure 4 subgraph, and every other channel is copied
+// unchanged. Self-loops cannot be expanded (they never leave a tile).
+func Expand(g *sdf.Graph, params map[sdf.ChannelID]Params) (*Expansion, error) {
+	ng := sdf.NewGraph(g.Name + "_comm")
+	for _, a := range g.Actors() {
+		na := ng.AddActor(a.Name, a.ExecTime)
+		na.MaxConcurrent = a.MaxConcurrent
+	}
+	ex := &Expansion{Graph: ng, PerChannel: make(map[sdf.ChannelID]ChannelActors)}
+
+	for _, c := range g.Channels() {
+		p, expand := params[c.ID]
+		if !expand {
+			nc := ng.Connect(ng.Actor(c.Src), ng.Actor(c.Dst), c.SrcRate, c.DstRate, c.InitialTokens)
+			nc.Name = c.Name
+			nc.TokenSize = c.TokenSize
+			continue
+		}
+		if c.IsSelfLoop() {
+			return nil, fmt.Errorf("comm: cannot expand self-loop %q over the interconnect", c.Name)
+		}
+		if err := p.Validate(c); err != nil {
+			return nil, err
+		}
+		n := int64(c.Words())
+		src := ng.Actor(c.Src)
+		dst := ng.Actor(c.Dst)
+
+		s1 := ng.AddActor(c.Name+"_s1", p.SerFixed+n*p.SerPerWord)
+		s2 := ng.AddActor(c.Name+"_s2", 0)
+		s3 := ng.AddActor(c.Name+"_s3", 0)
+		c1 := ng.AddActor(c.Name+"_c1", p.Latency)
+		c2 := ng.AddActor(c.Name+"_c2", p.CyclesPerWord)
+		d1 := ng.AddActor(c.Name+"_d1", p.DeserFixed+n*p.DeserPerWord)
+		d2 := ng.AddActor(c.Name+"_d2", 0)
+		d3 := ng.AddActor(c.Name+"_d3", 0)
+		s1.MaxConcurrent = 1
+		d1.MaxConcurrent = 1
+		c2.MaxConcurrent = 1 // the connection moves one word at a time
+		// c1 is a pure latency element: words pipeline through it, so its
+		// concurrency stays unbounded; the credit pool limits it.
+
+		nw := int(n)
+		connect := func(a, b *sdf.Actor, sr, dr, init int, name string, tokSize int) {
+			ch := ng.Connect(a, b, sr, dr, init)
+			ch.Name = name
+			ch.TokenSize = tokSize
+		}
+		// Source buffer: data from the producing actor into s1, space back.
+		connect(src, s1, c.SrcRate, 1, 0, c.Name+"_srcbuf", c.TokenSize)
+		connect(s1, src, 1, c.SrcRate, p.SrcBuffer, c.Name+"_srcspace", 0)
+		// Serialization into words and the NI slot cycle.
+		connect(s1, s2, nw, 1, 0, c.Name+"_words", 4)
+		connect(s2, s3, 1, nw, 0, c.Name+"_hand", 0)
+		connect(s3, s1, 1, 1, 1, c.Name+"_nislot", 0)
+		// Words into the connection; s2 consumes a network credit per word,
+		// so a full connection stalls the NI handoff and thereby the PE
+		// (blocking FSL write).
+		connect(s2, c1, 1, 1, 0, c.Name+"_inject", 4)
+		connect(c1, c2, 1, 1, 0, c.Name+"_transit", 4)
+		connect(c2, d3, 1, 1, 0, c.Name+"_eject", 4)
+		// Credit pool: words in flight (w) plus network buffering (αn)
+		// plus the one-token assembly slot at the receiving network
+		// interface. Credits return per deserialized token (d2), which is
+		// conservative with respect to the implementation's word-by-word
+		// FIFO drain; the assembly slot keeps the model deadlock-free
+		// even when a token holds more words than the network buffers.
+		connect(d2, s2, nw, 1, p.InFlight+p.NetBuffer+nw, c.Name+"_credit", 0)
+		// Deserialization: collect N words into one token.
+		connect(d3, d1, 1, nw, 0, c.Name+"_collect", 4)
+		connect(d1, d2, 1, 1, 0, c.Name+"_done", 0)
+		// Destination buffer: initial tokens of the original channel are
+		// written into the destination buffer by the platform's
+		// initialization code, so they appear here.
+		connect(d1, dst, 1, c.DstRate, c.InitialTokens, c.Name+"_dstbuf", c.TokenSize)
+		connect(dst, d1, c.DstRate, 1, p.DstBuffer-c.InitialTokens, c.Name+"_dstspace", 0)
+
+		ex.PerChannel[c.ID] = ChannelActors{
+			S1: s1.ID, S2: s2.ID, S3: s3.ID,
+			C1: c1.ID, C2: c2.ID,
+			D1: d1.ID, D2: d2.ID, D3: d3.ID,
+		}
+	}
+	return ex, nil
+}

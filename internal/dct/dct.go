@@ -1,0 +1,214 @@
+// Package dct implements the 8×8 forward and inverse discrete cosine
+// transforms, the zig-zag coefficient order, and the quantization tables
+// of baseline JPEG. The inverse transform is a deterministic fixed-point
+// implementation so the pipelined decoder and the monolithic reference
+// decoder produce bit-identical output on every platform.
+package dct
+
+// BlockSize is the transform dimension.
+const BlockSize = 8
+
+// Block is an 8×8 block in row-major order.
+type Block [64]int32
+
+// ZigZag maps zig-zag index -> row-major index (T.81 Figure 5).
+var ZigZag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// UnZigZag maps row-major index -> zig-zag index.
+var UnZigZag [64]int
+
+func init() {
+	for zz, rm := range ZigZag {
+		UnZigZag[rm] = zz
+	}
+}
+
+// Fixed-point scale for the integer IDCT: 13 fractional bits for the
+// intermediate rows, as in the classical scaled-integer implementations.
+const (
+	fixBits = 13
+	fixHalf = 1 << (fixBits - 1)
+)
+
+// quarterCos[k] = round(cos(k*pi/16) * 2^fixBits) for k in 0..8;
+// precomputed to keep the transform free of floating point.
+var quarterCos = [9]int32{
+	8192, // cos(0)        = 1.0
+	8035, // cos(pi/16)    = 0.98079
+	7568, // cos(2pi/16)   = 0.92388
+	6811, // cos(3pi/16)   = 0.83147
+	5793, // cos(4pi/16)   = 0.70711
+	4551, // cos(5pi/16)   = 0.55557
+	3135, // cos(6pi/16)   = 0.38268
+	1598, // cos(7pi/16)   = 0.19509
+	0,    // cos(8pi/16)   = 0.0
+}
+
+// cosAt returns round(cos(k*pi/16) * 2^fixBits) for any integer k, by
+// folding into the first quadrant.
+func cosAt(k int) int32 {
+	k %= 32
+	if k < 0 {
+		k += 32
+	}
+	switch {
+	case k <= 8:
+		return quarterCos[k]
+	case k <= 16:
+		return -quarterCos[16-k]
+	case k <= 24:
+		return -quarterCos[k-16]
+	default:
+		return quarterCos[32-k]
+	}
+}
+
+// basis[u][x] = round(C(u) * cos((2x+1)u*pi/16) * 2^fixBits) where C(0) =
+// 1/sqrt(2) and C(u>0) = 1; the separable 1-D DCT-II basis.
+var basis [8][8]int32
+
+func init() {
+	for u := 0; u < 8; u++ {
+		for x := 0; x < 8; x++ {
+			if u == 0 {
+				// C(0)·cos(0) = 1/sqrt(2): 8192/sqrt(2) = 5793.
+				basis[u][x] = 5793
+				continue
+			}
+			basis[u][x] = cosAt((2*x + 1) * u)
+		}
+	}
+}
+
+// Forward computes the 2-D DCT-II of a block of samples (level-shifted by
+// −128 by the caller) and returns the coefficient block, scaled by 1/4 as
+// in T.81 (so coefficients fit the quantization ranges).
+func Forward(in *Block) Block {
+	var tmp, out Block
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for u := 0; u < 8; u++ {
+			var acc int64
+			for x := 0; x < 8; x++ {
+				acc += int64(in[y*8+x]) * int64(basis[u][x])
+			}
+			tmp[y*8+u] = int32((acc + fixHalf) >> fixBits)
+		}
+	}
+	// Columns.
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var acc int64
+			for y := 0; y < 8; y++ {
+				acc += int64(tmp[y*8+u]) * int64(basis[v][y])
+			}
+			// The 2-D normalization of T.81 is 1/4.
+			out[v*8+u] = int32((acc/4 + fixHalf) >> fixBits)
+		}
+	}
+	return out
+}
+
+// Inverse computes the 2-D inverse DCT of a coefficient block, returning
+// sample values still level-shifted (add 128 and clamp to recover pixel
+// samples). The computation is pure integer arithmetic and therefore
+// bit-deterministic.
+func Inverse(in *Block) Block {
+	var tmp, out Block
+	// Rows: samples_y(x) = 1/2 sum_u C(u) F(u) cos((2x+1)u pi/16).
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			var acc int64
+			for u := 0; u < 8; u++ {
+				acc += int64(in[y*8+u]) * int64(basis[u][x])
+			}
+			tmp[y*8+x] = int32((acc + fixHalf) >> fixBits)
+		}
+	}
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			var acc int64
+			for v := 0; v < 8; v++ {
+				acc += int64(tmp[v*8+x]) * int64(basis[v][y])
+			}
+			out[y*8+x] = int32((acc/4 + fixHalf) >> fixBits)
+		}
+	}
+	return out
+}
+
+// Clamp8 clamps a level-shifted sample (after adding 128) into 0..255.
+func Clamp8(v int32) uint8 {
+	v += 128
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// Standard Annex K quantization tables.
+var (
+	// QuantLuminance is table K.1.
+	QuantLuminance = [64]int32{
+		16, 11, 10, 16, 24, 40, 51, 61,
+		12, 12, 14, 19, 26, 58, 60, 55,
+		14, 13, 16, 24, 40, 57, 69, 56,
+		14, 17, 22, 29, 51, 87, 80, 62,
+		18, 22, 37, 56, 68, 109, 103, 77,
+		24, 35, 55, 64, 81, 104, 113, 92,
+		49, 64, 78, 87, 103, 121, 120, 101,
+		72, 92, 95, 98, 112, 100, 103, 99,
+	}
+	// QuantChrominance is table K.2.
+	QuantChrominance = [64]int32{
+		17, 18, 24, 47, 99, 99, 99, 99,
+		18, 21, 26, 66, 99, 99, 99, 99,
+		24, 26, 56, 99, 99, 99, 99, 99,
+		47, 66, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+	}
+)
+
+// ScaleQuant scales a base quantization table by a libjpeg-style quality
+// factor in 1..100 (50 = unscaled, 100 = all ones).
+func ScaleQuant(base [64]int32, quality int) [64]int32 {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	var scale int32
+	if quality < 50 {
+		scale = int32(5000 / quality)
+	} else {
+		scale = int32(200 - 2*quality)
+	}
+	var out [64]int32
+	for i, q := range base {
+		v := (q*scale + 50) / 100
+		if v < 1 {
+			v = 1
+		}
+		if v > 255 {
+			v = 255
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package dct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZigZagIsPermutation(t *testing.T) {
+	seen := [64]bool{}
+	for _, v := range ZigZag {
+		if v < 0 || v > 63 || seen[v] {
+			t.Fatalf("ZigZag is not a permutation: %v", ZigZag)
+		}
+		seen[v] = true
+	}
+	for i := range ZigZag {
+		if UnZigZag[ZigZag[i]] != i {
+			t.Fatalf("UnZigZag inverse broken at %d", i)
+		}
+	}
+	// Spot checks from T.81: zig-zag 1 is (0,1), zig-zag 2 is (1,0).
+	if ZigZag[1] != 1 || ZigZag[2] != 8 || ZigZag[63] != 63 {
+		t.Fatalf("ZigZag spot checks failed: %d %d %d", ZigZag[1], ZigZag[2], ZigZag[63])
+	}
+}
+
+func TestForwardOfFlatBlock(t *testing.T) {
+	// A constant block has only a DC coefficient: F(0,0) = 8·value/...
+	// With the T.81 normalization, DC of a flat block of value v is 8v.
+	var in Block
+	for i := range in {
+		in[i] = 100
+	}
+	out := Forward(&in)
+	if math.Abs(float64(out[0])-800) > 2 {
+		t.Fatalf("DC = %d, want ~800", out[0])
+	}
+	for i := 1; i < 64; i++ {
+		if out[i] != 0 {
+			t.Fatalf("AC[%d] = %d, want 0", i, out[i])
+		}
+	}
+}
+
+func TestInverseOfDCOnly(t *testing.T) {
+	var in Block
+	in[0] = 800
+	out := Inverse(&in)
+	for i, v := range out {
+		if math.Abs(float64(v)-100) > 1 {
+			t.Fatalf("sample %d = %d, want ~100", i, v)
+		}
+	}
+}
+
+func TestRoundTripError(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	worst := int32(0)
+	for trial := 0; trial < 200; trial++ {
+		var in Block
+		for i := range in {
+			in[i] = int32(r.Intn(256) - 128) // level-shifted samples
+		}
+		coeffs := Forward(&in)
+		back := Inverse(&coeffs)
+		for i := range in {
+			d := in[i] - back[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	// Fixed-point DCT/IDCT round trip must be within 2 LSBs.
+	if worst > 2 {
+		t.Fatalf("worst round-trip error = %d LSB, want <= 2", worst)
+	}
+}
+
+func TestInverseDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var in Block
+	for i := range in {
+		in[i] = int32(r.Intn(2048) - 1024)
+	}
+	a := Inverse(&in)
+	b := Inverse(&in)
+	if a != b {
+		t.Fatal("Inverse not deterministic")
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	// DCT is linear: F(a+b) ≈ F(a)+F(b) within rounding.
+	r := rand.New(rand.NewSource(17))
+	var a, b, sum Block
+	for i := range a {
+		a[i] = int32(r.Intn(100) - 50)
+		b[i] = int32(r.Intn(100) - 50)
+		sum[i] = a[i] + b[i]
+	}
+	fa, fb, fs := Forward(&a), Forward(&b), Forward(&sum)
+	for i := range fs {
+		d := fs[i] - fa[i] - fb[i]
+		if d < -2 || d > 2 {
+			t.Fatalf("linearity violated at %d: %d vs %d+%d", i, fs[i], fa[i], fb[i])
+		}
+	}
+}
+
+func TestClamp8(t *testing.T) {
+	cases := []struct {
+		in   int32
+		want uint8
+	}{{-128, 0}, {-129, 0}, {-1000, 0}, {0, 128}, {127, 255}, {128, 255}, {1000, 255}, {-28, 100}}
+	for _, c := range cases {
+		if got := Clamp8(c.in); got != c.want {
+			t.Errorf("Clamp8(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestScaleQuant(t *testing.T) {
+	q50 := ScaleQuant(QuantLuminance, 50)
+	if q50 != QuantLuminance {
+		t.Error("quality 50 must be the unscaled table")
+	}
+	q100 := ScaleQuant(QuantLuminance, 100)
+	for i, v := range q100 {
+		if v != 1 {
+			t.Fatalf("quality 100 entry %d = %d, want 1", i, v)
+		}
+	}
+	q10 := ScaleQuant(QuantLuminance, 10)
+	for i := range q10 {
+		if q10[i] < QuantLuminance[i] {
+			t.Fatal("low quality must coarsen quantization")
+		}
+		if q10[i] > 255 {
+			t.Fatal("quant values must clamp to 255")
+		}
+	}
+	// Out-of-range qualities clamp.
+	if ScaleQuant(QuantLuminance, 0) != ScaleQuant(QuantLuminance, 1) {
+		t.Error("quality 0 should clamp to 1")
+	}
+	if ScaleQuant(QuantLuminance, 101) != ScaleQuant(QuantLuminance, 100) {
+		t.Error("quality 101 should clamp to 100")
+	}
+}
+
+func TestCosAtSymmetry(t *testing.T) {
+	for k := -64; k < 64; k++ {
+		want := int32(math.Round(math.Cos(float64(k)*math.Pi/16) * 8192))
+		got := cosAt(k)
+		if math.Abs(float64(got-want)) > 1 {
+			t.Fatalf("cosAt(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestParsevalEnergy(t *testing.T) {
+	// Energy conservation (within the T.81 scaling: transform energy =
+	// 16 * sample energy for our normalization... verify with a ratio on
+	// a random block against the float reference).
+	r := rand.New(rand.NewSource(23))
+	var in Block
+	for i := range in {
+		in[i] = int32(r.Intn(256) - 128)
+	}
+	out := Forward(&in)
+	var es, ec float64
+	for i := range in {
+		es += float64(in[i]) * float64(in[i])
+		ec += float64(out[i]) * float64(out[i])
+	}
+	// The T.81 normalization (C(u)C(v)/4 with basis vectors of squared
+	// norm 4 per dimension) is orthonormal: the transform preserves
+	// energy exactly, up to fixed-point rounding.
+	ratio := ec / es
+	if ratio < 0.98 || ratio > 1.02 {
+		t.Fatalf("energy ratio = %v, want ~1", ratio)
+	}
+}

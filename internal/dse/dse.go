@@ -1,0 +1,175 @@
+// Package dse implements the automated design-space exploration the paper
+// names as future work (Section 7): sweeping platform configurations —
+// tile count, interconnect type, communication assist — mapping the
+// application onto each with the SDF3 flow, and reporting the guaranteed
+// throughput against the FPGA area of the generated platform, including
+// the Pareto front of the trade-off.
+//
+// Because every point is evaluated with the worst-case analysis (seconds)
+// rather than synthesis and measurement (hours), the exploration is the
+// "very fast design space exploration for real-time embedded systems" the
+// template-based architecture enables.
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"mamps/internal/appmodel"
+	"mamps/internal/arch"
+	"mamps/internal/area"
+	"mamps/internal/mapping"
+	"mamps/internal/platgen"
+)
+
+// Point is one evaluated platform configuration.
+type Point struct {
+	Tiles        int
+	Interconnect arch.InterconnectKind
+	UseCA        bool
+
+	// Throughput is the guaranteed worst-case throughput of the best
+	// mapping found (iterations per cycle); zero when mapping failed.
+	Throughput float64
+	// Area is the FPGA resource estimate of the generated platform.
+	Area area.Estimate
+	// Err records why a configuration was infeasible, if it was.
+	Err error
+
+	// Mapping is retained for feasible points.
+	Mapping *mapping.Mapping
+}
+
+// Label returns a short identifier for reports.
+func (p Point) Label() string {
+	ca := ""
+	if p.UseCA {
+		ca = "+ca"
+	}
+	return fmt.Sprintf("%dx%s%s", p.Tiles, p.Interconnect, ca)
+}
+
+// Config bounds the sweep.
+type Config struct {
+	// MinTiles and MaxTiles bound the tile-count sweep (defaults 1 and
+	// the number of actors).
+	MinTiles, MaxTiles int
+	// Interconnects to try (default: FSL and NoC).
+	Interconnects []arch.InterconnectKind
+	// WithCA additionally evaluates every configuration with a
+	// communication assist.
+	WithCA bool
+	// MapOptions applied to every mapping.
+	MapOptions mapping.Options
+}
+
+// Sweep evaluates every configuration in the space.
+func Sweep(app *appmodel.App, cfg Config) ([]Point, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MinTiles <= 0 {
+		cfg.MinTiles = 1
+	}
+	if cfg.MaxTiles <= 0 {
+		cfg.MaxTiles = app.Graph.NumActors()
+	}
+	if cfg.MaxTiles < cfg.MinTiles {
+		return nil, fmt.Errorf("dse: empty tile range %d..%d", cfg.MinTiles, cfg.MaxTiles)
+	}
+	ics := cfg.Interconnects
+	if len(ics) == 0 {
+		ics = []arch.InterconnectKind{arch.FSL, arch.NoC}
+	}
+	caModes := []bool{false}
+	if cfg.WithCA {
+		caModes = []bool{false, true}
+	}
+
+	var points []Point
+	for tiles := cfg.MinTiles; tiles <= cfg.MaxTiles; tiles++ {
+		for _, ic := range ics {
+			if ic == arch.NoC && tiles < 2 {
+				continue // a NoC needs at least two routers to be meaningful
+			}
+			for _, ca := range caModes {
+				points = append(points, evaluate(app, tiles, ic, ca, cfg.MapOptions))
+			}
+		}
+	}
+	return points, nil
+}
+
+func evaluate(app *appmodel.App, tiles int, ic arch.InterconnectKind, ca bool, mo mapping.Options) Point {
+	pt := Point{Tiles: tiles, Interconnect: ic, UseCA: ca}
+	plat, err := arch.DefaultTemplate().Generate(fmt.Sprintf("%s_%d%s", app.Name, tiles, ic), tiles, ic)
+	if err != nil {
+		pt.Err = err
+		return pt
+	}
+	if ca {
+		for _, t := range plat.Tiles {
+			t.HasCA = true
+		}
+	}
+	mo.UseCA = ca
+	m, err := mapping.Map(app, plat, mo)
+	if err != nil {
+		pt.Err = err
+		return pt
+	}
+	pt.Mapping = m
+	pt.Throughput = m.Analysis.Throughput
+	proj, err := platgen.Generate(m)
+	if err != nil {
+		pt.Err = err
+		return pt
+	}
+	pt.Area = proj.Summary.Area
+	return pt
+}
+
+// ParetoFront returns the feasible points that are Pareto-optimal for
+// (maximize throughput, minimize slices), sorted by ascending area.
+func ParetoFront(points []Point) []Point {
+	feasible := make([]Point, 0, len(points))
+	for _, p := range points {
+		if p.Err == nil && p.Throughput > 0 {
+			feasible = append(feasible, p)
+		}
+	}
+	sort.Slice(feasible, func(i, j int) bool {
+		if feasible[i].Area.Slices != feasible[j].Area.Slices {
+			return feasible[i].Area.Slices < feasible[j].Area.Slices
+		}
+		return feasible[i].Throughput > feasible[j].Throughput
+	})
+	var front []Point
+	best := -1.0
+	for _, p := range feasible {
+		if p.Throughput > best {
+			front = append(front, p)
+			best = p.Throughput
+		}
+	}
+	return front
+}
+
+// Best returns the cheapest feasible point meeting the throughput target,
+// or an error if none does.
+func Best(points []Point, target float64) (Point, error) {
+	var best *Point
+	for i := range points {
+		p := &points[i]
+		if p.Err != nil || p.Throughput < target {
+			continue
+		}
+		if best == nil || p.Area.Slices < best.Area.Slices {
+			best = p
+		}
+	}
+	if best == nil {
+		return Point{}, fmt.Errorf("dse: no configuration reaches throughput %g", target)
+	}
+	return *best, nil
+}

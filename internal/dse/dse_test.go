@@ -1,0 +1,166 @@
+package dse
+
+import (
+	"testing"
+
+	"mamps/internal/appmodel"
+	"mamps/internal/arch"
+	"mamps/internal/mjpeg"
+	"mamps/internal/sdf"
+)
+
+func pipelineApp(t *testing.T) *appmodel.App {
+	t.Helper()
+	g := sdf.NewGraph("pipe")
+	a := g.AddActor("a", 100)
+	b := g.AddActor("b", 200)
+	c := g.AddActor("c", 100)
+	c1 := g.Connect(a, b, 1, 1, 0)
+	c1.TokenSize = 16
+	c2 := g.Connect(b, c, 1, 1, 0)
+	c2.TokenSize = 16
+	app := appmodel.New("pipe", g)
+	for _, actor := range g.Actors() {
+		app.AddImpl(actor, appmodel.Impl{PE: arch.MicroBlaze, WCET: actor.ExecTime, InstrMem: 2048, DataMem: 1024})
+	}
+	return app
+}
+
+func TestSweepBasic(t *testing.T) {
+	app := pipelineApp(t)
+	pts, err := Sweep(app, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiles 1..3, FSL always, NoC for >= 2 tiles: 3 + 2 = 5 points.
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5", len(pts))
+	}
+	for _, p := range pts {
+		if p.Err != nil {
+			t.Errorf("%s: %v", p.Label(), p.Err)
+			continue
+		}
+		if p.Throughput <= 0 || p.Area.Slices <= 0 {
+			t.Errorf("%s: throughput %v area %v", p.Label(), p.Throughput, p.Area)
+		}
+	}
+}
+
+func TestSweepMoreTilesMoreAreaMoreThroughput(t *testing.T) {
+	app := pipelineApp(t)
+	pts, err := Sweep(app, Config{Interconnects: []arch.InterconnectKind{arch.FSL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Area strictly increases with tile count.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Area.Slices <= pts[i-1].Area.Slices {
+			t.Errorf("area not increasing: %v -> %v", pts[i-1].Area, pts[i].Area)
+		}
+	}
+	// Three tiles (fully pipelined) beats one tile (sequential).
+	if pts[2].Throughput <= pts[0].Throughput {
+		t.Errorf("3 tiles %v should beat 1 tile %v", pts[2].Throughput, pts[0].Throughput)
+	}
+}
+
+func TestSweepWithCA(t *testing.T) {
+	app := pipelineApp(t)
+	pts, err := Sweep(app, Config{MinTiles: 3, MaxTiles: 3, Interconnects: []arch.InterconnectKind{arch.FSL}, WithCA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	var pe, ca Point
+	for _, p := range pts {
+		if p.UseCA {
+			ca = p
+		} else {
+			pe = p
+		}
+	}
+	if ca.Throughput < pe.Throughput {
+		t.Errorf("CA %v should not be below PE %v", ca.Throughput, pe.Throughput)
+	}
+	if ca.Area.Slices <= pe.Area.Slices {
+		t.Errorf("CA area %v should exceed PE area %v", ca.Area, pe.Area)
+	}
+	if ca.Label() != "3xfsl+ca" {
+		t.Errorf("label = %s", ca.Label())
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	app := pipelineApp(t)
+	pts, err := Sweep(app, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFront(pts)
+	if len(front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].Area.Slices <= front[i-1].Area.Slices {
+			t.Error("front not sorted by area")
+		}
+		if front[i].Throughput <= front[i-1].Throughput {
+			t.Error("front not strictly improving")
+		}
+	}
+}
+
+func TestBest(t *testing.T) {
+	app := pipelineApp(t)
+	pts, err := Sweep(app, Config{Interconnects: []arch.InterconnectKind{arch.FSL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any feasible target: picks the cheapest meeting it.
+	p, err := Best(pts, pts[0].Throughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Throughput < pts[0].Throughput {
+		t.Error("Best returned a point below target")
+	}
+	if _, err := Best(pts, 1.0); err == nil {
+		t.Error("unreachable target should fail")
+	}
+}
+
+func TestSweepRangeValidation(t *testing.T) {
+	app := pipelineApp(t)
+	if _, err := Sweep(app, Config{MinTiles: 5, MaxTiles: 2}); err == nil {
+		t.Error("inverted range should fail")
+	}
+}
+
+func TestSweepMJPEG(t *testing.T) {
+	stream, _, err := mjpeg.EncodeSequence(mjpeg.SeqGradient, 32, 32, 1, 80, mjpeg.Sampling420)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _, err := mjpeg.BuildApp(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := Sweep(app, Config{MinTiles: 1, MaxTiles: 5, Interconnects: []arch.InterconnectKind{arch.FSL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFront(pts)
+	if len(front) < 2 {
+		t.Fatalf("MJPEG front too small: %d", len(front))
+	}
+	t.Logf("MJPEG Pareto front:")
+	for _, p := range front {
+		t.Logf("  %-8s %6d slices  %.3f MCU/Mcycle", p.Label(), p.Area.Slices, p.Throughput*1e6)
+	}
+}

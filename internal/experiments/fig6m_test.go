@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+// TestFig6MeasurementBasedTightMargin reproduces the paper's tightness
+// claim: with measurement-based WCETs, the synthetic sequence's measured
+// throughput sits within a few percent of the worst-case analysis line
+// (the paper reports < 1%).
+func TestFig6MeasurementBasedTightMargin(t *testing.T) {
+	rows, err := Fig6MeasurementBased(smallCfg(), 0 /* FSL */)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth := rows[0]
+	margin := synth.Measured/synth.WorstCase - 1
+	if margin < 0 {
+		t.Fatalf("bound violated: %+v", synth)
+	}
+	if margin > 0.10 {
+		t.Fatalf("margin = %.1f%%, expected tight (paper: <1%%)", margin*100)
+	}
+	// Natural sequences still sit well above the line.
+	for _, r := range rows[1:] {
+		if r.Measured <= r.WorstCase {
+			t.Fatalf("%s: measured %v not above bound %v", r.Sequence, r.Measured, r.WorstCase)
+		}
+	}
+	t.Logf("measurement-based WC margin on synthetic: %.2f%%", margin*100)
+}

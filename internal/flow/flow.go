@@ -1,0 +1,195 @@
+// Package flow implements the automated design flow of the paper's
+// Figure 1: from an application model (SDF graph + actor implementations
+// + metrics) and an architecture model (template-based platform), through
+// SDF3 mapping and MAMPS platform generation, to an executing platform —
+// here the cycle-level simulator standing in for the FPGA.
+//
+// The flow reports three throughput numbers per run, matching Figure 6:
+//
+//   - WorstCase: the guaranteed bound from the binding-aware analysis
+//     using the actor WCETs. The flow guarantees the platform meets it.
+//   - Measured: the long-term average achieved by the executing platform
+//     on the given input data.
+//   - Expected: the analysis re-run with the maximum *measured* execution
+//     times of the actors on that input data (the paper's "expected"
+//     bars), which shows the tightness of the model.
+//
+// Every automated step is timed, reproducing the bottom half of Table 1.
+package flow
+
+import (
+	"fmt"
+	"time"
+
+	"mamps/internal/appmodel"
+	"mamps/internal/arch"
+	"mamps/internal/mapping"
+	"mamps/internal/platgen"
+	"mamps/internal/sim"
+	"mamps/internal/wcet"
+)
+
+// Config configures a flow run.
+type Config struct {
+	// App is the application model (must have executable actors for the
+	// platform execution; analysis-only models can still be mapped and
+	// generated).
+	App *appmodel.App
+
+	// Platform to map onto. If nil, a platform with Tiles tiles and the
+	// given Interconnect is generated from the template (the automated
+	// "generating architecture model" step of Table 1).
+	Platform     *arch.Platform
+	Tiles        int
+	Interconnect arch.InterconnectKind
+
+	// MapOptions steer the SDF3 step.
+	MapOptions mapping.Options
+
+	// Iterations to execute on the platform; zero skips execution (and
+	// the Expected analysis).
+	Iterations int
+	// RefActor is the actor whose completions define an iteration.
+	RefActor string
+	// Scenario labels the profile observations (e.g. the test-sequence
+	// name).
+	Scenario string
+	// CheckWCET aborts execution on a WCET violation (on by default in
+	// experiments; here opt-in).
+	CheckWCET bool
+}
+
+// StepTiming records one design-flow step, as in Table 1.
+type StepTiming struct {
+	Name      string
+	Automated bool
+	Elapsed   time.Duration
+}
+
+// Result is the outcome of a flow run.
+type Result struct {
+	Platform *arch.Platform
+	Mapping  *mapping.Mapping
+	Project  *platgen.Project
+
+	// WorstCase is the guaranteed throughput bound (iterations/cycle).
+	WorstCase float64
+	// Measured is the platform's achieved throughput (0 if not executed).
+	Measured float64
+	// Expected is the analysis with maximum measured execution times
+	// (0 if not executed).
+	Expected float64
+
+	Profile *wcet.Profile
+	Sim     *sim.Result
+	Steps   []StepTiming
+}
+
+// MCUsPerMegacycle converts a throughput in iterations per cycle into the
+// paper's Figure 6 unit, MCUs (iterations) per 10^6 cycles — numerically
+// equal to "MCUs per second per MHz of platform clock".
+func MCUsPerMegacycle(thr float64) float64 { return thr * 1e6 }
+
+// Run executes the flow.
+func Run(cfg Config) (*Result, error) {
+	if cfg.App == nil {
+		return nil, fmt.Errorf("flow: no application model")
+	}
+	if err := cfg.App.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	step := func(name string, automated bool, f func() error) error {
+		start := time.Now()
+		err := f()
+		res.Steps = append(res.Steps, StepTiming{Name: name, Automated: automated, Elapsed: time.Since(start)})
+		return err
+	}
+
+	// Architecture model.
+	if cfg.Platform != nil {
+		res.Platform = cfg.Platform
+		if err := res.Platform.Validate(); err != nil {
+			return nil, err
+		}
+	} else {
+		if cfg.Tiles <= 0 {
+			return nil, fmt.Errorf("flow: need a platform or a tile count")
+		}
+		if err := step("Generating architecture model", true, func() error {
+			p, err := arch.DefaultTemplate().Generate(cfg.App.Name+"_plat", cfg.Tiles, cfg.Interconnect)
+			res.Platform = p
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// SDF3 mapping.
+	if err := step("Mapping the design (SDF3)", true, func() error {
+		m, err := mapping.Map(cfg.App, res.Platform, cfg.MapOptions)
+		res.Mapping = m
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	res.WorstCase = res.Mapping.Analysis.Throughput
+
+	// MAMPS platform generation.
+	if err := step("Generating Xilinx project (MAMPS)", true, func() error {
+		p, err := platgen.Generate(res.Mapping)
+		res.Project = p
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	if cfg.Iterations <= 0 {
+		return res, nil
+	}
+
+	// Synthesis: elaborating the executable platform.
+	var s *sim.Simulation
+	if err := step("Synthesis of the system", true, func() error {
+		var err error
+		s, err = sim.New(res.Mapping, sim.Options{
+			Iterations: cfg.Iterations,
+			RefActor:   cfg.RefActor,
+			CheckWCET:  cfg.CheckWCET,
+			Scenario:   cfg.Scenario,
+		})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Execution on the platform.
+	if err := step("Executing on platform", true, func() error {
+		r, err := s.Run()
+		res.Sim = r
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	res.Measured = res.Sim.Throughput
+	res.Profile = res.Sim.Profile
+
+	// Expected-case analysis: same binding, maximum measured times.
+	if err := step("Expected-case analysis (SDF3)", true, func() error {
+		opts := cfg.MapOptions
+		opts.ExecTimes = res.Profile.MaxTimes()
+		opts.FixedBinding = make(map[string]int, cfg.App.Graph.NumActors())
+		for _, a := range cfg.App.Graph.Actors() {
+			opts.FixedBinding[a.Name] = res.Mapping.TileOf[a.ID]
+		}
+		m, err := mapping.Map(cfg.App, res.Platform, opts)
+		if err != nil {
+			return fmt.Errorf("flow: expected-case analysis: %w", err)
+		}
+		res.Expected = m.Analysis.Throughput
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,177 @@
+package flow
+
+import (
+	"testing"
+
+	"mamps/internal/arch"
+	"mamps/internal/mjpeg"
+)
+
+func mjpegConfig(t *testing.T, kind mjpeg.SequenceKind, ic arch.InterconnectKind, loops int) (Config, *mjpeg.Actors) {
+	t.Helper()
+	stream, _, err := mjpeg.EncodeSequence(kind, 32, 32, 2, 85, mjpeg.Sampling420)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, actors, err := mjpeg.BuildApp(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := actors.VLD.Info()
+	return Config{
+		App:          app,
+		Tiles:        5,
+		Interconnect: ic,
+		Iterations:   si.MCUsPerFrame() * si.Frames * loops,
+		RefActor:     "Raster",
+		Scenario:     kind.String(),
+		CheckWCET:    true,
+	}, actors
+}
+
+func TestFlowEndToEndFSL(t *testing.T) {
+	cfg, _ := mjpegConfig(t, mjpeg.SeqGradient, arch.FSL, 2)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 6 ordering: worst-case bound <= expected <= measured (up to
+	// measurement noise; here strict because times are deterministic).
+	if res.WorstCase <= 0 {
+		t.Fatal("no worst-case bound")
+	}
+	if res.Measured < res.WorstCase*(1-1e-9) {
+		t.Fatalf("measured %v below guarantee %v", res.Measured, res.WorstCase)
+	}
+	if res.Expected < res.WorstCase*(1-1e-9) {
+		t.Fatalf("expected %v below worst case %v", res.Expected, res.WorstCase)
+	}
+	if res.Measured < res.Expected*(1-1e-9) {
+		t.Fatalf("measured %v below expected %v", res.Measured, res.Expected)
+	}
+	// All automated steps recorded.
+	wantSteps := []string{
+		"Generating architecture model",
+		"Mapping the design (SDF3)",
+		"Generating Xilinx project (MAMPS)",
+		"Synthesis of the system",
+		"Executing on platform",
+		"Expected-case analysis (SDF3)",
+	}
+	if len(res.Steps) != len(wantSteps) {
+		t.Fatalf("steps = %d, want %d", len(res.Steps), len(wantSteps))
+	}
+	for i, s := range res.Steps {
+		if s.Name != wantSteps[i] || !s.Automated {
+			t.Errorf("step %d = %+v", i, s)
+		}
+	}
+	if res.Project == nil || len(res.Project.Files) == 0 {
+		t.Error("no project generated")
+	}
+	t.Logf("FSL gradient: WC %.3f, expected %.3f, measured %.3f MCU/Mcycle",
+		MCUsPerMegacycle(res.WorstCase), MCUsPerMegacycle(res.Expected), MCUsPerMegacycle(res.Measured))
+}
+
+func TestFlowNoCSlower(t *testing.T) {
+	// Compare the two interconnects on the SAME binding (one actor per
+	// tile), as the paper does; the cost-driven binder may otherwise
+	// choose different bindings per interconnect.
+	fixed := map[string]int{"VLD": 0, "IQZZ": 1, "IDCT": 2, "CC": 3, "Raster": 4}
+	cfgF, _ := mjpegConfig(t, mjpeg.SeqPlasma, arch.FSL, 1)
+	cfgF.MapOptions.FixedBinding = fixed
+	rF, err := Run(cfgF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgN, _ := mjpegConfig(t, mjpeg.SeqPlasma, arch.NoC, 1)
+	cfgN.MapOptions.FixedBinding = fixed
+	rN, err := Run(cfgN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rN.WorstCase > rF.WorstCase+1e-15 {
+		t.Errorf("NoC bound %v exceeds FSL %v", rN.WorstCase, rF.WorstCase)
+	}
+	if rN.Measured > rF.Measured+1e-15 {
+		t.Errorf("NoC measured %v exceeds FSL %v", rN.Measured, rF.Measured)
+	}
+}
+
+func TestFlowSyntheticTighterThanNatural(t *testing.T) {
+	// The synthetic random sequence runs closer to the worst-case bound
+	// than natural content (Figure 6: synthetic bars near the analysis
+	// line, test-set bars well above it).
+	ratio := func(kind mjpeg.SequenceKind) float64 {
+		cfg, _ := mjpegConfig(t, kind, arch.FSL, 1)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Measured / res.WorstCase
+	}
+	synth := ratio(mjpeg.SeqSynthetic)
+	natural := ratio(mjpeg.SeqGradient)
+	if synth >= natural {
+		t.Fatalf("synthetic measured/bound ratio %.2f should be below natural %.2f", synth, natural)
+	}
+}
+
+func TestFlowAnalysisOnly(t *testing.T) {
+	cfg, _ := mjpegConfig(t, mjpeg.SeqBars, arch.FSL, 1)
+	cfg.Iterations = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured != 0 || res.Expected != 0 {
+		t.Error("analysis-only run must not execute")
+	}
+	if res.WorstCase <= 0 {
+		t.Error("bound missing")
+	}
+	if len(res.Steps) != 3 {
+		t.Errorf("steps = %d, want 3", len(res.Steps))
+	}
+}
+
+func TestFlowExplicitPlatform(t *testing.T) {
+	cfg, _ := mjpegConfig(t, mjpeg.SeqBars, arch.FSL, 1)
+	p, err := arch.DefaultTemplate().Generate("explicit", 5, arch.FSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Platform = p
+	cfg.Iterations = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Platform != p {
+		t.Error("explicit platform ignored")
+	}
+	// No architecture-generation step recorded.
+	for _, s := range res.Steps {
+		if s.Name == "Generating architecture model" {
+			t.Error("unexpected architecture generation step")
+		}
+	}
+}
+
+func TestFlowConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	cfg, _ := mjpegConfig(t, mjpeg.SeqBars, arch.FSL, 1)
+	cfg.Tiles = 0
+	cfg.Platform = nil
+	if _, err := Run(cfg); err == nil {
+		t.Error("no platform and no tiles should fail")
+	}
+}
+
+func TestMCUsPerMegacycle(t *testing.T) {
+	if MCUsPerMegacycle(2e-6) != 2 {
+		t.Error("unit conversion wrong")
+	}
+}

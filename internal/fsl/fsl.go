@@ -1,0 +1,101 @@
+// Package fsl models Xilinx Fast Simplex Links, the point-to-point
+// interconnect of the MAMPS platform: a dedicated unidirectional 32-bit
+// FIFO per connection with blocking read and write. FSL is the network
+// interface definition of the platform (Section 4.1 of the paper), so the
+// same word-level semantics also terminate NoC connections.
+package fsl
+
+import "fmt"
+
+// DefaultDepth is the FIFO depth in words of the Xilinx FSL primitive as
+// instantiated by the MAMPS template.
+const DefaultDepth = 16
+
+// Link is a cycle-level model of one FSL FIFO used by the platform
+// simulator. Words become visible to the reader Latency cycles after they
+// are written.
+type Link struct {
+	Name    string
+	Depth   int
+	Latency int64 // cycles from write to readability (1 for plain FSL)
+
+	fifo  []entry
+	stats Stats
+}
+
+type entry struct {
+	word    uint32
+	visible int64 // cycle at which the word becomes readable
+}
+
+// Stats counts link activity for the experiment reports.
+type Stats struct {
+	WordsWritten int64
+	WordsRead    int64
+	FullStalls   int64 // write attempts that found the FIFO full
+	EmptyStalls  int64 // read attempts that found no visible word
+}
+
+// New creates a link with the given FIFO depth and latency.
+func New(name string, depth int, latency int64) (*Link, error) {
+	if depth <= 0 {
+		return nil, fmt.Errorf("fsl: link %q needs positive depth (got %d)", name, depth)
+	}
+	if latency < 1 {
+		return nil, fmt.Errorf("fsl: link %q needs latency >= 1 (got %d)", name, latency)
+	}
+	return &Link{Name: name, Depth: depth, Latency: latency}, nil
+}
+
+// CanWrite reports whether a word can be written at the given cycle.
+func (l *Link) CanWrite(now int64) bool {
+	return len(l.fifo) < l.Depth
+}
+
+// Write enqueues a word at cycle now. It returns false (and records a
+// stall) if the FIFO is full; the caller must retry later, which models the
+// blocking FSL write of the MicroBlaze.
+func (l *Link) Write(now int64, word uint32) bool {
+	if len(l.fifo) >= l.Depth {
+		l.stats.FullStalls++
+		return false
+	}
+	l.fifo = append(l.fifo, entry{word: word, visible: now + l.Latency})
+	l.stats.WordsWritten++
+	return true
+}
+
+// CanRead reports whether a word is readable at cycle now.
+func (l *Link) CanRead(now int64) bool {
+	return len(l.fifo) > 0 && l.fifo[0].visible <= now
+}
+
+// Read dequeues the oldest word if it is visible at cycle now. The second
+// result is false (and a stall is recorded) when nothing is readable,
+// modelling the blocking FSL read.
+func (l *Link) Read(now int64) (uint32, bool) {
+	if !l.CanRead(now) {
+		l.stats.EmptyStalls++
+		return 0, false
+	}
+	w := l.fifo[0].word
+	l.fifo = l.fifo[1:]
+	l.stats.WordsRead++
+	return w, true
+}
+
+// NextVisible returns the cycle at which the head word becomes readable,
+// or -1 if the FIFO is empty. The simulator uses it to advance time
+// without polling.
+func (l *Link) NextVisible() int64 {
+	if len(l.fifo) == 0 {
+		return -1
+	}
+	return l.fifo[0].visible
+}
+
+// Len returns the number of words in the FIFO (visible or in flight).
+func (l *Link) Len() int { return len(l.fifo) }
+
+// Stats returns the accumulated activity counters.
+func (l *Link) Stats() Stats { return l.stats }

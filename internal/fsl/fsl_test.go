@@ -1,0 +1,109 @@
+package fsl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("l", 0, 1); err == nil {
+		t.Error("depth 0 should fail")
+	}
+	if _, err := New("l", 4, 0); err == nil {
+		t.Error("latency 0 should fail")
+	}
+}
+
+func TestWriteReadOrder(t *testing.T) {
+	l, _ := New("l", 4, 1)
+	for i := uint32(0); i < 4; i++ {
+		if !l.Write(0, i) {
+			t.Fatalf("write %d failed", i)
+		}
+	}
+	if l.Write(0, 99) {
+		t.Fatal("write to full FIFO succeeded")
+	}
+	for i := uint32(0); i < 4; i++ {
+		w, ok := l.Read(1)
+		if !ok || w != i {
+			t.Fatalf("read %d: got (%d,%v)", i, w, ok)
+		}
+	}
+	if _, ok := l.Read(1); ok {
+		t.Fatal("read from empty FIFO succeeded")
+	}
+	s := l.Stats()
+	if s.WordsWritten != 4 || s.WordsRead != 4 || s.FullStalls != 1 || s.EmptyStalls != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLatencyHidesWords(t *testing.T) {
+	l, _ := New("l", 4, 5)
+	l.Write(10, 42)
+	if l.CanRead(14) {
+		t.Fatal("word visible too early")
+	}
+	if !l.CanRead(15) {
+		t.Fatal("word should be visible at write+latency")
+	}
+	if nv := l.NextVisible(); nv != 15 {
+		t.Fatalf("NextVisible = %d, want 15", nv)
+	}
+	w, ok := l.Read(15)
+	if !ok || w != 42 {
+		t.Fatalf("read = (%d,%v)", w, ok)
+	}
+	if nv := l.NextVisible(); nv != -1 {
+		t.Fatalf("NextVisible on empty = %d, want -1", nv)
+	}
+}
+
+func TestCanWriteTracksDepth(t *testing.T) {
+	l, _ := New("l", 2, 1)
+	if !l.CanWrite(0) {
+		t.Fatal("empty FIFO should accept writes")
+	}
+	l.Write(0, 1)
+	l.Write(0, 2)
+	if l.CanWrite(0) {
+		t.Fatal("full FIFO should refuse writes")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+// Property: any interleaving of writes and reads preserves FIFO order and
+// never exceeds the depth.
+func TestFIFOOrderProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		l, _ := New("p", 8, 1)
+		var next uint32 // next value to write
+		var expect uint32
+		now := int64(0)
+		for _, isWrite := range ops {
+			now++
+			if isWrite {
+				if l.Write(now, next) {
+					next++
+				}
+			} else {
+				if w, ok := l.Read(now); ok {
+					if w != expect {
+						return false
+					}
+					expect++
+				}
+			}
+			if l.Len() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package hsdf converts synchronous dataflow graphs into homogeneous SDF
+// (HSDF) graphs, in which every port rate is one. Each actor a of the SDF
+// graph is expanded into q(a) copies, one per firing in a graph iteration,
+// and every channel is expanded into the precedence edges between the
+// producing and consuming firings. The worst-case throughput of the HSDF
+// graph equals that of the SDF graph, which makes the conversion a useful
+// independent cross-check for the state-space analysis (throughput = 1/MCR,
+// see package mcm).
+package hsdf
+
+import (
+	"fmt"
+
+	"mamps/internal/mcm"
+	"mamps/internal/sdf"
+)
+
+// MaxCopies bounds the total number of actor copies a conversion may
+// create; conversions beyond this are almost certainly modelling errors
+// (HSDF expansion is exponential in the worst case).
+const MaxCopies = 100000
+
+// Mapping records how HSDF actors relate to the original SDF actors.
+type Mapping struct {
+	// Copy[a][k] is the HSDF actor implementing firing k of SDF actor a.
+	Copy [][]sdf.ActorID
+	// Orig[h] is the SDF actor that HSDF actor h is a copy of.
+	Orig []sdf.ActorID
+}
+
+// Convert expands the SDF graph into an equivalent HSDF graph. The input
+// must be consistent (a repetition vector must exist).
+func Convert(g *sdf.Graph) (*sdf.Graph, *Mapping, error) {
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return nil, nil, err
+	}
+	var total int64
+	for _, qi := range q {
+		total += qi
+	}
+	if total > MaxCopies {
+		return nil, nil, fmt.Errorf("hsdf: conversion of %q needs %d actor copies (limit %d)", g.Name, total, MaxCopies)
+	}
+
+	h := sdf.NewGraph(g.Name + "_hsdf")
+	m := &Mapping{Copy: make([][]sdf.ActorID, g.NumActors())}
+	for _, a := range g.Actors() {
+		m.Copy[a.ID] = make([]sdf.ActorID, q[a.ID])
+		for k := int64(0); k < q[a.ID]; k++ {
+			na := h.AddActor(fmt.Sprintf("%s#%d", a.Name, k), a.ExecTime)
+			na.MaxConcurrent = a.MaxConcurrent
+			m.Copy[a.ID][k] = na.ID
+			m.Orig = append(m.Orig, a.ID)
+		}
+	}
+
+	// For each consuming firing and consumed token, find the producing
+	// firing and the iteration distance (which becomes the initial token
+	// count of the HSDF edge). Duplicate dependencies between the same
+	// pair of copies keep only the tightest (minimum-delay) edge.
+	for _, c := range g.Channels() {
+		p := int64(c.SrcRate)
+		cons := int64(c.DstRate)
+		d := int64(c.InitialTokens)
+		qs := q[c.Src]
+		type key struct{ i, k int64 }
+		best := make(map[key]int64)
+		for k := int64(0); k < q[c.Dst]; k++ {
+			for j := int64(0); j < cons; j++ {
+				tok := k*cons + j
+				prod := floorDiv(tok-d, p)
+				i := floorMod(prod, qs)
+				delay := -floorDiv(prod, qs)
+				kk := key{i, k}
+				if cur, ok := best[kk]; !ok || delay < cur {
+					best[kk] = delay
+				}
+			}
+		}
+		for kk, delay := range best {
+			src := h.Actor(m.Copy[c.Src][kk.i])
+			dst := h.Actor(m.Copy[c.Dst][kk.k])
+			nc := h.Connect(src, dst, 1, 1, int(delay))
+			nc.TokenSize = c.TokenSize
+			nc.Name = fmt.Sprintf("%s#%d_%d", c.Name, kk.i, kk.k)
+		}
+	}
+	return h, m, nil
+}
+
+// ToMCM translates an HSDF graph into a delay graph for maximum cycle
+// ratio analysis: each channel becomes an edge weighted with the execution
+// time of its producing actor and carrying the channel's initial tokens.
+// Actors with a concurrency bound of one and no self-channel get an
+// implicit unit-token self-edge so the bound is reflected in the analysis.
+func ToMCM(h *sdf.Graph) *mcm.Graph {
+	dg := &mcm.Graph{N: h.NumActors()}
+	hasSelf := make([]bool, h.NumActors())
+	for _, c := range h.Channels() {
+		dg.AddEdge(int(c.Src), int(c.Dst), float64(h.Actor(c.Src).ExecTime), c.InitialTokens)
+		if c.IsSelfLoop() {
+			hasSelf[c.Src] = true
+		}
+	}
+	for _, a := range h.Actors() {
+		if a.MaxConcurrent == 1 && !hasSelf[a.ID] {
+			dg.AddEdge(int(a.ID), int(a.ID), float64(a.ExecTime), 1)
+		}
+	}
+	return dg
+}
+
+// Throughput computes the worst-case throughput of a consistent SDF graph
+// in graph iterations per clock cycle via HSDF conversion and maximum cycle
+// ratio analysis. It returns 0 for a deadlocked graph and +Inf is never
+// returned: an unconstrained (acyclic) graph yields an error because its
+// self-timed throughput is unbounded only in the model, never in an
+// implementation.
+func Throughput(g *sdf.Graph) (float64, error) {
+	h, _, err := Convert(g)
+	if err != nil {
+		return 0, err
+	}
+	ratio, err := ToMCM(h).HowardMCR()
+	if err == mcm.ErrZeroTokenCycle {
+		return 0, nil // deadlock: zero throughput
+	}
+	if err != nil {
+		return 0, err
+	}
+	if ratio == 0 {
+		return 0, fmt.Errorf("hsdf: graph %q has no cycle: self-timed throughput unbounded", g.Name)
+	}
+	return 1 / ratio, nil
+}
+
+func floorDiv(a, b int64) int64 {
+	qv := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		qv--
+	}
+	return qv
+}
+
+func floorMod(a, b int64) int64 {
+	r := a % b
+	if r != 0 && ((a < 0) != (b < 0)) {
+		r += b
+	}
+	return r
+}

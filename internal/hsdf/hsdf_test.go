@@ -1,0 +1,199 @@
+package hsdf
+
+import (
+	"math"
+	"testing"
+
+	"mamps/internal/sdf"
+)
+
+func TestFloorDivMod(t *testing.T) {
+	cases := []struct{ a, b, q, r int64 }{
+		{7, 2, 3, 1},
+		{-7, 2, -4, 1},
+		{-1, 2, -1, 1},
+		{-4, 2, -2, 0},
+		{0, 3, 0, 0},
+	}
+	for _, c := range cases {
+		if q := floorDiv(c.a, c.b); q != c.q {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, q, c.q)
+		}
+		if r := floorMod(c.a, c.b); r != c.r {
+			t.Errorf("floorMod(%d,%d) = %d, want %d", c.a, c.b, r, c.r)
+		}
+	}
+}
+
+func TestConvertHomogeneousIsIdentityShaped(t *testing.T) {
+	g := sdf.NewGraph("homo")
+	a := g.AddActor("a", 2)
+	b := g.AddActor("b", 3)
+	g.Connect(a, b, 1, 1, 0)
+	g.Connect(b, a, 1, 1, 2)
+	h, m, err := Convert(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumActors() != 2 || h.NumChannels() != 2 {
+		t.Fatalf("HSDF of homogeneous graph: %d actors %d channels, want 2/2", h.NumActors(), h.NumChannels())
+	}
+	if m.Orig[0] != a.ID || m.Orig[1] != b.ID {
+		t.Fatalf("mapping wrong: %v", m.Orig)
+	}
+}
+
+func TestConvertMultiRate(t *testing.T) {
+	// a -2-> -1-> b : q = (1, 2). HSDF: a#0 feeding b#0 and b#1.
+	g := sdf.NewGraph("mr")
+	a := g.AddActor("a", 5)
+	b := g.AddActor("b", 1)
+	g.Connect(a, b, 2, 1, 0)
+	g.Connect(b, a, 1, 2, 2) // back-channel for boundedness, 2 initial tokens
+	h, m, err := Convert(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumActors() != 3 {
+		t.Fatalf("actors = %d, want 3", h.NumActors())
+	}
+	if len(m.Copy[a.ID]) != 1 || len(m.Copy[b.ID]) != 2 {
+		t.Fatalf("copies: a=%d b=%d", len(m.Copy[a.ID]), len(m.Copy[b.ID]))
+	}
+	// Forward dependencies a#0 -> b#0 and a#0 -> b#1 with no delay.
+	found := map[string]bool{}
+	for _, c := range h.Channels() {
+		src := h.Actor(c.Src).Name
+		dst := h.Actor(c.Dst).Name
+		found[src+">"+dst] = true
+		if src == "a#0" && (dst == "b#0" || dst == "b#1") && c.InitialTokens != 0 {
+			t.Errorf("edge %s->%s has delay %d, want 0", src, dst, c.InitialTokens)
+		}
+	}
+	if !found["a#0>b#0"] || !found["a#0>b#1"] {
+		t.Fatalf("missing forward edges; have %v", found)
+	}
+}
+
+func TestConvertInitialTokensBecomeDelays(t *testing.T) {
+	// a -1-> b with 1 initial token, q=(1,1): edge a#0->b#0 with delay 1.
+	g := sdf.NewGraph("del")
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.Connect(a, b, 1, 1, 1)
+	g.Connect(b, a, 1, 1, 0)
+	h, _, err := Convert(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range h.Channels() {
+		if h.Actor(c.Src).Name == "a#0" && h.Actor(c.Dst).Name == "b#0" {
+			if c.InitialTokens != 1 {
+				t.Fatalf("a#0->b#0 delay = %d, want 1", c.InitialTokens)
+			}
+			return
+		}
+	}
+	t.Fatal("edge a#0->b#0 not found")
+}
+
+func TestConvertInconsistentFails(t *testing.T) {
+	g := sdf.NewGraph("bad")
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.Connect(a, b, 2, 1, 0)
+	g.Connect(a, b, 1, 1, 0)
+	if _, _, err := Convert(g); err == nil {
+		t.Fatal("expected consistency error")
+	}
+}
+
+func TestThroughputSimpleCycle(t *testing.T) {
+	// Two actors in a cycle with one token: period = 2+3 = 5 cycles per
+	// iteration -> throughput 1/5.
+	g := sdf.NewGraph("cycle")
+	a := g.AddActor("a", 2)
+	b := g.AddActor("b", 3)
+	g.Connect(a, b, 1, 1, 0)
+	g.Connect(b, a, 1, 1, 1)
+	thr, err := Throughput(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(thr-0.2) > 1e-9 {
+		t.Fatalf("throughput = %v, want 0.2", thr)
+	}
+}
+
+func TestThroughputPipelining(t *testing.T) {
+	// Same cycle with two tokens: two iterations in flight, period 5 for 2
+	// iterations -> throughput 2/5.
+	g := sdf.NewGraph("pipe")
+	a := g.AddActor("a", 2)
+	b := g.AddActor("b", 3)
+	g.Connect(a, b, 1, 1, 0)
+	g.Connect(b, a, 1, 1, 2)
+	thr, err := Throughput(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 2 tokens the cycle bound is (2+3)/2 = 2.5, but each actor's
+	// auto-concurrency is unbounded here, so 1/2.5 = 0.4.
+	if math.Abs(thr-0.4) > 1e-9 {
+		t.Fatalf("throughput = %v, want 0.4", thr)
+	}
+}
+
+func TestThroughputDeadlock(t *testing.T) {
+	g := sdf.NewGraph("dead")
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.Connect(a, b, 1, 1, 0)
+	g.Connect(b, a, 1, 1, 0) // no tokens anywhere: deadlock
+	thr, err := Throughput(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr != 0 {
+		t.Fatalf("throughput = %v, want 0 (deadlock)", thr)
+	}
+}
+
+func TestThroughputAcyclicErrors(t *testing.T) {
+	g := sdf.NewGraph("acyc")
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.Connect(a, b, 1, 1, 0)
+	if _, err := Throughput(g); err == nil {
+		t.Fatal("expected error for unbounded acyclic graph")
+	}
+}
+
+func TestConvertTooLargeFails(t *testing.T) {
+	g := sdf.NewGraph("huge")
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.Connect(a, b, 1000000, 1, 0)
+	g.Connect(b, a, 1, 1000000, 1000000)
+	if _, _, err := Convert(g); err == nil {
+		t.Fatal("expected size-limit error")
+	}
+}
+
+func TestMaxConcurrentOneGetsImplicitSelfEdge(t *testing.T) {
+	g := sdf.NewGraph("conc")
+	a := g.AddActor("a", 4)
+	b := g.AddActor("b", 1)
+	a.MaxConcurrent = 1
+	g.Connect(a, b, 1, 1, 0)
+	g.Connect(b, a, 1, 1, 3)
+	// Without the concurrency bound throughput would be 3/5... with the
+	// bound, actor a serializes at 4 cycles per firing -> 1/4.
+	thr, err := Throughput(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(thr-0.25) > 1e-9 {
+		t.Fatalf("throughput = %v, want 0.25", thr)
+	}
+}

@@ -1,0 +1,132 @@
+package mapping
+
+import (
+	"fmt"
+
+	"mamps/internal/arch"
+	"mamps/internal/buffer"
+	"mamps/internal/comm"
+	"mamps/internal/noc"
+	"mamps/internal/sdf"
+)
+
+// sizeBuffers allocates channel capacities: a fixed number of iterations
+// worth of tokens per channel (at least the structural lower bound), which
+// enables cross-tile pipelining while keeping tile memories small. The
+// subsequent throughput verification operates on exactly these capacities,
+// so the bound holds for the generated platform's buffer allocation.
+func (m *Mapping) sizeBuffers(q []int64, opt Options) {
+	g := m.App.Graph
+	lb := buffer.LowerBounds(g)
+	m.Buffers = make(buffer.Distribution, g.NumChannels())
+	for _, c := range g.Channels() {
+		if c.IsSelfLoop() {
+			continue // self-loops are state, bounded by construction
+		}
+		iters := int64(opt.BufferIterations)
+		cap := int(iters*g.IterationTokens(c, q)) + c.InitialTokens
+		if cap < lb[c.ID] {
+			cap = lb[c.ID]
+		}
+		m.Buffers[c.ID] = cap
+	}
+}
+
+// configureInterconnect programs the interconnect for every inter-tile
+// channel and derives the Figure 4 model parameters.
+func (m *Mapping) configureInterconnect(opt Options) error {
+	g := m.App.Graph
+	m.CommParams = make(map[sdf.ChannelID]comm.Params)
+	m.Connections = make(map[sdf.ChannelID]*noc.Connection)
+
+	var mesh *noc.Mesh
+	if m.Platform.Interconnect.Kind == arch.NoC {
+		var err error
+		mesh, err = noc.New(len(m.Platform.Tiles),
+			m.Platform.Interconnect.WiresPerLink,
+			m.Platform.Interconnect.HopLatency,
+			m.Platform.Interconnect.FlowControl)
+		if err != nil {
+			return err
+		}
+		m.Mesh = mesh
+	}
+
+	// For a NoC, compute per-link demand first so every connection gets a
+	// fair share of the SDM wire bundles it traverses. Wires are
+	// dedicated per connection, so contention shows up as narrower
+	// (slower) connections at design time, never as run-time
+	// interference — the property that keeps the platform predictable.
+	fairShare := make(map[sdf.ChannelID]int)
+	if mesh != nil {
+		demand := make(map[[2]noc.Coord]int)
+		for _, c := range g.Channels() {
+			if c.IsSelfLoop() || !m.InterTile(c) {
+				continue
+			}
+			path := mesh.Route(mesh.TileCoord(m.TileOf[c.Src]), mesh.TileCoord(m.TileOf[c.Dst]))
+			for i := 0; i+1 < len(path); i++ {
+				demand[[2]noc.Coord{path[i], path[i+1]}]++
+			}
+		}
+		for _, c := range g.Channels() {
+			if c.IsSelfLoop() || !m.InterTile(c) {
+				continue
+			}
+			share := mesh.WiresPerLink
+			path := mesh.Route(mesh.TileCoord(m.TileOf[c.Src]), mesh.TileCoord(m.TileOf[c.Dst]))
+			for i := 0; i+1 < len(path); i++ {
+				if s := mesh.WiresPerLink / demand[[2]noc.Coord{path[i], path[i+1]}]; s < share {
+					share = s
+				}
+			}
+			if share < 1 {
+				return fmt.Errorf("mapping: NoC link oversubscribed: more channels than wires on the route of %q", c.Name)
+			}
+			fairShare[c.ID] = share
+		}
+	}
+
+	for _, c := range g.Channels() {
+		if c.IsSelfLoop() || !m.InterTile(c) {
+			continue
+		}
+		var p comm.Params
+		switch m.Platform.Interconnect.Kind {
+		case arch.FSL:
+			p = comm.FSLParams(m.Platform.Interconnect.FIFODepth)
+		case arch.NoC:
+			conn, err := mesh.Connect(c.Name, m.TileOf[c.Src], m.TileOf[c.Dst], fairShare[c.ID])
+			if err != nil {
+				return fmt.Errorf("mapping: routing channel %q: %w", c.Name, err)
+			}
+			m.Connections[c.ID] = conn
+			p = comm.NoCParams(mesh.ConnectionTiming(conn))
+		default:
+			return fmt.Errorf("mapping: unknown interconnect kind")
+		}
+		cap := m.Buffers[c.ID]
+		p.SrcBuffer, p.DstBuffer = cap, cap
+		// A communication assist (or the native network interface of an
+		// IP tile) takes the (de)serialization off the processing
+		// element, per end. The global UseCA option (the Section 6.3
+		// ablation) treats every tile as CA-equipped.
+		if opt.UseCA || m.tileOffloadsNI(m.TileOf[c.Src]) {
+			p = p.WithSrcCA()
+		}
+		if opt.UseCA || m.tileOffloadsNI(m.TileOf[c.Dst]) {
+			p = p.WithDstCA()
+		}
+		m.CommParams[c.ID] = p
+	}
+	return nil
+}
+
+// tileOffloadsNI reports whether the tile's network interface handles
+// token (de)serialization without the PE: a communication assist (Tile 3
+// of Figure 3) or an IP tile whose hardware streams words natively
+// (Tile 4).
+func (m *Mapping) tileOffloadsNI(t int) bool {
+	tile := m.Platform.Tiles[t]
+	return tile.HasCA || tile.Kind == arch.IPTile
+}

@@ -1,0 +1,193 @@
+package mapping
+
+import (
+	"fmt"
+
+	"mamps/internal/sdf"
+	"mamps/internal/statespace"
+)
+
+// buildSchedules derives the static-order schedule of each tile over the
+// application actors by simulating one iteration of token-driven
+// sequential execution of the bound graph: in repeated passes, every tile
+// fires its lowest-numbered ready actor that still has firings left this
+// iteration. The resulting order per tile is the lookup table the MAMPS
+// scheduler executes (Section 6.3: "scheduling ... reduces the scheduler
+// to a lookup table").
+func (m *Mapping) buildSchedules(q []int64) error {
+	g := m.App.Graph
+	nTiles := len(m.Platform.Tiles)
+	m.Schedules = make([][]sdf.ActorID, nTiles)
+
+	tokens := make([]int64, g.NumChannels())
+	for _, c := range g.Channels() {
+		tokens[c.ID] = int64(c.InitialTokens)
+	}
+	remaining := make([]int64, g.NumActors())
+	var total int64
+	for _, a := range g.Actors() {
+		remaining[a.ID] = q[a.ID]
+		total += q[a.ID]
+	}
+
+	ready := func(a *sdf.Actor) bool {
+		if remaining[a.ID] == 0 {
+			return false
+		}
+		for _, cid := range a.In() {
+			if tokens[cid] < int64(g.Channel(cid).DstRate) {
+				return false
+			}
+		}
+		return true
+	}
+	fire := func(a *sdf.Actor) {
+		for _, cid := range a.In() {
+			tokens[cid] -= int64(g.Channel(cid).DstRate)
+		}
+		for _, cid := range a.Out() {
+			tokens[cid] += int64(g.Channel(cid).SrcRate)
+		}
+		remaining[a.ID]--
+	}
+
+	for total > 0 {
+		progress := false
+		for t := 0; t < nTiles; t++ {
+			for _, a := range g.Actors() {
+				if m.TileOf[a.ID] != t || !ready(a) {
+					continue
+				}
+				fire(a)
+				m.Schedules[t] = append(m.Schedules[t], a.ID)
+				total--
+				progress = true
+				break // one firing per tile per pass interleaves tiles
+			}
+		}
+		if !progress {
+			return fmt.Errorf("mapping: cannot construct a deadlock-free static-order schedule (graph not live?)")
+		}
+	}
+	return nil
+}
+
+// buildExpandedSchedules lifts the application-level schedules onto the
+// binding-aware graph in exactly the order the generated wrapper code
+// executes: for every schedule entry, first the deserializations of the
+// entry's inter-tile inputs (in port order, and only for the tokens the
+// input buffer is missing — initial tokens written by the initialization
+// code cover the first reads), then the actor firing, then the
+// serializations of its inter-tile outputs (in port order).
+//
+// Because initial tokens make the first passes differ from the steady
+// state, the construction unrolls iterations until the pattern repeats;
+// the non-repeating prefix becomes the schedule prologue and the repeating
+// iteration the cyclic body. With a communication assist, serialization
+// leaves the PE and the expanded schedules equal the application-level
+// ones.
+func (m *Mapping) buildExpandedSchedules(opt Options) error {
+	g := m.App.Graph
+	ex := m.Expanded
+
+	m.ExpandedSchedules = nil
+	for t, sched := range m.Schedules {
+		if len(sched) == 0 {
+			continue
+		}
+		allCA := true
+		for _, c := range g.Channels() {
+			if !m.InterTile(c) || c.IsSelfLoop() {
+				continue
+			}
+			p := m.CommParams[c.ID]
+			if (m.TileOf[c.Src] == t && !p.SrcOnCA) || (m.TileOf[c.Dst] == t && !p.DstOnCA) {
+				allCA = false
+				break
+			}
+		}
+		if allCA {
+			// Every channel end on this tile is handled by a CA or IP
+			// network interface: the PE schedule is the application
+			// schedule itself.
+			m.ExpandedSchedules = append(m.ExpandedSchedules, statespace.Schedule{
+				Tile:    m.Platform.Tiles[t].Name,
+				Entries: sched,
+			})
+			continue
+		}
+		// avail tracks the tokens present in each inter-tile input
+		// buffer of this tile at the current schedule position.
+		avail := make(map[sdf.ChannelID]int)
+		for _, c := range g.Channels() {
+			if m.InterTile(c) && m.TileOf[c.Dst] == t {
+				avail[c.ID] = c.InitialTokens
+			}
+		}
+		iteration := func() []sdf.ActorID {
+			var entries []sdf.ActorID
+			for _, aid := range sched {
+				actor := g.Actor(aid)
+				for _, cid := range actor.In() {
+					ca, ok := ex.PerChannel[cid]
+					if !ok || m.CommParams[cid].DstOnCA {
+						continue
+					}
+					rate := g.Channel(cid).DstRate
+					need := rate - avail[cid]
+					if need < 0 {
+						need = 0
+					}
+					for k := 0; k < need; k++ {
+						entries = append(entries, ca.D1)
+					}
+					avail[cid] += need - rate
+				}
+				entries = append(entries, aid)
+				for _, cid := range actor.Out() {
+					if ca, ok := ex.PerChannel[cid]; ok && !m.CommParams[cid].SrcOnCA {
+						rate := g.Channel(cid).SrcRate
+						for k := 0; k < rate; k++ {
+							entries = append(entries, ca.S1)
+						}
+					}
+				}
+			}
+			return entries
+		}
+		equal := func(a, b []sdf.ActorID) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		}
+		// Unroll until the iteration pattern repeats (bounded: each
+		// unrolling consumes initial tokens, which are finite).
+		var prologue []sdf.ActorID
+		first := iteration()
+		const maxUnroll = 64
+		body := first
+		for u := 0; u < maxUnroll; u++ {
+			next := iteration()
+			if equal(body, next) {
+				break
+			}
+			prologue = append(prologue, body...)
+			body = next
+			if u == maxUnroll-1 {
+				return fmt.Errorf("mapping: schedule of tile %q does not reach a steady state", m.Platform.Tiles[t].Name)
+			}
+		}
+		m.ExpandedSchedules = append(m.ExpandedSchedules, statespace.Schedule{
+			Tile:     m.Platform.Tiles[t].Name,
+			Prologue: prologue,
+			Entries:  body,
+		})
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package mcm
+
+import (
+	"fmt"
+	"math"
+)
+
+// HowardMCR computes the maximum cycle ratio by Howard's policy iteration
+// (the multi-chain max-ratio variant of Cochet-Terrasson et al.), run per
+// strongly connected component. It is typically much faster than the
+// parametric binary search on large graphs and serves as an independent
+// implementation for cross-checking: the test suite asserts agreement
+// with MaxCycleRatio on randomized graphs.
+//
+// Like MaxCycleRatio it returns 0 for acyclic graphs and
+// ErrZeroTokenCycle when a token-free cycle exists.
+func (g *Graph) HowardMCR() (float64, error) {
+	if g.hasZeroTokenCycle() {
+		return 0, ErrZeroTokenCycle
+	}
+	if !g.hasCycle() {
+		return 0, nil
+	}
+	best := 0.0
+	found := false
+	for _, comp := range g.sccs() {
+		if len(comp) == 0 {
+			continue
+		}
+		ratio, ok, err := howardSCC(g, comp)
+		if err != nil {
+			return 0, err
+		}
+		if ok && (!found || ratio > best) {
+			best, found = ratio, true
+		}
+	}
+	if !found {
+		return 0, nil
+	}
+	return best, nil
+}
+
+// sccs returns the strongly connected components (Tarjan).
+func (g *Graph) sccs() [][]int {
+	adj := make([][]int, g.N)
+	for _, e := range g.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	index := make([]int, g.N)
+	low := make([]int, g.N)
+	onStack := make([]bool, g.N)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	next := 0
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] < 0 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for v := 0; v < g.N; v++ {
+		if index[v] < 0 {
+			strongconnect(v)
+		}
+	}
+	return comps
+}
+
+// howardSCC runs policy iteration within one SCC. ok is false when the
+// component contains no cycle (a trivial SCC without a self-loop).
+func howardSCC(g *Graph, comp []int) (float64, bool, error) {
+	in := make(map[int]bool, len(comp))
+	for _, v := range comp {
+		in[v] = true
+	}
+	// Internal edges per node.
+	out := make(map[int][]Edge)
+	hasEdge := false
+	for _, e := range g.Edges {
+		if in[e.From] && in[e.To] {
+			out[e.From] = append(out[e.From], e)
+			hasEdge = true
+		}
+	}
+	if !hasEdge {
+		return 0, false, nil
+	}
+	if len(comp) == 1 && len(out[comp[0]]) == 0 {
+		return 0, false, nil
+	}
+	// In a non-trivial SCC every node has an internal out-edge.
+	for _, v := range comp {
+		if len(out[v]) == 0 {
+			return 0, false, fmt.Errorf("mcm: node %d in SCC without internal out-edge", v)
+		}
+	}
+
+	const eps = 1e-9
+	policy := make(map[int]Edge, len(comp))
+	for _, v := range comp {
+		policy[v] = out[v][0]
+	}
+	lambda := make(map[int]float64, len(comp))
+	pot := make(map[int]float64, len(comp))
+
+	evaluate := func() {
+		state := make(map[int]int, len(comp)) // 0 unvisited, 1 on walk, 2 done
+		var walk []int
+		for _, start := range comp {
+			if state[start] != 0 {
+				continue
+			}
+			walk = walk[:0]
+			v := start
+			for state[v] == 0 {
+				state[v] = 1
+				walk = append(walk, v)
+				v = policy[v].To
+			}
+			if state[v] == 1 {
+				// Found a fresh policy cycle: compute its ratio.
+				var w float64
+				var d int
+				cycleStart := -1
+				for i, u := range walk {
+					if u == v {
+						cycleStart = i
+						break
+					}
+				}
+				for i := cycleStart; i < len(walk); i++ {
+					e := policy[walk[i]]
+					w += e.W
+					d += e.D
+				}
+				ratio := 0.0
+				if d > 0 {
+					ratio = w / float64(d)
+				} else {
+					// Guarded by hasZeroTokenCycle, but stay safe.
+					ratio = math.Inf(1)
+				}
+				lambda[v] = ratio
+				pot[v] = 0
+				// Assign along the cycle (reverse order so potentials
+				// propagate from the root).
+				for i := len(walk) - 1; i > cycleStart; i-- {
+					u := walk[i]
+					e := policy[u]
+					lambda[u] = ratio
+					pot[u] = e.W - ratio*float64(e.D) + pot[e.To]
+					state[u] = 2
+				}
+				state[v] = 2
+			}
+			// Unwind the tree part of the walk (nodes before the cycle,
+			// or a walk that hit an already-evaluated node).
+			for i := len(walk) - 1; i >= 0; i-- {
+				u := walk[i]
+				if state[u] == 2 {
+					continue
+				}
+				e := policy[u]
+				lambda[u] = lambda[e.To]
+				pot[u] = e.W - lambda[u]*float64(e.D) + pot[e.To]
+				state[u] = 2
+			}
+		}
+	}
+
+	maxIter := 10 * (len(comp) + len(g.Edges) + 10)
+	for iter := 0; iter < maxIter; iter++ {
+		evaluate()
+		// Phase 1: improve the attained ratio.
+		changed := false
+		for _, v := range comp {
+			for _, e := range out[v] {
+				if lambda[e.To] > lambda[v]+eps {
+					policy[v] = e
+					changed = true
+					break
+				}
+			}
+		}
+		if changed {
+			continue
+		}
+		// Phase 2: improve potentials within equal-ratio regions.
+		for _, v := range comp {
+			bestVal := pot[v]
+			bestEdge := policy[v]
+			improved := false
+			for _, e := range out[v] {
+				if math.Abs(lambda[e.To]-lambda[v]) > eps {
+					continue
+				}
+				val := e.W - lambda[v]*float64(e.D) + pot[e.To]
+				if val > bestVal+eps {
+					bestVal, bestEdge, improved = val, e, true
+				}
+			}
+			if improved {
+				policy[v] = bestEdge
+				changed = true
+			}
+		}
+		if !changed {
+			best := math.Inf(-1)
+			for _, v := range comp {
+				if lambda[v] > best {
+					best = lambda[v]
+				}
+			}
+			return best, true, nil
+		}
+	}
+	return 0, false, fmt.Errorf("mcm: Howard iteration did not converge")
+}

@@ -1,0 +1,115 @@
+package mcm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHowardSimpleCases(t *testing.T) {
+	// Self loop.
+	g := &Graph{N: 1}
+	g.AddEdge(0, 0, 10, 2)
+	r, err := g.HowardMCR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 5) {
+		t.Fatalf("MCR = %v, want 5", r)
+	}
+
+	// Two cycles in one SCC: picks the max ratio.
+	g = &Graph{N: 2}
+	g.AddEdge(0, 1, 3, 1)
+	g.AddEdge(1, 0, 3, 1) // ratio 3
+	g.AddEdge(0, 0, 8, 1) // ratio 8
+	r, err = g.HowardMCR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 8) {
+		t.Fatalf("MCR = %v, want 8", r)
+	}
+}
+
+func TestHowardMultipleSCCs(t *testing.T) {
+	// Two disjoint cycles joined by a bridge: max over components.
+	g := &Graph{N: 4}
+	g.AddEdge(0, 1, 2, 1)
+	g.AddEdge(1, 0, 2, 1) // ratio 2
+	g.AddEdge(1, 2, 1, 0) // bridge
+	g.AddEdge(2, 3, 5, 1)
+	g.AddEdge(3, 2, 5, 1) // ratio 5
+	r, err := g.HowardMCR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 5) {
+		t.Fatalf("MCR = %v, want 5", r)
+	}
+}
+
+func TestHowardAcyclicAndDeadlock(t *testing.T) {
+	g := &Graph{N: 2}
+	g.AddEdge(0, 1, 7, 1)
+	r, err := g.HowardMCR()
+	if err != nil || r != 0 {
+		t.Fatalf("acyclic: r=%v err=%v", r, err)
+	}
+	g.AddEdge(1, 0, 7, 0)
+	g.AddEdge(0, 1, 7, 0)
+	if _, err := g.HowardMCR(); err != ErrZeroTokenCycle {
+		t.Fatalf("err = %v, want ErrZeroTokenCycle", err)
+	}
+}
+
+// randomTokenGraph builds a random graph with a guaranteed cycle and
+// varied token counts.
+func randomTokenGraph(r *rand.Rand) *Graph {
+	n := 2 + r.Intn(7)
+	g := &Graph{N: n}
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, float64(1+r.Intn(30)), 1+r.Intn(3))
+	}
+	extra := r.Intn(14)
+	for i := 0; i < extra; i++ {
+		g.AddEdge(r.Intn(n), r.Intn(n), float64(1+r.Intn(30)), 1+r.Intn(3))
+	}
+	return g
+}
+
+// Property: Howard's policy iteration agrees with the parametric binary
+// search on random graphs — two fully independent MCR algorithms.
+func TestHowardMatchesBinarySearchProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		g := randomTokenGraph(r)
+		want, err := g.MaxCycleRatio()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.HowardMCR()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+			t.Fatalf("trial %d: Howard=%v binary-search=%v\nedges=%v", trial, got, want, g.Edges)
+		}
+	}
+}
+
+// Property: Howard agrees with Karp on unit-token graphs.
+func TestHowardMatchesKarpProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 200; trial++ {
+		g := randomUnitGraph(r)
+		want := g.KarpMCM()
+		got, err := g.HowardMCR()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+			t.Fatalf("trial %d: Howard=%v Karp=%v", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package mcm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestSingleSelfLoop(t *testing.T) {
+	g := &Graph{N: 1}
+	g.AddEdge(0, 0, 10, 1)
+	r, err := g.MaxCycleRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 10) {
+		t.Fatalf("MCR = %v, want 10", r)
+	}
+}
+
+func TestTwoCyclesPicksMax(t *testing.T) {
+	// Cycle A: 0->1->0 with W=3+4=7, D=1 -> ratio 7.
+	// Cycle B: 2->2 self loop W=5, D=2 -> ratio 2.5.
+	g := &Graph{N: 3}
+	g.AddEdge(0, 1, 3, 0)
+	g.AddEdge(1, 0, 4, 1)
+	g.AddEdge(2, 2, 5, 2)
+	r, err := g.MaxCycleRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 7) {
+		t.Fatalf("MCR = %v, want 7", r)
+	}
+}
+
+func TestTokensDivideRatio(t *testing.T) {
+	// One cycle, W=12, D=4 -> ratio 3.
+	g := &Graph{N: 2}
+	g.AddEdge(0, 1, 5, 1)
+	g.AddEdge(1, 0, 7, 3)
+	r, err := g.MaxCycleRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 3) {
+		t.Fatalf("MCR = %v, want 3", r)
+	}
+}
+
+func TestAcyclicIsZero(t *testing.T) {
+	g := &Graph{N: 3}
+	g.AddEdge(0, 1, 10, 0)
+	g.AddEdge(1, 2, 10, 0)
+	r, err := g.MaxCycleRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Fatalf("MCR = %v, want 0 for acyclic graph", r)
+	}
+	if k := g.KarpMCM(); k != 0 {
+		t.Fatalf("KarpMCM = %v, want 0", k)
+	}
+}
+
+func TestZeroTokenCycleIsDeadlock(t *testing.T) {
+	g := &Graph{N: 2}
+	g.AddEdge(0, 1, 1, 0)
+	g.AddEdge(1, 0, 1, 0)
+	if _, err := g.MaxCycleRatio(); err != ErrZeroTokenCycle {
+		t.Fatalf("err = %v, want ErrZeroTokenCycle", err)
+	}
+}
+
+func TestKarpSimple(t *testing.T) {
+	// Cycle 0->1->0, weights 2 and 4: mean 3.
+	// Cycle 2->2, weight 5: mean 5.
+	g := &Graph{N: 3}
+	g.AddEdge(0, 1, 2, 1)
+	g.AddEdge(1, 0, 4, 1)
+	g.AddEdge(2, 2, 5, 1)
+	if m := g.KarpMCM(); !almostEqual(m, 5) {
+		t.Fatalf("KarpMCM = %v, want 5", m)
+	}
+}
+
+func TestAddEdgeBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g := &Graph{N: 1}
+	g.AddEdge(0, 3, 1, 1)
+}
+
+func TestNegativeWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g := &Graph{N: 1}
+	g.AddEdge(0, 0, -1, 1)
+}
+
+// randomUnitGraph builds a random graph where every edge has exactly one
+// token, so KarpMCM and MaxCycleRatio must agree.
+func randomUnitGraph(r *rand.Rand) *Graph {
+	n := 2 + r.Intn(6)
+	g := &Graph{N: n}
+	// Ensure at least one cycle: a ring over all nodes.
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, float64(1+r.Intn(20)), 1)
+	}
+	extra := r.Intn(10)
+	for i := 0; i < extra; i++ {
+		g.AddEdge(r.Intn(n), r.Intn(n), float64(1+r.Intn(20)), 1)
+	}
+	return g
+}
+
+// Property: on unit-token graphs the two independent algorithms agree.
+func TestKarpMatchesBinarySearchProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		g := randomUnitGraph(r)
+		karp := g.KarpMCM()
+		ratio, err := g.MaxCycleRatio()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !almostEqual(karp, ratio) {
+			t.Fatalf("trial %d: Karp=%v binary-search=%v\nedges=%v", trial, karp, ratio, g.Edges)
+		}
+	}
+}
+
+// Property: scaling all weights scales the ratio.
+func TestRatioScalesWithWeightsProperty(t *testing.T) {
+	f := func(seed int64, scale uint8) bool {
+		s := 1 + int(scale%7)
+		r := rand.New(rand.NewSource(seed))
+		g := randomUnitGraph(r)
+		g2 := &Graph{N: g.N}
+		for _, e := range g.Edges {
+			g2.AddEdge(e.From, e.To, e.W*float64(s), e.D)
+		}
+		r1, err1 := g.MaxCycleRatio()
+		r2, err2 := g2.MaxCycleRatio()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(r1*float64(s), r2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding tokens to an edge never increases the max cycle ratio.
+func TestMoreTokensNeverIncreaseRatioProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		g := randomUnitGraph(r)
+		before, err := g.MaxCycleRatio()
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := r.Intn(len(g.Edges))
+		g.Edges[i].D += 1 + r.Intn(3)
+		after, err := g.MaxCycleRatio()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after > before+1e-6 {
+			t.Fatalf("trial %d: adding tokens increased ratio %v -> %v", trial, before, after)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package mjpeg
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mamps/internal/appmodel"
+	"mamps/internal/bitio"
+	"mamps/internal/dct"
+	"mamps/internal/wcet"
+)
+
+// The five actors of Figure 5. Port orders are fixed by the channel
+// creation order in BuildApp and documented on each actor.
+//
+// Actors are stateless in the SDF sense: all persistent state is modelled
+// by the vldState and rasterState self-channels; the Go structs hold the
+// state the self-channel token represents (like the static variable of
+// Listing 1).
+
+// VLDActor parses the stream and entropy-decodes MCUs.
+//
+// Inputs:  0 = vldState.
+// Outputs: 0 = vldState, 1 = vld2iqzz (rate 10), 2 = subHeader1,
+// 3 = subHeader2.
+type VLDActor struct {
+	si     StreamInfo
+	stream []byte
+
+	// decoding state (modelled by the vldState self-channel)
+	frame    int
+	mcu      int
+	reader   *bitio.Reader
+	preds    [3]int32
+	frameOff int
+}
+
+// NewVLD returns a VLD actor over a parsed stream.
+func NewVLD(stream []byte) (*VLDActor, error) {
+	si, _, err := ParseHeader(stream)
+	if err != nil {
+		return nil, err
+	}
+	v := &VLDActor{si: si, stream: stream}
+	if err := v.Init(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Info returns the stream header.
+func (v *VLDActor) Info() StreamInfo { return v.si }
+
+// Init rewinds the decoder to the start of the stream.
+func (v *VLDActor) Init() error {
+	v.frame, v.mcu = 0, 0
+	v.frameOff = headerSize
+	return v.openFrame()
+}
+
+func (v *VLDActor) openFrame() error {
+	if v.frameOff+4 > len(v.stream) {
+		return fmt.Errorf("mjpeg: truncated stream at frame %d", v.frame)
+	}
+	plen := int(binary.BigEndian.Uint32(v.stream[v.frameOff:]))
+	start := v.frameOff + 4
+	if start+plen > len(v.stream) {
+		return fmt.Errorf("mjpeg: frame %d payload truncated", v.frame)
+	}
+	v.reader = bitio.NewReader(v.stream[start : start+plen])
+	v.frameOff = start + plen
+	v.preds = [3]int32{}
+	return nil
+}
+
+// Fire decodes one MCU. The input stream loops endlessly (the SDF graph
+// never terminates); each wrap restarts at frame 0.
+func (v *VLDActor) Fire(m *wcet.Meter, in [][]appmodel.Token) ([][]appmodel.Token, error) {
+	charge(m, costVLDFixed)
+	blocks := v.si.Sampling.BlocksPerMCU()
+	out := make([]appmodel.Token, MaxBlocksPerMCU)
+	for b := 0; b < blocks; b++ {
+		comp := v.si.Sampling.blockComp(b)
+		zz, err := decodeBlock(v.reader, comp, &v.preds[comp], m)
+		if err != nil {
+			return nil, fmt.Errorf("mjpeg: VLD frame %d MCU %d block %d: %w", v.frame, v.mcu, b, err)
+		}
+		out[b] = BlockToken{Comp: uint8(comp), Index: uint8(b), Valid: true, Coeffs: zz}
+	}
+	for b := blocks; b < MaxBlocksPerMCU; b++ {
+		charge(m, costVLDPadBlock)
+		out[b] = BlockToken{Index: uint8(b), Valid: false}
+	}
+	sh := SubHeader{
+		FrameW: uint16(v.si.W), FrameH: uint16(v.si.H),
+		Sampling:   uint8(v.si.Sampling),
+		FrameIndex: uint32(v.frame),
+		MCUIndex:   uint32(v.mcu),
+	}
+	// Advance stream position.
+	v.mcu++
+	if v.mcu == v.si.MCUsPerFrame() {
+		v.mcu = 0
+		v.frame++
+		if v.frame == v.si.Frames {
+			v.frame = 0
+			v.frameOff = headerSize
+		}
+		if err := v.openFrame(); err != nil {
+			return nil, err
+		}
+	}
+	return [][]appmodel.Token{
+		{StateToken{}},
+		out,
+		{sh},
+		{sh},
+	}, nil
+}
+
+// IQZZActor performs inverse quantization and zig-zag reordering.
+//
+// Inputs: 0 = vld2iqzz. Outputs: 0 = iqzz2idct.
+//
+// The quantization tables are compile-time constants of the
+// implementation, chosen when the application is built for a stream
+// quality setting (the stream's header fixes them at encode time).
+type IQZZActor struct {
+	qtabs [3][64]int32
+}
+
+// NewIQZZ returns an IQZZ actor for the given quality.
+func NewIQZZ(quality int) *IQZZActor {
+	a := &IQZZActor{}
+	a.qtabs[0] = dct.ScaleQuant(dct.QuantLuminance, quality)
+	a.qtabs[1] = dct.ScaleQuant(dct.QuantChrominance, quality)
+	a.qtabs[2] = a.qtabs[1]
+	return a
+}
+
+// Fire processes one block token.
+func (a *IQZZActor) Fire(m *wcet.Meter, in [][]appmodel.Token) ([][]appmodel.Token, error) {
+	bt, ok := in[0][0].(BlockToken)
+	if !ok {
+		return nil, fmt.Errorf("mjpeg: IQZZ got %T, want BlockToken", in[0][0])
+	}
+	if !bt.Valid {
+		charge(m, costIQZZPad)
+		return [][]appmodel.Token{{CoeffToken{Index: bt.Index, Valid: false}}}, nil
+	}
+	block := dequantize(&bt.Coeffs, &a.qtabs[bt.Comp], m)
+	return [][]appmodel.Token{{CoeffToken{Comp: bt.Comp, Index: bt.Index, Valid: true, Block: block}}}, nil
+}
+
+// IDCTActor computes the inverse DCT of one block.
+//
+// Inputs: 0 = iqzz2idct. Outputs: 0 = idct2cc.
+type IDCTActor struct{}
+
+// Fire processes one coefficient token.
+func (IDCTActor) Fire(m *wcet.Meter, in [][]appmodel.Token) ([][]appmodel.Token, error) {
+	ct, ok := in[0][0].(CoeffToken)
+	if !ok {
+		return nil, fmt.Errorf("mjpeg: IDCT got %T, want CoeffToken", in[0][0])
+	}
+	if !ct.Valid {
+		charge(m, costIDCTPad)
+		return [][]appmodel.Token{{SampleToken{Index: ct.Index, Valid: false}}}, nil
+	}
+	samples := idctBlock(&ct.Block, m)
+	return [][]appmodel.Token{{SampleToken{Comp: ct.Comp, Index: ct.Index, Valid: true, Samples: samples}}}, nil
+}
+
+// CCActor converts the blocks of one MCU to RGB pixels.
+//
+// Inputs: 0 = subHeader1, 1 = idct2cc (rate 10). Outputs: 0 = cc2raster.
+type CCActor struct{}
+
+// Fire processes one MCU of sample blocks.
+func (CCActor) Fire(m *wcet.Meter, in [][]appmodel.Token) ([][]appmodel.Token, error) {
+	sh, ok := in[0][0].(SubHeader)
+	if !ok {
+		return nil, fmt.Errorf("mjpeg: CC got %T, want SubHeader", in[0][0])
+	}
+	sampling := Sampling(sh.Sampling)
+	blocks := make([]SampleToken, 0, sampling.BlocksPerMCU())
+	for _, tok := range in[1] {
+		st, ok := tok.(SampleToken)
+		if !ok {
+			return nil, fmt.Errorf("mjpeg: CC got %T, want SampleToken", tok)
+		}
+		if st.Valid {
+			blocks = append(blocks, st)
+		}
+	}
+	if len(blocks) != sampling.BlocksPerMCU() {
+		return nil, fmt.Errorf("mjpeg: CC got %d coded blocks, want %d", len(blocks), sampling.BlocksPerMCU())
+	}
+	pix, w, h := assembleMCU(blocks, sampling, m)
+	return [][]appmodel.Token{{PixelToken{MCUIndex: int(sh.MCUIndex), W: w, H: h, Pix: pix}}}, nil
+}
+
+// RasterActor places MCU pixels into the output frame buffer; completed
+// frames are handed to the sink.
+//
+// Inputs: 0 = subHeader2, 1 = cc2raster, 2 = rasterState.
+// Outputs: 0 = rasterState.
+type RasterActor struct {
+	// Sink receives each completed frame. Optional.
+	Sink func(*Frame)
+
+	si      StreamInfo
+	current *Frame
+	filled  int
+}
+
+// NewRaster returns a Raster actor for streams with the given header.
+func NewRaster(si StreamInfo) *RasterActor {
+	r := &RasterActor{si: si}
+	r.Init()
+	return r
+}
+
+// Init resets the frame assembly state.
+func (r *RasterActor) Init() {
+	r.current = NewFrame(r.si.W, r.si.H)
+	r.filled = 0
+}
+
+// Fire places one MCU.
+func (r *RasterActor) Fire(m *wcet.Meter, in [][]appmodel.Token) ([][]appmodel.Token, error) {
+	if _, ok := in[0][0].(SubHeader); !ok {
+		return nil, fmt.Errorf("mjpeg: Raster got %T, want SubHeader", in[0][0])
+	}
+	pt, ok := in[1][0].(PixelToken)
+	if !ok {
+		return nil, fmt.Errorf("mjpeg: Raster got %T, want PixelToken", in[1][0])
+	}
+	// The raster position is actor state (the rasterState self-channel),
+	// not token data: MCUs arrive in decode order and the actor counts
+	// them, exactly like the output-pointer state of the implementation.
+	placeMCU(r.current, r.si, r.filled, pt.Pix, pt.W, pt.H, m)
+	r.filled++
+	if r.filled == r.si.MCUsPerFrame() {
+		if r.Sink != nil {
+			r.Sink(r.current)
+		}
+		r.Init()
+	}
+	return [][]appmodel.Token{{StateToken{}}}, nil
+}

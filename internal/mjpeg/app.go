@@ -1,0 +1,144 @@
+package mjpeg
+
+import (
+	"mamps/internal/appmodel"
+	"mamps/internal/arch"
+	"mamps/internal/sdf"
+)
+
+// Channel names of the Figure 5 graph; exported for tests and reports.
+const (
+	ChanVLDState    = "vldState"
+	ChanVLD2IQZZ    = "vld2iqzz"
+	ChanSubHeader1  = "subHeader1"
+	ChanSubHeader2  = "subHeader2"
+	ChanIQZZ2IDCT   = "iqzz2idct"
+	ChanIDCT2CC     = "idct2cc"
+	ChanCC2Raster   = "cc2raster"
+	ChanRasterState = "rasterState"
+)
+
+// Actors bundles the actor instances of one application build so callers
+// can attach sinks and reset state.
+type Actors struct {
+	VLD    *VLDActor
+	IQZZ   *IQZZActor
+	IDCT   *IDCTActor
+	CC     *CCActor
+	Raster *RasterActor
+}
+
+// BuildGraph constructs the SDF graph of Figure 5 with the WCET metrics
+// for the given sampling mode. The channel creation order fixes the actor
+// port orders the actor implementations rely on.
+func BuildGraph(s Sampling) *sdf.Graph {
+	g := sdf.NewGraph("mjpeg")
+	wc := WCETs(s)
+	vld := g.AddActor("VLD", wc["VLD"])
+	iqzz := g.AddActor("IQZZ", wc["IQZZ"])
+	idct := g.AddActor("IDCT", wc["IDCT"])
+	cc := g.AddActor("CC", wc["CC"])
+	raster := g.AddActor("Raster", wc["Raster"])
+
+	// 1: vldState — VLD in[0], VLD out[0].
+	c := g.Connect(vld, vld, 1, 1, 1)
+	c.Name, c.TokenSize = ChanVLDState, StateTokenBytes
+	// 2: vld2iqzz — VLD out[1] rate 10, IQZZ in[0] rate 1.
+	c = g.Connect(vld, iqzz, MaxBlocksPerMCU, 1, 0)
+	c.Name, c.TokenSize = ChanVLD2IQZZ, BlockTokenBytes
+	// 3: subHeader1 — VLD out[2], CC in[0]; one initial token produced by
+	// the VLD initialization function.
+	c = g.Connect(vld, cc, 1, 1, 1)
+	c.Name, c.TokenSize = ChanSubHeader1, SubHeaderBytes
+	// 4: subHeader2 — VLD out[3], Raster in[0], one initial token.
+	c = g.Connect(vld, raster, 1, 1, 1)
+	c.Name, c.TokenSize = ChanSubHeader2, SubHeaderBytes
+	// 5: iqzz2idct — IQZZ out[0], IDCT in[0].
+	c = g.Connect(iqzz, idct, 1, 1, 0)
+	c.Name, c.TokenSize = ChanIQZZ2IDCT, CoeffTokenBytes
+	// 6: idct2cc — IDCT out[0], CC in[1] rate 10.
+	c = g.Connect(idct, cc, 1, MaxBlocksPerMCU, 0)
+	c.Name, c.TokenSize = ChanIDCT2CC, SampleTokenBytes
+	// 7: cc2raster — CC out[0], Raster in[1].
+	c = g.Connect(cc, raster, 1, 1, 0)
+	c.Name, c.TokenSize = ChanCC2Raster, PixelTokenBytes
+	// 8: rasterState — Raster out[0], Raster in[2].
+	c = g.Connect(raster, raster, 1, 1, 1)
+	c.Name, c.TokenSize = ChanRasterState, StateTokenBytes
+	return g
+}
+
+// Memory requirements of the MicroBlaze actor implementations, in bytes
+// (code size and working data excluding channel buffers, which the
+// platform generator sizes from the buffer distribution).
+var implMem = map[string][2]int{
+	"VLD":    {12 * 1024, 6 * 1024},
+	"IQZZ":   {2 * 1024, 1 * 1024},
+	"IDCT":   {4 * 1024, 2 * 1024},
+	"CC":     {3 * 1024, 1 * 1024},
+	"Raster": {2 * 1024, 2 * 1024},
+}
+
+// BuildApp constructs the complete MJPEG application model over an encoded
+// stream: the Figure 5 graph, the MicroBlaze implementation of every actor
+// with its WCET and memory metrics, and the initialization functions that
+// produce the initial tokens.
+//
+// In the FPGA system the VLD reads the input file from the master tile's
+// peripherals; here the stream is held by the VLD actor, which the master
+// tile hosts.
+func BuildApp(stream []byte) (*appmodel.App, *Actors, error) {
+	vldA, err := NewVLD(stream)
+	if err != nil {
+		return nil, nil, err
+	}
+	si := vldA.Info()
+	g := BuildGraph(si.Sampling)
+	app := appmodel.New("mjpeg", g)
+
+	actors := &Actors{
+		VLD:    vldA,
+		IQZZ:   NewIQZZ(si.Quality),
+		IDCT:   &IDCTActor{},
+		CC:     &CCActor{},
+		Raster: NewRaster(si),
+	}
+
+	sh := SubHeader{FrameW: uint16(si.W), FrameH: uint16(si.H), Sampling: uint8(si.Sampling)}
+	add := func(name string, wcetCycles int64, fire appmodel.FireFunc, init appmodel.InitFunc, initTokens func() ([][]appmodel.Token, error)) {
+		mem := implMem[name]
+		app.AddImpl(g.ActorByName(name), appmodel.Impl{
+			PE:         arch.MicroBlaze,
+			WCET:       wcetCycles,
+			InstrMem:   mem[0],
+			DataMem:    mem[1],
+			Fire:       fire,
+			Init:       init,
+			InitTokens: initTokens,
+			// The VLD reads the input file from the board peripherals.
+			NeedsPeripherals: name == "VLD",
+		})
+	}
+	add("VLD", VLDWCET(si.Sampling), actors.VLD.Fire, actors.VLD.Init,
+		func() ([][]appmodel.Token, error) {
+			// Output ports: vldState, vld2iqzz, subHeader1, subHeader2.
+			return [][]appmodel.Token{
+				{StateToken{}},
+				nil,
+				{sh},
+				{sh},
+			}, nil
+		})
+	add("IQZZ", IQZZWCET(), actors.IQZZ.Fire, nil, nil)
+	add("IDCT", IDCTWCET(), actors.IDCT.Fire, nil, nil)
+	add("CC", CCWCET(si.Sampling), actors.CC.Fire, nil, nil)
+	add("Raster", RasterWCET(si.Sampling), actors.Raster.Fire,
+		func() error { actors.Raster.Init(); return nil },
+		func() ([][]appmodel.Token, error) {
+			return [][]appmodel.Token{{StateToken{}}}, nil
+		})
+	if err := app.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return app, actors, nil
+}

@@ -1,0 +1,316 @@
+package mjpeg
+
+import (
+	"fmt"
+
+	"mamps/internal/bitio"
+	"mamps/internal/dct"
+	"mamps/internal/huffman"
+	"mamps/internal/wcet"
+)
+
+// Compiled standard tables, indexed by component (0 = Y uses luminance
+// tables; 1, 2 = chroma).
+var (
+	dcTables = [3]*huffman.Table{
+		huffman.MustNew(huffman.DCLuminance),
+		huffman.MustNew(huffman.DCChrominance),
+		huffman.MustNew(huffman.DCChrominance),
+	}
+	acTables = [3]*huffman.Table{
+		huffman.MustNew(huffman.ACLuminance),
+		huffman.MustNew(huffman.ACChrominance),
+		huffman.MustNew(huffman.ACChrominance),
+	}
+)
+
+// charge is a nil-safe meter charge; the reference decoder and the encoder
+// run without instrumentation.
+func charge(m *wcet.Meter, n int64) {
+	if m != nil {
+		m.Add(n)
+	}
+}
+
+// magnitude returns the JPEG magnitude category of v: the smallest s with
+// |v| < 2^s.
+func magnitude(v int32) int {
+	if v < 0 {
+		v = -v
+	}
+	s := 0
+	for v != 0 {
+		v >>= 1
+		s++
+	}
+	return s
+}
+
+// encodeBlock entropy-codes one quantized block (zig-zag order) with DC
+// prediction.
+func encodeBlock(w *bitio.Writer, coeffs *[64]int16, comp int, pred *int32) error {
+	dcT, acT := dcTables[comp], acTables[comp]
+	// DC difference.
+	diff := int32(coeffs[0]) - *pred
+	*pred = int32(coeffs[0])
+	s := magnitude(diff)
+	if s > 11 {
+		return fmt.Errorf("mjpeg: DC difference %d out of range", diff)
+	}
+	if err := dcT.Encode(w, byte(s)); err != nil {
+		return err
+	}
+	if s > 0 {
+		amp := diff
+		if amp < 0 {
+			amp += int32(1)<<uint(s) - 1
+		}
+		w.WriteBits(uint32(amp), s)
+	}
+	// AC run-length coding.
+	run := 0
+	for k := 1; k < 64; k++ {
+		v := int32(coeffs[k])
+		if v == 0 {
+			run++
+			continue
+		}
+		for run >= 16 {
+			if err := acT.Encode(w, 0xF0); err != nil { // ZRL
+				return err
+			}
+			run -= 16
+		}
+		s := magnitude(v)
+		if s > 10 {
+			return fmt.Errorf("mjpeg: AC coefficient %d out of range", v)
+		}
+		if err := acT.Encode(w, byte(run<<4|s)); err != nil {
+			return err
+		}
+		amp := v
+		if amp < 0 {
+			amp += int32(1)<<uint(s) - 1
+		}
+		w.WriteBits(uint32(amp), s)
+		run = 0
+	}
+	if run > 0 {
+		if err := acT.Encode(w, 0x00); err != nil { // EOB
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeBlock entropy-decodes one block into zig-zag coefficients,
+// charging the VLD cost model for the work actually performed (symbols
+// decoded, bits consumed) — the data-dependent execution time of the VLD.
+func decodeBlock(r *bitio.Reader, comp int, pred *int32, m *wcet.Meter) ([64]int16, error) {
+	var out [64]int16
+	dcT, acT := dcTables[comp], acTables[comp]
+	charge(m, costVLDBlockFixed)
+	// DC.
+	sym, bits, err := dcT.Decode(r)
+	if err != nil {
+		return out, fmt.Errorf("mjpeg: DC decode: %w", err)
+	}
+	s := int(sym)
+	if s > 11 {
+		return out, fmt.Errorf("mjpeg: invalid DC category %d", s)
+	}
+	var diff int32
+	if s > 0 {
+		amp, err := r.ReadBits(s)
+		if err != nil {
+			return out, err
+		}
+		diff = extend(amp, s)
+	}
+	charge(m, costVLDPerSym+int64(bits+s)*costVLDPerBit)
+	*pred += diff
+	out[0] = int16(*pred)
+	// AC.
+	k := 1
+	for k < 64 {
+		sym, bits, err := acT.Decode(r)
+		if err != nil {
+			return out, fmt.Errorf("mjpeg: AC decode: %w", err)
+		}
+		run := int(sym >> 4)
+		size := int(sym & 0x0F)
+		charge(m, costVLDPerSym+int64(bits+size)*costVLDPerBit)
+		if size == 0 {
+			if run == 15 { // ZRL: sixteen zeros
+				k += 16
+				continue
+			}
+			break // EOB
+		}
+		k += run
+		if k > 63 {
+			return out, fmt.Errorf("mjpeg: AC run past end of block")
+		}
+		amp, err := r.ReadBits(size)
+		if err != nil {
+			return out, err
+		}
+		out[k] = int16(extend(amp, size))
+		k++
+	}
+	charge(m, 64*costVLDPerCoeff)
+	return out, nil
+}
+
+// extend sign-extends a JPEG amplitude of the given category (T.81 EXTEND).
+func extend(amp uint32, s int) int32 {
+	v := int32(amp)
+	if v < int32(1)<<uint(s-1) {
+		v -= int32(1)<<uint(s) - 1
+	}
+	return v
+}
+
+// quantize divides a coefficient block by the quantization table with
+// rounding to nearest, producing zig-zag-ordered quantized coefficients.
+func quantize(coeffs *dct.Block, qtab *[64]int32) [64]int16 {
+	var out [64]int16
+	for zz := 0; zz < 64; zz++ {
+		rm := dct.ZigZag[zz]
+		c := coeffs[rm]
+		q := qtab[rm]
+		var v int32
+		if c >= 0 {
+			v = (c + q/2) / q
+		} else {
+			v = -((-c + q/2) / q)
+		}
+		out[zz] = int16(v)
+	}
+	return out
+}
+
+// dequantize multiplies zig-zag quantized coefficients by the quantization
+// table, producing a row-major coefficient block, charging the IQZZ cost
+// model.
+func dequantize(coeffs *[64]int16, qtab *[64]int32, m *wcet.Meter) dct.Block {
+	var out dct.Block
+	charge(m, costIQZZFixed)
+	for zz := 0; zz < 64; zz++ {
+		rm := dct.ZigZag[zz]
+		out[rm] = int32(coeffs[zz]) * qtab[rm]
+	}
+	charge(m, 64*costIQZZPerCoeff)
+	return out
+}
+
+// idctBlock computes the inverse DCT of a coefficient block, charging the
+// IDCT cost model (the transform is data-independent).
+func idctBlock(in *dct.Block, m *wcet.Meter) [64]int16 {
+	charge(m, costIDCTFixed+costIDCTWork)
+	spatial := dct.Inverse(in)
+	var out [64]int16
+	for i, v := range spatial {
+		out[i] = int16(v)
+	}
+	return out
+}
+
+// assembleMCU converts the decoded sample blocks of one MCU into RGB
+// pixels, charging the CC cost model. blocks must hold BlocksPerMCU valid
+// SampleTokens in block-index order.
+func assembleMCU(blocks []SampleToken, sampling Sampling, m *wcet.Meter) ([]uint8, int, int) {
+	mw, mh := sampling.MCUSize()
+	pix := make([]uint8, mw*mh*3)
+	charge(m, costCCFixed)
+	for py := 0; py < mh; py++ {
+		for px := 0; px < mw; px++ {
+			var yv, cb, cr int16
+			switch sampling {
+			case Sampling444:
+				idx := py*8 + px
+				yv = blocks[0].Samples[idx]
+				cb = blocks[1].Samples[idx]
+				cr = blocks[2].Samples[idx]
+			case Sampling420:
+				yb := (py/8)*2 + px/8
+				yv = blocks[yb].Samples[(py%8)*8+(px%8)]
+				ci := (py/2)*8 + px/2
+				cb = blocks[4].Samples[ci]
+				cr = blocks[5].Samples[ci]
+			}
+			r, g, b := yCbCrToRGB(dct.Clamp8(int32(yv)), dct.Clamp8(int32(cb)), dct.Clamp8(int32(cr)))
+			o := (py*mw + px) * 3
+			pix[o], pix[o+1], pix[o+2] = r, g, b
+		}
+	}
+	charge(m, int64(mw*mh)*costCCPerPixel)
+	return pix, mw, mh
+}
+
+// placeMCU rasterizes one MCU's pixels into the frame at the position of
+// mcuIndex, charging the Raster cost model.
+func placeMCU(f *Frame, si StreamInfo, mcuIndex int, pix []uint8, mw, mh int, m *wcet.Meter) {
+	charge(m, costRasterFixed)
+	cols := si.MCUCols()
+	x0 := (mcuIndex % cols) * mw
+	y0 := (mcuIndex / cols) * mh
+	for py := 0; py < mh; py++ {
+		for px := 0; px < mw; px++ {
+			o := (py*mw + px) * 3
+			f.Set(x0+px, y0+py, pix[o], pix[o+1], pix[o+2])
+		}
+	}
+	charge(m, int64(mw*mh)*costRasterPerPixel)
+}
+
+// extractBlock pulls the level-shifted samples of block blockIdx of the
+// MCU at (mcuCol, mcuRow) out of an RGB frame, applying color conversion
+// and chroma subsampling (averaging). Used by the encoder.
+func extractBlock(f *Frame, si StreamInfo, mcuCol, mcuRow, blockIdx int) dct.Block {
+	var out dct.Block
+	comp := si.Sampling.blockComp(blockIdx)
+	mw, mh := si.Sampling.MCUSize()
+	x0 := mcuCol * mw
+	y0 := mcuRow * mh
+	compAt := func(x, y int) int32 {
+		r, g, b := f.At(x, y)
+		yy, cb, cr := rgbToYCbCr(r, g, b)
+		switch comp {
+		case 0:
+			return int32(yy)
+		case 1:
+			return int32(cb)
+		default:
+			return int32(cr)
+		}
+	}
+	switch si.Sampling {
+	case Sampling444:
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				out[y*8+x] = compAt(x0+x, y0+y) - 128
+			}
+		}
+	case Sampling420:
+		if comp == 0 {
+			bx := (blockIdx % 2) * 8
+			by := (blockIdx / 2) * 8
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					out[y*8+x] = compAt(x0+bx+x, y0+by+y) - 128
+				}
+			}
+		} else {
+			// Chroma: average 2×2 pixel groups.
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					sum := compAt(x0+2*x, y0+2*y) + compAt(x0+2*x+1, y0+2*y) +
+						compAt(x0+2*x, y0+2*y+1) + compAt(x0+2*x+1, y0+2*y+1)
+					out[y*8+x] = (sum+2)/4 - 128
+				}
+			}
+		}
+	}
+	return out
+}

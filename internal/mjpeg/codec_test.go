@@ -1,0 +1,306 @@
+package mjpeg
+
+import (
+	"math"
+	"testing"
+
+	"mamps/internal/bitio"
+	"mamps/internal/dct"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	si := StreamInfo{W: 64, H: 32, Sampling: Sampling420, Quality: 75, Frames: 3}
+	buf := marshalHeader(si)
+	got, off, err := ParseHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != si {
+		t.Fatalf("got %+v, want %+v", got, si)
+	}
+	if off != headerSize {
+		t.Fatalf("offset = %d", off)
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	if _, _, err := ParseHeader(nil); err == nil {
+		t.Error("short stream should fail")
+	}
+	si := StreamInfo{W: 16, H: 16, Sampling: Sampling444, Quality: 50, Frames: 1}
+	buf := marshalHeader(si)
+	bad := append([]byte(nil), buf...)
+	bad[0] = 'X'
+	if _, _, err := ParseHeader(bad); err == nil {
+		t.Error("bad magic should fail")
+	}
+	bad = append([]byte(nil), buf...)
+	bad[4] = 9
+	if _, _, err := ParseHeader(bad); err == nil {
+		t.Error("bad version should fail")
+	}
+	bad = append([]byte(nil), buf...)
+	bad[10] = 0 // quality 0
+	if _, _, err := ParseHeader(bad); err == nil {
+		t.Error("invalid quality should fail")
+	}
+}
+
+func TestStreamInfoValidate(t *testing.T) {
+	good := StreamInfo{W: 32, H: 32, Sampling: Sampling420, Quality: 50, Frames: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []StreamInfo{
+		{W: 20, H: 32, Sampling: Sampling420, Quality: 50, Frames: 1}, // W not multiple of 16
+		{W: 32, H: 32, Sampling: Sampling420, Quality: 0, Frames: 1},
+		{W: 32, H: 32, Sampling: Sampling420, Quality: 50, Frames: 0},
+		{W: 0, H: 32, Sampling: Sampling444, Quality: 50, Frames: 1},
+		{W: 32, H: 32, Sampling: Sampling(7), Quality: 50, Frames: 1},
+	}
+	for i, si := range bad {
+		if err := si.Validate(); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, si)
+		}
+	}
+}
+
+func TestSamplingGeometry(t *testing.T) {
+	if Sampling444.BlocksPerMCU() != 3 || Sampling420.BlocksPerMCU() != 6 {
+		t.Error("blocks per MCU wrong")
+	}
+	if w, h := Sampling444.MCUSize(); w != 8 || h != 8 {
+		t.Error("444 MCU size wrong")
+	}
+	if w, h := Sampling420.MCUSize(); w != 16 || h != 16 {
+		t.Error("420 MCU size wrong")
+	}
+	// 420 component layout: 4 luma then Cb, Cr.
+	for i := 0; i < 4; i++ {
+		if Sampling420.blockComp(i) != 0 {
+			t.Errorf("block %d should be luma", i)
+		}
+	}
+	if Sampling420.blockComp(4) != 1 || Sampling420.blockComp(5) != 2 {
+		t.Error("chroma block components wrong")
+	}
+	if Sampling444.String() != "4:4:4" || Sampling420.String() != "4:2:0" {
+		t.Error("String() wrong")
+	}
+}
+
+func TestMagnitude(t *testing.T) {
+	cases := []struct {
+		v int32
+		s int
+	}{{0, 0}, {1, 1}, {-1, 1}, {2, 2}, {3, 2}, {-3, 2}, {4, 3}, {255, 8}, {-256, 9}, {1023, 10}, {2047, 11}}
+	for _, c := range cases {
+		if got := magnitude(c.v); got != c.s {
+			t.Errorf("magnitude(%d) = %d, want %d", c.v, got, c.s)
+		}
+	}
+}
+
+func TestExtendInverseOfAmplitude(t *testing.T) {
+	// For every category s and value v of that category, encoding then
+	// extending recovers v (JPEG amplitude coding).
+	for s := 1; s <= 11; s++ {
+		lo := -(int32(1)<<uint(s) - 1)
+		for _, v := range []int32{lo, lo + 1, -(int32(1) << uint(s-1)), int32(1) << uint(s-1), int32(1)<<uint(s) - 1} {
+			if magnitude(v) != s {
+				continue
+			}
+			amp := v
+			if amp < 0 {
+				amp += int32(1)<<uint(s) - 1
+			}
+			if got := extend(uint32(amp), s); got != v {
+				t.Fatalf("extend(enc(%d), %d) = %d", v, s, got)
+			}
+		}
+	}
+}
+
+func TestBlockCodecRoundTrip(t *testing.T) {
+	// Encode then decode a handful of blocks with DC prediction.
+	blocks := [][64]int16{}
+	var blk [64]int16
+	blk[0] = 120
+	blk[1] = -33
+	blk[10] = 5
+	blk[63] = -1
+	blocks = append(blocks, blk)
+	var blk2 [64]int16
+	blk2[0] = 100 // DC diff -20
+	blocks = append(blocks, blk2)
+	var blk3 [64]int16 // all zero with zero DC diff
+	blk3[0] = 100
+	blocks = append(blocks, blk3)
+	// Long zero runs needing ZRL.
+	var blk4 [64]int16
+	blk4[0] = 90
+	blk4[40] = 7
+	blocks = append(blocks, blk4)
+
+	w := bitio.NewWriter()
+	pred := int32(0)
+	for i := range blocks {
+		if err := encodeBlock(w, &blocks[i], 0, &pred); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bitio.NewReader(w.Bytes())
+	dpred := int32(0)
+	for i := range blocks {
+		got, err := decodeBlock(r, 0, &dpred, nil)
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if got != blocks[i] {
+			t.Fatalf("block %d mismatch:\ngot  %v\nwant %v", i, got, blocks[i])
+		}
+	}
+}
+
+func TestQuantizeDequantize(t *testing.T) {
+	var coeffs dct.Block
+	coeffs[0] = 800
+	coeffs[1] = -250
+	coeffs[8] = 37
+	q := dct.ScaleQuant(dct.QuantLuminance, 50)
+	zz := quantize(&coeffs, &q)
+	back := dequantize(&zz, &q, nil)
+	// Quantization error is bounded by half a step.
+	for i := range coeffs {
+		diff := float64(coeffs[i] - back[i])
+		if math.Abs(diff) > float64(q[i])/2+0.5 {
+			t.Fatalf("coeff %d: %d -> %d (step %d)", i, coeffs[i], back[i], q[i])
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripQuality(t *testing.T) {
+	// End-to-end codec: decoded frames must be close to the source
+	// (high quality, smooth content -> small error).
+	frames := GenerateSequence(SeqGradient, 32, 32, 2)
+	si := StreamInfo{W: 32, H: 32, Sampling: Sampling444, Quality: 90, Frames: 2}
+	stream, err := Encode(si, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, gotSI, err := Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSI != si {
+		t.Fatalf("stream info mismatch: %+v", gotSI)
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("decoded %d frames", len(decoded))
+	}
+	var sumSq, n float64
+	for fi := range frames {
+		for i := range frames[fi].Pix {
+			d := float64(frames[fi].Pix[i]) - float64(decoded[fi].Pix[i])
+			sumSq += d * d
+			n++
+		}
+	}
+	rmse := math.Sqrt(sumSq / n)
+	if rmse > 6 {
+		t.Fatalf("RMSE = %.2f, want <= 6 at quality 90", rmse)
+	}
+}
+
+func TestEncodeDecode420(t *testing.T) {
+	frames := GenerateSequence(SeqBouncingBox, 32, 32, 1)
+	si := StreamInfo{W: 32, H: 32, Sampling: Sampling420, Quality: 85, Frames: 1}
+	stream, err := Encode(si, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, _, err := Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: at t=0 the box covers the top-left 8x8 region, so (2,2) is
+	// bright and (20,20) is dark background.
+	r, g, b := decoded[0].At(2, 2)
+	if int(r)+int(g)+int(b) < 300 {
+		t.Errorf("box too dark: %d %d %d", r, g, b)
+	}
+	r, g, b = decoded[0].At(20, 20)
+	if int(r)+int(g)+int(b) > 300 {
+		t.Errorf("background too bright: %d %d %d", r, g, b)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	frames := GenerateSequence(SeqGradient, 32, 32, 1)
+	si := StreamInfo{W: 32, H: 32, Sampling: Sampling444, Quality: 50, Frames: 2}
+	if _, err := Encode(si, frames); err == nil {
+		t.Error("frame count mismatch should fail")
+	}
+	si.Frames = 1
+	badFrame := []*Frame{NewFrame(16, 16)}
+	if _, err := Encode(si, badFrame); err == nil {
+		t.Error("frame size mismatch should fail")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	frames := GenerateSequence(SeqGradient, 16, 16, 1)
+	si := StreamInfo{W: 16, H: 16, Sampling: Sampling444, Quality: 50, Frames: 1}
+	stream, err := Encode(si, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decode(stream[:headerSize+2]); err == nil {
+		t.Error("truncated stream should fail")
+	}
+}
+
+func TestGenerateSequenceDeterministic(t *testing.T) {
+	a := GenerateSequence(SeqPlasma, 16, 16, 2)
+	b := GenerateSequence(SeqPlasma, 16, 16, 2)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestAllSequenceKindsGenerate(t *testing.T) {
+	kinds := append([]SequenceKind{SeqSynthetic}, TestSet()...)
+	for _, k := range kinds {
+		fs := GenerateSequence(k, 16, 16, 2)
+		if len(fs) != 2 || fs[0].W != 16 {
+			t.Errorf("%v: bad frames", k)
+		}
+		if k.String() == "" {
+			t.Errorf("%v: empty name", k)
+		}
+	}
+	if len(TestSet()) != 5 {
+		t.Errorf("test set should have 5 sequences, has %d", len(TestSet()))
+	}
+}
+
+func TestFrameHelpers(t *testing.T) {
+	f := NewFrame(4, 4)
+	f.Set(1, 2, 10, 20, 30)
+	r, g, b := f.At(1, 2)
+	if r != 10 || g != 20 || b != 30 {
+		t.Fatal("Set/At broken")
+	}
+	o := NewFrame(4, 4)
+	if f.Equal(o) {
+		t.Fatal("Equal should detect difference")
+	}
+	if !f.Equal(f) {
+		t.Fatal("Equal should accept identity")
+	}
+	if f.Equal(NewFrame(2, 2)) {
+		t.Fatal("Equal should check dimensions")
+	}
+}

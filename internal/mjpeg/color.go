@@ -1,0 +1,43 @@
+// Package mjpeg implements the MJPEG decoder of the paper's case study as
+// a synchronous dataflow application (Figure 5): the five actors VLD,
+// IQZZ, IDCT, CC and Raster with explicit token types, the subHeader
+// channels forwarding frame information, and the state self-channels of
+// VLD and Raster. The package also provides the matching encoder used to
+// generate test sequences (five procedurally generated "real-life"
+// sequences plus one synthetic random sequence), and a monolithic
+// reference decoder against which the pipelined actors are validated
+// bit-exactly.
+package mjpeg
+
+// Fixed-point BT.601 color conversion, shared by the encoder, the CC
+// actor and the reference decoder so all paths are bit-identical.
+
+// rgbToYCbCr converts one pixel to level-unshifted YCbCr (0..255 each).
+func rgbToYCbCr(r, g, b uint8) (y, cb, cr uint8) {
+	ri, gi, bi := int32(r), int32(g), int32(b)
+	yy := (19595*ri + 38470*gi + 7471*bi + 32768) >> 16
+	cbv := ((-11056*ri - 21712*gi + 32768*bi) >> 16) + 128
+	crv := ((32768*ri - 27440*gi - 5328*bi) >> 16) + 128
+	return clamp255(yy), clamp255(cbv), clamp255(crv)
+}
+
+// yCbCrToRGB converts one YCbCr pixel back to RGB.
+func yCbCrToRGB(y, cb, cr uint8) (r, g, b uint8) {
+	yy := int32(y)
+	cbv := int32(cb) - 128
+	crv := int32(cr) - 128
+	rr := yy + ((91881*crv + 32768) >> 16)
+	gg := yy - ((22554*cbv + 46802*crv + 32768) >> 16)
+	bb := yy + ((116130*cbv + 32768) >> 16)
+	return clamp255(rr), clamp255(gg), clamp255(bb)
+}
+
+func clamp255(v int32) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}

@@ -1,0 +1,88 @@
+package mjpeg
+
+// Cost model of the actor implementations, in clock cycles of the MAMPS
+// platform. The coefficients play the role of the measured per-operation
+// costs of the MicroBlaze implementation: every actor charges them for the
+// work it actually performs, making execution times data-dependent in the
+// same way the real implementation's are. The WCET functions bound the
+// charges analytically; the conservativeness of these bounds is asserted
+// by tests and by every experiment run.
+const (
+	// VLD: entropy decoding. Per decoded symbol there is a table step per
+	// bit plus fixed symbol bookkeeping; coefficients are stored once per
+	// block; padding tokens (fixed-rate SDF overhead) are nearly free.
+	costVLDFixed      = 150 // per firing: MCU setup, subheader emission
+	costVLDBlockFixed = 25  // per coded block
+	costVLDPerBit     = 2
+	costVLDPerSym     = 10
+	costVLDPerCoeff   = 1
+	costVLDPadBlock   = 20 // per padding token
+
+	// IQZZ: inverse quantization and zig-zag reordering.
+	costIQZZFixed    = 30
+	costIQZZPerCoeff = 4
+	costIQZZPad      = 10 // forwarding a padding token
+
+	// IDCT: fixed-point 8×8 inverse transform, data-independent:
+	// 2 passes × 64 outputs × 8 multiply-accumulates.
+	costIDCTFixed = 40
+	costIDCTWork  = 2 * 64 * 8
+	costIDCTPad   = 10
+
+	// CC: color conversion, per reconstructed pixel.
+	costCCFixed    = 50
+	costCCPerPixel = 6
+
+	// Raster: pixel placement.
+	costRasterFixed    = 40
+	costRasterPerPixel = 2
+)
+
+// Worst-case bits of one Huffman-coded symbol: 16 code bits plus up to 11
+// amplitude bits (DC category 11).
+const worstSymbolBits = 27
+
+// maxSymbolsPerBlock bounds the entropy-coded symbols of one block: one DC
+// plus at most 63 AC symbols.
+const maxSymbolsPerBlock = 64
+
+// VLDWCET returns the analytic worst-case execution time of one VLD firing
+// (one MCU) for the given sampling mode.
+func VLDWCET(s Sampling) int64 {
+	real := int64(s.BlocksPerMCU())
+	pad := int64(MaxBlocksPerMCU) - real
+	perBlock := int64(costVLDBlockFixed) +
+		maxSymbolsPerBlock*(costVLDPerSym+worstSymbolBits*costVLDPerBit) +
+		64*costVLDPerCoeff
+	return costVLDFixed + real*perBlock + pad*costVLDPadBlock
+}
+
+// IQZZWCET returns the worst-case execution time of one IQZZ firing (one
+// block token, coded or padding; the coded case dominates).
+func IQZZWCET() int64 { return costIQZZFixed + 64*costIQZZPerCoeff }
+
+// IDCTWCET returns the worst-case execution time of one IDCT firing.
+func IDCTWCET() int64 { return costIDCTFixed + costIDCTWork }
+
+// CCWCET returns the worst-case execution time of one CC firing (one MCU).
+func CCWCET(s Sampling) int64 {
+	w, h := s.MCUSize()
+	return costCCFixed + int64(w*h)*costCCPerPixel
+}
+
+// RasterWCET returns the worst-case execution time of one Raster firing.
+func RasterWCET(s Sampling) int64 {
+	w, h := s.MCUSize()
+	return costRasterFixed + int64(w*h)*costRasterPerPixel
+}
+
+// WCETs returns the actor WCET map for the application model.
+func WCETs(s Sampling) map[string]int64 {
+	return map[string]int64{
+		"VLD":    VLDWCET(s),
+		"IQZZ":   IQZZWCET(),
+		"IDCT":   IDCTWCET(),
+		"CC":     CCWCET(s),
+		"Raster": RasterWCET(s),
+	}
+}

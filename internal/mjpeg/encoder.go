@@ -1,0 +1,61 @@
+package mjpeg
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mamps/internal/bitio"
+	"mamps/internal/dct"
+)
+
+// Encode compresses frames into an MJPG stream with the given parameters.
+// It is the test-stream generator of the case study: all input material
+// for the experiments is produced by this encoder.
+func Encode(si StreamInfo, frames []*Frame) ([]byte, error) {
+	if err := si.Validate(); err != nil {
+		return nil, err
+	}
+	if len(frames) != si.Frames {
+		return nil, fmt.Errorf("mjpeg: header says %d frames, got %d", si.Frames, len(frames))
+	}
+	qY := dct.ScaleQuant(dct.QuantLuminance, si.Quality)
+	qC := dct.ScaleQuant(dct.QuantChrominance, si.Quality)
+	qtabs := [3]*[64]int32{&qY, &qC, &qC}
+
+	out := marshalHeader(si)
+	blocks := si.Sampling.BlocksPerMCU()
+	for fi, f := range frames {
+		if f.W != si.W || f.H != si.H {
+			return nil, fmt.Errorf("mjpeg: frame %d is %dx%d, stream is %dx%d", fi, f.W, f.H, si.W, si.H)
+		}
+		w := bitio.NewWriter()
+		var preds [3]int32
+		for row := 0; row < si.MCURows(); row++ {
+			for col := 0; col < si.MCUCols(); col++ {
+				for b := 0; b < blocks; b++ {
+					comp := si.Sampling.blockComp(b)
+					samples := extractBlock(f, si, col, row, b)
+					coeffs := dct.Forward(&samples)
+					quantized := quantize(&coeffs, qtabs[comp])
+					if err := encodeBlock(w, &quantized, comp, &preds[comp]); err != nil {
+						return nil, fmt.Errorf("mjpeg: frame %d MCU (%d,%d) block %d: %w", fi, col, row, b, err)
+					}
+				}
+			}
+		}
+		payload := w.Bytes()
+		var lenBuf [4]byte
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+		out = append(out, lenBuf[:]...)
+		out = append(out, payload...)
+	}
+	return out, nil
+}
+
+// EncodeSequence generates a test sequence and encodes it in one step.
+func EncodeSequence(kind SequenceKind, w, h, frames, quality int, sampling Sampling) ([]byte, []*Frame, error) {
+	src := GenerateSequence(kind, w, h, frames)
+	si := StreamInfo{W: w, H: h, Sampling: sampling, Quality: quality, Frames: frames}
+	stream, err := Encode(si, src)
+	return stream, src, err
+}

@@ -1,0 +1,154 @@
+package mjpeg
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Sampling selects the chroma subsampling of a stream.
+type Sampling int
+
+const (
+	// Sampling444 codes every component at full resolution: an MCU is
+	// 8×8 pixels and holds 3 blocks (Y, Cb, Cr).
+	Sampling444 Sampling = iota
+	// Sampling420 subsamples chroma 2×2: an MCU is 16×16 pixels and
+	// holds 6 blocks (4 Y, Cb, Cr).
+	Sampling420
+)
+
+// MaxBlocksPerMCU is the fixed SDF production rate of the VLD actor. The
+// paper's application model fixes the rate at the maximum number of blocks
+// an MCU can hold (up to 10, depending on the sampling settings); firings
+// that decode fewer blocks pad the remaining tokens with invalid blocks —
+// the modelling overhead discussed in Section 6.3.
+const MaxBlocksPerMCU = 10
+
+// BlocksPerMCU returns the number of coded blocks per MCU.
+func (s Sampling) BlocksPerMCU() int {
+	switch s {
+	case Sampling444:
+		return 3
+	case Sampling420:
+		return 6
+	default:
+		panic(fmt.Sprintf("mjpeg: unknown sampling %d", s))
+	}
+}
+
+// MCUSize returns the pixel dimensions of one MCU.
+func (s Sampling) MCUSize() (w, h int) {
+	switch s {
+	case Sampling444:
+		return 8, 8
+	case Sampling420:
+		return 16, 16
+	default:
+		panic(fmt.Sprintf("mjpeg: unknown sampling %d", s))
+	}
+}
+
+// blockComp returns the component (0=Y, 1=Cb, 2=Cr) of block index i
+// within an MCU.
+func (s Sampling) blockComp(i int) int {
+	switch s {
+	case Sampling444:
+		return i // 0,1,2
+	case Sampling420:
+		if i < 4 {
+			return 0
+		}
+		return i - 3 // 4 -> Cb, 5 -> Cr
+	default:
+		panic("mjpeg: unknown sampling")
+	}
+}
+
+func (s Sampling) String() string {
+	switch s {
+	case Sampling444:
+		return "4:4:4"
+	case Sampling420:
+		return "4:2:0"
+	default:
+		return fmt.Sprintf("Sampling(%d)", int(s))
+	}
+}
+
+// StreamInfo is the header of an MJPG stream.
+type StreamInfo struct {
+	W, H     int
+	Sampling Sampling
+	Quality  int
+	Frames   int
+}
+
+// MCUCols and MCURows give the MCU grid dimensions.
+func (si StreamInfo) MCUCols() int { w, _ := si.Sampling.MCUSize(); return si.W / w }
+
+// MCURows gives the number of MCU rows.
+func (si StreamInfo) MCURows() int { _, h := si.Sampling.MCUSize(); return si.H / h }
+
+// MCUsPerFrame gives the number of MCUs (graph iterations) per frame.
+func (si StreamInfo) MCUsPerFrame() int { return si.MCUCols() * si.MCURows() }
+
+// Validate checks the stream parameters.
+func (si StreamInfo) Validate() error {
+	if si.Sampling != Sampling444 && si.Sampling != Sampling420 {
+		return fmt.Errorf("mjpeg: unknown sampling %d", si.Sampling)
+	}
+	mw, mh := si.Sampling.MCUSize()
+	if si.W <= 0 || si.H <= 0 || si.W%mw != 0 || si.H%mh != 0 {
+		return fmt.Errorf("mjpeg: frame size %dx%d not a multiple of the %dx%d MCU", si.W, si.H, mw, mh)
+	}
+	if si.Quality < 1 || si.Quality > 100 {
+		return fmt.Errorf("mjpeg: quality %d out of range 1..100", si.Quality)
+	}
+	if si.Frames <= 0 {
+		return fmt.Errorf("mjpeg: stream needs at least one frame")
+	}
+	return nil
+}
+
+const (
+	magic      = "MJPG"
+	headerSize = 4 + 1 + 2 + 2 + 1 + 1 + 2 // magic, ver, w, h, sampling, quality, frames
+)
+
+// marshalHeader encodes the stream header.
+func marshalHeader(si StreamInfo) []byte {
+	buf := make([]byte, headerSize)
+	copy(buf, magic)
+	buf[4] = 1
+	binary.BigEndian.PutUint16(buf[5:], uint16(si.W))
+	binary.BigEndian.PutUint16(buf[7:], uint16(si.H))
+	buf[9] = uint8(si.Sampling)
+	buf[10] = uint8(si.Quality)
+	binary.BigEndian.PutUint16(buf[11:], uint16(si.Frames))
+	return buf
+}
+
+// ParseHeader decodes and validates a stream header, returning the info
+// and the offset of the first frame payload.
+func ParseHeader(stream []byte) (StreamInfo, int, error) {
+	if len(stream) < headerSize {
+		return StreamInfo{}, 0, fmt.Errorf("mjpeg: stream shorter than header (%d bytes)", len(stream))
+	}
+	if string(stream[:4]) != magic {
+		return StreamInfo{}, 0, fmt.Errorf("mjpeg: bad magic %q", stream[:4])
+	}
+	if stream[4] != 1 {
+		return StreamInfo{}, 0, fmt.Errorf("mjpeg: unsupported version %d", stream[4])
+	}
+	si := StreamInfo{
+		W:        int(binary.BigEndian.Uint16(stream[5:])),
+		H:        int(binary.BigEndian.Uint16(stream[7:])),
+		Sampling: Sampling(stream[9]),
+		Quality:  int(stream[10]),
+		Frames:   int(binary.BigEndian.Uint16(stream[11:])),
+	}
+	if err := si.Validate(); err != nil {
+		return StreamInfo{}, 0, err
+	}
+	return si, headerSize, nil
+}

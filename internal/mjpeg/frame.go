@@ -1,0 +1,171 @@
+package mjpeg
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Frame is an RGB image. Pixels are stored row-major, three bytes per
+// pixel.
+type Frame struct {
+	W, H int
+	Pix  []uint8 // len = W*H*3, RGB interleaved
+}
+
+// NewFrame allocates a black frame.
+func NewFrame(w, h int) *Frame {
+	return &Frame{W: w, H: h, Pix: make([]uint8, w*h*3)}
+}
+
+// At returns the pixel at (x, y).
+func (f *Frame) At(x, y int) (r, g, b uint8) {
+	i := (y*f.W + x) * 3
+	return f.Pix[i], f.Pix[i+1], f.Pix[i+2]
+}
+
+// Set stores the pixel at (x, y).
+func (f *Frame) Set(x, y int, r, g, b uint8) {
+	i := (y*f.W + x) * 3
+	f.Pix[i], f.Pix[i+1], f.Pix[i+2] = r, g, b
+}
+
+// Equal reports whether two frames are identical.
+func (f *Frame) Equal(o *Frame) bool {
+	if f.W != o.W || f.H != o.H || len(f.Pix) != len(o.Pix) {
+		return false
+	}
+	for i := range f.Pix {
+		if f.Pix[i] != o.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SequenceKind names the test sequences of the case study. The paper uses
+// five real-life test sequences and one synthetic random sequence; lacking
+// the original material, the five "real-life" sequences are procedurally
+// generated with natural-image statistics (smooth gradients, moving
+// structure, texture), and the synthetic sequence is uniform random noise,
+// which maximizes entropy-decoding work.
+type SequenceKind int
+
+const (
+	// SeqSynthetic is uniform random noise: near-worst-case entropy data.
+	SeqSynthetic SequenceKind = iota
+	// SeqGradient is a slowly moving diagonal color gradient.
+	SeqGradient
+	// SeqBouncingBox is a bright box bouncing over a dark background.
+	SeqBouncingBox
+	// SeqPlasma is a smooth pseudo-plasma interference pattern.
+	SeqPlasma
+	// SeqCheckerNoise is a coarse checkerboard with mild noise.
+	SeqCheckerNoise
+	// SeqBars is moving vertical color bars.
+	SeqBars
+)
+
+var sequenceNames = map[SequenceKind]string{
+	SeqSynthetic:    "synthetic",
+	SeqGradient:     "gradient",
+	SeqBouncingBox:  "bouncing-box",
+	SeqPlasma:       "plasma",
+	SeqCheckerNoise: "checker-noise",
+	SeqBars:         "bars",
+}
+
+func (k SequenceKind) String() string {
+	if n, ok := sequenceNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("SequenceKind(%d)", int(k))
+}
+
+// TestSet returns the five real-life-like sequences of the case study.
+func TestSet() []SequenceKind {
+	return []SequenceKind{SeqGradient, SeqBouncingBox, SeqPlasma, SeqCheckerNoise, SeqBars}
+}
+
+// GenerateSequence produces frames of the given kind. Generation is
+// deterministic for a given (kind, w, h, n).
+func GenerateSequence(kind SequenceKind, w, h, n int) []*Frame {
+	rng := rand.New(rand.NewSource(int64(kind)*7919 + 1))
+	frames := make([]*Frame, n)
+	for t := 0; t < n; t++ {
+		f := NewFrame(w, h)
+		switch kind {
+		case SeqSynthetic:
+			for i := range f.Pix {
+				f.Pix[i] = uint8(rng.Intn(256))
+			}
+		case SeqGradient:
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					f.Set(x, y, uint8((x*255/w+t*8)&0xFF), uint8((y*255/h)&0xFF), uint8(((x+y)/2+t*4)&0xFF))
+				}
+			}
+		case SeqBouncingBox:
+			bx := (t * 7) % (w - w/4)
+			by := (t * 5) % (h - h/4)
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					if x >= bx && x < bx+w/4 && y >= by && y < by+h/4 {
+						f.Set(x, y, 230, 200, 40)
+					} else {
+						f.Set(x, y, 24, 28, 60)
+					}
+				}
+			}
+		case SeqPlasma:
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					v := plasma(x, y, t)
+					f.Set(x, y, v, uint8(255-int(v)), uint8((int(v)+t*3)&0xFF))
+				}
+			}
+		case SeqCheckerNoise:
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					base := uint8(40)
+					if ((x/16)+(y/16)+t)%2 == 0 {
+						base = 200
+					}
+					noise := uint8(rng.Intn(16))
+					f.Set(x, y, base+noise/2, base, base-noise/4)
+				}
+			}
+		case SeqBars:
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					bar := ((x + t*4) / (w / 8 * 1)) % 8
+					r := uint8((bar & 1) * 200)
+					g := uint8((bar & 2) / 2 * 200)
+					b := uint8((bar & 4) / 4 * 200)
+					f.Set(x, y, r+30, g+30, b+30)
+				}
+			}
+		default:
+			panic(fmt.Sprintf("mjpeg: unknown sequence kind %d", kind))
+		}
+		frames[t] = f
+	}
+	return frames
+}
+
+// plasma is a cheap integer interference pattern (no math imports needed:
+// triangle waves instead of sines).
+func plasma(x, y, t int) uint8 {
+	tri := func(v, period int) int {
+		v %= period
+		if v < 0 {
+			v += period
+		}
+		half := period / 2
+		if v < half {
+			return v * 255 / half
+		}
+		return (period - v) * 255 / half
+	}
+	v := tri(x*3+t*2, 64) + tri(y*2-t, 48) + tri(x+y+t*3, 80)
+	return uint8(v / 3)
+}

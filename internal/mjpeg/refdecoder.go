@@ -1,0 +1,59 @@
+package mjpeg
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mamps/internal/bitio"
+	"mamps/internal/dct"
+)
+
+// Decode is the monolithic reference decoder: it decodes a complete MJPG
+// stream into frames using exactly the same block-level primitives as the
+// pipelined SDF actors, so the two implementations are bit-identical by
+// construction and any divergence in the actor pipeline (rates, ordering,
+// padding, state handling) is caught by comparison.
+func Decode(stream []byte) ([]*Frame, StreamInfo, error) {
+	si, off, err := ParseHeader(stream)
+	if err != nil {
+		return nil, StreamInfo{}, err
+	}
+	qY := dct.ScaleQuant(dct.QuantLuminance, si.Quality)
+	qC := dct.ScaleQuant(dct.QuantChrominance, si.Quality)
+	qtabs := [3]*[64]int32{&qY, &qC, &qC}
+	blocks := si.Sampling.BlocksPerMCU()
+
+	frames := make([]*Frame, 0, si.Frames)
+	for fi := 0; fi < si.Frames; fi++ {
+		if off+4 > len(stream) {
+			return nil, si, fmt.Errorf("mjpeg: truncated stream at frame %d", fi)
+		}
+		plen := int(binary.BigEndian.Uint32(stream[off:]))
+		off += 4
+		if off+plen > len(stream) {
+			return nil, si, fmt.Errorf("mjpeg: frame %d payload truncated", fi)
+		}
+		r := bitio.NewReader(stream[off : off+plen])
+		off += plen
+
+		f := NewFrame(si.W, si.H)
+		var preds [3]int32
+		sampleBlocks := make([]SampleToken, blocks)
+		for mcu := 0; mcu < si.MCUsPerFrame(); mcu++ {
+			for b := 0; b < blocks; b++ {
+				comp := si.Sampling.blockComp(b)
+				zz, err := decodeBlock(r, comp, &preds[comp], nil)
+				if err != nil {
+					return nil, si, fmt.Errorf("mjpeg: frame %d MCU %d block %d: %w", fi, mcu, b, err)
+				}
+				coeffs := dequantize(&zz, qtabs[comp], nil)
+				samples := idctBlock(&coeffs, nil)
+				sampleBlocks[b] = SampleToken{Comp: uint8(comp), Index: uint8(b), Valid: true, Samples: samples}
+			}
+			pix, mw, mh := assembleMCU(sampleBlocks, si.Sampling, nil)
+			placeMCU(f, si, mcu, pix, mw, mh, nil)
+		}
+		frames = append(frames, f)
+	}
+	return frames, si, nil
+}

@@ -1,0 +1,80 @@
+package mjpeg
+
+import "mamps/internal/dct"
+
+// Token types of the MJPEG application graph. Every token knows its size
+// in bytes; the application model uses these sizes to set the channel
+// token sizes, which determine serialization and communication costs.
+
+// BlockToken is one entropy-decoded coefficient block in zig-zag order
+// (channel vld2iqzz). Invalid tokens pad an MCU up to the fixed VLD output
+// rate of MaxBlocksPerMCU.
+type BlockToken struct {
+	Comp   uint8 // 0 = Y, 1 = Cb, 2 = Cr
+	Index  uint8 // block index within the MCU
+	Valid  bool
+	Coeffs [64]int16 // quantized coefficients, zig-zag order
+}
+
+// BlockTokenBytes is the wire size of a BlockToken.
+const BlockTokenBytes = 4 + 64*2
+
+// CoeffToken is a dequantized coefficient block in row-major order
+// (channel iqzz2idct).
+type CoeffToken struct {
+	Comp  uint8
+	Index uint8
+	Valid bool
+	Block dct.Block
+}
+
+// CoeffTokenBytes is the wire size of a CoeffToken.
+const CoeffTokenBytes = 4 + 64*4
+
+// SampleToken is a spatial-domain block of level-shifted samples (channel
+// idct2cc).
+type SampleToken struct {
+	Comp    uint8
+	Index   uint8
+	Valid   bool
+	Samples [64]int16
+}
+
+// SampleTokenBytes is the wire size of a SampleToken.
+const SampleTokenBytes = 4 + 64*2
+
+// PixelToken is one MCU of reconstructed RGB pixels (channel cc2raster).
+// Its payload is at most 16×16 pixels (4:2:0); the SDF token size is the
+// worst case so buffer allocation is safe for every sampling mode.
+type PixelToken struct {
+	MCUIndex int
+	W, H     int
+	Pix      []uint8 // W*H*3 bytes, RGB
+}
+
+// PixelTokenBytes is the worst-case wire size of a PixelToken.
+const PixelTokenBytes = 8 + 16*16*3
+
+// SubHeader carries the frame information the VLD forwards to CC and
+// Raster on the subHeader1/subHeader2 channels: frame dimensions and color
+// composition parsed from the stream header.
+type SubHeader struct {
+	FrameW, FrameH uint16
+	Sampling       uint8
+	FrameIndex     uint32
+	MCUIndex       uint32
+}
+
+// SubHeaderBytes is the wire size of a SubHeader token.
+const SubHeaderBytes = 16
+
+// StateToken is the token circulating on the vldState and rasterState
+// self-channels. It carries no data: like the static variable of the
+// paper's Listing 1, the actor state itself lives in the actor and the
+// self-channel only serializes firings and models the state dependency.
+type StateToken struct{}
+
+// StateTokenBytes is the wire size of a StateToken (self-channels are
+// never mapped to the interconnect, but the size keeps memory accounting
+// honest).
+const StateTokenBytes = 4

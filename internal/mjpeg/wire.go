@@ -1,0 +1,159 @@
+package mjpeg
+
+import "fmt"
+
+// Wire format of the application's tokens: the layout in 32-bit words the
+// network-interface serialization produces and the generated C wrapper
+// code implements. The Go pipeline moves tokens by value, but the format
+// pins down the hardware/software contract: Words() of each channel in
+// app.go equals the packed size defined here, which the tests assert.
+
+// packHeader packs the common (comp, index, valid) prefix.
+func packHeader(comp, index uint8, valid bool) uint32 {
+	w := uint32(comp) | uint32(index)<<8
+	if valid {
+		w |= 1 << 16
+	}
+	return w
+}
+
+func unpackHeader(w uint32) (comp, index uint8, valid bool) {
+	return uint8(w), uint8(w >> 8), w&(1<<16) != 0
+}
+
+// Pack serializes the token into 32-bit words (two int16 coefficients per
+// word after the header).
+func (t BlockToken) Pack() []uint32 {
+	out := make([]uint32, 0, 1+32)
+	out = append(out, packHeader(t.Comp, t.Index, t.Valid))
+	for i := 0; i < 64; i += 2 {
+		out = append(out, uint32(uint16(t.Coeffs[i]))|uint32(uint16(t.Coeffs[i+1]))<<16)
+	}
+	return out
+}
+
+// UnpackBlockToken parses a packed BlockToken.
+func UnpackBlockToken(words []uint32) (BlockToken, error) {
+	var t BlockToken
+	if len(words) != 33 {
+		return t, fmt.Errorf("mjpeg: BlockToken needs 33 words, got %d", len(words))
+	}
+	t.Comp, t.Index, t.Valid = unpackHeader(words[0])
+	for i := 0; i < 64; i += 2 {
+		w := words[1+i/2]
+		t.Coeffs[i] = int16(uint16(w))
+		t.Coeffs[i+1] = int16(uint16(w >> 16))
+	}
+	return t, nil
+}
+
+// Pack serializes a CoeffToken (one int32 coefficient per word).
+func (t CoeffToken) Pack() []uint32 {
+	out := make([]uint32, 0, 1+64)
+	out = append(out, packHeader(t.Comp, t.Index, t.Valid))
+	for _, c := range t.Block {
+		out = append(out, uint32(c))
+	}
+	return out
+}
+
+// UnpackCoeffToken parses a packed CoeffToken.
+func UnpackCoeffToken(words []uint32) (CoeffToken, error) {
+	var t CoeffToken
+	if len(words) != 65 {
+		return t, fmt.Errorf("mjpeg: CoeffToken needs 65 words, got %d", len(words))
+	}
+	t.Comp, t.Index, t.Valid = unpackHeader(words[0])
+	for i := range t.Block {
+		t.Block[i] = int32(words[1+i])
+	}
+	return t, nil
+}
+
+// Pack serializes a SampleToken (two int16 samples per word).
+func (t SampleToken) Pack() []uint32 {
+	out := make([]uint32, 0, 1+32)
+	out = append(out, packHeader(t.Comp, t.Index, t.Valid))
+	for i := 0; i < 64; i += 2 {
+		out = append(out, uint32(uint16(t.Samples[i]))|uint32(uint16(t.Samples[i+1]))<<16)
+	}
+	return out
+}
+
+// UnpackSampleToken parses a packed SampleToken.
+func UnpackSampleToken(words []uint32) (SampleToken, error) {
+	var t SampleToken
+	if len(words) != 33 {
+		return t, fmt.Errorf("mjpeg: SampleToken needs 33 words, got %d", len(words))
+	}
+	t.Comp, t.Index, t.Valid = unpackHeader(words[0])
+	for i := 0; i < 64; i += 2 {
+		w := words[1+i/2]
+		t.Samples[i] = int16(uint16(w))
+		t.Samples[i+1] = int16(uint16(w >> 16))
+	}
+	return t, nil
+}
+
+// Pack serializes a SubHeader.
+func (t SubHeader) Pack() []uint32 {
+	return []uint32{
+		uint32(t.FrameW) | uint32(t.FrameH)<<16,
+		uint32(t.Sampling),
+		t.FrameIndex,
+		t.MCUIndex,
+	}
+}
+
+// UnpackSubHeader parses a packed SubHeader.
+func UnpackSubHeader(words []uint32) (SubHeader, error) {
+	var t SubHeader
+	if len(words) != 4 {
+		return t, fmt.Errorf("mjpeg: SubHeader needs 4 words, got %d", len(words))
+	}
+	t.FrameW = uint16(words[0])
+	t.FrameH = uint16(words[0] >> 16)
+	t.Sampling = uint8(words[1])
+	t.FrameIndex = words[2]
+	t.MCUIndex = words[3]
+	return t, nil
+}
+
+// Pack serializes a PixelToken (fixed worst-case payload: the 4:2:0 MCU
+// geometry; smaller MCUs pad, so the SDF token size stays constant as the
+// model requires).
+func (t PixelToken) Pack() []uint32 {
+	const maxPix = 16 * 16 * 3
+	out := make([]uint32, 0, 2+(maxPix+3)/4)
+	out = append(out, uint32(t.MCUIndex))
+	out = append(out, uint32(t.W)|uint32(t.H)<<16)
+	var buf [maxPix]uint8
+	copy(buf[:], t.Pix)
+	for i := 0; i < maxPix; i += 4 {
+		out = append(out, uint32(buf[i])|uint32(buf[i+1])<<8|uint32(buf[i+2])<<16|uint32(buf[i+3])<<24)
+	}
+	return out
+}
+
+// UnpackPixelToken parses a packed PixelToken.
+func UnpackPixelToken(words []uint32) (PixelToken, error) {
+	const maxPix = 16 * 16 * 3
+	want := 2 + maxPix/4
+	var t PixelToken
+	if len(words) != want {
+		return t, fmt.Errorf("mjpeg: PixelToken needs %d words, got %d", want, len(words))
+	}
+	t.MCUIndex = int(words[0])
+	t.W = int(words[1] & 0xFFFF)
+	t.H = int(words[1] >> 16)
+	n := t.W * t.H * 3
+	if n < 0 || n > maxPix {
+		return t, fmt.Errorf("mjpeg: PixelToken geometry %dx%d out of range", t.W, t.H)
+	}
+	t.Pix = make([]uint8, n)
+	for i := 0; i < n; i++ {
+		w := words[2+i/4]
+		t.Pix[i] = uint8(w >> (8 * (i % 4)))
+	}
+	return t, nil
+}

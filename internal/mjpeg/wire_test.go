@@ -1,0 +1,135 @@
+package mjpeg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestWireSizesMatchChannelTokenSizes pins the hardware/software contract:
+// the packed word count of every token type equals the Words() the
+// application graph's channels declare.
+func TestWireSizesMatchChannelTokenSizes(t *testing.T) {
+	g := BuildGraph(Sampling420)
+	byName := map[string]int{}
+	for _, c := range g.Channels() {
+		byName[c.Name] = c.Words()
+	}
+	if got := len(BlockToken{}.Pack()); got != byName[ChanVLD2IQZZ] {
+		t.Errorf("BlockToken packs to %d words, channel says %d", got, byName[ChanVLD2IQZZ])
+	}
+	if got := len(CoeffToken{}.Pack()); got != byName[ChanIQZZ2IDCT] {
+		t.Errorf("CoeffToken packs to %d words, channel says %d", got, byName[ChanIQZZ2IDCT])
+	}
+	if got := len(SampleToken{}.Pack()); got != byName[ChanIDCT2CC] {
+		t.Errorf("SampleToken packs to %d words, channel says %d", got, byName[ChanIDCT2CC])
+	}
+	if got := len(SubHeader{}.Pack()); got != byName[ChanSubHeader1] {
+		t.Errorf("SubHeader packs to %d words, channel says %d", got, byName[ChanSubHeader1])
+	}
+	if got := len(PixelToken{W: 16, H: 16}.Pack()); got != byName[ChanCC2Raster] {
+		t.Errorf("PixelToken packs to %d words, channel says %d", got, byName[ChanCC2Raster])
+	}
+}
+
+func TestBlockTokenRoundTripProperty(t *testing.T) {
+	f := func(comp, index uint8, valid bool, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tok := BlockToken{Comp: comp, Index: index, Valid: valid}
+		for i := range tok.Coeffs {
+			tok.Coeffs[i] = int16(r.Intn(1 << 16))
+		}
+		back, err := UnpackBlockToken(tok.Pack())
+		return err == nil && back == tok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoeffTokenRoundTripProperty(t *testing.T) {
+	f := func(comp, index uint8, valid bool, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tok := CoeffToken{Comp: comp, Index: index, Valid: valid}
+		for i := range tok.Block {
+			tok.Block[i] = int32(r.Uint32())
+		}
+		back, err := UnpackCoeffToken(tok.Pack())
+		return err == nil && back == tok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleTokenRoundTripProperty(t *testing.T) {
+	f := func(comp, index uint8, valid bool, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tok := SampleToken{Comp: comp, Index: index, Valid: valid}
+		for i := range tok.Samples {
+			tok.Samples[i] = int16(r.Intn(1 << 16))
+		}
+		back, err := UnpackSampleToken(tok.Pack())
+		return err == nil && back == tok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubHeaderRoundTripProperty(t *testing.T) {
+	f := func(w, h uint16, sampling uint8, fi, mi uint32) bool {
+		tok := SubHeader{FrameW: w, FrameH: h, Sampling: sampling, FrameIndex: fi, MCUIndex: mi}
+		back, err := UnpackSubHeader(tok.Pack())
+		return err == nil && back == tok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPixelTokenRoundTrip(t *testing.T) {
+	for _, geom := range [][2]int{{8, 8}, {16, 16}} {
+		tok := PixelToken{MCUIndex: 7, W: geom[0], H: geom[1], Pix: make([]uint8, geom[0]*geom[1]*3)}
+		r := rand.New(rand.NewSource(5))
+		for i := range tok.Pix {
+			tok.Pix[i] = uint8(r.Intn(256))
+		}
+		back, err := UnpackPixelToken(tok.Pack())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.MCUIndex != tok.MCUIndex || back.W != tok.W || back.H != tok.H {
+			t.Fatalf("geometry lost: %+v", back)
+		}
+		for i := range tok.Pix {
+			if back.Pix[i] != tok.Pix[i] {
+				t.Fatalf("pixel %d differs", i)
+			}
+		}
+	}
+}
+
+func TestUnpackErrors(t *testing.T) {
+	if _, err := UnpackBlockToken(make([]uint32, 5)); err == nil {
+		t.Error("short BlockToken should fail")
+	}
+	if _, err := UnpackCoeffToken(nil); err == nil {
+		t.Error("empty CoeffToken should fail")
+	}
+	if _, err := UnpackSampleToken(make([]uint32, 40)); err == nil {
+		t.Error("wrong-size SampleToken should fail")
+	}
+	if _, err := UnpackSubHeader(make([]uint32, 3)); err == nil {
+		t.Error("short SubHeader should fail")
+	}
+	if _, err := UnpackPixelToken(make([]uint32, 3)); err == nil {
+		t.Error("short PixelToken should fail")
+	}
+	// Geometry out of range.
+	bad := PixelToken{W: 16, H: 16, Pix: make([]uint8, 768)}.Pack()
+	bad[1] = 1000 | 1000<<16
+	if _, err := UnpackPixelToken(bad); err == nil {
+		t.Error("oversize geometry should fail")
+	}
+}

@@ -1,0 +1,196 @@
+// Package noc implements the spatial-division-multiplexing (SDM) mesh
+// network-on-chip of Yang et al. [17] as integrated into the MAMPS
+// platform: one router per tile arranged in a near-square 2-D mesh,
+// XY routing, and per-connection wire allocation. Wires of a link bundle
+// are assigned exclusively to one connection at a time (SDM), giving every
+// connection a static bandwidth and latency — the property that makes the
+// platform predictable.
+//
+// The MAMPS integration added credit-based flow control to the original
+// NoC (Section 5.3.1 of the paper), at the cost of roughly 12% more
+// router area (see package area).
+package noc
+
+import (
+	"fmt"
+)
+
+// Coord is a router position in the mesh.
+type Coord struct{ X, Y int }
+
+// Dimension returns the near-square mesh dimensions for n tiles: width
+// ⌈√n⌉ and the matching height, keeping the network as close to square as
+// possible to minimize the maximum distance between tiles.
+func Dimension(n int) (w, h int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	w = 1
+	for w*w < n {
+		w++
+	}
+	h = (n + w - 1) / w
+	return w, h
+}
+
+// Mesh is an instantiated SDM NoC.
+type Mesh struct {
+	W, H         int
+	WiresPerLink int
+	HopLatency   int // cycles per router traversal
+	FlowControl  bool
+
+	// linkUsed tracks allocated wires per directed link, keyed by the
+	// (from, to) router pair.
+	linkUsed map[[2]Coord]int
+
+	conns []*Connection
+}
+
+// Connection is a programmed point-to-point connection through the mesh.
+type Connection struct {
+	Name     string
+	From, To Coord
+	Wires    int     // wires assigned on every link of the path
+	Path     []Coord // routers traversed, inclusive of endpoints
+}
+
+// Hops returns the number of link traversals of the connection.
+func (c *Connection) Hops() int { return len(c.Path) - 1 }
+
+// New creates a mesh for n tiles with the given SDM bundle width and hop
+// latency.
+func New(n, wiresPerLink, hopLatency int, flowControl bool) (*Mesh, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("noc: need at least one tile")
+	}
+	if wiresPerLink <= 0 || wiresPerLink > 32 {
+		return nil, fmt.Errorf("noc: wires per link must be in 1..32 (got %d)", wiresPerLink)
+	}
+	if hopLatency <= 0 {
+		return nil, fmt.Errorf("noc: hop latency must be positive")
+	}
+	w, h := Dimension(n)
+	return &Mesh{
+		W: w, H: h,
+		WiresPerLink: wiresPerLink,
+		HopLatency:   hopLatency,
+		FlowControl:  flowControl,
+		linkUsed:     make(map[[2]Coord]int),
+	}, nil
+}
+
+// TileCoord returns the router position of tile index i (row-major
+// placement).
+func (m *Mesh) TileCoord(i int) Coord {
+	return Coord{X: i % m.W, Y: i / m.W}
+}
+
+// NumRouters returns the number of routers in the mesh.
+func (m *Mesh) NumRouters() int { return m.W * m.H }
+
+// Route returns the XY route from a to b: first along X, then along Y.
+func (m *Mesh) Route(a, b Coord) []Coord {
+	path := []Coord{a}
+	cur := a
+	for cur.X != b.X {
+		if b.X > cur.X {
+			cur.X++
+		} else {
+			cur.X--
+		}
+		path = append(path, cur)
+	}
+	for cur.Y != b.Y {
+		if b.Y > cur.Y {
+			cur.Y++
+		} else {
+			cur.Y--
+		}
+		path = append(path, cur)
+	}
+	return path
+}
+
+// Connect programs a connection from tile srcTile to tile dstTile with the
+// requested number of wires on every link of its XY path. It fails if any
+// link on the path does not have enough free wires; SDM wires are dedicated,
+// not shared.
+func (m *Mesh) Connect(name string, srcTile, dstTile, wires int) (*Connection, error) {
+	if wires <= 0 || wires > m.WiresPerLink {
+		return nil, fmt.Errorf("noc: connection %q requests %d wires, bundle has %d", name, wires, m.WiresPerLink)
+	}
+	a := m.TileCoord(srcTile)
+	b := m.TileCoord(dstTile)
+	if a == b {
+		return nil, fmt.Errorf("noc: connection %q connects tile %d to itself", name, srcTile)
+	}
+	path := m.Route(a, b)
+	// Check capacity on every link first.
+	for i := 0; i+1 < len(path); i++ {
+		key := [2]Coord{path[i], path[i+1]}
+		if m.linkUsed[key]+wires > m.WiresPerLink {
+			return nil, fmt.Errorf("noc: connection %q: link (%d,%d)->(%d,%d) has %d free wires, need %d",
+				name, path[i].X, path[i].Y, path[i+1].X, path[i+1].Y,
+				m.WiresPerLink-m.linkUsed[key], wires)
+		}
+	}
+	for i := 0; i+1 < len(path); i++ {
+		key := [2]Coord{path[i], path[i+1]}
+		m.linkUsed[key] += wires
+	}
+	c := &Connection{Name: name, From: a, To: b, Wires: wires, Path: path}
+	m.conns = append(m.conns, c)
+	return c, nil
+}
+
+// Connections returns the programmed connections.
+func (m *Mesh) Connections() []*Connection { return m.conns }
+
+// LinkUtilization returns the fraction of allocated wires over all used
+// links (0 if no connection is programmed).
+func (m *Mesh) LinkUtilization() float64 {
+	if len(m.linkUsed) == 0 {
+		return 0
+	}
+	total := 0
+	for _, u := range m.linkUsed {
+		total += u
+	}
+	return float64(total) / float64(len(m.linkUsed)*m.WiresPerLink)
+}
+
+// Timing is the latency-rate characterization of a connection, in the form
+// the communication model of Figure 4 consumes.
+type Timing struct {
+	// LatencyCycles is the head latency of one word through the path.
+	LatencyCycles int64
+	// CyclesPerWord is the per-word occupation of the connection: with n
+	// of 32 wires assigned, a 32-bit word needs 32/n cycles.
+	CyclesPerWord int64
+	// InFlightWords is the number of words that can be in simultaneous
+	// transmission (w in Figure 4).
+	InFlightWords int
+	// BufferWords is the buffering inside the network (αn in Figure 4):
+	// one word per traversed router.
+	BufferWords int
+}
+
+// ConnectionTiming derives the latency-rate parameters of a programmed
+// connection.
+func (m *Mesh) ConnectionTiming(c *Connection) Timing {
+	hops := int64(c.Hops())
+	lat := hops * int64(m.HopLatency)
+	if m.FlowControl {
+		// Credit-based flow control adds one cycle per hop for the
+		// credit return path.
+		lat += hops
+	}
+	cpw := int64((32 + c.Wires - 1) / c.Wires)
+	return Timing{
+		LatencyCycles: lat,
+		CyclesPerWord: cpw,
+		InFlightWords: int(hops) + 1,
+		BufferWords:   int(hops),
+	}
+}

@@ -1,0 +1,214 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDimensionNearSquare(t *testing.T) {
+	cases := []struct{ n, w, h int }{
+		{1, 1, 1}, {2, 2, 1}, {3, 2, 2}, {4, 2, 2},
+		{5, 3, 2}, {6, 3, 2}, {7, 3, 3}, {9, 3, 3}, {10, 4, 3},
+	}
+	for _, c := range cases {
+		w, h := Dimension(c.n)
+		if w != c.w || h != c.h {
+			t.Errorf("Dimension(%d) = %dx%d, want %dx%d", c.n, w, h, c.w, c.h)
+		}
+	}
+	if w, h := Dimension(0); w != 0 || h != 0 {
+		t.Error("Dimension(0) should be 0x0")
+	}
+}
+
+// Property: the mesh always has room for all n tiles and is near-square
+// (|w-h| <= 1 is not guaranteed for all n, but w >= h and (w-1)*h < n).
+func TestDimensionProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := 1 + int(raw%64)
+		w, h := Dimension(n)
+		if w*h < n {
+			return false // must fit all tiles
+		}
+		if w < h {
+			return false // width-major convention
+		}
+		// Minimality: one fewer column would not fit.
+		return (w-1)*h < n || w == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteXY(t *testing.T) {
+	m, err := New(9, 32, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := m.Route(Coord{0, 0}, Coord{2, 2})
+	want := []Coord{{0, 0}, {1, 0}, {2, 0}, {2, 1}, {2, 2}}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+// Property: XY route length equals Manhattan distance, the route is
+// simple (no repeated router) and endpoints match.
+func TestRouteProperty(t *testing.T) {
+	m, _ := New(16, 32, 3, true)
+	f := func(a0, a1, b0, b1 uint8) bool {
+		a := Coord{int(a0 % 4), int(a1 % 4)}
+		b := Coord{int(b0 % 4), int(b1 % 4)}
+		p := m.Route(a, b)
+		manhattan := abs(a.X-b.X) + abs(a.Y-b.Y)
+		if len(p)-1 != manhattan {
+			return false
+		}
+		if p[0] != a || p[len(p)-1] != b {
+			return false
+		}
+		seen := map[Coord]bool{}
+		for _, c := range p {
+			if seen[c] {
+				return false
+			}
+			seen[c] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectAllocatesWires(t *testing.T) {
+	m, _ := New(4, 32, 3, true)
+	c, err := m.Connect("c0", 0, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hops() != 2 {
+		t.Fatalf("hops = %d, want 2", c.Hops())
+	}
+	// Second connection on the same path fits exactly.
+	if _, err := m.Connect("c1", 0, 3, 16); err != nil {
+		t.Fatalf("second 16-wire connection should fit: %v", err)
+	}
+	// Third does not.
+	if _, err := m.Connect("c2", 0, 3, 1); err == nil {
+		t.Fatal("expected exhausted link error")
+	}
+	if len(m.Connections()) != 2 {
+		t.Fatalf("connections = %d", len(m.Connections()))
+	}
+	if u := m.LinkUtilization(); u != 1.0 {
+		t.Fatalf("utilization = %v, want 1.0", u)
+	}
+}
+
+func TestConnectRejectsSelf(t *testing.T) {
+	m, _ := New(4, 32, 3, true)
+	if _, err := m.Connect("self", 1, 1, 8); err == nil {
+		t.Fatal("expected self-connection error")
+	}
+}
+
+func TestConnectRejectsBadWires(t *testing.T) {
+	m, _ := New(4, 32, 3, true)
+	if _, err := m.Connect("w0", 0, 1, 0); err == nil {
+		t.Fatal("expected error for zero wires")
+	}
+	if _, err := m.Connect("w33", 0, 1, 33); err == nil {
+		t.Fatal("expected error for oversize request")
+	}
+}
+
+func TestConnectFailureLeavesNoAllocation(t *testing.T) {
+	m, _ := New(4, 32, 3, true)
+	// Fill link (0,0)->(1,0).
+	if _, err := m.Connect("fill", 0, 1, 32); err != nil {
+		t.Fatal(err)
+	}
+	// This route needs the full (0,0)->(1,0) link and must fail...
+	if _, err := m.Connect("blocked", 0, 3, 1); err == nil {
+		t.Fatal("expected failure")
+	}
+	// ...without leaking allocation on later links of its path:
+	// (1,0)->(1,1) must still be fully free.
+	if _, err := m.Connect("free", 1, 3, 32); err != nil {
+		t.Fatalf("failed Connect leaked wire allocation: %v", err)
+	}
+}
+
+func TestConnectionTiming(t *testing.T) {
+	m, _ := New(4, 32, 3, true)
+	c, err := m.Connect("c", 0, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := m.ConnectionTiming(c)
+	// 2 hops, hop latency 3, +1/hop for flow control credits: 8 cycles.
+	if tm.LatencyCycles != 8 {
+		t.Errorf("latency = %d, want 8", tm.LatencyCycles)
+	}
+	// 8 of 32 wires: 4 cycles per word.
+	if tm.CyclesPerWord != 4 {
+		t.Errorf("cycles/word = %d, want 4", tm.CyclesPerWord)
+	}
+	if tm.InFlightWords != 3 || tm.BufferWords != 2 {
+		t.Errorf("timing = %+v", tm)
+	}
+}
+
+func TestConnectionTimingNoFlowControl(t *testing.T) {
+	m, _ := New(4, 32, 3, false)
+	c, _ := m.Connect("c", 0, 3, 32)
+	tm := m.ConnectionTiming(c)
+	if tm.LatencyCycles != 6 {
+		t.Errorf("latency = %d, want 6 (no credit cycles)", tm.LatencyCycles)
+	}
+	if tm.CyclesPerWord != 1 {
+		t.Errorf("cycles/word = %d, want 1 for full bundle", tm.CyclesPerWord)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 32, 3, true); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := New(4, 0, 3, true); err == nil {
+		t.Error("wires=0 should fail")
+	}
+	if _, err := New(4, 33, 3, true); err == nil {
+		t.Error("wires=33 should fail")
+	}
+	if _, err := New(4, 32, 0, true); err == nil {
+		t.Error("hop latency 0 should fail")
+	}
+}
+
+func TestTileCoordRowMajor(t *testing.T) {
+	m, _ := New(6, 32, 3, true) // 3x2
+	if m.W != 3 || m.H != 2 {
+		t.Fatalf("mesh = %dx%d", m.W, m.H)
+	}
+	if c := m.TileCoord(4); c != (Coord{1, 1}) {
+		t.Errorf("TileCoord(4) = %v, want {1,1}", c)
+	}
+	if m.NumRouters() != 6 {
+		t.Errorf("NumRouters = %d", m.NumRouters())
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,244 @@
+package platgen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mamps/internal/appmodel"
+	"mamps/internal/arch"
+	"mamps/internal/mapping"
+	"mamps/internal/mjpeg"
+	"mamps/internal/sdf"
+)
+
+func testMapping(t *testing.T, kind arch.InterconnectKind, tiles int) *mapping.Mapping {
+	t.Helper()
+	g := sdf.NewGraph("pipe")
+	a := g.AddActor("a", 100)
+	b := g.AddActor("b", 100)
+	c := g.AddActor("c", 100)
+	c1 := g.Connect(a, b, 1, 1, 0)
+	c1.Name, c1.TokenSize = "a2b", 32
+	c2 := g.Connect(b, c, 1, 1, 1)
+	c2.Name, c2.TokenSize = "b2c", 32
+	app := appmodel.New("pipe", g)
+	for _, actor := range g.Actors() {
+		app.AddImpl(actor, appmodel.Impl{PE: arch.MicroBlaze, WCET: 100, InstrMem: 2048, DataMem: 1024})
+	}
+	p, err := arch.DefaultTemplate().Generate("plat", tiles, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapping.Map(app, p, mapping.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGenerateFSLProject(t *testing.T) {
+	m := testMapping(t, arch.FSL, 3)
+	p, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Files["system.mhs"]; !ok {
+		t.Fatal("missing system.mhs")
+	}
+	if _, ok := p.Files["system.tcl"]; !ok {
+		t.Fatal("missing system.tcl")
+	}
+	mhs := p.Files["system.mhs"]
+	for _, want := range []string{"microblaze", "lmb_bram_if_cntlr", "tile0_mb"} {
+		if !strings.Contains(mhs, want) {
+			t.Errorf("MHS missing %q", want)
+		}
+	}
+	// FSL platform must instantiate FSL links for inter-tile channels,
+	// and no NoC.
+	if p.Summary.Connections > 0 && !strings.Contains(mhs, "fsl_v20") {
+		t.Error("MHS missing FSL instances")
+	}
+	if strings.Contains(mhs, "mamps_noc") {
+		t.Error("FSL platform must not instantiate a NoC")
+	}
+	if _, ok := p.Files["noc/router.vhd"]; ok {
+		t.Error("FSL project must not emit NoC VHDL")
+	}
+	if p.Summary.Tiles != 3 {
+		t.Errorf("summary tiles = %d", p.Summary.Tiles)
+	}
+	if p.Summary.Area.Slices <= 0 {
+		t.Error("area estimate missing")
+	}
+}
+
+func TestGenerateNoCProject(t *testing.T) {
+	m := testMapping(t, arch.NoC, 3)
+	p, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"noc/router.vhd", "noc/noc_top.vhd", "noc/connections.c"} {
+		if _, ok := p.Files[f]; !ok {
+			t.Fatalf("missing %s", f)
+		}
+	}
+	if !strings.Contains(p.Files["system.mhs"], "mamps_noc") {
+		t.Error("MHS missing NoC instance")
+	}
+	if !strings.Contains(p.Files["noc/router.vhd"], "FLOW_CONTROL") {
+		t.Error("router VHDL missing flow control generic")
+	}
+	if !strings.Contains(p.Files["noc/connections.c"], "noc_program_connection") {
+		t.Error("connection programming missing")
+	}
+}
+
+func TestGeneratedSoftwareStructure(t *testing.T) {
+	m := testMapping(t, arch.FSL, 2)
+	p, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mains, scheds int
+	for path, content := range p.Files {
+		if strings.HasSuffix(path, "main.c") {
+			mains++
+			for _, want := range []string{"mamps_comm_init", "SCHEDULE_LENGTH", "for (;;)"} {
+				if !strings.Contains(content, want) {
+					t.Errorf("%s missing %q", path, want)
+				}
+			}
+		}
+		if strings.HasSuffix(path, "schedule.h") {
+			scheds++
+			if !strings.Contains(content, "static const int schedule[") {
+				t.Errorf("%s missing lookup table", path)
+			}
+		}
+	}
+	if mains == 0 || scheds == 0 {
+		t.Fatalf("generated %d mains, %d schedules", mains, scheds)
+	}
+	// Initial tokens must be prefilled on the consuming tile.
+	found := false
+	for path, content := range p.Files {
+		if strings.HasSuffix(path, "main.c") && strings.Contains(content, "mamps_buffer_prefill(buf_b2c, 1,") {
+			found = true
+			_ = path
+		}
+	}
+	if !found {
+		t.Error("initial token prefill for b2c missing")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m := testMapping(t, arch.NoC, 3)
+	p1, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Files) != len(p2.Files) {
+		t.Fatal("file sets differ")
+	}
+	for path, c1 := range p1.Files {
+		if p2.Files[path] != c1 {
+			t.Fatalf("file %s not deterministic", path)
+		}
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	m := testMapping(t, arch.FSL, 2)
+	p, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := p.WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "system.mhs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != p.Files["system.mhs"] {
+		t.Error("written file differs")
+	}
+}
+
+func TestGenerateMJPEGProject(t *testing.T) {
+	stream, _, err := mjpeg.EncodeSequence(mjpeg.SeqGradient, 32, 32, 1, 80, mjpeg.Sampling420)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _, err := mjpeg.BuildApp(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := arch.DefaultTemplate().Generate("mjpeg5", 5, arch.FSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapping.Map(app, plat, mapping.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every actor appears in some tile's generated code.
+	all := strings.Builder{}
+	for path, content := range p.Files {
+		if strings.HasSuffix(path, "main.c") {
+			all.WriteString(content)
+		}
+	}
+	for _, name := range []string{"VLD", "IQZZ", "IDCT", "CC", "Raster"} {
+		if !strings.Contains(all.String(), "actor_"+name+"(") {
+			t.Errorf("actor %s missing from generated software", name)
+		}
+	}
+	// Memory sizes are BRAM-granular and positive.
+	for tile, sz := range p.Summary.TileInstr {
+		if sz <= 0 || sz%4608 != 0 {
+			t.Errorf("tile %s instr mem %d not BRAM-granular", tile, sz)
+		}
+	}
+}
+
+func TestRoundBRAM(t *testing.T) {
+	if roundBRAM(0) != 4608 || roundBRAM(1) != 4608 || roundBRAM(4608) != 4608 || roundBRAM(4609) != 9216 {
+		t.Error("roundBRAM wrong")
+	}
+}
+
+func TestRuntimeHeaderGenerated(t *testing.T) {
+	m := testMapping(t, arch.FSL, 2)
+	p, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, ok := p.Files["pe/mamps_rt.h"]
+	if !ok {
+		t.Fatal("pe/mamps_rt.h missing")
+	}
+	for _, want := range []string{
+		"mamps_comm_init", "mamps_buffer_prefill",
+		"mamps_read_tokens", "mamps_write_tokens",
+		"MAMPS_CLOCK_MHZ 100", "MAMPS_TILES 2",
+	} {
+		if !strings.Contains(rt, want) {
+			t.Errorf("runtime header missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package sdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax, annotating channels with
+// rates and initial token counts in the style of the paper's figures.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	for _, a := range g.actors {
+		fmt.Fprintf(&b, "  a%d [label=%q];\n", a.ID, fmt.Sprintf("%s\n%d", a.Name, a.ExecTime))
+	}
+	for _, c := range g.channels {
+		label := fmt.Sprintf("%d..%d", c.SrcRate, c.DstRate)
+		if c.InitialTokens > 0 {
+			label = fmt.Sprintf("%s (%d)", label, c.InitialTokens)
+		}
+		fmt.Fprintf(&b, "  a%d -> a%d [label=%q, taillabel=\"%d\", headlabel=\"%d\"];\n",
+			c.Src, c.Dst, label, c.SrcRate, c.DstRate)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

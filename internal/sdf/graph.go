@@ -1,0 +1,220 @@
+// Package sdf implements synchronous dataflow (SDF) graphs in the style of
+// the SDF3 tool set: actors with constant port rates, channels carrying
+// typed tokens, initial tokens, and the structural analyses (repetition
+// vector, consistency, strong connectivity) that the mapping flow builds on.
+//
+// An SDF graph is a directed multigraph. Actors consume a constant number of
+// tokens from every input channel and produce a constant number on every
+// output channel per firing. Channels may carry initial tokens. Execution
+// times are expressed in platform clock cycles, the base time unit of the
+// design flow.
+package sdf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ActorID identifies an actor within one Graph. IDs are dense indices
+// assigned in insertion order, usable as slice indices.
+type ActorID int
+
+// ChannelID identifies a channel within one Graph, dense like ActorID.
+type ChannelID int
+
+// Actor is a node of an SDF graph. Actors are stateless between firings;
+// persistent actor state must be modelled explicitly with a self-channel
+// carrying one initial token (see the paper's Figure 2).
+type Actor struct {
+	ID   ActorID
+	Name string
+
+	// ExecTime is the execution time of one firing in clock cycles. For
+	// worst-case analysis this is the WCET of the bound implementation;
+	// for expected-case analysis it is the largest measured execution time.
+	ExecTime int64
+
+	// MaxConcurrent bounds auto-concurrency: the number of firings of this
+	// actor that may overlap in time during self-timed execution.
+	// Zero means unbounded. An actor bound to a processing element always
+	// has MaxConcurrent == 1 (a PE runs one firing at a time); a
+	// self-channel with one initial token expresses the same constraint
+	// structurally.
+	MaxConcurrent int
+
+	in  []ChannelID
+	out []ChannelID
+}
+
+// In returns the IDs of the actor's input channels in insertion order.
+func (a *Actor) In() []ChannelID { return a.in }
+
+// Out returns the IDs of the actor's output channels in insertion order.
+func (a *Actor) Out() []ChannelID { return a.out }
+
+// Channel is a directed edge of an SDF graph: an unbounded FIFO queue of
+// tokens from Src to Dst. A bounded buffer is modelled by a reverse channel
+// carrying "space" tokens (see package buffer).
+type Channel struct {
+	ID   ChannelID
+	Name string
+
+	Src     ActorID // producing actor
+	SrcRate int     // tokens produced per firing of Src
+	Dst     ActorID // consuming actor
+	DstRate int     // tokens consumed per firing of Dst
+
+	// InitialTokens is the number of tokens present before execution
+	// starts. The actor initialization functions of the implementation
+	// produce these values at platform start-up.
+	InitialTokens int
+
+	// TokenSize is the size of one token in bytes. It determines the
+	// number of 32-bit words the network interface must transfer per
+	// token when the channel is mapped to the interconnect.
+	TokenSize int
+}
+
+// Words returns the number of 32-bit words needed to carry one token of
+// this channel over the network interface (N in the paper's Figure 4).
+// A channel with an unspecified token size occupies a single word.
+func (c *Channel) Words() int {
+	if c.TokenSize <= 0 {
+		return 1
+	}
+	return (c.TokenSize + 3) / 4
+}
+
+// IsSelfLoop reports whether the channel connects an actor to itself.
+func (c *Channel) IsSelfLoop() bool { return c.Src == c.Dst }
+
+// Graph is a synchronous dataflow graph.
+type Graph struct {
+	Name     string
+	actors   []*Actor
+	channels []*Channel
+	byName   map[string]ActorID
+}
+
+// NewGraph returns an empty graph with the given name.
+func NewGraph(name string) *Graph {
+	return &Graph{Name: name, byName: make(map[string]ActorID)}
+}
+
+// AddActor appends a new actor with the given name and worst-case execution
+// time in cycles. Names must be unique within the graph; AddActor panics on
+// a duplicate name, which is a programming error in model construction.
+func (g *Graph) AddActor(name string, execTime int64) *Actor {
+	if _, dup := g.byName[name]; dup {
+		panic(fmt.Sprintf("sdf: duplicate actor name %q in graph %q", name, g.Name))
+	}
+	if execTime < 0 {
+		panic(fmt.Sprintf("sdf: negative execution time for actor %q", name))
+	}
+	a := &Actor{ID: ActorID(len(g.actors)), Name: name, ExecTime: execTime}
+	g.actors = append(g.actors, a)
+	g.byName[name] = a.ID
+	return a
+}
+
+// Connect adds a channel from src to dst with the given port rates and
+// initial token count. Rates must be positive. The channel name is derived
+// from the endpoint names and may be overridden afterwards.
+func (g *Graph) Connect(src, dst *Actor, srcRate, dstRate, initialTokens int) *Channel {
+	if srcRate <= 0 || dstRate <= 0 {
+		panic(fmt.Sprintf("sdf: non-positive rate on channel %s->%s", src.Name, dst.Name))
+	}
+	if initialTokens < 0 {
+		panic(fmt.Sprintf("sdf: negative initial tokens on channel %s->%s", src.Name, dst.Name))
+	}
+	c := &Channel{
+		ID:            ChannelID(len(g.channels)),
+		Name:          fmt.Sprintf("%s_%s_%d", src.Name, dst.Name, len(g.channels)),
+		Src:           src.ID,
+		SrcRate:       srcRate,
+		Dst:           dst.ID,
+		DstRate:       dstRate,
+		InitialTokens: initialTokens,
+		TokenSize:     4,
+	}
+	g.channels = append(g.channels, c)
+	src.out = append(src.out, c.ID)
+	dst.in = append(dst.in, c.ID)
+	return c
+}
+
+// AddStateChannel adds the conventional state-modelling self-channel: one
+// token produced and consumed per firing, one initial token. It serializes
+// the firings of the actor and preserves its state between them.
+func (g *Graph) AddStateChannel(a *Actor) *Channel {
+	c := g.Connect(a, a, 1, 1, 1)
+	c.Name = a.Name + "State"
+	return c
+}
+
+// NumActors returns the number of actors in the graph.
+func (g *Graph) NumActors() int { return len(g.actors) }
+
+// NumChannels returns the number of channels in the graph.
+func (g *Graph) NumChannels() int { return len(g.channels) }
+
+// Actor returns the actor with the given ID.
+func (g *Graph) Actor(id ActorID) *Actor { return g.actors[id] }
+
+// Channel returns the channel with the given ID.
+func (g *Graph) Channel(id ChannelID) *Channel { return g.channels[id] }
+
+// ActorByName returns the actor with the given name, or nil if absent.
+func (g *Graph) ActorByName(name string) *Actor {
+	id, ok := g.byName[name]
+	if !ok {
+		return nil
+	}
+	return g.actors[id]
+}
+
+// Actors returns the actors in ID order. The slice is shared; callers must
+// not modify it.
+func (g *Graph) Actors() []*Actor { return g.actors }
+
+// Channels returns the channels in ID order. The slice is shared; callers
+// must not modify it.
+func (g *Graph) Channels() []*Channel { return g.channels }
+
+// Clone returns a deep copy of the graph. Actor and channel IDs are
+// preserved, so analyses done on the clone map directly back to the
+// original.
+func (g *Graph) Clone() *Graph {
+	ng := NewGraph(g.Name)
+	ng.actors = make([]*Actor, len(g.actors))
+	for i, a := range g.actors {
+		na := *a
+		na.in = append([]ChannelID(nil), a.in...)
+		na.out = append([]ChannelID(nil), a.out...)
+		ng.actors[i] = &na
+		ng.byName[na.Name] = na.ID
+	}
+	ng.channels = make([]*Channel, len(g.channels))
+	for i, c := range g.channels {
+		nc := *c
+		ng.channels[i] = &nc
+	}
+	return ng
+}
+
+// String returns a compact human-readable description of the graph.
+func (g *Graph) String() string {
+	s := fmt.Sprintf("graph %q: %d actors, %d channels", g.Name, len(g.actors), len(g.channels))
+	return s
+}
+
+// SortedActorNames returns all actor names in lexicographic order; useful
+// for deterministic reporting.
+func (g *Graph) SortedActorNames() []string {
+	names := make([]string, 0, len(g.actors))
+	for _, a := range g.actors {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return names
+}

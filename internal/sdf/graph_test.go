@@ -1,0 +1,253 @@
+package sdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// fig2 builds the example graph of the paper's Figure 2: actors A, B, C with
+// A->B rate 2/1, A->C rate 1/1, B->C rate 1/2 and a self-channel on A with
+// one initial token.
+func fig2() *Graph {
+	g := NewGraph("fig2")
+	a := g.AddActor("A", 10)
+	b := g.AddActor("B", 5)
+	c := g.AddActor("C", 7)
+	g.Connect(a, b, 2, 1, 0)
+	g.Connect(a, c, 1, 1, 0)
+	g.Connect(b, c, 1, 2, 0)
+	g.AddStateChannel(a)
+	return g
+}
+
+func TestAddActorAndConnect(t *testing.T) {
+	g := fig2()
+	if g.NumActors() != 3 {
+		t.Fatalf("NumActors = %d, want 3", g.NumActors())
+	}
+	if g.NumChannels() != 4 {
+		t.Fatalf("NumChannels = %d, want 4", g.NumChannels())
+	}
+	a := g.ActorByName("A")
+	if a == nil || a.Name != "A" {
+		t.Fatalf("ActorByName(A) = %v", a)
+	}
+	if len(a.Out()) != 3 { // to B, to C, self
+		t.Errorf("A has %d outputs, want 3", len(a.Out()))
+	}
+	if len(a.In()) != 1 { // self
+		t.Errorf("A has %d inputs, want 1", len(a.In()))
+	}
+	if g.ActorByName("missing") != nil {
+		t.Error("ActorByName(missing) should be nil")
+	}
+}
+
+func TestDuplicateActorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate actor name")
+		}
+	}()
+	g := NewGraph("dup")
+	g.AddActor("X", 1)
+	g.AddActor("X", 1)
+}
+
+func TestBadRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero rate")
+		}
+	}()
+	g := NewGraph("bad")
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.Connect(a, b, 0, 1, 0)
+}
+
+func TestRepetitionVectorFig2(t *testing.T) {
+	g := fig2()
+	q, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatalf("RepetitionVector: %v", err)
+	}
+	// A fires once, B twice (A produces 2, B consumes 1), C once
+	// (consumes 1 from A and 2 from B per firing: A->C gives q(C)=q(A),
+	// B->C gives q(C)=q(B)/2 = 1).
+	want := []int64{1, 2, 1}
+	for i := range want {
+		if q[i] != want[i] {
+			t.Fatalf("q = %v, want %v", q, want)
+		}
+	}
+}
+
+func TestRepetitionVectorMultiRate(t *testing.T) {
+	g := NewGraph("mr")
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	c := g.AddActor("c", 1)
+	g.Connect(a, b, 3, 2, 0)
+	g.Connect(b, c, 5, 3, 0)
+	q, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatalf("RepetitionVector: %v", err)
+	}
+	// q(a)*3 = q(b)*2, q(b)*5 = q(c)*3 -> q = (2,3,5)
+	want := []int64{2, 3, 5}
+	for i := range want {
+		if q[i] != want[i] {
+			t.Fatalf("q = %v, want %v", q, want)
+		}
+	}
+}
+
+func TestInconsistentGraph(t *testing.T) {
+	g := NewGraph("inc")
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.Connect(a, b, 2, 1, 0)
+	g.Connect(a, b, 1, 1, 0) // conflicts: q(b)=2q(a) and q(b)=q(a)
+	if _, err := g.RepetitionVector(); err == nil {
+		t.Fatal("expected inconsistency error")
+	}
+	if g.IsConsistent() {
+		t.Fatal("IsConsistent should be false")
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	g := NewGraph("disc")
+	g.AddActor("a", 1)
+	g.AddActor("b", 1)
+	if _, err := g.RepetitionVector(); err == nil {
+		t.Fatal("expected connectivity error")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewGraph("empty")
+	if _, err := g.RepetitionVector(); err == nil {
+		t.Fatal("expected error for empty graph")
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected validation error for empty graph")
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := fig2().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestIterationTokens(t *testing.T) {
+	g := fig2()
+	q, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Channel 0 is A->B with rate 2; A fires once per iteration.
+	if got := g.IterationTokens(g.Channel(0), q); got != 2 {
+		t.Fatalf("IterationTokens(A->B) = %d, want 2", got)
+	}
+	// Channel 2 is B->C with rate 1; B fires twice.
+	if got := g.IterationTokens(g.Channel(2), q); got != 2 {
+		t.Fatalf("IterationTokens(B->C) = %d, want 2", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := fig2()
+	c := g.Clone()
+	c.Actor(0).ExecTime = 999
+	c.Channel(0).InitialTokens = 42
+	if g.Actor(0).ExecTime == 999 {
+		t.Error("clone shares actor storage with original")
+	}
+	if g.Channel(0).InitialTokens == 42 {
+		t.Error("clone shares channel storage with original")
+	}
+	if c.ActorByName("B") == nil {
+		t.Error("clone lost name index")
+	}
+	q1, _ := g.RepetitionVector()
+	q2, _ := c.RepetitionVector()
+	for i := range q1 {
+		if q1[i] != q2[i] {
+			t.Error("clone repetition vector differs")
+		}
+	}
+}
+
+func TestWords(t *testing.T) {
+	cases := []struct {
+		size, want int
+	}{{0, 1}, {1, 1}, {4, 1}, {5, 2}, {8, 2}, {9, 3}, {64, 16}, {257, 65}}
+	for _, tc := range cases {
+		c := &Channel{TokenSize: tc.size}
+		if got := c.Words(); got != tc.want {
+			t.Errorf("Words(size=%d) = %d, want %d", tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestSCC(t *testing.T) {
+	g := fig2()
+	comps := g.SCCs()
+	// fig2 has no cycle except A's self-loop: components {A}, {B}, {C}.
+	if len(comps) != 3 {
+		t.Fatalf("SCCs = %d components, want 3", len(comps))
+	}
+	if g.StronglyConnected() {
+		t.Error("fig2 should not be strongly connected")
+	}
+
+	// Add back-channels to close the cycle.
+	c := g.ActorByName("C")
+	a := g.ActorByName("A")
+	g.Connect(c, a, 1, 1, 1)
+	if !g.StronglyConnected() {
+		t.Error("graph with C->A back-channel should be strongly connected")
+	}
+}
+
+func TestSelfLoopDetection(t *testing.T) {
+	g := fig2()
+	var selfs int
+	for _, c := range g.Channels() {
+		if c.IsSelfLoop() {
+			selfs++
+		}
+	}
+	if selfs != 1 {
+		t.Fatalf("self-loops = %d, want 1", selfs)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	dot := fig2().DOT()
+	for _, want := range []string{"digraph", "a0 -> a1", "rankdir=LR"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestSortedActorNames(t *testing.T) {
+	names := fig2().SortedActorNames()
+	want := []string{"A", "B", "C"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("SortedActorNames = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	s := fig2().String()
+	if !strings.Contains(s, "fig2") || !strings.Contains(s, "3 actors") {
+		t.Errorf("String() = %q", s)
+	}
+}

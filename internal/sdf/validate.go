@@ -1,0 +1,102 @@
+package sdf
+
+import "fmt"
+
+// Validate checks the structural sanity of the graph: at least one actor,
+// all channel endpoints valid, positive rates, non-negative initial tokens
+// and execution times. It does not check consistency; use RepetitionVector
+// for that.
+func (g *Graph) Validate() error {
+	if len(g.actors) == 0 {
+		return fmt.Errorf("sdf: graph %q has no actors", g.Name)
+	}
+	for _, a := range g.actors {
+		if a.Name == "" {
+			return fmt.Errorf("sdf: graph %q: actor %d has empty name", g.Name, a.ID)
+		}
+		if a.ExecTime < 0 {
+			return fmt.Errorf("sdf: graph %q: actor %q has negative execution time", g.Name, a.Name)
+		}
+		if a.MaxConcurrent < 0 {
+			return fmt.Errorf("sdf: graph %q: actor %q has negative concurrency bound", g.Name, a.Name)
+		}
+	}
+	for _, c := range g.channels {
+		if c.Src < 0 || int(c.Src) >= len(g.actors) || c.Dst < 0 || int(c.Dst) >= len(g.actors) {
+			return fmt.Errorf("sdf: graph %q: channel %q has invalid endpoints", g.Name, c.Name)
+		}
+		if c.SrcRate <= 0 || c.DstRate <= 0 {
+			return fmt.Errorf("sdf: graph %q: channel %q has non-positive rate", g.Name, c.Name)
+		}
+		if c.InitialTokens < 0 {
+			return fmt.Errorf("sdf: graph %q: channel %q has negative initial tokens", g.Name, c.Name)
+		}
+		if c.TokenSize < 0 {
+			return fmt.Errorf("sdf: graph %q: channel %q has negative token size", g.Name, c.Name)
+		}
+	}
+	return nil
+}
+
+// StronglyConnected reports whether the graph is strongly connected.
+// A strongly connected, consistent, deadlock-free SDF graph has a bounded
+// self-timed state space, which guarantees termination of the throughput
+// analysis without explicit buffer bounds.
+func (g *Graph) StronglyConnected() bool {
+	return len(g.SCCs()) == 1
+}
+
+// SCCs returns the strongly connected components of the graph as slices of
+// actor IDs, in reverse topological order of the component DAG (Tarjan's
+// algorithm).
+func (g *Graph) SCCs() [][]ActorID {
+	n := len(g.actors)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []ActorID
+	var comps [][]ActorID
+	next := 0
+
+	var strongconnect func(v ActorID)
+	strongconnect = func(v ActorID) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, cid := range g.actors[v].out {
+			w := g.channels[cid].Dst
+			if index[w] < 0 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []ActorID
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for v := range g.actors {
+		if index[v] < 0 {
+			strongconnect(ActorID(v))
+		}
+	}
+	return comps
+}

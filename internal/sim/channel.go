@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"mamps/internal/appmodel"
+	"mamps/internal/sdf"
+)
+
+// wordLink is the cycle-level model of one interconnect connection: a
+// word FIFO with head latency, injection rate limiting (SDM bandwidth) and
+// bounded capacity (FSL FIFO depth, or in-flight plus router buffering for
+// a NoC connection). Tokens travel as bursts of words; the token value is
+// delivered with its last word, mirroring the (de)serialization of the
+// network interface.
+type wordLink struct {
+	name          string
+	depth         int   // capacity in words
+	latency       int64 // cycles from injection to visibility
+	cyclesPerWord int64 // minimum spacing between injected words
+
+	lastInject int64
+	fifo       []wordEntry
+
+	wordsCarried int64
+}
+
+type wordEntry struct {
+	visible int64
+	last    bool
+	tok     appmodel.Token
+}
+
+// newWordLink returns a link ready to accept its first word immediately.
+func newWordLink(name string, depth int, latency, cyclesPerWord int64) *wordLink {
+	return &wordLink{
+		name:          name,
+		depth:         depth,
+		latency:       latency,
+		cyclesPerWord: cyclesPerWord,
+		lastInject:    -cyclesPerWord,
+	}
+}
+
+// canInject reports whether a word can enter the link at cycle now.
+func (l *wordLink) canInject(now int64) bool {
+	return len(l.fifo) < l.depth && now >= l.lastInject+l.cyclesPerWord
+}
+
+// nextInjectTime returns the earliest cycle at or after now at which the
+// rate limit allows another injection (capacity permitting).
+func (l *wordLink) nextInjectTime(now int64) int64 {
+	t := l.lastInject + l.cyclesPerWord
+	if t < now {
+		return now
+	}
+	return t
+}
+
+// inject enters one word; tok must be attached to the last word of its
+// token burst.
+func (l *wordLink) inject(now int64, last bool, tok appmodel.Token) {
+	l.fifo = append(l.fifo, wordEntry{visible: now + l.latency, last: last, tok: tok})
+	l.lastInject = now
+	l.wordsCarried++
+}
+
+// visibleWords counts words readable at cycle now.
+func (l *wordLink) visibleWords(now int64) int {
+	n := 0
+	for _, e := range l.fifo {
+		if e.visible > now {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// readWords removes the first n words and returns the token attached to
+// the last one (nil unless that word completes a token).
+func (l *wordLink) readWords(n int) appmodel.Token {
+	var tok appmodel.Token
+	for i := 0; i < n; i++ {
+		e := l.fifo[0]
+		l.fifo = l.fifo[1:]
+		if e.last {
+			tok = e.tok
+		}
+	}
+	return tok
+}
+
+// nextVisible returns the earliest future visibility time of any word not
+// yet visible at now, or -1.
+func (l *wordLink) nextVisible(now int64) int64 {
+	for _, e := range l.fifo {
+		if e.visible > now {
+			return e.visible
+		}
+	}
+	return -1
+}
+
+// chanState is the runtime of one application channel.
+type chanState struct {
+	c         *sdf.Channel
+	interTile bool
+	words     int // words per token
+
+	// dstQueue holds tokens available to the consumer (deserialized, or
+	// local). Its capacity is the channel's buffer allocation.
+	dstQueue []appmodel.Token
+	capacity int
+
+	// link carries words for inter-tile channels (nil otherwise).
+	link *wordLink
+
+	// assembled counts words of the incoming token already drained from
+	// the link by the in-progress deserialization (the words sit in the
+	// destination token buffer being assembled); pending holds the token
+	// value once its last word has been read.
+	assembled int
+	pending   appmodel.Token
+
+	// stage is the sending network interface's output buffer: words the
+	// PE (or CA) has serialized but the connection has not yet accepted.
+	// It holds at most one token's words (the NI slot of the Figure 4
+	// model: s1 may run one token ahead of the network handoff).
+	stage []stagedWord
+
+	tokensCarried int64
+}
+
+type stagedWord struct {
+	last bool
+	tok  appmodel.Token
+}
+
+// stageSpace returns the free words in the NI send stage.
+func (cs *chanState) stageSpace() int {
+	return cs.words - len(cs.stage)
+}
+
+// drain moves up to the remaining words of the current token from the
+// link into the assembly buffer, freeing link space immediately (the
+// blocking word-read of the network interface). It reports how many words
+// moved and whether the token is now complete.
+func (cs *chanState) drain(now int64) (moved int, complete bool) {
+	need := cs.words - cs.assembled
+	avail := cs.link.visibleWords(now)
+	if avail > need {
+		avail = need
+	}
+	if avail == 0 {
+		return 0, false
+	}
+	if tok := cs.link.readWords(avail); tok != nil {
+		cs.pending = tok
+	}
+	cs.assembled += avail
+	if cs.assembled == cs.words {
+		return avail, true
+	}
+	return avail, false
+}
+
+// completeToken finishes the in-progress deserialization, delivering the
+// assembled token to the destination buffer.
+func (cs *chanState) completeToken() {
+	cs.dstQueue = append(cs.dstQueue, cs.pending)
+	cs.pending = nil
+	cs.assembled = 0
+	cs.tokensCarried++
+}
+
+func (cs *chanState) dstSpace() int {
+	return cs.capacity - len(cs.dstQueue)
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+
+	"mamps/internal/sdf"
+)
+
+func TestWordLinkLatencyAndOrder(t *testing.T) {
+	l := newWordLink("l", 4, 3, 1)
+	if !l.canInject(0) {
+		t.Fatal("fresh link should accept")
+	}
+	l.inject(0, false, nil)
+	l.inject(1, true, "tok")
+	if l.visibleWords(2) != 0 {
+		t.Fatal("words visible too early")
+	}
+	if l.visibleWords(3) != 1 {
+		t.Fatal("first word should be visible at 3")
+	}
+	if l.visibleWords(4) != 2 {
+		t.Fatal("both words visible at 4")
+	}
+	if nv := l.nextVisible(3); nv != 4 {
+		t.Fatalf("nextVisible = %d, want 4", nv)
+	}
+	tok := l.readWords(2)
+	if tok != "tok" {
+		t.Fatalf("token = %v", tok)
+	}
+	if l.wordsCarried != 2 {
+		t.Fatalf("wordsCarried = %d", l.wordsCarried)
+	}
+	if nv := l.nextVisible(0); nv != -1 {
+		t.Fatalf("nextVisible on empty = %d", nv)
+	}
+}
+
+func TestWordLinkRateLimit(t *testing.T) {
+	l := newWordLink("l", 8, 1, 4)
+	l.inject(0, false, nil)
+	if l.canInject(3) {
+		t.Fatal("rate limit should forbid injection at 3")
+	}
+	if !l.canInject(4) {
+		t.Fatal("injection at 4 should be allowed")
+	}
+	if nt := l.nextInjectTime(1); nt != 4 {
+		t.Fatalf("nextInjectTime = %d, want 4", nt)
+	}
+	if nt := l.nextInjectTime(10); nt != 10 {
+		t.Fatalf("nextInjectTime past limit = %d, want now", nt)
+	}
+}
+
+func TestWordLinkCapacity(t *testing.T) {
+	l := newWordLink("l", 2, 1, 1)
+	l.inject(0, false, nil)
+	l.inject(1, false, nil)
+	if l.canInject(10) {
+		t.Fatal("full link should refuse")
+	}
+	l.readWords(1)
+	if !l.canInject(10) {
+		t.Fatal("drained link should accept")
+	}
+}
+
+func TestChanStateDrainAndAssembly(t *testing.T) {
+	cs := &chanState{
+		c:     &sdf.Channel{Name: "c", DstRate: 1},
+		words: 3,
+		link:  newWordLink("c", 8, 1, 1),
+	}
+	cs.link.inject(0, false, nil)
+	cs.link.inject(1, false, nil)
+	// Two words visible at t=2: partial drain.
+	moved, complete := cs.drain(2)
+	if moved != 2 || complete {
+		t.Fatalf("drain = (%d,%v), want (2,false)", moved, complete)
+	}
+	if cs.assembled != 2 {
+		t.Fatalf("assembled = %d", cs.assembled)
+	}
+	// Nothing more to drain yet.
+	moved, complete = cs.drain(2)
+	if moved != 0 || complete {
+		t.Fatalf("second drain = (%d,%v)", moved, complete)
+	}
+	// Last word arrives with the token value.
+	cs.link.inject(2, true, "payload")
+	moved, complete = cs.drain(3)
+	if moved != 1 || !complete {
+		t.Fatalf("final drain = (%d,%v), want (1,true)", moved, complete)
+	}
+	cs.completeToken()
+	if len(cs.dstQueue) != 1 || cs.dstQueue[0] != "payload" {
+		t.Fatalf("dstQueue = %v", cs.dstQueue)
+	}
+	if cs.assembled != 0 || cs.pending != nil {
+		t.Fatal("assembly not reset")
+	}
+}
+
+func TestChanStateStageSpace(t *testing.T) {
+	cs := &chanState{words: 2}
+	if cs.stageSpace() != 2 {
+		t.Fatalf("stageSpace = %d", cs.stageSpace())
+	}
+	cs.stage = append(cs.stage, stagedWord{}, stagedWord{})
+	if cs.stageSpace() != 0 {
+		t.Fatalf("full stageSpace = %d", cs.stageSpace())
+	}
+}
+
+func TestChanStateDstSpace(t *testing.T) {
+	cs := &chanState{capacity: 3}
+	cs.dstQueue = append(cs.dstQueue, 1, 2)
+	if cs.dstSpace() != 1 {
+		t.Fatalf("dstSpace = %d", cs.dstSpace())
+	}
+}

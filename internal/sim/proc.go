@@ -1,0 +1,446 @@
+package sim
+
+import (
+	"fmt"
+
+	"mamps/internal/appmodel"
+	"mamps/internal/sdf"
+)
+
+// proc is a simulated sequential engine (a processing element executing
+// its static-order schedule, or a communication-assist channel engine).
+// step attempts to make progress at the current cycle and reports whether
+// it did; wake is the cycle at which the proc next has work (a proc whose
+// wake is in the past is blocked on a resource and is re-polled after
+// every event).
+type proc interface {
+	name() string
+	step(now int64) (progressed bool, err error)
+	wakeTime() int64
+	blockedOn() string
+}
+
+type tilePhase int
+
+const (
+	phaseAcquire tilePhase = iota
+	phaseExec
+	phaseProduce
+	phaseSerialize
+)
+
+// tileProc executes the static-order schedule of one tile: for every
+// entry, it acquires the input tokens (deserializing inter-tile tokens on
+// the PE when no communication assist is present), runs the actor
+// implementation, and serializes the produced tokens to the interconnect.
+type tileProc struct {
+	sim   *Simulation
+	tile  int
+	tname string
+	sched []sdf.ActorID
+	pos   int
+
+	phase   tilePhase
+	wake    int64
+	blocked string
+
+	inPort      int
+	outPort     int
+	tokenIdx    int
+	words       int  // words still to inject for the current token
+	wordCharged bool // the per-word serialization cost has been paid
+
+	inTokens  [][]appmodel.Token
+	outTokens [][]appmodel.Token
+
+	busyCycles int64
+}
+
+func (p *tileProc) name() string      { return p.tname }
+func (p *tileProc) wakeTime() int64   { return p.wake }
+func (p *tileProc) blockedOn() string { return p.blocked }
+
+func (p *tileProc) actor() *sdf.Actor {
+	return p.sim.graph.Actor(p.sched[p.pos])
+}
+
+// advance charges busy PE time.
+func (p *tileProc) advance(now, cycles int64) {
+	p.wake = now + cycles
+	p.busyCycles += cycles
+}
+
+func (p *tileProc) step(now int64) (bool, error) {
+	a := p.actor()
+	switch p.phase {
+	case phaseAcquire:
+		return p.stepAcquire(now, a)
+	case phaseExec:
+		return p.stepExec(now, a)
+	case phaseProduce:
+		return p.stepProduce(now, a)
+	case phaseSerialize:
+		return p.stepSerialize(now, a)
+	}
+	return false, fmt.Errorf("sim: tile %s in invalid phase", p.tname)
+}
+
+// stepAcquire fills the input buffers of the current actor up to its
+// consumption rates, deserializing inter-tile tokens inline when the tile
+// has no communication assist.
+func (p *tileProc) stepAcquire(now int64, a *sdf.Actor) (bool, error) {
+	for ; p.inPort < len(a.In()); p.inPort++ {
+		cs := p.sim.channels[a.In()[p.inPort]]
+		rate := cs.c.DstRate
+		if len(cs.dstQueue) >= rate {
+			continue
+		}
+		if !cs.interTile || p.sim.params[cs.c.ID].DstOnCA {
+			// Local tokens (or CA-filled buffers): wait for the producer.
+			p.blocked = fmt.Sprintf("tokens on %s (%d/%d)", cs.c.Name, len(cs.dstQueue), rate)
+			return false, nil
+		}
+		// PE deserialization: the NI receive stage (niRecvProc) drains
+		// arriving words into the one-token assembly slot autonomously;
+		// the PE consumes the assembled token and pays the
+		// deserialization time.
+		if cs.assembled == cs.words {
+			cs.completeToken()
+			pr := p.sim.params[cs.c.ID]
+			p.advance(now, pr.DeserFixed+int64(cs.words)*pr.DeserPerWord)
+			p.sim.trace("deser-start", cs.c.Name, now)
+			p.blocked = ""
+			return true, nil
+		}
+		p.blocked = fmt.Sprintf("words on %s (%d/%d)", cs.c.Name, cs.assembled, cs.words)
+		return false, nil
+	}
+	// All input buffers filled: check local output space, then consume.
+	for _, cid := range a.Out() {
+		cs := p.sim.channels[cid]
+		if cs.interTile {
+			continue
+		}
+		if cs.dstSpace() < cs.c.SrcRate {
+			p.blocked = fmt.Sprintf("space on %s", cs.c.Name)
+			return false, nil
+		}
+	}
+	p.inTokens = make([][]appmodel.Token, len(a.In()))
+	for i, cid := range a.In() {
+		cs := p.sim.channels[cid]
+		rate := cs.c.DstRate
+		p.inTokens[i] = append([]appmodel.Token(nil), cs.dstQueue[:rate]...)
+		cs.dstQueue = cs.dstQueue[rate:]
+	}
+	p.phase = phaseExec
+	p.blocked = ""
+	return true, nil
+}
+
+// stepExec runs the actor implementation; the charged cycles become the
+// firing duration.
+func (p *tileProc) stepExec(now int64, a *sdf.Actor) (bool, error) {
+	im := p.sim.impls[a.ID]
+	p.sim.meter.Reset()
+	out, err := im.Fire(&p.sim.meter, p.inTokens)
+	if err != nil {
+		return false, fmt.Errorf("sim: firing %q on tile %s: %w", a.Name, p.tname, err)
+	}
+	if len(out) != len(a.Out()) {
+		return false, fmt.Errorf("sim: actor %q produced %d ports, want %d", a.Name, len(out), len(a.Out()))
+	}
+	cycles := p.sim.meter.Cycles()
+	if p.sim.opt.CheckWCET && cycles > im.WCET {
+		return false, fmt.Errorf("sim: actor %q fired with %d cycles, above its WCET %d", a.Name, cycles, im.WCET)
+	}
+	p.sim.profile.Record(a.Name).Observe(p.sim.opt.Scenario, cycles)
+	p.sim.trace("exec-start", a.Name, now)
+	p.outTokens = out
+	p.inTokens = nil
+	p.advance(now, cycles)
+	p.phase = phaseProduce
+	return true, nil
+}
+
+// stepProduce (entered when the firing's execution time has elapsed)
+// delivers local output tokens and records the completion, then moves on
+// to serialization of inter-tile tokens.
+func (p *tileProc) stepProduce(now int64, a *sdf.Actor) (bool, error) {
+	for i, cid := range a.Out() {
+		cs := p.sim.channels[cid]
+		if len(p.outTokens[i]) != cs.c.SrcRate {
+			return false, fmt.Errorf("sim: actor %q produced %d tokens on %q, want %d",
+				a.Name, len(p.outTokens[i]), cs.c.Name, cs.c.SrcRate)
+		}
+		if !cs.interTile {
+			cs.dstQueue = append(cs.dstQueue, p.outTokens[i]...)
+			cs.tokensCarried += int64(len(p.outTokens[i]))
+		}
+	}
+	if a.ID == p.sim.refActor {
+		p.sim.completions = append(p.sim.completions, now)
+	}
+	p.sim.trace("exec-end", a.Name, now)
+	p.phase = phaseSerialize
+	p.outPort, p.tokenIdx, p.words = 0, 0, -1
+	return true, nil
+}
+
+// stepSerialize pushes every inter-tile output token through the network
+// interface: serialization time on the PE, then word injection paced by
+// the connection (blocking on a full link, like the FSL write of the
+// MicroBlaze). With a communication assist the tokens are handed to the
+// channel's CA engine instead and the PE moves on.
+func (p *tileProc) stepSerialize(now int64, a *sdf.Actor) (bool, error) {
+	for ; p.outPort < len(a.Out()); p.outPort++ {
+		cid := a.Out()[p.outPort]
+		cs := p.sim.channels[cid]
+		if !cs.interTile {
+			p.tokenIdx = 0
+			continue
+		}
+		toks := p.outTokens[p.outPort]
+		pr := p.sim.params[cid]
+		if pr.SrcOnCA {
+			// Hand tokens to the CA serializer (bounded by the source
+			// buffer).
+			ca := p.sim.caSer[cid]
+			for ; p.tokenIdx < len(toks); p.tokenIdx++ {
+				if len(ca.queue) >= ca.capacity {
+					p.blocked = fmt.Sprintf("CA queue of %s", cs.c.Name)
+					return false, nil
+				}
+				ca.queue = append(ca.queue, toks[p.tokenIdx])
+			}
+			p.tokenIdx = 0
+			continue
+		}
+		for p.tokenIdx < len(toks) {
+			if p.words < 0 {
+				// Start serializing the next token: fixed setup cost.
+				p.advance(now, pr.SerFixed)
+				p.words = cs.words
+				p.wordCharged = false
+				p.blocked = ""
+				return true, nil
+			}
+			if !p.wordCharged {
+				// Per-word serialization work on the PE; the word write
+				// itself happens at the end of this interval, so compute
+				// and FSL writes interleave as in the implementation.
+				p.advance(now, pr.SerPerWord)
+				p.wordCharged = true
+				p.blocked = ""
+				return true, nil
+			}
+			// Write the word into the NI send stage (blocking when the
+			// stage is full: the network interface has fallen one whole
+			// token behind and back-pressures the PE).
+			if cs.stageSpace() < 1 {
+				p.blocked = fmt.Sprintf("full NI stage of %s", cs.c.Name)
+				return false, nil
+			}
+			last := p.words == 1
+			var tok appmodel.Token
+			if last {
+				tok = toks[p.tokenIdx]
+			}
+			cs.stage = append(cs.stage, stagedWord{last: last, tok: tok})
+			p.words--
+			p.wordCharged = false
+			if p.words == 0 {
+				cs.tokensCarried++
+				p.sim.trace("ser-done", cs.c.Name, now)
+				p.words = -1
+				p.tokenIdx++
+			}
+			p.blocked = ""
+			return true, nil
+		}
+		p.tokenIdx = 0
+	}
+	// Entry complete: advance the schedule.
+	p.pos = (p.pos + 1) % len(p.sched)
+	p.phase = phaseAcquire
+	p.inPort = 0
+	p.outTokens = nil
+	p.blocked = ""
+	return true, nil
+}
+
+// niRecvProc is the receive stage of the network interface for one
+// inter-tile channel: it ejects words from the connection into the
+// channel's one-token assembly slot as they arrive, independent of the
+// destination PE — the role of the zero-time d3 actor in the Figure 4
+// model. Once the slot holds a complete token, it waits for the PE to
+// consume it.
+type niRecvProc struct {
+	sim   *Simulation
+	cid   sdf.ChannelID
+	cname string
+
+	wake    int64
+	blocked string
+}
+
+func (p *niRecvProc) name() string      { return "ni-recv:" + p.cname }
+func (p *niRecvProc) wakeTime() int64   { return p.wake }
+func (p *niRecvProc) blockedOn() string { return p.blocked }
+
+func (p *niRecvProc) step(now int64) (bool, error) {
+	cs := p.sim.channels[p.cid]
+	if cs.assembled >= cs.words {
+		p.blocked = "assembly slot full"
+		return false, nil
+	}
+	moved, _ := cs.drain(now)
+	if moved == 0 {
+		p.blocked = "awaiting words"
+		if nv := cs.link.nextVisible(now); nv > now {
+			p.wake = nv
+		}
+		return false, nil
+	}
+	p.blocked = ""
+	return true, nil
+}
+
+// niSendProc is the send stage of the network interface for one
+// inter-tile channel: it drains the NI output stage into the connection,
+// respecting the connection's capacity and injection rate, independent of
+// the PE — the role of the zero-time s2/s3 actors in the Figure 4 model.
+type niSendProc struct {
+	sim   *Simulation
+	cid   sdf.ChannelID
+	cname string
+
+	wake    int64
+	blocked string
+}
+
+func (p *niSendProc) name() string      { return "ni-send:" + p.cname }
+func (p *niSendProc) wakeTime() int64   { return p.wake }
+func (p *niSendProc) blockedOn() string { return p.blocked }
+
+func (p *niSendProc) step(now int64) (bool, error) {
+	cs := p.sim.channels[p.cid]
+	if len(cs.stage) == 0 {
+		p.blocked = "idle"
+		return false, nil
+	}
+	if len(cs.link.fifo) >= cs.link.depth {
+		p.blocked = "full link"
+		return false, nil
+	}
+	if t := cs.link.nextInjectTime(now); t > now {
+		p.wake = t
+		p.blocked = ""
+		return true, nil
+	}
+	w := cs.stage[0]
+	cs.stage = cs.stage[1:]
+	cs.link.inject(now, w.last, w.tok)
+	p.blocked = ""
+	return true, nil
+}
+
+// caSerProc is the sending half of a communication assist for one
+// channel: it drains the source buffer, serializes tokens with the CA's
+// timing and injects the words, concurrently with the PE.
+type caSerProc struct {
+	sim      *Simulation
+	cid      sdf.ChannelID
+	cname    string
+	queue    []appmodel.Token
+	capacity int
+
+	wake        int64
+	blocked     string
+	words       int // words left to inject (-1: need to serialize next token)
+	wordCharged bool
+}
+
+func (p *caSerProc) name() string      { return "ca-ser:" + p.cname }
+func (p *caSerProc) wakeTime() int64   { return p.wake }
+func (p *caSerProc) blockedOn() string { return p.blocked }
+
+func (p *caSerProc) step(now int64) (bool, error) {
+	cs := p.sim.channels[p.cid]
+	pr := p.sim.params[p.cid]
+	if p.words < 0 {
+		if len(p.queue) == 0 {
+			p.blocked = "idle"
+			return false, nil
+		}
+		p.wake = now + pr.SerFixed
+		p.words = cs.words
+		p.wordCharged = false
+		p.blocked = ""
+		return true, nil
+	}
+	if !p.wordCharged {
+		p.wake = now + pr.SerPerWord
+		p.wordCharged = true
+		p.blocked = ""
+		return true, nil
+	}
+	if cs.stageSpace() < 1 {
+		p.blocked = "full NI stage"
+		return false, nil
+	}
+	last := p.words == 1
+	var tok appmodel.Token
+	if last {
+		tok = p.queue[0]
+	}
+	cs.stage = append(cs.stage, stagedWord{last: last, tok: tok})
+	p.words--
+	p.wordCharged = false
+	if p.words == 0 {
+		p.queue = p.queue[1:]
+		cs.tokensCarried++
+		p.words = -1
+	}
+	p.blocked = ""
+	return true, nil
+}
+
+// caDeserProc is the receiving half: it assembles tokens from arriving
+// words and fills the consumer's buffer, concurrently with the PE.
+type caDeserProc struct {
+	sim   *Simulation
+	cid   sdf.ChannelID
+	cname string
+
+	wake    int64
+	blocked string
+}
+
+func (p *caDeserProc) name() string      { return "ca-deser:" + p.cname }
+func (p *caDeserProc) wakeTime() int64   { return p.wake }
+func (p *caDeserProc) blockedOn() string { return p.blocked }
+
+func (p *caDeserProc) step(now int64) (bool, error) {
+	cs := p.sim.channels[p.cid]
+	if cs.dstSpace() < 1 {
+		p.blocked = "full destination buffer"
+		return false, nil
+	}
+	moved, complete := cs.drain(now)
+	if complete {
+		pr := p.sim.params[p.cid]
+		// The CA needs its processing time before the next token;
+		// delivering the current token at the start of that interval is
+		// conservative for the consumer and keeps the engine simple.
+		p.wake = now + pr.DeserFixed + int64(cs.words)*pr.DeserPerWord
+		cs.completeToken()
+		p.blocked = ""
+		return true, nil
+	}
+	p.blocked = "awaiting words"
+	if nv := cs.link.nextVisible(now); nv > now {
+		p.wake = nv
+	}
+	return moved > 0, nil
+}

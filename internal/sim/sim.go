@@ -1,0 +1,350 @@
+// Package sim is the execution platform of the reproduction: a
+// cycle-level discrete-event simulator of the generated MAMPS MPSoC that
+// stands in for the Virtex-6 FPGA of the paper. It executes the mapping
+// exactly as the generated platform would: every tile runs its
+// static-order schedule (the lookup-table scheduler), actor firings run
+// the real implementation code under the cycle cost model, tokens are
+// serialized into 32-bit words and move over FSL links or NoC connections
+// with their latency, bandwidth and buffering, and blocking reads/writes
+// provide the flow control.
+//
+// Because the simulator and the SDF3 analysis model are derived from the
+// same platform instance, the measured throughput must meet or exceed the
+// analysis bound — the central claim of the paper, asserted by the test
+// suite.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mamps/internal/appmodel"
+	"mamps/internal/comm"
+	"mamps/internal/mapping"
+	"mamps/internal/sdf"
+	"mamps/internal/wcet"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Iterations is the number of completions of the reference actor to
+	// simulate.
+	Iterations int
+	// RefActor names the actor whose completions are counted (default:
+	// the last actor of the graph).
+	RefActor string
+	// Warmup is the fraction of iterations discarded before measuring the
+	// long-term average throughput (default 1/4, per the paper's
+	// definition of throughput as a long-term average that excludes
+	// initialization effects).
+	Warmup float64
+	// CheckWCET aborts when a firing exceeds its implementation's WCET.
+	CheckWCET bool
+	// Scenario labels profile observations.
+	Scenario string
+	// MaxCycles aborts a runaway simulation (default 2^40).
+	MaxCycles int64
+	// Trace, if set, receives fine-grained simulator events (firing
+	// completions, token (de)serializations, word injections) for
+	// debugging and Gantt visualization.
+	Trace func(event, subject string, now int64)
+}
+
+// Result reports the measured execution.
+type Result struct {
+	// Throughput is the measured long-term average in reference-actor
+	// completions (graph iterations) per cycle.
+	Throughput float64
+	// Latency is the time of the first reference-actor completion: the
+	// end-to-end latency of the first iteration through the pipeline,
+	// including all initialization effects.
+	Latency int64
+	// Cycles is the total simulated time.
+	Cycles int64
+	// Completions holds the completion time of every reference firing.
+	Completions []int64
+	// Profile holds the measured execution times of all actors.
+	Profile *wcet.Profile
+	// TileBusy maps tile names to busy PE cycles (execution plus
+	// serialization work).
+	TileBusy map[string]int64
+	// ChannelWords counts the 32-bit words carried per inter-tile
+	// channel; ChannelTokens the tokens per channel. Used by the
+	// communication-overhead experiment (Section 6.3).
+	ChannelWords  map[string]int64
+	ChannelTokens map[string]int64
+}
+
+// Simulation is a configured platform instance ready to run.
+type Simulation struct {
+	m        *mapping.Mapping
+	opt      Options
+	graph    *sdf.Graph
+	impls    []*appmodel.Impl
+	params   map[sdf.ChannelID]comm.Params
+	channels []*chanState
+	procs    []proc
+	caSer    map[sdf.ChannelID]*caSerProc
+	refActor sdf.ActorID
+
+	meter       wcet.Meter
+	profile     *wcet.Profile
+	completions []int64
+}
+
+// New builds a simulation of the mapped application on its platform.
+func New(m *mapping.Mapping, opt Options) (*Simulation, error) {
+	if opt.Iterations <= 0 {
+		return nil, fmt.Errorf("sim: need a positive iteration count")
+	}
+	if opt.Warmup == 0 {
+		opt.Warmup = 0.25
+	}
+	if opt.Warmup < 0 || opt.Warmup >= 1 {
+		return nil, fmt.Errorf("sim: warmup fraction %v out of [0,1)", opt.Warmup)
+	}
+	if opt.MaxCycles == 0 {
+		opt.MaxCycles = 1 << 40
+	}
+	g := m.App.Graph
+	s := &Simulation{
+		m:       m,
+		opt:     opt,
+		graph:   g,
+		params:  m.CommParams,
+		profile: wcet.NewProfile(),
+		caSer:   make(map[sdf.ChannelID]*caSerProc),
+	}
+	if opt.Scenario == "" {
+		s.opt.Scenario = "sim"
+	}
+
+	// Reference actor.
+	ref := g.Actor(sdf.ActorID(g.NumActors() - 1))
+	if opt.RefActor != "" {
+		ref = g.ActorByName(opt.RefActor)
+		if ref == nil {
+			return nil, fmt.Errorf("sim: unknown reference actor %q", opt.RefActor)
+		}
+	}
+	s.refActor = ref.ID
+
+	// Implementations per actor for the tile's PE type.
+	s.impls = make([]*appmodel.Impl, g.NumActors())
+	for _, a := range g.Actors() {
+		tile := m.Platform.Tiles[m.TileOf[a.ID]]
+		im := m.App.ImplFor(a.ID, tile.PE)
+		if im == nil || im.Fire == nil {
+			return nil, fmt.Errorf("sim: actor %q has no executable implementation for %q", a.Name, tile.PE)
+		}
+		s.impls[a.ID] = im
+	}
+	if err := m.App.InitAll(); err != nil {
+		return nil, err
+	}
+
+	// Channels.
+	s.channels = make([]*chanState, g.NumChannels())
+	for _, c := range g.Channels() {
+		cs := &chanState{
+			c:         c,
+			interTile: m.InterTile(c),
+			words:     c.Words(),
+			capacity:  m.Buffers[c.ID],
+		}
+		if c.IsSelfLoop() {
+			cs.capacity = c.InitialTokens + c.SrcRate
+		}
+		if cs.capacity < c.DstRate {
+			cs.capacity = c.DstRate
+		}
+		if cs.interTile {
+			p, ok := m.CommParams[c.ID]
+			if !ok {
+				return nil, fmt.Errorf("sim: inter-tile channel %q has no communication parameters", c.Name)
+			}
+			cs.link = newWordLink(c.Name, p.InFlight+p.NetBuffer, p.Latency, p.CyclesPerWord)
+		}
+		s.channels[c.ID] = cs
+	}
+
+	// Initial tokens: values from the implementations' InitTokens, placed
+	// in the destination buffers (the platform's initialization code
+	// writes them there before execution starts).
+	for _, a := range g.Actors() {
+		im := s.impls[a.ID]
+		var vals [][]appmodel.Token
+		if im.InitTokens != nil {
+			v, err := im.InitTokens()
+			if err != nil {
+				return nil, fmt.Errorf("sim: initial tokens of %q: %w", a.Name, err)
+			}
+			vals = v
+		}
+		for pi, cid := range a.Out() {
+			c := g.Channel(cid)
+			for k := 0; k < c.InitialTokens; k++ {
+				var tok appmodel.Token
+				if vals != nil && pi < len(vals) && k < len(vals[pi]) {
+					tok = vals[pi][k]
+				}
+				s.channels[cid].dstQueue = append(s.channels[cid].dstQueue, tok)
+			}
+		}
+	}
+
+	// Tile processes.
+	for t, tile := range m.Platform.Tiles {
+		if len(m.Schedules[t]) == 0 {
+			continue
+		}
+		s.procs = append(s.procs, &tileProc{
+			sim: s, tile: t, tname: tile.Name,
+			sched: m.Schedules[t],
+			words: -1,
+		})
+	}
+	// Per-channel network-interface engines: with a CA, autonomous
+	// serializer and deserializer; without, the NI receive stage that
+	// fills the one-token assembly slot (the PE does the rest inline).
+	for _, c := range g.Channels() {
+		cs := s.channels[c.ID]
+		if !cs.interTile {
+			continue
+		}
+		p := m.CommParams[c.ID]
+		s.procs = append(s.procs, &niSendProc{sim: s, cid: c.ID, cname: c.Name})
+		if p.SrcOnCA {
+			ser := &caSerProc{sim: s, cid: c.ID, cname: c.Name, capacity: maxInt(1, p.SrcBuffer), words: -1}
+			s.caSer[c.ID] = ser
+			s.procs = append(s.procs, ser)
+		}
+		if p.DstOnCA {
+			s.procs = append(s.procs, &caDeserProc{sim: s, cid: c.ID, cname: c.Name})
+		} else {
+			s.procs = append(s.procs, &niRecvProc{sim: s, cid: c.ID, cname: c.Name})
+		}
+	}
+	return s, nil
+}
+
+// Run executes the simulation to completion.
+func (s *Simulation) Run() (*Result, error) {
+	var now int64
+	target := s.opt.Iterations
+	for len(s.completions) < target {
+		// Run every runnable proc to a fixpoint at the current time.
+		for {
+			progressed := false
+			for _, p := range s.procs {
+				if p.wakeTime() > now {
+					continue
+				}
+				moved, err := p.step(now)
+				if err != nil {
+					return nil, err
+				}
+				if moved {
+					progressed = true
+				}
+				if len(s.completions) >= target {
+					break
+				}
+			}
+			if !progressed || len(s.completions) >= target {
+				break
+			}
+		}
+		if len(s.completions) >= target {
+			break
+		}
+		// Advance to the next event.
+		next := int64(math.MaxInt64)
+		for _, p := range s.procs {
+			if w := p.wakeTime(); w > now && w < next {
+				next = w
+			}
+		}
+		for _, cs := range s.channels {
+			if cs.link == nil {
+				continue
+			}
+			if nv := cs.link.nextVisible(now); nv > now && nv < next {
+				next = nv
+			}
+		}
+		if next == math.MaxInt64 {
+			return nil, fmt.Errorf("sim: deadlock at cycle %d:\n%s", now, s.deadlockReport(now))
+		}
+		if next > s.opt.MaxCycles {
+			return nil, fmt.Errorf("sim: exceeded %d cycles after %d iterations", s.opt.MaxCycles, len(s.completions))
+		}
+		now = next
+	}
+
+	res := &Result{
+		Cycles:        now,
+		Completions:   s.completions,
+		Profile:       s.profile,
+		TileBusy:      make(map[string]int64),
+		ChannelWords:  make(map[string]int64),
+		ChannelTokens: make(map[string]int64),
+	}
+	// Long-term average throughput, skipping the warm-up prefix.
+	skip := int(float64(target) * s.opt.Warmup)
+	if skip >= target-1 {
+		skip = 0
+	}
+	t0, t1 := s.completions[skip], s.completions[target-1]
+	if t1 > t0 {
+		res.Throughput = float64(target-1-skip) / float64(t1-t0)
+	} else if now > 0 {
+		res.Throughput = float64(target) / float64(now)
+	}
+	res.Latency = s.completions[0]
+	for _, p := range s.procs {
+		if tp, ok := p.(*tileProc); ok {
+			res.TileBusy[tp.tname] = tp.busyCycles
+		}
+	}
+	for _, cs := range s.channels {
+		if cs.link != nil {
+			res.ChannelWords[cs.c.Name] = cs.link.wordsCarried
+		}
+		res.ChannelTokens[cs.c.Name] = cs.tokensCarried
+	}
+	return res, nil
+}
+
+// deadlockReport describes what every proc is blocked on.
+func (s *Simulation) deadlockReport(now int64) string {
+	var b strings.Builder
+	for _, p := range s.procs {
+		fmt.Fprintf(&b, "  %s: %s\n", p.name(), p.blockedOn())
+	}
+	return b.String()
+}
+
+// Run maps and simulates in one call; a convenience for experiments.
+func Run(m *mapping.Mapping, opt Options) (*Result, error) {
+	s, err := New(m, opt)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// trace emits a simulator event if tracing is enabled.
+func (s *Simulation) trace(event, subject string, now int64) {
+	if s.opt.Trace != nil {
+		s.opt.Trace(event, subject, now)
+	}
+}

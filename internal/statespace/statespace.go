@@ -1,0 +1,420 @@
+// Package statespace implements exact worst-case throughput analysis of SDF
+// graphs by explicit exploration of the self-timed execution state space,
+// following Ghamarian et al., "Throughput Analysis of Synchronous Data Flow
+// Graphs" (ACSD 2006) — the analysis at the core of the SDF3 tool set.
+//
+// Self-timed execution fires every actor as soon as it is ready. Because
+// the execution is deterministic, the sequence of states eventually becomes
+// periodic; the throughput is the number of graph iterations completed per
+// clock cycle within one period.
+//
+// The analysis optionally enforces static-order schedules: a schedule binds
+// a sequence of actor firings to a tile, and the tile executes the sequence
+// cyclically, one firing at a time — exactly the lookup-table scheduler the
+// MAMPS platform generates. This makes the analysis binding-aware.
+package statespace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mamps/internal/sdf"
+)
+
+// Schedule is a cyclic static-order schedule for one tile: the tile fires
+// the listed actors in order, one complete firing at a time, wrapping
+// around at the end. In a valid schedule each bound actor appears a
+// multiple of its repetition-vector entry times per cycle of the list.
+//
+// An optional Prologue is executed once before the cyclic body: it
+// expresses start-up transients such as deserializations skipped because
+// initial tokens were already present in a consumer's buffer (the MAMPS
+// wrapper reads only the tokens its buffer is missing, so the first pass
+// over the schedule differs from the steady state).
+type Schedule struct {
+	Tile     string
+	Prologue []sdf.ActorID
+	Entries  []sdf.ActorID
+}
+
+// Options configures the analysis.
+type Options struct {
+	// Schedules binds actors to tiles with static-order schedules. Actors
+	// that appear in no schedule fire self-timed, constrained only by
+	// token availability and their MaxConcurrent bound.
+	Schedules []Schedule
+
+	// MaxStates bounds the exploration. Exceeding it returns an error;
+	// this happens only for unbounded (e.g. not strongly connected,
+	// unbuffered) graphs. Zero selects the default of 2^20 states.
+	MaxStates int
+
+	// ReferenceActor is the actor whose completions are counted to measure
+	// iterations; its completion count divided by its repetition-vector
+	// entry gives the iteration count. Defaults to actor 0.
+	ReferenceActor sdf.ActorID
+
+	// OnComplete, if set, is called for every firing completion with the
+	// actor and the completion time — a trace hook for debugging models
+	// and generating Gantt charts. It must not modify the graph.
+	OnComplete func(a sdf.ActorID, now int64)
+}
+
+// Result reports the outcome of an analysis.
+type Result struct {
+	// Throughput in graph iterations per clock cycle. Zero if deadlocked.
+	Throughput float64
+	// IterationsPerPeriod and PeriodCycles give the exact rational
+	// throughput IterationsPerPeriod/PeriodCycles (in units of reference-
+	// actor firings over repetition count).
+	FiringsPerPeriod int64
+	PeriodCycles     int64
+	// TransientCycles is the time before the periodic phase is entered.
+	TransientCycles int64
+	// Deadlocked is true if execution stops with no actor able to fire.
+	Deadlocked bool
+	// DeadlockReport describes, for a deadlocked execution, what every
+	// scheduled tile is blocked on. Empty otherwise.
+	DeadlockReport string
+	// StatesExplored counts distinct states visited.
+	StatesExplored int
+	// MaxTokens records the highest token count observed on each channel
+	// during the exploration — the actual buffer occupancy, useful for
+	// validating (and shrinking) buffer allocations.
+	MaxTokens []int64
+}
+
+const defaultMaxStates = 1 << 20
+
+// firing is an in-flight actor execution.
+type firing struct {
+	actor     sdf.ActorID
+	remaining int64
+}
+
+// tileState is the runtime state of a scheduled tile.
+type tileState struct {
+	prologue []sdf.ActorID
+	sched    []sdf.ActorID
+	inProl   bool
+	pos      int   // index of next entry to execute
+	busy     bool  // a firing is in progress
+	remain   int64 // remaining time of the in-progress firing
+	current  sdf.ActorID
+}
+
+// currentEntry returns the actor of the tile's next schedule entry.
+func (t *tileState) currentEntry() sdf.ActorID {
+	if t.inProl {
+		return t.prologue[t.pos]
+	}
+	return t.sched[t.pos]
+}
+
+// advanceEntry moves to the next schedule position.
+func (t *tileState) advanceEntry() {
+	t.pos++
+	if t.inProl {
+		if t.pos == len(t.prologue) {
+			t.inProl = false
+			t.pos = 0
+		}
+		return
+	}
+	if t.pos == len(t.sched) {
+		t.pos = 0
+	}
+}
+
+// Analyze explores the self-timed state space of g and returns its
+// worst-case throughput. The graph must be consistent. Execution must be
+// bounded (strongly connected graph, or buffer back-edges present, or all
+// actors scheduled); otherwise the exploration aborts with an error after
+// MaxStates states.
+func Analyze(g *sdf.Graph, opt Options) (Result, error) {
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return Result{}, err
+	}
+	maxStates := opt.MaxStates
+	if maxStates == 0 {
+		maxStates = defaultMaxStates
+	}
+	ref := opt.ReferenceActor
+	if int(ref) >= g.NumActors() {
+		return Result{}, fmt.Errorf("statespace: reference actor %d out of range", ref)
+	}
+
+	// Assign actors to tiles.
+	tileOf := make([]int, g.NumActors()) // -1: self-timed
+	for i := range tileOf {
+		tileOf[i] = -1
+	}
+	tiles := make([]*tileState, len(opt.Schedules))
+	for ti, s := range opt.Schedules {
+		if len(s.Entries) == 0 {
+			return Result{}, fmt.Errorf("statespace: empty schedule for tile %q", s.Tile)
+		}
+		tiles[ti] = &tileState{
+			prologue: s.Prologue,
+			sched:    s.Entries,
+			inProl:   len(s.Prologue) > 0,
+		}
+		for _, a := range append(append([]sdf.ActorID(nil), s.Prologue...), s.Entries...) {
+			if int(a) >= g.NumActors() {
+				return Result{}, fmt.Errorf("statespace: schedule for tile %q names unknown actor %d", s.Tile, a)
+			}
+			if tileOf[a] != -1 && tileOf[a] != ti {
+				return Result{}, fmt.Errorf("statespace: actor %q scheduled on two tiles", g.Actor(a).Name)
+			}
+			tileOf[a] = ti
+		}
+	}
+
+	// Runtime state.
+	tokens := make([]int64, g.NumChannels())
+	maxTokens := make([]int64, g.NumChannels())
+	for _, c := range g.Channels() {
+		tokens[c.ID] = int64(c.InitialTokens)
+		maxTokens[c.ID] = tokens[c.ID]
+	}
+	var active []firing // self-timed in-flight firings
+	activeCount := make([]int, g.NumActors())
+
+	ready := func(a *sdf.Actor) bool {
+		for _, cid := range a.In() {
+			c := g.Channel(cid)
+			if tokens[cid] < int64(c.DstRate) {
+				return false
+			}
+		}
+		return true
+	}
+	consume := func(a *sdf.Actor) {
+		for _, cid := range a.In() {
+			tokens[cid] -= int64(g.Channel(cid).DstRate)
+		}
+	}
+	produce := func(a *sdf.Actor) {
+		for _, cid := range a.Out() {
+			tokens[cid] += int64(g.Channel(cid).SrcRate)
+			if tokens[cid] > maxTokens[cid] {
+				maxTokens[cid] = tokens[cid]
+			}
+		}
+	}
+
+	// startAll begins every firing that can start at the current instant.
+	startAll := func() {
+		for {
+			started := false
+			// Scheduled tiles: start the next schedule entry if ready.
+			for _, t := range tiles {
+				if t.busy {
+					continue
+				}
+				a := g.Actor(t.currentEntry())
+				if ready(a) {
+					consume(a)
+					t.busy = true
+					t.current = a.ID
+					t.remain = a.ExecTime
+					started = true
+				}
+			}
+			// Self-timed actors.
+			for _, a := range g.Actors() {
+				if tileOf[a.ID] != -1 {
+					continue
+				}
+				for ready(a) && (a.MaxConcurrent == 0 || activeCount[a.ID] < a.MaxConcurrent) {
+					consume(a)
+					active = append(active, firing{a.ID, a.ExecTime})
+					activeCount[a.ID]++
+					started = true
+				}
+			}
+			if !started {
+				return
+			}
+		}
+	}
+
+	// Zero-time firings must complete immediately and may enable others.
+	// finishZero completes all firings with zero remaining time. It fails
+	// if an unbounded burst of zero-time firings occurs at one instant
+	// (a cycle of zero-execution-time actors with tokens), which indicates
+	// a modelling error.
+	var refCompletions int64
+	const zeroBurstLimit = 1 << 20
+	var zeroTimeErr error
+	finishZero := func(now int64) {
+		burst := 0
+		for {
+			burst++
+			if burst > zeroBurstLimit {
+				zeroTimeErr = fmt.Errorf("statespace: graph %q has an unbounded zero-time firing loop", g.Name)
+				return
+			}
+			done := false
+			for _, t := range tiles {
+				if t.busy && t.remain == 0 {
+					produce(g.Actor(t.current))
+					if opt.OnComplete != nil {
+						opt.OnComplete(t.current, now)
+					}
+					if t.current == ref {
+						refCompletions++
+					}
+					t.busy = false
+					t.advanceEntry()
+					done = true
+				}
+			}
+			kept := active[:0]
+			for _, f := range active {
+				if f.remaining == 0 {
+					produce(g.Actor(f.actor))
+					if opt.OnComplete != nil {
+						opt.OnComplete(f.actor, now)
+					}
+					if f.actor == ref {
+						refCompletions++
+					}
+					activeCount[f.actor]--
+					done = true
+				} else {
+					kept = append(kept, f)
+				}
+			}
+			active = kept
+			if !done {
+				return
+			}
+			startAll()
+		}
+	}
+
+	// stateKey serializes the current state.
+	buf := make([]byte, 0, 256)
+	stateKey := func() string {
+		buf = buf[:0]
+		for _, tk := range tokens {
+			buf = binary.AppendVarint(buf, tk)
+		}
+		for _, t := range tiles {
+			if t.inProl {
+				buf = binary.AppendVarint(buf, -int64(t.pos)-1)
+			} else {
+				buf = binary.AppendVarint(buf, int64(t.pos))
+			}
+			if t.busy {
+				buf = binary.AppendVarint(buf, t.remain+1)
+			} else {
+				buf = binary.AppendVarint(buf, 0)
+			}
+		}
+		// Remaining times per actor, sorted for canonical form.
+		sort.Slice(active, func(i, j int) bool {
+			if active[i].actor != active[j].actor {
+				return active[i].actor < active[j].actor
+			}
+			return active[i].remaining < active[j].remaining
+		})
+		for _, f := range active {
+			buf = binary.AppendVarint(buf, int64(f.actor))
+			buf = binary.AppendVarint(buf, f.remaining)
+		}
+		return string(buf)
+	}
+
+	type visit struct {
+		time        int64
+		completions int64
+	}
+	seen := make(map[string]visit, 1024)
+
+	var now int64
+	startAll()
+	finishZero(now)
+
+	for states := 0; states < maxStates; states++ {
+		if zeroTimeErr != nil {
+			return Result{}, zeroTimeErr
+		}
+		key := stateKey()
+		if v, ok := seen[key]; ok {
+			period := now - v.time
+			firings := refCompletions - v.completions
+			res := Result{
+				FiringsPerPeriod: firings,
+				PeriodCycles:     period,
+				TransientCycles:  v.time,
+				StatesExplored:   states,
+				MaxTokens:        maxTokens,
+			}
+			if period > 0 && firings > 0 {
+				res.Throughput = float64(firings) / float64(q[ref]) / float64(period)
+			}
+			if firings == 0 {
+				// Recurrent state with no progress: deadlock (all
+				// remaining structure is stalled).
+				res.Deadlocked = true
+			}
+			return res, nil
+		}
+		seen[key] = visit{now, refCompletions}
+
+		// Advance to the next event.
+		next := int64(-1)
+		for _, t := range tiles {
+			if t.busy && (next < 0 || t.remain < next) {
+				next = t.remain
+			}
+		}
+		for _, f := range active {
+			if next < 0 || f.remaining < next {
+				next = f.remaining
+			}
+		}
+		if next < 0 {
+			// Nothing in flight and nothing could start: deadlock.
+			var rep strings.Builder
+			for ti, t := range tiles {
+				a := g.Actor(t.currentEntry())
+				fmt.Fprintf(&rep, "tile %q pos %d blocked on %q:", opt.Schedules[ti].Tile, t.pos, a.Name)
+				for _, cid := range a.In() {
+					c := g.Channel(cid)
+					if tokens[cid] < int64(c.DstRate) {
+						fmt.Fprintf(&rep, " %s(%d/%d)", c.Name, tokens[cid], c.DstRate)
+					}
+				}
+				rep.WriteString("\n")
+			}
+			return Result{Deadlocked: true, DeadlockReport: rep.String(), StatesExplored: len(seen), TransientCycles: now, MaxTokens: maxTokens}, nil
+		}
+		now += next
+		for _, t := range tiles {
+			if t.busy {
+				t.remain -= next
+			}
+		}
+		for i := range active {
+			active[i].remaining -= next
+		}
+		finishZero(now)
+	}
+	return Result{}, fmt.Errorf("statespace: graph %q exceeded %d states (unbounded execution?)", g.Name, maxStates)
+}
+
+// Throughput is a convenience wrapper returning only the throughput of the
+// pure self-timed execution (no schedules).
+func Throughput(g *sdf.Graph) (float64, error) {
+	r, err := Analyze(g, Options{})
+	if err != nil {
+		return 0, err
+	}
+	return r.Throughput, nil
+}

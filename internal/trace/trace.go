@@ -1,0 +1,170 @@
+// Package trace collects execution events from the platform simulator (or
+// the state-space analysis hook) into a timeline and renders it as an
+// ASCII Gantt chart — the visualization a designer uses to see where
+// tiles compute, serialize, and stall.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span is one completed activity on a lane.
+type Span struct {
+	Lane       string
+	Label      string
+	Start, End int64
+}
+
+// Gantt accumulates spans.
+type Gantt struct {
+	spans []Span
+	open  map[string]int64 // lane -> start of the open span
+}
+
+// New returns an empty chart.
+func New() *Gantt {
+	return &Gantt{open: make(map[string]int64)}
+}
+
+// Add records a completed span.
+func (g *Gantt) Add(lane, label string, start, end int64) {
+	if end < start {
+		start, end = end, start
+	}
+	g.spans = append(g.spans, Span{Lane: lane, Label: label, Start: start, End: end})
+}
+
+// Collector returns a simulator trace function that records actor
+// executions: "exec-start"/"exec-end" event pairs become spans on the
+// actor's lane. Other event kinds are recorded as instantaneous marks.
+func (g *Gantt) Collector() func(event, subject string, now int64) {
+	return func(event, subject string, now int64) {
+		switch event {
+		case "exec-start":
+			g.open[subject] = now
+		case "exec-end":
+			if start, ok := g.open[subject]; ok {
+				g.Add(subject, "exec", start, now)
+				delete(g.open, subject)
+			}
+		default:
+			g.Add(subject, event, now, now)
+		}
+	}
+}
+
+// Spans returns the recorded spans, ordered by start time.
+func (g *Gantt) Spans() []Span {
+	out := append([]Span(nil), g.spans...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Lane < out[j].Lane
+	})
+	return out
+}
+
+// Window returns the spans overlapping [from, to).
+func (g *Gantt) Window(from, to int64) []Span {
+	var out []Span
+	for _, s := range g.Spans() {
+		if s.End >= from && s.Start < to {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Render draws the chart with the given character width. Each lane is one
+// row; '#' marks execution, '.' idle time, '|' instantaneous marks.
+func (g *Gantt) Render(width int) string {
+	if len(g.spans) == 0 {
+		return "(no events)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	lo, hi := g.spans[0].Start, g.spans[0].End
+	lanes := map[string]bool{}
+	for _, s := range g.spans {
+		if s.Start < lo {
+			lo = s.Start
+		}
+		if s.End > hi {
+			hi = s.End
+		}
+		lanes[s.Lane] = true
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	names := make([]string, 0, len(lanes))
+	nameW := 0
+	for n := range lanes {
+		names = append(names, n)
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	sort.Strings(names)
+
+	scale := func(t int64) int {
+		x := int(float64(t-lo) / float64(hi-lo) * float64(width-1))
+		if x >= width {
+			x = width - 1
+		}
+		return x
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  cycles %d..%d\n", nameW, "", lo, hi)
+	for _, lane := range names {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range g.spans {
+			if s.Lane != lane {
+				continue
+			}
+			if s.Start == s.End {
+				row[scale(s.Start)] = '|'
+				continue
+			}
+			for i := scale(s.Start); i <= scale(s.End); i++ {
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "%*s  %s\n", nameW, lane, row)
+	}
+	return b.String()
+}
+
+// Utilization returns, per lane, the fraction of the observed time window
+// covered by spans (instantaneous marks excluded).
+func (g *Gantt) Utilization() map[string]float64 {
+	if len(g.spans) == 0 {
+		return nil
+	}
+	lo, hi := g.spans[0].Start, g.spans[0].End
+	busy := map[string]int64{}
+	for _, s := range g.spans {
+		if s.Start < lo {
+			lo = s.Start
+		}
+		if s.End > hi {
+			hi = s.End
+		}
+		busy[s.Lane] += s.End - s.Start
+	}
+	if hi == lo {
+		return nil
+	}
+	out := make(map[string]float64, len(busy))
+	for lane, cycles := range busy {
+		out[lane] = float64(cycles) / float64(hi-lo)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mamps/internal/appmodel"
+	"mamps/internal/arch"
+	"mamps/internal/mapping"
+	"mamps/internal/sdf"
+	"mamps/internal/sim"
+	"mamps/internal/wcet"
+)
+
+func TestAddAndSpans(t *testing.T) {
+	g := New()
+	g.Add("a", "exec", 10, 20)
+	g.Add("b", "exec", 5, 8)
+	g.Add("a", "exec", 25, 20) // reversed bounds normalize
+	spans := g.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Lane != "b" || spans[0].Start != 5 {
+		t.Errorf("first span = %+v", spans[0])
+	}
+	if spans[2].Start != 20 || spans[2].End != 25 {
+		t.Errorf("normalized span = %+v", spans[2])
+	}
+}
+
+func TestWindow(t *testing.T) {
+	g := New()
+	g.Add("a", "exec", 0, 10)
+	g.Add("a", "exec", 20, 30)
+	w := g.Window(12, 25)
+	if len(w) != 1 || w[0].Start != 20 {
+		t.Fatalf("window = %+v", w)
+	}
+}
+
+func TestCollectorPairsEvents(t *testing.T) {
+	g := New()
+	c := g.Collector()
+	c("exec-start", "VLD", 100)
+	c("exec-end", "VLD", 150)
+	c("ser-done", "vld2iqzz", 160)
+	spans := g.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Lane != "VLD" || spans[0].End-spans[0].Start != 50 {
+		t.Errorf("exec span = %+v", spans[0])
+	}
+	if spans[1].Start != spans[1].End {
+		t.Errorf("mark should be instantaneous: %+v", spans[1])
+	}
+}
+
+func TestRenderAndUtilization(t *testing.T) {
+	g := New()
+	g.Add("tile0", "exec", 0, 50)
+	g.Add("tile1", "exec", 50, 100)
+	out := g.Render(40)
+	if !strings.Contains(out, "tile0") || !strings.Contains(out, "#") {
+		t.Fatalf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 lanes
+		t.Fatalf("render lines = %d:\n%s", len(lines), out)
+	}
+	util := g.Utilization()
+	if util["tile0"] < 0.45 || util["tile0"] > 0.55 {
+		t.Errorf("tile0 utilization = %v", util["tile0"])
+	}
+	// Empty chart renders gracefully.
+	if !strings.Contains(New().Render(20), "no events") {
+		t.Error("empty render")
+	}
+}
+
+// TestCollectFromSimulator wires the collector into a real platform run.
+func TestCollectFromSimulator(t *testing.T) {
+	g := sdf.NewGraph("tr")
+	a := g.AddActor("a", 40)
+	b := g.AddActor("b", 60)
+	c1 := g.Connect(a, b, 1, 1, 0)
+	c1.TokenSize = 8
+	app := appmodel.New("tr", g)
+	app.AddImpl(a, appmodel.Impl{PE: arch.MicroBlaze, WCET: 40, InstrMem: 512, DataMem: 128,
+		Fire: func(m *wcet.Meter, in [][]appmodel.Token) ([][]appmodel.Token, error) {
+			m.Add(40)
+			return [][]appmodel.Token{{1}}, nil
+		}})
+	app.AddImpl(b, appmodel.Impl{PE: arch.MicroBlaze, WCET: 60, InstrMem: 512, DataMem: 128,
+		Fire: func(m *wcet.Meter, in [][]appmodel.Token) ([][]appmodel.Token, error) {
+			m.Add(60)
+			return nil, nil
+		}})
+	plat, err := arch.DefaultTemplate().Generate("p", 2, arch.FSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapping.Map(app, plat, mapping.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := New()
+	s, err := sim.New(m, sim.Options{Iterations: 10, RefActor: "b", Trace: chart.Collector()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	spans := chart.Spans()
+	execs := 0
+	for _, sp := range spans {
+		if sp.Label == "exec" {
+			execs++
+		}
+	}
+	// 10 iterations of b plus a's firings (minus in-flight at stop).
+	if execs < 15 {
+		t.Fatalf("exec spans = %d", execs)
+	}
+	out := chart.Render(60)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

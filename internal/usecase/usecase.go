@@ -1,0 +1,142 @@
+// Package usecase implements multi-use-case platform synthesis in the
+// manner of the original MAMPS work (Kumar et al. [8], "Multiprocessor
+// systems synthesis for multiple use-cases of multiple applications on
+// FPGA"): a system supports several use-cases — applications active at
+// different times — on ONE generated hardware platform. Each use-case is
+// mapped and verified separately (only one is active at a time, so
+// use-cases do not interfere); the hardware is dimensioned for the union
+// of their needs: per-tile memories sized to the maximum over use-cases
+// and the interconnect provisioned for the union of connections.
+package usecase
+
+import (
+	"fmt"
+
+	"mamps/internal/appmodel"
+	"mamps/internal/arch"
+	"mamps/internal/area"
+	"mamps/internal/mapping"
+	"mamps/internal/platgen"
+)
+
+// UseCase is one application with its mapping options and throughput
+// requirement.
+type UseCase struct {
+	App *appmodel.App
+	// Options for the SDF3 step of this use-case.
+	Options mapping.Options
+	// MinThroughput is the use-case's constraint in iterations/cycle
+	// (0 = best effort). Synthesis fails if the verified bound is below.
+	MinThroughput float64
+}
+
+// Result is the synthesized multi-use-case system.
+type Result struct {
+	// Platform is the shared hardware, dimensioned for all use-cases.
+	Platform *arch.Platform
+	// Mappings holds the verified mapping of each use-case, in input
+	// order.
+	Mappings []*mapping.Mapping
+	// Connections is the total number of point-to-point links the shared
+	// platform must provision (the union over use-cases; a link is
+	// reusable across use-cases only if it connects the same tile pair in
+	// the same direction).
+	Connections int
+	// Area estimates the shared platform.
+	Area area.Estimate
+}
+
+// Synthesize maps every use-case onto a platform generated from the
+// template with the given tile count and interconnect, verifies each
+// use-case's throughput constraint, and dimensions the shared hardware.
+func Synthesize(cases []UseCase, tiles int, ic arch.InterconnectKind) (*Result, error) {
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("usecase: no use-cases")
+	}
+	base, err := arch.DefaultTemplate().Generate("shared", tiles, ic)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Platform: base}
+	// Union of directed tile-pair links (FSL) across use-cases.
+	links := make(map[[2]int]bool)
+	// Per-tile memory high-water marks.
+	instrMax := make([]int, tiles)
+	dataMax := make([]int, tiles)
+
+	for i := range cases {
+		uc := &cases[i]
+		m, err := mapping.Map(uc.App, base, uc.Options)
+		if err != nil {
+			return nil, fmt.Errorf("usecase: mapping %q: %w", uc.App.Name, err)
+		}
+		if uc.MinThroughput > 0 && m.Analysis.Throughput < uc.MinThroughput {
+			return nil, fmt.Errorf("usecase: %q guarantees %g, below its constraint %g",
+				uc.App.Name, m.Analysis.Throughput, uc.MinThroughput)
+		}
+		res.Mappings = append(res.Mappings, m)
+		for _, c := range uc.App.Graph.Channels() {
+			if c.IsSelfLoop() || !m.InterTile(c) {
+				continue
+			}
+			links[[2]int{m.TileOf[c.Src], m.TileOf[c.Dst]}] = true
+		}
+		for t := 0; t < tiles; t++ {
+			in, da := m.TileMemory(t)
+			if in > instrMax[t] {
+				instrMax[t] = in
+			}
+			if da > dataMax[t] {
+				dataMax[t] = da
+			}
+		}
+	}
+
+	// Dimension the shared platform: the maximum memory any use-case
+	// needs on each tile (rounded up by the platform generator later).
+	shared := &arch.Platform{
+		Name:         "shared",
+		ClockMHz:     base.ClockMHz,
+		Interconnect: base.Interconnect,
+	}
+	for t, tile := range base.Tiles {
+		nt := *tile
+		nt.InstrMem = maxInt(instrMax[t], arch.PlatformInstrOverhead)
+		nt.DataMem = maxInt(dataMax[t], arch.PlatformDataOverhead)
+		if nt.InstrMem+nt.DataMem > arch.MaxTileMemory {
+			return nil, fmt.Errorf("usecase: tile %q needs %d bytes across use-cases, above the %d limit",
+				nt.Name, nt.InstrMem+nt.DataMem, arch.MaxTileMemory)
+		}
+		shared.Tiles = append(shared.Tiles, &nt)
+	}
+	if err := shared.Validate(); err != nil {
+		return nil, err
+	}
+	res.Platform = shared
+	res.Connections = len(links)
+	res.Area = area.Platform(shared, res.Connections)
+	return res, nil
+}
+
+// Projects generates the MAMPS artifact tree of every use-case against
+// the shared platform (software differs per use-case; the hardware is
+// common).
+func (r *Result) Projects() ([]*platgen.Project, error) {
+	out := make([]*platgen.Project, 0, len(r.Mappings))
+	for _, m := range r.Mappings {
+		p, err := platgen.Generate(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+package usecase
+
+import (
+	"strings"
+	"testing"
+
+	"mamps/internal/appmodel"
+	"mamps/internal/arch"
+	"mamps/internal/sdf"
+)
+
+// analysisApp builds an analysis-only pipeline app with the given name,
+// actor count and WCET.
+func analysisApp(name string, actors int, wcet int64, tokenSize int) *appmodel.App {
+	g := sdf.NewGraph(name)
+	prev := g.AddActor(name+"0", wcet)
+	app := appmodel.New(name, g)
+	app.AddImpl(prev, appmodel.Impl{PE: arch.MicroBlaze, WCET: wcet, InstrMem: 4096, DataMem: 2048})
+	for i := 1; i < actors; i++ {
+		a := g.AddActor(name+string(rune('0'+i)), wcet)
+		c := g.Connect(prev, a, 1, 1, 0)
+		c.TokenSize = tokenSize
+		app.AddImpl(a, appmodel.Impl{PE: arch.MicroBlaze, WCET: wcet, InstrMem: 4096, DataMem: 2048})
+		prev = a
+	}
+	return app
+}
+
+func TestSynthesizeTwoUseCases(t *testing.T) {
+	cases := []UseCase{
+		{App: analysisApp("video", 3, 500, 64)},
+		{App: analysisApp("audio", 2, 200, 16)},
+	}
+	res, err := Synthesize(cases, 3, arch.FSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mappings) != 2 {
+		t.Fatalf("mappings = %d", len(res.Mappings))
+	}
+	for i, m := range res.Mappings {
+		if m.Analysis.Throughput <= 0 {
+			t.Errorf("use-case %d has no bound", i)
+		}
+	}
+	// Shared tile memory covers the max over use-cases.
+	for t2, tile := range res.Platform.Tiles {
+		for _, m := range res.Mappings {
+			in, da := m.TileMemory(t2)
+			if tile.InstrMem < in || tile.DataMem < da {
+				t.Errorf("tile %s underprovisioned for a use-case", tile.Name)
+			}
+		}
+	}
+	if res.Connections <= 0 || res.Area.Slices <= 0 {
+		t.Errorf("summary = %+v", res)
+	}
+}
+
+func TestSynthesizeThroughputConstraint(t *testing.T) {
+	cases := []UseCase{
+		{App: analysisApp("fast", 2, 100, 8), MinThroughput: 1}, // impossible: 1 iteration/cycle
+	}
+	if _, err := Synthesize(cases, 2, arch.FSL); err == nil {
+		t.Fatal("expected constraint violation")
+	}
+	cases[0].MinThroughput = 1e-6
+	if _, err := Synthesize(cases, 2, arch.FSL); err != nil {
+		t.Fatalf("feasible constraint failed: %v", err)
+	}
+}
+
+func TestSynthesizeSharedLinksAreUnion(t *testing.T) {
+	// Both use-cases bind a producer on tile0 and a consumer on tile1:
+	// the shared platform needs just one link direction.
+	o := func(app *appmodel.App) UseCase {
+		binding := map[string]int{}
+		for i, a := range app.Graph.Actors() {
+			binding[a.Name] = i % 2
+		}
+		uc := UseCase{App: app}
+		uc.Options.FixedBinding = binding
+		return uc
+	}
+	res, err := Synthesize([]UseCase{
+		o(analysisApp("u1", 2, 100, 16)),
+		o(analysisApp("u2", 2, 150, 16)),
+	}, 2, arch.FSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Connections != 1 {
+		t.Fatalf("connections = %d, want 1 (same tile pair reused)", res.Connections)
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	if _, err := Synthesize(nil, 2, arch.FSL); err == nil {
+		t.Fatal("empty use-case list should fail")
+	}
+}
+
+func TestProjects(t *testing.T) {
+	res, err := Synthesize([]UseCase{
+		{App: analysisApp("u1", 2, 100, 16)},
+		{App: analysisApp("u2", 3, 200, 16)},
+	}, 3, arch.FSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	projs, err := res.Projects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(projs) != 2 {
+		t.Fatalf("projects = %d", len(projs))
+	}
+	// Both projects target the same hardware (identical MHS modulo the
+	// per-use-case links comment blocks would differ; check tile set).
+	for _, p := range projs {
+		if !strings.Contains(p.Files["system.mhs"], "tile0_mb") {
+			t.Error("project missing shared tile")
+		}
+	}
+}

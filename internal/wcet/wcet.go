@@ -1,0 +1,185 @@
+// Package wcet provides the execution-time instrumentation of the design
+// flow: an abstract cycle meter that actor implementations charge as they
+// work, per-firing records with scenario classification (in the spirit of
+// Gheorghita et al., "Automatic scenario detection for improved WCET
+// estimation", DAC 2005), and aggregation into the actor metrics the
+// application model needs (worst-case and maximum-measured execution
+// times).
+//
+// The meter plays the role the cycle counters of the FPGA platform play in
+// the paper's measurements: every actor implementation charges a
+// platform-calibrated cost for the work it actually performs, so execution
+// times are data-dependent exactly where the real implementation's are.
+package wcet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Meter accumulates abstract execution cycles during one actor firing.
+// The zero value is ready to use.
+type Meter struct {
+	cycles int64
+}
+
+// Add charges n cycles. Negative charges are a programming error.
+func (m *Meter) Add(n int64) {
+	if n < 0 {
+		panic("wcet: negative cycle charge")
+	}
+	m.cycles += n
+}
+
+// Cycles returns the charge accumulated since the last Reset.
+func (m *Meter) Cycles() int64 { return m.cycles }
+
+// Reset clears the meter for the next firing.
+func (m *Meter) Reset() { m.cycles = 0 }
+
+// Record collects the observed execution times of one actor, classified
+// into scenarios. A scenario groups firings with similar control flow
+// (e.g. "6 coded blocks" vs "3 coded blocks"); per-scenario maxima give
+// tighter bounds than one global maximum.
+type Record struct {
+	Name      string
+	scenarios map[string]*stats
+	global    stats
+}
+
+type stats struct {
+	count    int64
+	sum      int64
+	max, min int64
+}
+
+func (s *stats) observe(c int64) {
+	if s.count == 0 || c < s.min {
+		s.min = c
+	}
+	if c > s.max {
+		s.max = c
+	}
+	s.count++
+	s.sum += c
+}
+
+// NewRecord returns an empty record for the named actor.
+func NewRecord(name string) *Record {
+	return &Record{Name: name, scenarios: make(map[string]*stats)}
+}
+
+// Observe records one firing of the given scenario.
+func (r *Record) Observe(scenario string, cycles int64) {
+	if cycles < 0 {
+		panic("wcet: negative execution time")
+	}
+	s := r.scenarios[scenario]
+	if s == nil {
+		s = &stats{}
+		r.scenarios[scenario] = s
+	}
+	s.observe(cycles)
+	r.global.observe(cycles)
+}
+
+// Count returns the number of observed firings.
+func (r *Record) Count() int64 { return r.global.count }
+
+// Max returns the maximum observed execution time (the measured
+// worst case), or 0 with no observations.
+func (r *Record) Max() int64 { return r.global.max }
+
+// Min returns the minimum observed execution time.
+func (r *Record) Min() int64 { return r.global.min }
+
+// Mean returns the mean observed execution time.
+func (r *Record) Mean() float64 {
+	if r.global.count == 0 {
+		return 0
+	}
+	return float64(r.global.sum) / float64(r.global.count)
+}
+
+// Scenarios returns the observed scenario names, sorted.
+func (r *Record) Scenarios() []string {
+	names := make([]string, 0, len(r.scenarios))
+	for n := range r.scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ScenarioMax returns the maximum observed execution time within one
+// scenario, or 0 if the scenario was never observed.
+func (r *Record) ScenarioMax(scenario string) int64 {
+	if s := r.scenarios[scenario]; s != nil {
+		return s.max
+	}
+	return 0
+}
+
+// ScenarioCount returns the number of firings observed in a scenario.
+func (r *Record) ScenarioCount(scenario string) int64 {
+	if s := r.scenarios[scenario]; s != nil {
+		return s.count
+	}
+	return 0
+}
+
+// Profile aggregates records for all actors of an application.
+type Profile struct {
+	records map[string]*Record
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{records: make(map[string]*Record)}
+}
+
+// Record returns the record for the named actor, creating it on first use.
+func (p *Profile) Record(name string) *Record {
+	r := p.records[name]
+	if r == nil {
+		r = NewRecord(name)
+		p.records[name] = r
+	}
+	return r
+}
+
+// Names returns the recorded actor names, sorted.
+func (p *Profile) Names() []string {
+	names := make([]string, 0, len(p.records))
+	for n := range p.records {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MaxTimes returns the maximum measured execution time per actor — the
+// metric set the paper's "expected" throughput analysis feeds to SDF3.
+func (p *Profile) MaxTimes() map[string]int64 {
+	out := make(map[string]int64, len(p.records))
+	for n, r := range p.records {
+		out[n] = r.Max()
+	}
+	return out
+}
+
+// CheckBounds verifies that every observation respects the given analytic
+// WCET bounds; it returns an error naming the first violating actor. This
+// is the executable form of "the WCET metrics are conservative".
+func (p *Profile) CheckBounds(bounds map[string]int64) error {
+	for _, name := range p.Names() {
+		b, ok := bounds[name]
+		if !ok {
+			continue
+		}
+		if m := p.records[name].Max(); m > b {
+			return fmt.Errorf("wcet: actor %q measured %d cycles, above its WCET bound %d", name, m, b)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package wcet
+
+import "testing"
+
+func TestMeterBasics(t *testing.T) {
+	var m Meter
+	m.Add(10)
+	m.Add(5)
+	if m.Cycles() != 15 {
+		t.Fatalf("Cycles = %d", m.Cycles())
+	}
+	m.Reset()
+	if m.Cycles() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestMeterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var m Meter
+	m.Add(-1)
+}
+
+func TestRecordStats(t *testing.T) {
+	r := NewRecord("vld")
+	r.Observe("s6", 100)
+	r.Observe("s6", 300)
+	r.Observe("s3", 50)
+	if r.Count() != 3 {
+		t.Errorf("Count = %d", r.Count())
+	}
+	if r.Max() != 300 || r.Min() != 50 {
+		t.Errorf("Max/Min = %d/%d", r.Max(), r.Min())
+	}
+	if r.Mean() != 150 {
+		t.Errorf("Mean = %v", r.Mean())
+	}
+	if r.ScenarioMax("s6") != 300 || r.ScenarioMax("s3") != 50 {
+		t.Error("scenario maxima wrong")
+	}
+	if r.ScenarioMax("missing") != 0 {
+		t.Error("missing scenario should be 0")
+	}
+	if r.ScenarioCount("s6") != 2 {
+		t.Errorf("ScenarioCount = %d", r.ScenarioCount("s6"))
+	}
+	names := r.Scenarios()
+	if len(names) != 2 || names[0] != "s3" || names[1] != "s6" {
+		t.Errorf("Scenarios = %v", names)
+	}
+}
+
+func TestRecordNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRecord("x").Observe("s", -1)
+}
+
+func TestEmptyRecord(t *testing.T) {
+	r := NewRecord("empty")
+	if r.Max() != 0 || r.Min() != 0 || r.Mean() != 0 || r.Count() != 0 {
+		t.Error("empty record should report zeros")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	p := NewProfile()
+	p.Record("b").Observe("s", 10)
+	p.Record("a").Observe("s", 20)
+	p.Record("a").Observe("s", 30)
+	names := p.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	mt := p.MaxTimes()
+	if mt["a"] != 30 || mt["b"] != 10 {
+		t.Errorf("MaxTimes = %v", mt)
+	}
+}
+
+func TestCheckBounds(t *testing.T) {
+	p := NewProfile()
+	p.Record("vld").Observe("s", 100)
+	p.Record("idct").Observe("s", 500)
+	if err := p.CheckBounds(map[string]int64{"vld": 120, "idct": 500}); err != nil {
+		t.Fatalf("bounds should hold: %v", err)
+	}
+	if err := p.CheckBounds(map[string]int64{"vld": 99}); err == nil {
+		t.Fatal("expected bound violation")
+	}
+	// Actors without bounds are ignored.
+	if err := p.CheckBounds(map[string]int64{}); err != nil {
+		t.Fatal(err)
+	}
+}
