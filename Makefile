@@ -1,0 +1,38 @@
+# Development entry points. `make ci` is exactly what the GitHub Actions
+# workflow runs.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt fmt-check bench serve ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Fails (and lists the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+serve:
+	$(GO) run ./cmd/mamps-serve
+
+ci: build vet fmt-check race

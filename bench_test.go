@@ -18,6 +18,11 @@ package mamps
 // which document the cost of each flow stage.
 
 import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"mamps/internal/arch"
@@ -27,6 +32,7 @@ import (
 	"mamps/internal/mapping"
 	"mamps/internal/mjpeg"
 	"mamps/internal/platgen"
+	"mamps/internal/service"
 	"mamps/internal/sim"
 	"mamps/internal/statespace"
 )
@@ -280,4 +286,52 @@ func BenchmarkMJPEGReferenceDecode(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServiceThroughput measures the mapping service end to end over
+// HTTP with an executing MJPEG flow request: "cold" pays the full flow
+// (mapping, generation, simulation) on a fresh cache every iteration,
+// "warm" measures the content-addressed cache hit path the service serves
+// identical requests from. The gap between the two is the cache's win.
+func BenchmarkServiceThroughput(b *testing.B) {
+	body := `{"workload":{"name":"mjpeg","width":32,"height":32,"frames":1},"tiles":5,"iterations":-1}`
+	request := func(b *testing.B, ts *httptest.Server) {
+		resp, err := http.Post(ts.URL+"/v1/flow", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := service.New(service.Config{Workers: 4})
+			ts := httptest.NewServer(s.Handler())
+			b.StartTimer()
+			request(b, ts)
+			b.StopTimer()
+			ts.Close()
+			s.Shutdown(context.Background())
+			b.StartTimer()
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		s := service.New(service.Config{Workers: 4})
+		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			ts.Close()
+			s.Shutdown(context.Background())
+		}()
+		request(b, ts) // prime the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			request(b, ts)
+		}
+	})
 }

@@ -1,29 +1,95 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation section from the reproduced flow. Select individual
 // experiments with -run (fig6a, fig6b, table1, ca, nocarea, overhead) or
-// run everything (default "all").
+// run everything (default "all"). With -json, the selected results are
+// emitted as one machine-readable document using the same encoding as
+// the mapping service's responses.
 //
 //	go run ./cmd/experiments            # everything
 //	go run ./cmd/experiments -run fig6a # one experiment
+//	go run ./cmd/experiments -json      # machine-readable
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"mamps/internal/arch"
 	"mamps/internal/experiments"
+	"mamps/internal/modelio"
 )
+
+// document is the -json output: one field per experiment, omitted when
+// the experiment was not selected.
+type document struct {
+	Fig6a  []modelio.Fig6RowJSON   `json:"fig6a,omitempty"`
+	Fig6b  []modelio.Fig6RowJSON   `json:"fig6b,omitempty"`
+	Fig6m  []modelio.Fig6RowJSON   `json:"fig6m,omitempty"`
+	Table1 []modelio.Table1RowJSON `json:"table1,omitempty"`
+	CA     *caJSON                 `json:"ca,omitempty"`
+	NoC    []nocAreaJSON           `json:"nocArea,omitempty"`
+	Ovh    *overheadJSON           `json:"commOverhead,omitempty"`
+	Bufs   []ablationJSON          `json:"bufferAblation,omitempty"`
+	FIFO   []ablationJSON          `json:"fifoAblation,omitempty"`
+}
+
+type caJSON struct {
+	PredictedPE float64 `json:"predictedPEMcusPerMcycle"`
+	PredictedCA float64 `json:"predictedCAMcusPerMcycle"`
+	GainPercent float64 `json:"gainPercent"`
+	MeasuredPE  float64 `json:"measuredPEMcusPerMcycle"`
+	MeasuredCA  float64 `json:"measuredCAMcusPerMcycle"`
+}
+
+type nocAreaJSON struct {
+	Tiles           int     `json:"tiles"`
+	MeshW           int     `json:"meshW"`
+	MeshH           int     `json:"meshH"`
+	SlicesBase      int     `json:"routerSlices"`
+	SlicesFC        int     `json:"routerSlicesFlowControl"`
+	OverheadPercent float64 `json:"overheadPercent"`
+}
+
+type overheadJSON struct {
+	SubHeaderWords int64   `json:"subHeaderWords"`
+	TotalWords     int64   `json:"totalWords"`
+	Percent        float64 `json:"percent"`
+}
+
+type ablationJSON struct {
+	Value       int     `json:"value"`
+	WorstCase   float64 `json:"worstCaseMcusPerMcycle"`
+	Measured    float64 `json:"measuredMcusPerMcycle"`
+	MemoryBytes int     `json:"memoryBytes,omitempty"`
+}
+
+func fig6JSON(rows []experiments.Fig6Row) []modelio.Fig6RowJSON {
+	out := make([]modelio.Fig6RowJSON, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, modelio.Fig6RowJSON{
+			Sequence: r.Sequence, WorstCase: r.WorstCase, Expected: r.Expected, Measured: r.Measured,
+		})
+	}
+	return out
+}
 
 func main() {
 	runFlag := flag.String("run", "all", "experiment to run: all, fig6a, fig6b, fig6m, table1, ca, nocarea, overhead, buffers, fifo")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document instead of text tables")
 	flag.Parse()
 	cfg := experiments.DefaultConfig()
 
 	want := func(name string) bool { return *runFlag == "all" || *runFlag == name }
 	ran := false
+	var doc document
+	text := func(format string, args ...any) {
+		if !*jsonOut {
+			fmt.Printf(format, args...)
+		}
+	}
 
 	if want("fig6a") {
 		ran = true
@@ -31,7 +97,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(experiments.RenderFig6(rows,
+		doc.Fig6a = fig6JSON(rows)
+		text("%s\n", experiments.RenderFig6(rows,
 			"Figure 6(a): worst-case vs expected vs measured throughput, FSL interconnect (MCUs per 10^6 cycles)"))
 	}
 	if want("fig6b") {
@@ -40,7 +107,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(experiments.RenderFig6(rows,
+		doc.Fig6b = fig6JSON(rows)
+		text("%s\n", experiments.RenderFig6(rows,
 			"Figure 6(b): worst-case vs expected vs measured throughput, NoC interconnect (MCUs per 10^6 cycles)"))
 	}
 	if want("fig6m") {
@@ -49,7 +117,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(experiments.RenderFig6(rows,
+		doc.Fig6m = fig6JSON(rows)
+		text("%s\n", experiments.RenderFig6(rows,
 			"Figure 6(a) with the paper's measurement-based WCET methodology (tight worst-case line)"))
 	}
 	if want("table1") {
@@ -58,8 +127,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println("Table 1:", strings.Repeat("-", 40))
-		fmt.Println(experiments.RenderTable1(rows))
+		for _, r := range rows {
+			doc.Table1 = append(doc.Table1, modelio.Table1RowJSON{
+				Step: r.Step, Automated: r.Automated,
+				Micros: float64(r.Elapsed.Microseconds()), Quoted: r.Quoted,
+			})
+		}
+		text("Table 1: %s\n%s\n", strings.Repeat("-", 40), experiments.RenderTable1(rows))
 	}
 	if want("ca") {
 		ran = true
@@ -67,22 +141,31 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println("Section 6.3: communication-assist ablation (same binding):")
-		fmt.Printf("  predicted throughput, PE serialization: %.4f MCU/Mcycle\n", res.PEThroughput*1e6)
-		fmt.Printf("  predicted throughput, CA serialization: %.4f MCU/Mcycle\n", res.CAThroughput*1e6)
-		fmt.Printf("  predicted gain: +%.0f%% (paper: up to 300%%)\n", res.GainPercent)
-		fmt.Printf("  simulator confirmation: PE %.4f -> CA %.4f MCU/Mcycle\n\n",
+		doc.CA = &caJSON{
+			PredictedPE: res.PEThroughput * 1e6, PredictedCA: res.CAThroughput * 1e6,
+			GainPercent: res.GainPercent,
+			MeasuredPE:  res.MeasuredPE * 1e6, MeasuredCA: res.MeasuredCA * 1e6,
+		}
+		text("Section 6.3: communication-assist ablation (same binding):\n")
+		text("  predicted throughput, PE serialization: %.4f MCU/Mcycle\n", res.PEThroughput*1e6)
+		text("  predicted throughput, CA serialization: %.4f MCU/Mcycle\n", res.CAThroughput*1e6)
+		text("  predicted gain: +%.0f%% (paper: up to 300%%)\n", res.GainPercent)
+		text("  simulator confirmation: PE %.4f -> CA %.4f MCU/Mcycle\n\n",
 			res.MeasuredPE*1e6, res.MeasuredCA*1e6)
 	}
 	if want("nocarea") {
 		ran = true
-		fmt.Println("Section 5.3.1: NoC flow-control area overhead:")
-		fmt.Printf("  %5s %6s %12s %12s %10s\n", "tiles", "mesh", "routers", "routers+FC", "overhead")
+		text("Section 5.3.1: NoC flow-control area overhead:\n")
+		text("  %5s %6s %12s %12s %10s\n", "tiles", "mesh", "routers", "routers+FC", "overhead")
 		for _, r := range experiments.NoCArea() {
-			fmt.Printf("  %5d %3dx%-3d %12d %12d %9.1f%%\n",
+			doc.NoC = append(doc.NoC, nocAreaJSON{
+				Tiles: r.Tiles, MeshW: r.MeshW, MeshH: r.MeshH,
+				SlicesBase: r.SlicesBase, SlicesFC: r.SlicesFC, OverheadPercent: r.OverheadPercent,
+			})
+			text("  %5d %3dx%-3d %12d %12d %9.1f%%\n",
 				r.Tiles, r.MeshW, r.MeshH, r.SlicesBase, r.SlicesFC, r.OverheadPercent)
 		}
-		fmt.Println()
+		text("\n")
 	}
 	if want("buffers") {
 		ran = true
@@ -90,12 +173,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println("Ablation: buffer allocation policy (iterations of tokens per channel):")
-		fmt.Printf("  %10s %12s %12s %12s\n", "iterations", "bound", "measured", "buffer bytes")
+		text("Ablation: buffer allocation policy (iterations of tokens per channel):\n")
+		text("  %10s %12s %12s %12s\n", "iterations", "bound", "measured", "buffer bytes")
 		for _, p := range pts {
-			fmt.Printf("  %10d %12.4f %12.4f %12d\n", p.Value, p.WorstCase*1e6, p.Measured*1e6, p.MemoryByte)
+			doc.Bufs = append(doc.Bufs, ablationJSON{
+				Value: p.Value, WorstCase: p.WorstCase * 1e6, Measured: p.Measured * 1e6, MemoryBytes: p.MemoryByte,
+			})
+			text("  %10d %12.4f %12.4f %12d\n", p.Value, p.WorstCase*1e6, p.Measured*1e6, p.MemoryByte)
 		}
-		fmt.Println()
+		text("\n")
 	}
 	if want("fifo") {
 		ran = true
@@ -103,12 +189,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println("Ablation: FSL FIFO depth (network buffering, w+αn of Figure 4):")
-		fmt.Printf("  %6s %12s %12s\n", "depth", "bound", "measured")
+		text("Ablation: FSL FIFO depth (network buffering, w+αn of Figure 4):\n")
+		text("  %6s %12s %12s\n", "depth", "bound", "measured")
 		for _, p := range pts {
-			fmt.Printf("  %6d %12.4f %12.4f\n", p.Value, p.WorstCase*1e6, p.Measured*1e6)
+			doc.FIFO = append(doc.FIFO, ablationJSON{
+				Value: p.Value, WorstCase: p.WorstCase * 1e6, Measured: p.Measured * 1e6,
+			})
+			text("  %6d %12.4f %12.4f\n", p.Value, p.WorstCase*1e6, p.Measured*1e6)
 		}
-		fmt.Println()
+		text("\n")
 	}
 	if want("overhead") {
 		ran = true
@@ -116,11 +205,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println("Section 6.3: subHeader modelling overhead:")
-		fmt.Printf("  subHeader words: %d of %d total (%.2f%%; paper: ~1%%)\n\n",
+		doc.Ovh = &overheadJSON{
+			SubHeaderWords: res.SubHeaderWords, TotalWords: res.TotalWords, Percent: res.Fraction * 100,
+		}
+		text("Section 6.3: subHeader modelling overhead:\n")
+		text("  subHeader words: %d of %d total (%.2f%%; paper: ~1%%)\n\n",
 			res.SubHeaderWords, res.TotalWords, res.Fraction*100)
 	}
 	if !ran {
 		log.Fatalf("unknown experiment %q", *runFlag)
+	}
+	if *jsonOut {
+		if err := modelio.EncodeJSON(os.Stdout, doc); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,77 @@
+// Command mamps-serve runs the design flow as a long-running HTTP+JSON
+// service: concurrent flow/analysis/DSE requests over a bounded worker
+// pool, a content-addressed analysis cache with single-flight
+// deduplication, Prometheus-style metrics and graceful drain on
+// SIGTERM/SIGINT.
+//
+//	mamps-serve -addr :8080 -workers 8 -queue 128 -job-timeout 60s
+//
+// Endpoints:
+//
+//	POST /v1/analyze  {"workload":{"name":"mjpeg"}, "targetThroughput":1e-4}
+//	POST /v1/flow     {"workload":{"name":"mjpeg"}, "tiles":5, "iterations":-1}
+//	POST /v1/dse      {"workload":{"name":"mjpeg"}, "maxTiles":6}
+//	GET  /healthz
+//	GET  /metrics
+//
+// See README.md for a worked curl session.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mamps/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 4, "worker pool size")
+	queue := flag.Int("queue", 64, "job queue depth")
+	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "per-job execution timeout")
+	cacheCap := flag.Int("cache-entries", 4096, "analysis cache capacity (entries)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on shutdown")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		JobTimeout:    *jobTimeout,
+		CacheCapacity: *cacheCap,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("mamps-serve listening on %s (%d workers, queue %d, job timeout %s)",
+		*addr, *workers, *queue, *jobTimeout)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("signal received, draining (deadline %s)", *drainTimeout)
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	}
+
+	// Drain: stop accepting HTTP, reject new jobs, finish in-flight ones.
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("job drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}

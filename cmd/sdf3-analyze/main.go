@@ -3,10 +3,12 @@
 // vector, worst-case self-timed throughput, and buffer sizing for a
 // throughput constraint.
 //
-//	sdf3-analyze -app app.xml [-throughput 1e-5]
+//	sdf3-analyze -app app.xml [-throughput 1e-5] [-json]
 //
-// With -demo, the tool writes a demo application model (the paper's
-// Figure 2 example) to the given path instead, as a format reference.
+// With -json the tool emits the same machine-readable document the
+// mapping service returns from POST /v1/analyze. With -demo, it writes a
+// demo application model (the paper's Figure 2 example) to the given path
+// instead, as a format reference.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"mamps/internal/appmodel"
 	"mamps/internal/arch"
 	"mamps/internal/buffer"
+	"mamps/internal/modelio"
 	"mamps/internal/statespace"
 )
 
@@ -26,6 +29,7 @@ func main() {
 	appPath := flag.String("app", "", "application model XML")
 	target := flag.Float64("throughput", 0, "throughput constraint (iterations/cycle) for buffer sizing")
 	demo := flag.String("demo", "", "write a demo application model to this path and exit")
+	jsonOut := flag.Bool("json", false, "emit the service's machine-readable JSON instead of text")
 	flag.Parse()
 
 	if *demo != "" {
@@ -45,15 +49,11 @@ func main() {
 		log.Fatal(err)
 	}
 	g := app.Graph
-	fmt.Printf("Application %q: %d actors, %d channels\n", app.Name, g.NumActors(), g.NumChannels())
 
-	q, err := g.RepetitionVector()
+	resp := modelio.AnalyzeResponseJSON{App: app.Name, Actors: g.NumActors(), Channels: g.NumChannels()}
+	resp.RepetitionVector, err = modelio.RepetitionVectorJSON(g)
 	if err != nil {
 		log.Fatal(err)
-	}
-	fmt.Println("Repetition vector:")
-	for _, a := range g.Actors() {
-		fmt.Printf("  %-16s %6d firings/iteration  (WCET %d cycles)\n", a.Name, q[a.ID], a.ExecTime)
 	}
 
 	// Throughput of the graph itself (all actors serialized per their
@@ -66,19 +66,44 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("Throughput at minimal buffers: %.6g iterations/cycle (%.4f per Mcycle)\n", thr, thr*1e6)
+	resp.Throughput = modelio.NewThroughputJSON(thr)
 
 	if *target > 0 {
 		dist, got, err := buffer.Minimize(g, *target, buffer.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("Buffer distribution for throughput >= %g (achieves %.6g):\n", *target, got)
+		resp.TargetThroughput = *target
+		resp.Achieved = modelio.NewThroughputJSON(got)
 		for _, c := range g.Channels() {
 			if c.IsSelfLoop() {
 				continue
 			}
-			fmt.Printf("  %-16s %4d tokens (%d bytes)\n", c.Name, dist[c.ID], dist[c.ID]*c.TokenSize)
+			resp.Buffers = append(resp.Buffers, modelio.BufferJSON{
+				Channel: c.Name, Tokens: dist[c.ID], Bytes: dist[c.ID] * c.TokenSize,
+			})
+		}
+	}
+
+	if *jsonOut {
+		if err := modelio.EncodeJSON(os.Stdout, resp); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("Application %q: %d actors, %d channels\n", resp.App, resp.Actors, resp.Channels)
+	fmt.Println("Repetition vector:")
+	for _, row := range resp.RepetitionVector {
+		fmt.Printf("  %-16s %6d firings/iteration  (WCET %d cycles)\n", row.Name, row.Repetitions, row.WCET)
+	}
+	fmt.Printf("Throughput at minimal buffers: %.6g iterations/cycle (%.4f per Mcycle)\n",
+		resp.Throughput.ItersPerCycle, resp.Throughput.MCUsPerMcycle)
+	if *target > 0 {
+		fmt.Printf("Buffer distribution for throughput >= %g (achieves %.6g):\n",
+			resp.TargetThroughput, resp.Achieved.ItersPerCycle)
+		for _, b := range resp.Buffers {
+			fmt.Printf("  %-16s %4d tokens (%d bytes)\n", b.Channel, b.Tokens, b.Bytes)
 		}
 	}
 }

@@ -1,0 +1,51 @@
+// Package clock abstracts the time source used for step timing and
+// service metrics. The design flow reports wall-clock step durations
+// (Table 1) and the mapping service measures request latencies; both read
+// time through the Clock interface so tests can substitute a fake source
+// and production code is robust to wall-clock jumps (Go's time.Now carries
+// a monotonic reading, which Since uses for subtraction).
+package clock
+
+import "time"
+
+// Clock is a monotonic time source.
+type Clock interface {
+	// Now returns the current time. Implementations must return values
+	// whose differences are monotonic (never negative for ordered calls).
+	Now() time.Time
+	// Since returns the time elapsed since t.
+	Since(t time.Time) time.Duration
+}
+
+// System returns the real clock backed by time.Now, whose readings carry
+// the runtime's monotonic component.
+func System() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                  { return time.Now() }
+func (systemClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Fake is a manually advanced Clock for tests. The zero value starts at
+// an arbitrary fixed epoch. Fake is not safe for concurrent use with
+// Advance; tests that share one across goroutines must synchronize.
+type Fake struct {
+	now time.Time
+}
+
+// NewFake returns a fake clock starting at start.
+func NewFake(start time.Time) *Fake { return &Fake{now: start} }
+
+// Now returns the fake's current time.
+func (f *Fake) Now() time.Time {
+	if f.now.IsZero() {
+		f.now = time.Date(2011, 3, 9, 0, 0, 0, 0, time.UTC) // PPES 2011
+	}
+	return f.now
+}
+
+// Since returns the fake elapsed time since t.
+func (f *Fake) Since(t time.Time) time.Duration { return f.Now().Sub(t) }
+
+// Advance moves the fake clock forward by d.
+func (f *Fake) Advance(d time.Duration) { f.now = f.Now().Add(d) }

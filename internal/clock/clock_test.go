@@ -1,0 +1,39 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSystemMonotonic(t *testing.T) {
+	c := System()
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("system clock went backwards: %v then %v", a, b)
+	}
+	if c.Since(a) < 0 {
+		t.Fatalf("negative Since")
+	}
+}
+
+func TestFakeAdvance(t *testing.T) {
+	f := NewFake(time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC))
+	start := f.Now()
+	f.Advance(1500 * time.Millisecond)
+	if got := f.Since(start); got != 1500*time.Millisecond {
+		t.Fatalf("Since = %v, want 1.5s", got)
+	}
+	if f.Now().Sub(start) != 1500*time.Millisecond {
+		t.Fatalf("Now did not advance")
+	}
+}
+
+func TestFakeZeroValue(t *testing.T) {
+	var f Fake
+	a := f.Now()
+	f.Advance(time.Second)
+	if f.Since(a) != time.Second {
+		t.Fatalf("zero-value fake broken")
+	}
+}

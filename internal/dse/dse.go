@@ -12,6 +12,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -20,6 +21,7 @@ import (
 	"mamps/internal/area"
 	"mamps/internal/mapping"
 	"mamps/internal/platgen"
+	"mamps/internal/service/cache"
 )
 
 // Point is one evaluated platform configuration.
@@ -61,10 +63,25 @@ type Config struct {
 	WithCA bool
 	// MapOptions applied to every mapping.
 	MapOptions mapping.Options
+
+	// Cache, if set, memoizes the binding-aware throughput analyses of
+	// the sweep under their canonical content keys, so repeated sweeps
+	// (and concurrent sweeps in the mapping service) reuse every point
+	// already analyzed instead of re-exploring its state space.
+	Cache *cache.Cache
 }
 
 // Sweep evaluates every configuration in the space.
 func Sweep(app *appmodel.App, cfg Config) ([]Point, error) {
+	return SweepContext(context.Background(), app, cfg)
+}
+
+// SweepContext evaluates every configuration in the space, honouring
+// cancellation: the context is checked before each point and threaded
+// into the state-space analyses, so even a single long verification
+// aborts promptly. On cancellation the points evaluated so far are
+// returned along with the context's error.
+func SweepContext(ctx context.Context, app *appmodel.App, cfg Config) ([]Point, error) {
 	if err := app.Validate(); err != nil {
 		return nil, err
 	}
@@ -85,6 +102,12 @@ func Sweep(app *appmodel.App, cfg Config) ([]Point, error) {
 	if cfg.WithCA {
 		caModes = []bool{false, true}
 	}
+	mo := cfg.MapOptions
+	if mo.Analyze == nil {
+		// Route every point's throughput verification through the shared
+		// cache (or, without one, just make it cancellable).
+		mo.Analyze = cache.Analyzer(cfg.Cache, ctx)
+	}
 
 	var points []Point
 	for tiles := cfg.MinTiles; tiles <= cfg.MaxTiles; tiles++ {
@@ -93,7 +116,10 @@ func Sweep(app *appmodel.App, cfg Config) ([]Point, error) {
 				continue // a NoC needs at least two routers to be meaningful
 			}
 			for _, ca := range caModes {
-				points = append(points, evaluate(app, tiles, ic, ca, cfg.MapOptions))
+				if err := ctx.Err(); err != nil {
+					return points, fmt.Errorf("dse: sweep cancelled at %d tiles: %w", tiles, err)
+				}
+				points = append(points, evaluate(app, tiles, ic, ca, mo))
 			}
 		}
 	}

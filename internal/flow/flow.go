@@ -18,14 +18,18 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"mamps/internal/appmodel"
 	"mamps/internal/arch"
+	"mamps/internal/clock"
 	"mamps/internal/mapping"
 	"mamps/internal/platgen"
+	"mamps/internal/sdf"
 	"mamps/internal/sim"
+	"mamps/internal/statespace"
 	"mamps/internal/wcet"
 )
 
@@ -57,6 +61,11 @@ type Config struct {
 	// CheckWCET aborts execution on a WCET violation (on by default in
 	// experiments; here opt-in).
 	CheckWCET bool
+
+	// Clock is the time source for the Table 1 step timings. Nil selects
+	// the system's monotonic clock; service tests inject a fake so step
+	// durations are deterministic and robust to wall-clock jumps.
+	Clock clock.Clock
 }
 
 // StepTiming records one design-flow step, as in Table 1.
@@ -90,19 +99,52 @@ type Result struct {
 // equal to "MCUs per second per MHz of platform clock".
 func MCUsPerMegacycle(thr float64) float64 { return thr * 1e6 }
 
-// Run executes the flow.
-func Run(cfg Config) (*Result, error) {
+// ContextAnalyzer returns a state-space analysis entry point that aborts
+// with statespace.ErrInterrupted once ctx is done. It is installed as
+// mapping.Options.Analyze so binding-aware verifications deep inside the
+// SDF3 step honour flow-level cancellation.
+func ContextAnalyzer(ctx context.Context) func(*sdf.Graph, statespace.Options) (statespace.Result, error) {
+	return func(g *sdf.Graph, opt statespace.Options) (statespace.Result, error) {
+		opt.Interrupt = ctx.Done()
+		return statespace.Analyze(g, opt)
+	}
+}
+
+// Run executes the flow without cancellation, on the system clock.
+func Run(cfg Config) (*Result, error) { return RunContext(context.Background(), cfg) }
+
+// RunContext executes the flow. The context is checked between steps and
+// threaded into the state-space analyses, so a cancelled or expired
+// context aborts even a long throughput verification; the error then
+// wraps ctx.Err.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.App == nil {
 		return nil, fmt.Errorf("flow: no application model")
 	}
 	if err := cfg.App.Validate(); err != nil {
 		return nil, err
 	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System()
+	}
+	// Make the deep analyses cancellable: unless the caller installed its
+	// own analyzer (e.g. the service's memoizing cache, which handles
+	// cancellation itself), wire the context into the exploration.
+	if cfg.MapOptions.Analyze == nil && ctx.Done() != nil {
+		cfg.MapOptions.Analyze = ContextAnalyzer(ctx)
+	}
 	res := &Result{}
 	step := func(name string, automated bool, f func() error) error {
-		start := time.Now()
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("flow: cancelled before %q: %w", name, err)
+		}
+		start := clk.Now()
 		err := f()
-		res.Steps = append(res.Steps, StepTiming{Name: name, Automated: automated, Elapsed: time.Since(start)})
+		res.Steps = append(res.Steps, StepTiming{Name: name, Automated: automated, Elapsed: clk.Since(start)})
+		if err == nil && ctx.Err() != nil {
+			err = fmt.Errorf("flow: cancelled during %q: %w", name, ctx.Err())
+		}
 		return err
 	}
 

@@ -70,7 +70,7 @@ func (m *Mapping) analyze(opt Options) error {
 		return err
 	}
 
-	res, err := statespace.Analyze(ex.Graph, statespace.Options{
+	res, err := opt.analyzer()(ex.Graph, statespace.Options{
 		Schedules: m.ExpandedSchedules,
 		MaxStates: 1 << 22,
 	})

@@ -61,6 +61,21 @@ type Options struct {
 	// experiment, which maps actors "to the same resources as in the
 	// original experiment".
 	FixedBinding map[string]int
+
+	// Analyze, if set, replaces the direct statespace.Analyze call of the
+	// binding-aware throughput verification. The mapping service injects
+	// a content-addressed memoizing analyzer here, which also threads
+	// cancellation (statespace.Options.Interrupt) into the exploration.
+	// The function must be semantically equivalent to statespace.Analyze.
+	Analyze func(g *sdf.Graph, opt statespace.Options) (statespace.Result, error)
+}
+
+// analyzer returns the state-space analysis entry point to use.
+func (o Options) analyzer() func(*sdf.Graph, statespace.Options) (statespace.Result, error) {
+	if o.Analyze != nil {
+		return o.Analyze
+	}
+	return statespace.Analyze
 }
 
 // Result is the outcome of the throughput verification.

@@ -1,0 +1,270 @@
+package modelio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mamps/internal/dse"
+	"mamps/internal/flow"
+	"mamps/internal/sdf"
+)
+
+// JSON interchange: the machine-readable request/response encoding of the
+// mapping service (cmd/mamps-serve), shared by the command-line tools'
+// -json output so a result looks the same whether it came over HTTP or
+// from a batch run.
+
+// WorkloadJSON names a built-in application generator instead of an
+// inline XML model. The only generator today is the paper's case study:
+// name "mjpeg", an encoded test sequence decoded by the five-actor graph.
+type WorkloadJSON struct {
+	Name    string `json:"name"`
+	Width   int    `json:"width,omitempty"`
+	Height  int    `json:"height,omitempty"`
+	Frames  int    `json:"frames,omitempty"`
+	Quality int    `json:"quality,omitempty"`
+	// Sequence selects the test sequence (gradient, plasma, synthetic,
+	// ...); empty selects gradient.
+	Sequence string `json:"sequence,omitempty"`
+}
+
+// FlowRequestJSON asks for one end-to-end flow run (Figure 1).
+type FlowRequestJSON struct {
+	// AppXML is an inline application model in the SDF3-style XML
+	// format; Workload selects a built-in generator instead. Exactly one
+	// must be set. XML models are analysis-only (no executable actors),
+	// so they cannot be combined with Iterations > 0.
+	AppXML   string        `json:"appXML,omitempty"`
+	Workload *WorkloadJSON `json:"workload,omitempty"`
+	// ArchXML is an inline architecture model; when empty a platform
+	// with Tiles tiles and the given interconnect ("fsl" or "noc") is
+	// generated from the template.
+	ArchXML      string `json:"archXML,omitempty"`
+	Tiles        int    `json:"tiles,omitempty"`
+	Interconnect string `json:"interconnect,omitempty"`
+	// Iterations to execute on the platform simulator; zero analyzes
+	// without executing.
+	Iterations int    `json:"iterations,omitempty"`
+	RefActor   string `json:"refActor,omitempty"`
+	UseCA      bool   `json:"useCA,omitempty"`
+}
+
+// AnalyzeRequestJSON asks for the SDF3-side graph analyses.
+type AnalyzeRequestJSON struct {
+	AppXML   string        `json:"appXML,omitempty"`
+	Workload *WorkloadJSON `json:"workload,omitempty"`
+	// TargetThroughput (iterations/cycle) additionally sizes buffers for
+	// the constraint when positive.
+	TargetThroughput float64 `json:"targetThroughput,omitempty"`
+}
+
+// DSERequestJSON asks for a design-space sweep.
+type DSERequestJSON struct {
+	AppXML        string        `json:"appXML,omitempty"`
+	Workload      *WorkloadJSON `json:"workload,omitempty"`
+	MinTiles      int           `json:"minTiles,omitempty"`
+	MaxTiles      int           `json:"maxTiles,omitempty"`
+	Interconnects []string      `json:"interconnects,omitempty"`
+	WithCA        bool          `json:"withCA,omitempty"`
+}
+
+// ThroughputJSON reports one throughput in both units of the paper.
+type ThroughputJSON struct {
+	ItersPerCycle float64 `json:"itersPerCycle"`
+	// MCUsPerMcycle is the Figure 6 unit: iterations per 10^6 cycles.
+	MCUsPerMcycle float64 `json:"mcusPerMcycle"`
+}
+
+// NewThroughputJSON converts iterations/cycle into the reporting pair.
+func NewThroughputJSON(thr float64) ThroughputJSON {
+	return ThroughputJSON{ItersPerCycle: thr, MCUsPerMcycle: flow.MCUsPerMegacycle(thr)}
+}
+
+// StepJSON is one Table 1 design-flow step.
+type StepJSON struct {
+	Name      string  `json:"name"`
+	Automated bool    `json:"automated"`
+	Micros    float64 `json:"micros"`
+}
+
+// StepsJSON converts the flow's step timings.
+func StepsJSON(steps []flow.StepTiming) []StepJSON {
+	out := make([]StepJSON, 0, len(steps))
+	for _, s := range steps {
+		out = append(out, StepJSON{Name: s.Name, Automated: s.Automated, Micros: float64(s.Elapsed.Microseconds())})
+	}
+	return out
+}
+
+// FlowResponseJSON is the result of one flow run.
+type FlowResponseJSON struct {
+	App          string         `json:"app"`
+	Tiles        int            `json:"tiles"`
+	Interconnect string         `json:"interconnect"`
+	WorstCase    ThroughputJSON `json:"worstCase"`
+	Expected     ThroughputJSON `json:"expected,omitempty"`
+	Measured     ThroughputJSON `json:"measured,omitempty"`
+	// Binding maps each actor to its tile index.
+	Binding map[string]int `json:"binding"`
+	Steps   []StepJSON     `json:"steps"`
+	// Cached reports that the response was served from the analysis
+	// cache rather than computed for this request.
+	Cached    bool    `json:"cached"`
+	ElapsedMS float64 `json:"elapsedMS"`
+}
+
+// NewFlowResponseJSON flattens a flow result into its wire form.
+func NewFlowResponseJSON(res *flow.Result) FlowResponseJSON {
+	g := res.Mapping.App.Graph
+	binding := make(map[string]int, g.NumActors())
+	for _, a := range g.Actors() {
+		binding[a.Name] = res.Mapping.TileOf[a.ID]
+	}
+	return FlowResponseJSON{
+		App:          res.Mapping.App.Name,
+		Tiles:        len(res.Platform.Tiles),
+		Interconnect: res.Platform.Interconnect.Kind.String(),
+		WorstCase:    NewThroughputJSON(res.WorstCase),
+		Expected:     NewThroughputJSON(res.Expected),
+		Measured:     NewThroughputJSON(res.Measured),
+		Binding:      binding,
+		Steps:        StepsJSON(res.Steps),
+	}
+}
+
+// ActorJSON is one repetition-vector row.
+type ActorJSON struct {
+	Name        string `json:"name"`
+	Repetitions int64  `json:"repetitions"`
+	WCET        int64  `json:"wcet"`
+}
+
+// BufferJSON is one channel of a buffer distribution.
+type BufferJSON struct {
+	Channel string `json:"channel"`
+	Tokens  int    `json:"tokens"`
+	Bytes   int    `json:"bytes"`
+}
+
+// AnalyzeResponseJSON is the result of the graph analyses.
+type AnalyzeResponseJSON struct {
+	App              string         `json:"app"`
+	Actors           int            `json:"actors"`
+	Channels         int            `json:"channels"`
+	RepetitionVector []ActorJSON    `json:"repetitionVector"`
+	Throughput       ThroughputJSON `json:"throughput"`
+	// TargetThroughput and Buffers are present when buffer sizing for a
+	// constraint was requested; Achieved is the throughput the returned
+	// distribution reaches.
+	TargetThroughput float64        `json:"targetThroughput,omitempty"`
+	Achieved         ThroughputJSON `json:"achieved,omitempty"`
+	Buffers          []BufferJSON   `json:"buffers,omitempty"`
+	Cached           bool           `json:"cached"`
+	ElapsedMS        float64        `json:"elapsedMS"`
+}
+
+// RepetitionVectorJSON builds the repetition-vector rows of a graph.
+func RepetitionVectorJSON(g *sdf.Graph) ([]ActorJSON, error) {
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ActorJSON, 0, g.NumActors())
+	for _, a := range g.Actors() {
+		rows = append(rows, ActorJSON{Name: a.Name, Repetitions: q[a.ID], WCET: a.ExecTime})
+	}
+	return rows, nil
+}
+
+// DSEPointJSON is one explored platform configuration.
+type DSEPointJSON struct {
+	Label        string         `json:"label"`
+	Tiles        int            `json:"tiles"`
+	Interconnect string         `json:"interconnect"`
+	CA           bool           `json:"ca,omitempty"`
+	Throughput   ThroughputJSON `json:"throughput"`
+	Slices       int            `json:"slices"`
+	BRAMs        int            `json:"brams"`
+	Pareto       bool           `json:"pareto,omitempty"`
+	Error        string         `json:"error,omitempty"`
+}
+
+// DSEResponseJSON is the result of a sweep.
+type DSEResponseJSON struct {
+	App       string         `json:"app"`
+	Points    []DSEPointJSON `json:"points"`
+	Cached    bool           `json:"cached"`
+	ElapsedMS float64        `json:"elapsedMS"`
+}
+
+// NewDSEResponseJSON flattens sweep points, marking the Pareto front.
+func NewDSEResponseJSON(app string, points []dse.Point) DSEResponseJSON {
+	onFront := make(map[string]bool)
+	for _, p := range dse.ParetoFront(points) {
+		onFront[p.Label()] = true
+	}
+	resp := DSEResponseJSON{App: app}
+	for _, p := range points {
+		pj := DSEPointJSON{
+			Label:        p.Label(),
+			Tiles:        p.Tiles,
+			Interconnect: p.Interconnect.String(),
+			CA:           p.UseCA,
+			Throughput:   NewThroughputJSON(p.Throughput),
+			Slices:       p.Area.Slices,
+			BRAMs:        p.Area.BRAMs,
+			Pareto:       onFront[p.Label()],
+		}
+		if p.Err != nil {
+			pj.Error = p.Err.Error()
+		}
+		resp.Points = append(resp.Points, pj)
+	}
+	return resp
+}
+
+// Fig6RowJSON is one bar group of the paper's Figure 6; throughputs are
+// in the figure's unit, MCUs per 10^6 cycles.
+type Fig6RowJSON struct {
+	Sequence  string  `json:"sequence"`
+	WorstCase float64 `json:"worstCase"`
+	Expected  float64 `json:"expected"`
+	Measured  float64 `json:"measured"`
+}
+
+// Table1RowJSON is one design-flow step of the paper's Table 1. Manual
+// steps carry the paper's quoted effort instead of a measured time.
+type Table1RowJSON struct {
+	Step      string  `json:"step"`
+	Automated bool    `json:"automated"`
+	Micros    float64 `json:"micros,omitempty"`
+	Quoted    string  `json:"quoted,omitempty"`
+}
+
+// ErrorJSON is the error envelope of the service.
+type ErrorJSON struct {
+	Error string `json:"error"`
+}
+
+// EncodeJSON writes v as indented JSON, the output format of both the
+// service and the -json command-line flags.
+func EncodeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("modelio: encoding JSON: %w", err)
+	}
+	return nil
+}
+
+// DecodeJSON reads one JSON value, rejecting unknown fields so request
+// typos fail loudly instead of silently selecting defaults.
+func DecodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("modelio: decoding JSON: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package modelio
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mamps/internal/sdf"
+)
+
+func TestJSONRequestRoundTrip(t *testing.T) {
+	in := FlowRequestJSON{
+		Workload:     &WorkloadJSON{Name: "mjpeg", Width: 48, Height: 32, Frames: 2, Sequence: "gradient"},
+		Tiles:        5,
+		Interconnect: "fsl",
+		Iterations:   -1,
+		RefActor:     "Raster",
+		UseCA:        true,
+	}
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out FlowRequestJSON
+	if err := DecodeJSON(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Workload == nil || *out.Workload != *in.Workload {
+		t.Fatalf("workload round trip: %+v", out.Workload)
+	}
+	out.Workload = in.Workload
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestDecodeJSONRejectsUnknownFields(t *testing.T) {
+	var req AnalyzeRequestJSON
+	err := DecodeJSON(strings.NewReader(`{"targetThrouhgput": 1e-4}`), &req)
+	if err == nil {
+		t.Fatal("typoed field decoded silently")
+	}
+	if !strings.Contains(err.Error(), "targetThrouhgput") {
+		t.Fatalf("error does not name the unknown field: %v", err)
+	}
+}
+
+func TestNewThroughputJSON(t *testing.T) {
+	thr := NewThroughputJSON(1.25e-5)
+	if thr.ItersPerCycle != 1.25e-5 || thr.MCUsPerMcycle != 12.5 {
+		t.Fatalf("%+v", thr)
+	}
+}
+
+func TestRepetitionVectorJSON(t *testing.T) {
+	g := sdf.NewGraph("g")
+	a := g.AddActor("A", 40)
+	b := g.AddActor("B", 25)
+	g.Connect(a, b, 2, 1, 0)
+	g.Connect(b, a, 1, 2, 2)
+	rows, err := RepetitionVectorJSON(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]ActorJSON{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if byName["A"].Repetitions != 1 || byName["B"].Repetitions != 2 {
+		t.Fatalf("repetition vector: %+v", byName)
+	}
+	if byName["A"].WCET != 40 {
+		t.Fatalf("WCET: %+v", byName["A"])
+	}
+
+	// Inconsistent rates surface the underlying error.
+	bad := sdf.NewGraph("bad")
+	x := bad.AddActor("X", 1)
+	y := bad.AddActor("Y", 1)
+	bad.Connect(x, y, 2, 1, 0)
+	bad.Connect(x, y, 1, 1, 0)
+	if _, err := RepetitionVectorJSON(bad); err == nil {
+		t.Fatal("inconsistent graph produced a repetition vector")
+	}
+}
+
+// TestResponseOmitsEmpty: optional response fields stay out of the wire
+// form when unset, so analysis-only flow responses don't show zero-valued
+// measured throughput as if it were a result.
+func TestResponseOmitsEmpty(t *testing.T) {
+	resp := AnalyzeResponseJSON{App: "x", Actors: 1}
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"targetThroughput", "buffers"} {
+		if _, ok := m[absent]; ok {
+			t.Errorf("field %q serialized despite being unset", absent)
+		}
+	}
+	for _, present := range []string{"app", "actors", "cached", "elapsedMS"} {
+		if _, ok := m[present]; !ok {
+			t.Errorf("field %q missing", present)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package cache implements the content-addressed analysis cache of the
+// mapping service: deterministic, pure analysis results (state-space
+// throughput, buffer sizing, whole mapping/flow responses) memoized under
+// canonical content keys, with single-flight deduplication so N identical
+// concurrent requests trigger exactly one computation.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"mamps/internal/sdf"
+	"mamps/internal/statespace"
+)
+
+// DefaultCapacity is the entry bound used when New is given a
+// non-positive capacity.
+const DefaultCapacity = 4096
+
+// Stats is a snapshot of the cache counters (JSON names match the
+// service's camelCase response convention).
+type Stats struct {
+	// Hits counts lookups answered from a completed entry.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that had to compute.
+	Misses uint64 `json:"misses"`
+	// Dedup counts lookups that joined an in-flight computation instead
+	// of starting their own (the single-flight savings).
+	Dedup uint64 `json:"dedup"`
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64 `json:"evictions"`
+	// Entries and InFlight are current sizes, not counters.
+	Entries  int `json:"entries"`
+	InFlight int `json:"inFlight"`
+}
+
+// entry is a completed, cached value.
+type entry struct {
+	key string
+	val any
+}
+
+// call is an in-flight computation that followers can wait on.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache is a bounded, content-addressed memoization cache with
+// single-flight deduplication. All methods are safe for concurrent use.
+//
+// Errors are never cached: a failed computation is retried by the next
+// caller. If the goroutine computing a key is cancelled, followers waiting
+// on that key receive its error (typically statespace.ErrInterrupted) and
+// the next request recomputes.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recently used; values are *entry
+	entries  map[string]*list.Element
+	inflight map[string]*call
+	stats    Stats
+}
+
+// New returns a cache bounded to capacity completed entries (LRU
+// eviction). A non-positive capacity selects DefaultCapacity.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Get returns the cached value for key, if present, marking it recently
+// used. It does not join in-flight computations.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Do returns the value for key, computing it with fn on a miss. Identical
+// concurrent keys are deduplicated: one caller (the leader) runs fn, the
+// others block until it finishes or their own context is done. hit
+// reports whether the value was obtained without running fn in this call
+// (a completed entry or a joined in-flight computation).
+//
+// fn runs on the leader's goroutine, so it should honour the leader's
+// context itself (e.g. via statespace.Options.Interrupt).
+func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (val any, hit bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if cl, ok := c.inflight[key]; ok {
+		c.stats.Dedup++
+		c.mu.Unlock()
+		select {
+		case <-cl.done:
+			return cl.val, true, cl.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	defer func() {
+		if p := recover(); p != nil {
+			// Propagate the panic but first release the followers, or
+			// they would block forever on a key nobody is computing.
+			cl.err = fmt.Errorf("cache: computation for key %.16s… panicked: %v", key, p)
+			c.finish(key, cl, false)
+			panic(p)
+		}
+	}()
+	cl.val, cl.err = fn()
+	c.finish(key, cl, cl.err == nil)
+	return cl.val, false, cl.err
+}
+
+// finish publishes a completed call and stores it on success.
+func (c *Cache) finish(key string, cl *call, store bool) {
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if store {
+		el := c.lru.PushFront(&entry{key: key, val: cl.val})
+		c.entries[key] = el
+		for c.lru.Len() > c.capacity {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.entries, oldest.Value.(*entry).key)
+			c.stats.Evictions++
+		}
+	}
+	c.mu.Unlock()
+	close(cl.done)
+}
+
+// Len returns the number of completed entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	s.InFlight = len(c.inflight)
+	return s
+}
+
+// Analyzer returns a state-space analysis entry point, suitable for
+// mapping.Options.Analyze, that memoizes results in c under their
+// canonical content key and threads ctx into the exploration so long
+// analyses are cancellable. A nil cache degrades to an uncached but still
+// cancellable analyzer. Analyses with an OnComplete trace hook bypass the
+// cache: their value is the side effects, which a memoized result cannot
+// replay.
+//
+// Cached results have MaxTokens stripped: canonical keys are invariant
+// under channel declaration reordering, so channel-ID-indexed data from
+// one graph cannot be replayed onto an equal-keyed graph that numbers its
+// channels differently.
+func Analyzer(c *Cache, ctx context.Context) func(*sdf.Graph, statespace.Options) (statespace.Result, error) {
+	return func(g *sdf.Graph, opt statespace.Options) (statespace.Result, error) {
+		if c == nil || opt.OnComplete != nil {
+			opt.Interrupt = ctx.Done()
+			return statespace.Analyze(g, opt)
+		}
+		key := AnalysisKey(g, opt)
+		v, _, err := c.Do(ctx, key, func() (any, error) {
+			opt.Interrupt = ctx.Done()
+			r, err := statespace.Analyze(g, opt)
+			if err != nil {
+				return nil, err
+			}
+			r.MaxTokens = nil
+			return r, nil
+		})
+		if err != nil {
+			return statespace.Result{}, err
+		}
+		return v.(statespace.Result), nil
+	}
+}

@@ -1,0 +1,220 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mamps/internal/sdf"
+	"mamps/internal/statespace"
+)
+
+// TestSingleFlight is the acceptance test of the dedup guarantee: N
+// goroutines requesting one key trigger exactly one computation. Run
+// under -race it also exercises the cache's synchronization.
+func TestSingleFlight(t *testing.T) {
+	const n = 64
+	c := New(16)
+	var computations atomic.Int64
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	hits := make([]bool, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-started
+			results[i], hits[i], errs[i] = c.Do(context.Background(), "k", func() (any, error) {
+				computations.Add(1)
+				time.Sleep(20 * time.Millisecond) // let the others pile up
+				return 42, nil
+			})
+		}(i)
+	}
+	close(started)
+	wg.Wait()
+
+	if got := computations.Load(); got != 1 {
+		t.Fatalf("computed %d times, want 1", got)
+	}
+	leaders := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if results[i] != 42 {
+			t.Fatalf("goroutine %d: got %v", i, results[i])
+		}
+		if !hits[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders (hit=false), want exactly 1", leaders)
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Dedup != n-1 {
+		t.Fatalf("hits %d + dedup %d != %d", st.Hits, st.Dedup, n-1)
+	}
+}
+
+func TestGetAndLRUEviction(t *testing.T) {
+	c := New(2)
+	ctx := context.Background()
+	put := func(k string, v int) {
+		if _, _, err := c.Do(ctx, k, func() (any, error) { return v, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a", 1)
+	put("b", 2)
+	if _, ok := c.Get("a"); !ok { // touch a so b is now least recent
+		t.Fatal("a missing")
+	}
+	put("c", 3) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should be cached", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(4)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	calls := 0
+	fn := func() (any, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return "ok", nil
+	}
+	if _, _, err := c.Do(ctx, "k", fn); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, hit, err := c.Do(ctx, "k", fn)
+	if err != nil || v != "ok" || hit {
+		t.Fatalf("retry: v=%v hit=%v err=%v", v, hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+func TestFollowerHonoursItsContext(t *testing.T) {
+	c := New(4)
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), "k", func() (any, error) {
+			close(leaderIn)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, _, err := c.Do(ctx, "k", func() (any, error) { return 2, nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	close(release)
+}
+
+func TestPanicReleasesFollowers(t *testing.T) {
+	c := New(4)
+	leaderIn := make(chan struct{})
+	followerErr := make(chan error, 1)
+	go func() {
+		defer func() { recover() }()
+		c.Do(context.Background(), "k", func() (any, error) {
+			close(leaderIn)
+			time.Sleep(10 * time.Millisecond)
+			panic("kaboom")
+		})
+	}()
+	<-leaderIn
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", func() (any, error) { return 1, nil })
+		followerErr <- err
+	}()
+	select {
+	case err := <-followerErr:
+		if err == nil {
+			t.Fatal("follower got nil error from panicked leader")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("follower deadlocked on panicked leader")
+	}
+}
+
+// chainGraph builds a simple pipeline with a state self-loop on the head.
+func chainGraph(execTimes ...int64) *sdf.Graph {
+	g := sdf.NewGraph("chain")
+	var prev *sdf.Actor
+	for i, et := range execTimes {
+		a := g.AddActor(fmt.Sprintf("a%d", i), et)
+		g.AddStateChannel(a)
+		if prev != nil {
+			ch := g.Connect(prev, a, 1, 1, 0)
+			ch.Name = fmt.Sprintf("c%d", i)
+			back := g.Connect(a, prev, 1, 1, 2)
+			back.Name = fmt.Sprintf("s%d", i)
+		}
+		prev = a
+	}
+	return g
+}
+
+func TestAnalyzerMemoizesAndCancels(t *testing.T) {
+	c := New(16)
+	g := chainGraph(3, 5, 2)
+	an := Analyzer(c, context.Background())
+
+	r1, err := an(g, statespace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := an(g, statespace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Throughput != r2.Throughput || r1.Throughput <= 0 {
+		t.Fatalf("throughputs differ or zero: %v vs %v", r1.Throughput, r2.Throughput)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit 1 miss", st)
+	}
+
+	// A cancelled context aborts an uncached analysis.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	other := chainGraph(7, 7) // different key, so no cache rescue
+	if _, err := Analyzer(c, ctx)(other, statespace.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// A nil cache still works (uncached, cancellable).
+	if _, err := Analyzer(nil, context.Background())(other, statespace.Options{}); err != nil {
+		t.Fatalf("nil-cache analyzer: %v", err)
+	}
+}

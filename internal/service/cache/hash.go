@@ -1,0 +1,223 @@
+// Canonical content hashing for the analysis cache.
+//
+// The cache is content-addressed: a key is the SHA-256 of a canonical
+// serialization of the model a result was computed from. Canonical means
+// independent of declaration order — an SDF graph hashes the same however
+// its actors and channels were added, because the timed semantics of the
+// graph do not depend on that order. Actor identity is the actor *name*
+// (unique within a graph); channels are hashed as a sorted multiset of
+// endpoint/rate/token attribute tuples with their (often auto-generated,
+// order-dependent) names excluded.
+//
+// Consequence: two graphs with equal keys may still number their channels
+// differently, so cached results must not carry channel-ID-indexed data;
+// Analyzer strips statespace.Result.MaxTokens for this reason.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+	"sort"
+
+	"mamps/internal/appmodel"
+	"mamps/internal/arch"
+	"mamps/internal/mapping"
+	"mamps/internal/sdf"
+	"mamps/internal/statespace"
+)
+
+// Hasher accumulates a canonical serialization and produces a cache key.
+// The zero value is not usable; construct with NewHasher.
+type Hasher struct {
+	h   hash.Hash
+	buf [binary.MaxVarintLen64]byte
+}
+
+// NewHasher returns a Hasher seeded with a domain-separation tag, so keys
+// from different request kinds can never collide even over identical
+// payloads.
+func NewHasher(domain string) *Hasher {
+	h := &Hasher{h: sha256.New()}
+	h.String(domain)
+	return h
+}
+
+// String appends a length-prefixed string.
+func (h *Hasher) String(s string) *Hasher {
+	h.Int(int64(len(s)))
+	h.h.Write([]byte(s))
+	return h
+}
+
+// Int appends a varint.
+func (h *Hasher) Int(v int64) *Hasher {
+	n := binary.PutVarint(h.buf[:], v)
+	h.h.Write(h.buf[:n])
+	return h
+}
+
+// Float appends a float64 by its IEEE-754 bit pattern.
+func (h *Hasher) Float(v float64) *Hasher {
+	binary.BigEndian.PutUint64(h.buf[:8], math.Float64bits(v))
+	h.h.Write(h.buf[:8])
+	return h
+}
+
+// Bool appends a boolean.
+func (h *Hasher) Bool(v bool) *Hasher {
+	if v {
+		return h.Int(1)
+	}
+	return h.Int(0)
+}
+
+// Strings appends a length-prefixed list of strings in the given order.
+func (h *Hasher) Strings(ss []string) *Hasher {
+	h.Int(int64(len(ss)))
+	for _, s := range ss {
+		h.String(s)
+	}
+	return h
+}
+
+// Sum returns the accumulated key as a hex string. The Hasher remains
+// usable; further writes extend the serialization.
+func (h *Hasher) Sum() string { return hex.EncodeToString(h.h.Sum(nil)) }
+
+// Graph appends the canonical form of an SDF graph: actors sorted by
+// name with their timing attributes, then the channel attribute multiset
+// sorted lexicographically. Declaration order and channel names do not
+// influence the result.
+func (h *Hasher) Graph(g *sdf.Graph) *Hasher {
+	h.String("graph")
+	names := g.SortedActorNames()
+	h.Int(int64(len(names)))
+	for _, name := range names {
+		a := g.ActorByName(name)
+		h.String(name).Int(a.ExecTime).Int(int64(a.MaxConcurrent))
+	}
+	lines := make([]string, 0, g.NumChannels())
+	for _, c := range g.Channels() {
+		var lh Hasher
+		lh.h = sha256.New()
+		lh.String(g.Actor(c.Src).Name).String(g.Actor(c.Dst).Name).
+			Int(int64(c.SrcRate)).Int(int64(c.DstRate)).
+			Int(int64(c.InitialTokens)).Int(int64(c.TokenSize))
+		lines = append(lines, lh.Sum())
+	}
+	sort.Strings(lines)
+	return h.Strings(lines)
+}
+
+// Schedules appends static-order schedules as actor-name sequences. The
+// order of schedules in the list is canonicalized (sorted); the order of
+// entries within a schedule is semantic and preserved. Tile labels only
+// affect report text and are excluded.
+func (h *Hasher) Schedules(g *sdf.Graph, scheds []statespace.Schedule) *Hasher {
+	h.String("schedules")
+	lines := make([]string, 0, len(scheds))
+	for _, s := range scheds {
+		var lh Hasher
+		lh.h = sha256.New()
+		lh.Int(int64(len(s.Prologue)))
+		for _, id := range s.Prologue {
+			lh.String(g.Actor(id).Name)
+		}
+		lh.Int(int64(len(s.Entries)))
+		for _, id := range s.Entries {
+			lh.String(g.Actor(id).Name)
+		}
+		lines = append(lines, lh.Sum())
+	}
+	sort.Strings(lines)
+	return h.Strings(lines)
+}
+
+// App appends an application model: its graph plus the per-actor
+// implementation metrics (function pointers are behaviour, not content,
+// and are excluded — the analyses never call them).
+func (h *Hasher) App(app *appmodel.App) *Hasher {
+	h.String("app").Float(app.TargetThroughput).Graph(app.Graph)
+	for _, name := range app.Graph.SortedActorNames() {
+		a := app.Graph.ActorByName(name)
+		impls := append([]appmodel.Impl(nil), app.Impls[a.ID]...)
+		sort.Slice(impls, func(i, j int) bool { return impls[i].PE < impls[j].PE })
+		h.String(name).Int(int64(len(impls)))
+		for _, im := range impls {
+			h.String(string(im.PE)).Int(im.WCET).
+				Int(int64(im.InstrMem)).Int(int64(im.DataMem)).
+				Bool(im.NeedsPeripherals)
+		}
+	}
+	return h
+}
+
+// Platform appends an architecture model. Tile order is semantic (bindings
+// and schedules refer to tile indices) and preserved; the platform name is
+// presentation only and excluded.
+func (h *Hasher) Platform(p *arch.Platform) *Hasher {
+	h.String("platform").Int(int64(p.ClockMHz)).Int(int64(len(p.Tiles)))
+	for _, t := range p.Tiles {
+		periphs := append([]string(nil), t.Peripherals...)
+		sort.Strings(periphs)
+		h.Int(int64(t.Kind)).String(string(t.PE)).
+			Int(int64(t.InstrMem)).Int(int64(t.DataMem)).
+			Bool(t.HasCA).Strings(periphs)
+	}
+	ic := p.Interconnect
+	h.Int(int64(ic.Kind)).Int(int64(ic.FIFODepth)).
+		Int(int64(ic.WiresPerLink)).Int(int64(ic.HopLatency)).Bool(ic.FlowControl)
+	return h
+}
+
+// MapOptions appends the mapping parameters that steer the SDF3 step.
+// The Analyze hook is plumbing, not content, and is excluded.
+func (h *Hasher) MapOptions(o mapping.Options) *Hasher {
+	h.String("mapopts").
+		Float(o.Weights.Processing).Float(o.Weights.Memory).
+		Float(o.Weights.Communication).Float(o.Weights.Latency).
+		Bool(o.UseCA).Int(int64(o.BufferIterations))
+	h.sortedInt64Map("exectimes", o.ExecTimes)
+	fixed := make(map[string]int64, len(o.FixedBinding))
+	for k, v := range o.FixedBinding {
+		fixed[k] = int64(v)
+	}
+	h.sortedInt64Map("binding", fixed)
+	return h
+}
+
+func (h *Hasher) sortedInt64Map(tag string, m map[string]int64) {
+	h.String(tag).Int(int64(len(m)))
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.String(k).Int(m[k])
+	}
+}
+
+// GraphKey returns the canonical content key of an SDF graph.
+func GraphKey(g *sdf.Graph) string { return NewHasher("mamps/graph/v1").Graph(g).Sum() }
+
+// AnalysisKey returns the content key of one state-space analysis: the
+// canonical graph, the schedules, and the reference actor. MaxStates is a
+// resource bound, not content (a successful result is identical for any
+// sufficient bound), and the Interrupt/OnComplete hooks are plumbing; all
+// three are excluded.
+func AnalysisKey(g *sdf.Graph, opt statespace.Options) string {
+	h := NewHasher("mamps/analysis/v1").Graph(g).Schedules(g, opt.Schedules)
+	h.String(g.Actor(opt.ReferenceActor).Name)
+	return h.Sum()
+}
+
+// MappingKey returns the content key of a full SDF3 mapping run over
+// (application, platform, options) — the triple the paper's flow feeds to
+// the mapping step.
+func MappingKey(app *appmodel.App, p *arch.Platform, opt mapping.Options) string {
+	return NewHasher("mamps/mapping/v1").App(app).Platform(p).MapOptions(opt).Sum()
+}

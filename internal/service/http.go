@@ -1,0 +1,311 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"mamps/internal/arch"
+	"mamps/internal/buffer"
+	"mamps/internal/dse"
+	"mamps/internal/flow"
+	"mamps/internal/modelio"
+	"mamps/internal/service/cache"
+	"mamps/internal/statespace"
+)
+
+// Handler returns the service's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	mux.HandleFunc("POST /v1/flow", s.instrument("flow", s.handleFlow))
+	mux.HandleFunc("POST /v1/dse", s.instrument("dse", s.handleDSE))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// statusRecorder captures the response code for the request metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with latency and status-code metrics.
+func (s *Server) instrument(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := s.clk.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		fn(rec, r)
+		s.metrics.observeRequest(endpoint, rec.code, s.clk.Since(start))
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = modelio.EncodeJSON(w, v)
+}
+
+// writeError maps service and compute errors to status codes: queue
+// pressure and drain are 503 (retryable), timeouts 504, infeasible or
+// invalid models 422.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := http.StatusUnprocessableEntity
+	switch {
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, statespace.ErrInterrupted):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, modelio.ErrorJSON{Error: err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	code := http.StatusOK
+	if st.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, []gauge{
+		{name: "mamps_workers", help: "Size of the worker pool.", value: float64(st.Workers)},
+		{name: "mamps_workers_busy", help: "Workers currently executing a job.", value: float64(st.BusyWork)},
+		{name: "mamps_queue_depth", help: "Jobs waiting for a worker.", value: float64(st.QueueDepth)},
+		{name: "mamps_queue_capacity", help: "Bound of the job queue.", value: float64(st.QueueCap)},
+		{name: "mamps_cache_entries", help: "Completed entries in the analysis cache.", value: float64(st.Cache.Entries)},
+		{name: "mamps_cache_hits_total", help: "Cache lookups answered from a completed entry.", value: float64(st.Cache.Hits), counter: true},
+		{name: "mamps_cache_misses_total", help: "Cache lookups that computed.", value: float64(st.Cache.Misses), counter: true},
+		{name: "mamps_cache_dedup_total", help: "Lookups that joined an in-flight computation.", value: float64(st.Cache.Dedup), counter: true},
+		{name: "mamps_cache_evictions_total", help: "Entries dropped by the LRU bound.", value: float64(st.Cache.Evictions), counter: true},
+		{name: "mamps_uptime_seconds", help: "Time since the server started.", value: st.UptimeSec},
+	})
+}
+
+// elapsedMS measures a handler's wall time for the response envelope.
+func (s *Server) elapsedMS(start time.Time) float64 {
+	return float64(s.clk.Since(start).Microseconds()) / 1000
+}
+
+// ---- /v1/analyze ----
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	start := s.clk.Now()
+	var req modelio.AnalyzeRequestJSON
+	if err := modelio.DecodeJSON(r.Body, &req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, modelio.ErrorJSON{Error: err.Error()})
+		return
+	}
+	h := cache.NewHasher("mamps/req/analyze/v1")
+	workloadHash(h, req.AppXML, req.Workload)
+	h.Float(req.TargetThroughput)
+
+	val, hit, err := s.submit(r.Context(), h.Sum(), func(ctx context.Context) (any, error) {
+		return analyzeJob(ctx, req)
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := val.(modelio.AnalyzeResponseJSON)
+	resp.Cached = hit
+	resp.ElapsedMS = s.elapsedMS(start)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func analyzeJob(ctx context.Context, req modelio.AnalyzeRequestJSON) (any, error) {
+	built, err := resolveApp(req.AppXML, req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	g := built.app.Graph
+	resp := modelio.AnalyzeResponseJSON{App: built.app.Name, Actors: g.NumActors(), Channels: g.NumChannels()}
+	resp.RepetitionVector, err = modelio.RepetitionVectorJSON(g)
+	if err != nil {
+		return nil, err
+	}
+	// Throughput with every actor serialized (each bound to one PE), at
+	// the per-channel lower-bound buffers — the baseline the CLI reports.
+	for _, a := range g.Actors() {
+		a.MaxConcurrent = 1
+	}
+	sopt := statespace.Options{Interrupt: ctx.Done()}
+	thr, err := buffer.Evaluate(g, buffer.LowerBounds(g), sopt)
+	if err != nil {
+		return nil, err
+	}
+	resp.Throughput = modelio.NewThroughputJSON(thr)
+
+	if req.TargetThroughput > 0 {
+		dist, got, err := buffer.Minimize(g, req.TargetThroughput, buffer.Options{Analysis: sopt})
+		if err != nil {
+			return nil, err
+		}
+		resp.TargetThroughput = req.TargetThroughput
+		resp.Achieved = modelio.NewThroughputJSON(got)
+		for _, c := range g.Channels() {
+			if c.IsSelfLoop() {
+				continue
+			}
+			resp.Buffers = append(resp.Buffers, modelio.BufferJSON{
+				Channel: c.Name, Tokens: dist[c.ID], Bytes: dist[c.ID] * c.TokenSize,
+			})
+		}
+	}
+	return resp, nil
+}
+
+// ---- /v1/flow ----
+
+func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
+	start := s.clk.Now()
+	var req modelio.FlowRequestJSON
+	if err := modelio.DecodeJSON(r.Body, &req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, modelio.ErrorJSON{Error: err.Error()})
+		return
+	}
+	h := cache.NewHasher("mamps/req/flow/v1")
+	workloadHash(h, req.AppXML, req.Workload)
+	h.String(req.ArchXML).Int(int64(req.Tiles)).String(req.Interconnect).
+		Int(int64(req.Iterations)).String(req.RefActor).Bool(req.UseCA)
+
+	val, hit, err := s.submit(r.Context(), h.Sum(), func(ctx context.Context) (any, error) {
+		return s.flowJob(ctx, req)
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := val.(modelio.FlowResponseJSON)
+	resp.Cached = hit
+	resp.ElapsedMS = s.elapsedMS(start)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func parseInterconnect(name string) (arch.InterconnectKind, error) {
+	switch name {
+	case "", "fsl":
+		return arch.FSL, nil
+	case "noc":
+		return arch.NoC, nil
+	default:
+		return 0, fmt.Errorf("unknown interconnect %q (fsl or noc)", name)
+	}
+}
+
+func (s *Server) flowJob(ctx context.Context, req modelio.FlowRequestJSON) (any, error) {
+	built, err := resolveApp(req.AppXML, req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	cfg := flow.Config{App: built.app, Clock: s.clk, Scenario: "service"}
+	cfg.MapOptions.UseCA = req.UseCA
+	// Route the binding-aware verifications through the shared cache, so
+	// distinct requests over the same model reuse each other's analyses.
+	cfg.MapOptions.Analyze = cache.Analyzer(s.cache, ctx)
+
+	if req.ArchXML != "" {
+		cfg.Platform, err = modelio.ReadArch([]byte(req.ArchXML))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		cfg.Tiles = req.Tiles
+		if cfg.Tiles == 0 {
+			cfg.Tiles = built.app.Graph.NumActors()
+		}
+		cfg.Interconnect, err = parseInterconnect(req.Interconnect)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	switch {
+	case req.Iterations > 0:
+		cfg.Iterations = req.Iterations
+	case req.Iterations < 0:
+		if built.fullIterations == 0 {
+			return nil, fmt.Errorf("iterations -1 (full input) requires a built-in workload")
+		}
+		cfg.Iterations = built.fullIterations
+	}
+	if cfg.Iterations > 0 && !built.executable {
+		return nil, fmt.Errorf("XML application models are analysis-only; use a workload to execute %d iterations", cfg.Iterations)
+	}
+	cfg.RefActor = req.RefActor
+	if cfg.RefActor == "" {
+		cfg.RefActor = built.refActor
+	}
+
+	res, err := flow.RunContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return modelio.NewFlowResponseJSON(res), nil
+}
+
+// ---- /v1/dse ----
+
+func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
+	start := s.clk.Now()
+	var req modelio.DSERequestJSON
+	if err := modelio.DecodeJSON(r.Body, &req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, modelio.ErrorJSON{Error: err.Error()})
+		return
+	}
+	h := cache.NewHasher("mamps/req/dse/v1")
+	workloadHash(h, req.AppXML, req.Workload)
+	h.Int(int64(req.MinTiles)).Int(int64(req.MaxTiles)).
+		Strings(req.Interconnects).Bool(req.WithCA)
+
+	val, hit, err := s.submit(r.Context(), h.Sum(), func(ctx context.Context) (any, error) {
+		return s.dseJob(ctx, req)
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := val.(modelio.DSEResponseJSON)
+	resp.Cached = hit
+	resp.ElapsedMS = s.elapsedMS(start)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) dseJob(ctx context.Context, req modelio.DSERequestJSON) (any, error) {
+	built, err := resolveApp(req.AppXML, req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	cfg := dse.Config{
+		MinTiles: req.MinTiles,
+		MaxTiles: req.MaxTiles,
+		WithCA:   req.WithCA,
+		Cache:    s.cache,
+	}
+	for _, name := range req.Interconnects {
+		ic, err := parseInterconnect(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Interconnects = append(cfg.Interconnects, ic)
+	}
+	points, err := dse.SweepContext(ctx, built.app, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return modelio.NewDSEResponseJSON(built.app.Name, points), nil
+}

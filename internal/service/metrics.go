@@ -1,0 +1,174 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning the
+// sub-millisecond cache hits up to multi-second DSE sweeps.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	counts []uint64 // one per bucket, cumulative style computed on render
+	sum    float64
+	count  uint64
+}
+
+func (h *histogram) observe(seconds float64) {
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += seconds
+	h.count++
+}
+
+// metrics aggregates the service counters. All methods are safe for
+// concurrent use; rendering holds the same lock as observation, which is
+// fine at the /metrics scrape rates the service targets.
+// reqKey labels one request counter series.
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+type metrics struct {
+	mu       sync.Mutex
+	requests map[reqKey]uint64
+	latency  map[string]*histogram // endpoint -> histogram
+	rejected map[string]uint64     // reason -> count
+	jobs     uint64                // jobs completed by workers
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[reqKey]uint64),
+		latency:  make(map[string]*histogram),
+		rejected: make(map[string]uint64),
+	}
+}
+
+// observeRequest records one finished HTTP request.
+func (m *metrics) observeRequest(endpoint string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[reqKey{endpoint, code}]++
+	h, ok := m.latency[endpoint]
+	if !ok {
+		h = &histogram{counts: make([]uint64, len(latencyBuckets))}
+		m.latency[endpoint] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// observeReject records a request turned away before reaching a worker.
+func (m *metrics) observeReject(reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejected[reason]++
+}
+
+// snapshotRejects returns a copy of the rejection counters.
+func (m *metrics) snapshotRejects() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.rejected))
+	for k, v := range m.rejected {
+		out[k] = v
+	}
+	return out
+}
+
+// observeJob records one job completed by a worker.
+func (m *metrics) observeJob() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs++
+}
+
+// gauge is a point-in-time value appended by the server at render time.
+// Monotonic values (the cache's *_total series) set counter so the
+// exposition declares the right Prometheus type.
+type gauge struct {
+	name, help string
+	value      float64
+	counter    bool
+}
+
+// write renders the Prometheus text exposition format.
+func (m *metrics) write(w io.Writer, gauges []gauge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP mamps_requests_total Requests finished, by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE mamps_requests_total counter")
+	rks := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		rks = append(rks, k)
+	}
+	sort.Slice(rks, func(i, j int) bool {
+		if rks[i].endpoint != rks[j].endpoint {
+			return rks[i].endpoint < rks[j].endpoint
+		}
+		return rks[i].code < rks[j].code
+	})
+	for _, k := range rks {
+		fmt.Fprintf(w, "mamps_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP mamps_requests_rejected_total Requests rejected before execution, by reason.")
+	fmt.Fprintln(w, "# TYPE mamps_requests_rejected_total counter")
+	for _, k := range sortedKeys(m.rejected) {
+		fmt.Fprintf(w, "mamps_requests_rejected_total{reason=%q} %d\n", k, m.rejected[k])
+	}
+
+	fmt.Fprintln(w, "# HELP mamps_jobs_total Jobs completed by the worker pool.")
+	fmt.Fprintln(w, "# TYPE mamps_jobs_total counter")
+	fmt.Fprintf(w, "mamps_jobs_total %d\n", m.jobs)
+
+	fmt.Fprintln(w, "# HELP mamps_request_seconds Request latency, by endpoint.")
+	fmt.Fprintln(w, "# TYPE mamps_request_seconds histogram")
+	eps := make([]string, 0, len(m.latency))
+	for ep := range m.latency {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		h := m.latency[ep]
+		var cum uint64
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "mamps_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, ub, cum)
+		}
+		fmt.Fprintf(w, "mamps_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.count)
+		fmt.Fprintf(w, "mamps_request_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(w, "mamps_request_seconds_count{endpoint=%q} %d\n", ep, h.count)
+	}
+
+	for _, g := range gauges {
+		typ := "gauge"
+		if g.counter {
+			typ = "counter"
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", g.name, g.help, g.name, typ, g.name, g.value)
+	}
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

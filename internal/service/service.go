@@ -1,0 +1,255 @@
+// Package service turns the one-shot design flow into a long-running
+// mapping-as-a-service daemon: a bounded job queue and worker pool run
+// flow, analysis and design-space-exploration requests concurrently with
+// per-job timeouts and cancellation, a content-addressed cache memoizes
+// the pure analysis kernel (identical concurrent requests are computed
+// once, via single-flight), and a metrics layer exposes request counts,
+// latency histograms, cache hit rates and worker utilization.
+//
+// The HTTP surface (see Handler) is JSON over the interchange types of
+// internal/modelio:
+//
+//	POST /v1/analyze  — SDF3 graph analyses (repetition vector,
+//	                    throughput, buffer sizing)
+//	POST /v1/flow     — the end-to-end Figure 1 flow
+//	POST /v1/dse      — platform design-space sweep with Pareto marking
+//	GET  /healthz     — liveness and drain state
+//	GET  /metrics     — Prometheus text exposition
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mamps/internal/clock"
+	"mamps/internal/service/cache"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers is the number of concurrent job executors (default 4).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker; a full
+	// queue rejects new requests with 503 (default 64).
+	QueueDepth int
+	// JobTimeout bounds each job's execution (default 60s).
+	JobTimeout time.Duration
+	// CacheCapacity bounds the analysis cache in entries (default
+	// cache.DefaultCapacity).
+	CacheCapacity int
+	// Clock is the time source for latency measurement and flow step
+	// timing; nil selects the system monotonic clock.
+	Clock clock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 60 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System()
+	}
+	return c
+}
+
+// Errors reported by submit and mapped to HTTP status codes by the
+// handlers.
+var (
+	// ErrDraining rejects work arriving after Shutdown began.
+	ErrDraining = errors.New("service: draining, not accepting new jobs")
+	// ErrQueueFull rejects work when the bounded queue has no room.
+	ErrQueueFull = errors.New("service: job queue full")
+)
+
+// job is one unit of work for the pool.
+type job struct {
+	ctx    context.Context
+	key    string // content key; empty disables caching
+	run    func(context.Context) (any, error)
+	result chan jobResult
+}
+
+type jobResult struct {
+	val any
+	hit bool // served from cache or joined in flight
+	err error
+}
+
+// Server is the mapping service: worker pool, job queue, analysis cache
+// and metrics. Create with New, serve its Handler, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	clk     clock.Clock
+	cache   *cache.Cache
+	metrics *metrics
+	start   time.Time
+
+	baseCtx context.Context // cancelled only by forced shutdown
+	abort   context.CancelFunc
+
+	mu       sync.RWMutex // guards draining state vs. queue sends
+	draining bool
+	jobs     chan *job
+	wg       sync.WaitGroup
+
+	busy  atomic.Int64 // workers currently executing a job
+	depth atomic.Int64 // jobs waiting in the queue
+}
+
+// New starts a Server's worker pool and returns it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, abort := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		clk:     cfg.Clock,
+		cache:   cache.New(cfg.CacheCapacity),
+		metrics: newMetrics(),
+		start:   cfg.Clock.Now(),
+		baseCtx: ctx,
+		abort:   abort,
+		jobs:    make(chan *job, cfg.QueueDepth),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Cache exposes the analysis cache (for stats and tests).
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		s.depth.Add(-1)
+		if err := j.ctx.Err(); err != nil {
+			j.result <- jobResult{err: err}
+			continue
+		}
+		s.busy.Add(1)
+		var res jobResult
+		if j.key == "" {
+			res.val, res.err = j.run(j.ctx)
+		} else {
+			res.val, res.hit, res.err = s.cache.Do(j.ctx, j.key, func() (any, error) {
+				return j.run(j.ctx)
+			})
+		}
+		s.busy.Add(-1)
+		s.metrics.observeJob()
+		j.result <- res
+	}
+}
+
+// submit queues one job and waits for its result. The job runs under a
+// context bounded by the caller's context, the per-job timeout, and the
+// server's hard-abort context. key routes the job through the
+// content-addressed cache with single-flight deduplication.
+func (s *Server) submit(ctx context.Context, key string, run func(context.Context) (any, error)) (any, bool, error) {
+	jctx, cancel := context.WithTimeout(ctx, s.cfg.JobTimeout)
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	j := &job{ctx: jctx, key: key, run: run, result: make(chan jobResult, 1)}
+
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		s.metrics.observeReject("draining")
+		return nil, false, ErrDraining
+	}
+	select {
+	case s.jobs <- j:
+		s.depth.Add(1)
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.metrics.observeReject("queue_full")
+		return nil, false, ErrQueueFull
+	}
+
+	select {
+	case r := <-j.result:
+		return r.val, r.hit, r.err
+	case <-jctx.Done():
+		// The job may still be queued or running; the worker will see the
+		// cancelled context. Don't leak the result channel (buffered).
+		return nil, false, jctx.Err()
+	}
+}
+
+// Drained reports whether Shutdown has begun.
+func (s *Server) Drained() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// Shutdown gracefully drains the server: new submissions are rejected
+// with ErrDraining, queued and in-flight jobs run to completion, then the
+// workers exit. If ctx expires first, the remaining jobs are aborted via
+// their Interrupt-threaded contexts and Shutdown returns ctx.Err.
+// Shutdown is idempotent; concurrent calls share the same drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.jobs)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.abort() // hard-cancel in-flight analyses
+		<-done
+		return fmt.Errorf("service: drain deadline exceeded, %w", ctx.Err())
+	}
+}
+
+// Stats is the operational snapshot served by /healthz.
+type Stats struct {
+	Status     string      `json:"status"` // "ok" or "draining"
+	UptimeSec  float64     `json:"uptimeSec"`
+	Workers    int         `json:"workers"`
+	BusyWork   int64       `json:"busyWorkers"`
+	QueueDepth int64       `json:"queueDepth"`
+	QueueCap   int         `json:"queueCap"`
+	Cache      cache.Stats `json:"cache"`
+}
+
+// Stats returns the current operational snapshot.
+func (s *Server) Stats() Stats {
+	status := "ok"
+	if s.Drained() {
+		status = "draining"
+	}
+	return Stats{
+		Status:     status,
+		UptimeSec:  s.clk.Since(s.start).Seconds(),
+		Workers:    s.cfg.Workers,
+		BusyWork:   s.busy.Load(),
+		QueueDepth: s.depth.Load(),
+		QueueCap:   s.cfg.QueueDepth,
+		Cache:      s.cache.Stats(),
+	}
+}

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"fmt"
+
+	"mamps/internal/appmodel"
+	"mamps/internal/mjpeg"
+	"mamps/internal/modelio"
+	"mamps/internal/service/cache"
+)
+
+// builtApp is an application model resolved from a request, with the
+// extra context a built-in workload carries.
+type builtApp struct {
+	app *appmodel.App
+	// executable reports that the actors have Fire functions, so the
+	// flow may execute the platform (XML models are analysis-only).
+	executable bool
+	// refActor is the workload's iteration-defining actor, if it has a
+	// conventional one.
+	refActor string
+	// fullIterations is one complete pass over the workload's input
+	// (e.g. all MCUs of the MJPEG stream); zero when unknown.
+	fullIterations int
+}
+
+// resolveApp materializes the application model of a request: either an
+// inline SDF3-style XML document or a named built-in workload generator.
+func resolveApp(appXML string, wl *modelio.WorkloadJSON) (builtApp, error) {
+	switch {
+	case appXML != "" && wl != nil:
+		return builtApp{}, fmt.Errorf("request has both appXML and workload; give exactly one")
+	case appXML != "":
+		app, err := modelio.ReadApp([]byte(appXML))
+		if err != nil {
+			return builtApp{}, err
+		}
+		return builtApp{app: app}, nil
+	case wl != nil:
+		return buildWorkload(wl)
+	default:
+		return builtApp{}, fmt.Errorf("request names no application: set appXML or workload")
+	}
+}
+
+// buildWorkload constructs a built-in application. Generation is
+// deterministic for a given spec, which the request cache relies on.
+func buildWorkload(wl *modelio.WorkloadJSON) (builtApp, error) {
+	if wl.Name != "mjpeg" {
+		return builtApp{}, fmt.Errorf("unknown workload %q (have: mjpeg)", wl.Name)
+	}
+	w, h, frames, quality := wl.Width, wl.Height, wl.Frames, wl.Quality
+	if w == 0 {
+		w = 48
+	}
+	if h == 0 {
+		h = 32
+	}
+	if frames == 0 {
+		frames = 2
+	}
+	if quality == 0 {
+		quality = 90
+	}
+	kind, err := sequenceKind(wl.Sequence)
+	if err != nil {
+		return builtApp{}, err
+	}
+	stream, _, err := mjpeg.EncodeSequence(kind, w, h, frames, quality, mjpeg.Sampling420)
+	if err != nil {
+		return builtApp{}, fmt.Errorf("encoding %s sequence: %w", kind, err)
+	}
+	app, actors, err := mjpeg.BuildApp(stream)
+	if err != nil {
+		return builtApp{}, err
+	}
+	si := actors.VLD.Info()
+	return builtApp{
+		app:            app,
+		executable:     true,
+		refActor:       "Raster",
+		fullIterations: si.MCUsPerFrame() * si.Frames,
+	}, nil
+}
+
+func sequenceKind(name string) (mjpeg.SequenceKind, error) {
+	if name == "" {
+		return mjpeg.SeqGradient, nil
+	}
+	kinds := append([]mjpeg.SequenceKind{mjpeg.SeqSynthetic}, mjpeg.TestSet()...)
+	for _, k := range kinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown sequence %q", name)
+}
+
+// workloadHash appends a workload spec (or inline XML) to a request key.
+// The generators are deterministic, so the spec is the content.
+func workloadHash(h *cache.Hasher, appXML string, wl *modelio.WorkloadJSON) {
+	if wl != nil {
+		h.String("workload").String(wl.Name).
+			Int(int64(wl.Width)).Int(int64(wl.Height)).
+			Int(int64(wl.Frames)).Int(int64(wl.Quality)).
+			String(wl.Sequence)
+		return
+	}
+	h.String("appxml").String(appXML)
+}

@@ -16,6 +16,7 @@ package statespace
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -60,7 +61,17 @@ type Options struct {
 	// actor and the completion time — a trace hook for debugging models
 	// and generating Gantt charts. It must not modify the graph.
 	OnComplete func(a sdf.ActorID, now int64)
+
+	// Interrupt, if non-nil, aborts the exploration with ErrInterrupted
+	// when the channel becomes readable (typically a context's Done
+	// channel). Long-running analyses driven by the mapping service check
+	// it once per explored state.
+	Interrupt <-chan struct{}
 }
+
+// ErrInterrupted is returned by Analyze when Options.Interrupt fires
+// before the exploration reaches a recurrent state.
+var ErrInterrupted = errors.New("statespace: analysis interrupted")
 
 // Result reports the outcome of an analysis.
 type Result struct {
@@ -343,6 +354,13 @@ func Analyze(g *sdf.Graph, opt Options) (Result, error) {
 	for states := 0; states < maxStates; states++ {
 		if zeroTimeErr != nil {
 			return Result{}, zeroTimeErr
+		}
+		if opt.Interrupt != nil {
+			select {
+			case <-opt.Interrupt:
+				return Result{}, ErrInterrupted
+			default:
+			}
 		}
 		key := stateKey()
 		if v, ok := seen[key]; ok {

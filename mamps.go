@@ -15,13 +15,18 @@
 //     Simulate (the platform execution), and RunFlow (Figure 1 end to
 //     end);
 //   - exploration: Sweep and ParetoFront over platform configurations;
-//   - interchange: ReadApp/WriteApp, ReadArch/WriteArch, WriteMapping.
+//   - interchange: ReadApp/WriteApp, ReadArch/WriteArch, WriteMapping;
+//   - the service: RunFlowContext/SweepContext (cancellable variants) and
+//     AnalysisCache, the content-addressed memoization the mapping
+//     service (cmd/mamps-serve) runs requests through.
 //
 // See examples/ for runnable end-to-end programs, and DESIGN.md for the
 // correspondence between this code base and the paper.
 package mamps
 
 import (
+	"context"
+
 	"mamps/internal/appmodel"
 	"mamps/internal/arch"
 	"mamps/internal/buffer"
@@ -31,6 +36,7 @@ import (
 	"mamps/internal/modelio"
 	"mamps/internal/platgen"
 	"mamps/internal/sdf"
+	"mamps/internal/service/cache"
 	"mamps/internal/sim"
 	"mamps/internal/statespace"
 	"mamps/internal/wcet"
@@ -137,14 +143,43 @@ func Simulate(m *Mapping, opt SimOptions) (*SimResult, error) { return sim.Run(m
 // RunFlow executes the complete automated flow of the paper's Figure 1.
 func RunFlow(cfg FlowConfig) (*FlowResult, error) { return flow.Run(cfg) }
 
+// RunFlowContext executes the flow honouring cancellation: the context is
+// checked between steps and threaded into the state-space analyses, so a
+// cancelled or expired context aborts even a long verification.
+func RunFlowContext(ctx context.Context, cfg FlowConfig) (*FlowResult, error) {
+	return flow.RunContext(ctx, cfg)
+}
+
 // MCUsPerMegacycle converts iterations/cycle to the Figure 6 unit.
 func MCUsPerMegacycle(thr float64) float64 { return flow.MCUsPerMegacycle(thr) }
 
 // Sweep explores platform configurations for an application.
 func Sweep(app *App, cfg DSEConfig) ([]DSEPoint, error) { return dse.Sweep(app, cfg) }
 
+// SweepContext explores platform configurations honouring cancellation;
+// on cancellation the points evaluated so far are returned with the error.
+func SweepContext(ctx context.Context, app *App, cfg DSEConfig) ([]DSEPoint, error) {
+	return dse.SweepContext(ctx, app, cfg)
+}
+
 // ParetoFront filters a sweep to its throughput/area Pareto front.
 func ParetoFront(points []DSEPoint) []DSEPoint { return dse.ParetoFront(points) }
+
+// AnalysisCache is the content-addressed analysis cache of the mapping
+// service (cmd/mamps-serve): pure analysis results memoized under
+// canonical content keys with single-flight deduplication. Share one
+// across DSEConfig.Cache values (and repeated sweeps) to reuse every
+// binding-aware throughput analysis already computed.
+type AnalysisCache = cache.Cache
+
+// NewAnalysisCache returns an analysis cache bounded to capacity entries
+// (LRU); non-positive selects the default capacity.
+func NewAnalysisCache(capacity int) *AnalysisCache { return cache.New(capacity) }
+
+// GraphKey returns the canonical content key of an SDF graph: a SHA-256
+// over a canonical serialization that is invariant under actor and
+// channel declaration reordering.
+func GraphKey(g *Graph) string { return cache.GraphKey(g) }
 
 // Interchange formats.
 var (
