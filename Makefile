@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench serve ci
+.PHONY: all build test race vet fmt fmt-check bench bench-json bench-smoke serve ci
 
 all: build
 
@@ -31,6 +31,25 @@ fmt-check:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Hot-path micro-benchmarks recorded as a dated JSON report, so the perf
+# trajectory of the analysis/simulation kernels stays trackable in-tree.
+# Override BENCHTIME (e.g. BENCHTIME=1x) for a smoke run.
+BENCHTIME ?= 2s
+BENCH_PATTERN ?= ^(BenchmarkStateSpace|BenchmarkSimulate|BenchmarkMapping|BenchmarkHSDF|BenchmarkPlatform|BenchmarkDSE)
+BENCH_FILE ?= BENCH_$(shell date +%Y-%m-%d).json
+
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=$(BENCHTIME) -json . \
+		| $(GO) run ./cmd/benchjson > $(BENCH_FILE)
+	$(GO) run ./cmd/benchjson -verify $(BENCH_FILE)
+
+# CI smoke run: one iteration of every benchmark (guards the benchmark
+# code against bit-rot) plus a parseability check of the JSON report.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -timeout 20m ./...
+	$(MAKE) bench-json BENCHTIME=1x BENCH_FILE=/tmp/bench-smoke.json
+	rm -f /tmp/bench-smoke.json
 
 serve:
 	$(GO) run ./cmd/mamps-serve

@@ -22,10 +22,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 
 	"mamps/internal/arch"
+	"mamps/internal/dse"
 	"mamps/internal/experiments"
 	"mamps/internal/flow"
 	"mamps/internal/hsdf"
@@ -193,6 +195,7 @@ func BenchmarkStateSpaceThroughputMJPEG(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := statespace.Analyze(m.Expanded.Graph, statespace.Options{
@@ -200,6 +203,38 @@ func BenchmarkStateSpaceThroughputMJPEG(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkStateSpaceStates reports the exploration rate of the
+// state-space kernel: distinct states recorded per analysis (states/op)
+// and the sustained exploration speed (states/s), the kernel-level
+// figure of merit behind the throughput benchmark above.
+func BenchmarkStateSpaceStates(b *testing.B) {
+	cfg, _ := mjpegAppForBench(b)
+	p, err := arch.DefaultTemplate().Generate("p", 5, arch.FSL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := mapping.Map(cfg.App, p, mapping.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	states := 0
+	for i := 0; i < b.N; i++ {
+		r, err := statespace.Analyze(m.Expanded.Graph, statespace.Options{
+			Schedules: m.ExpandedSchedules, MaxStates: 1 << 22,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = r.StatesExplored
+	}
+	b.ReportMetric(float64(states), "states/op")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(states)*float64(b.N)/secs, "states/s")
 	}
 }
 
@@ -255,12 +290,36 @@ func BenchmarkSimulateMJPEGIteration(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(m, sim.Options{Iterations: iters, RefActor: "Raster"}); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDSESweep compares the sequential and parallel design-space
+// sweep over the MJPEG application (FSL, 2..5 tiles); "par" uses the
+// default worker pool and should approach linear scaling on multi-core.
+func BenchmarkDSESweep(b *testing.B) {
+	cfg, _ := mjpegAppForBench(b)
+	run := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := dse.Sweep(cfg.App, dse.Config{
+					MinTiles: 2, MaxTiles: 5,
+					Interconnects: []arch.InterconnectKind{arch.FSL},
+					Workers:       workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("seq", run(1))
+	b.Run("par", run(runtime.GOMAXPROCS(0)))
 }
 
 func BenchmarkMJPEGEncode(b *testing.B) {

@@ -1,0 +1,193 @@
+// Command benchjson converts the `go test -json -bench` event stream on
+// stdin into a compact JSON benchmark report on stdout, used by `make
+// bench-json` to record the performance trajectory as BENCH_<date>.json
+// files. With -verify it instead validates an existing report file (the
+// CI bench-smoke job uses this to guard against bit-rot in the pipeline).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Metric is one "<value> <unit>" pair of a benchmark result line, e.g.
+// ns/op, B/op, allocs/op, or a custom metric like states/op.
+type Metric struct {
+	Unit  string  `json:"unit"`
+	Value float64 `json:"value"`
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string   `json:"name"`
+	Iterations int64    `json:"iterations"`
+	Metrics    []Metric `json:"metrics"`
+}
+
+// Report is the file format of BENCH_<date>.json.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// event is the subset of test2json events we care about.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+var resultLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// stripProcSuffix removes the trailing -<GOMAXPROCS> tag go test appends
+// to benchmark names ("BenchmarkX-8" -> "BenchmarkX").
+func stripProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func main() {
+	verify := flag.String("verify", "", "validate an existing report file instead of converting stdin")
+	flag.Parse()
+
+	if *verify != "" {
+		if err := verifyReport(*verify); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r *os.File) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	// A single benchmark result line reaches test2json as several output
+	// events (go test prints the name before running the benchmark and the
+	// numbers after), so reassemble the raw text stream and split it on
+	// newlines ourselves.
+	var pending strings.Builder
+	handle := func(out string) {
+		switch {
+		case strings.HasPrefix(out, "goos: "):
+			rep.Goos = strings.TrimPrefix(out, "goos: ")
+		case strings.HasPrefix(out, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(out, "goarch: ")
+		case strings.HasPrefix(out, "cpu: "):
+			rep.CPU = strings.TrimPrefix(out, "cpu: ")
+		default:
+			if b, ok := parseResult(out); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("malformed test2json line %q: %w", sc.Text(), err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		pending.WriteString(ev.Output)
+		for {
+			s := pending.String()
+			nl := strings.IndexByte(s, '\n')
+			if nl < 0 {
+				break
+			}
+			handle(s[:nl])
+			pending.Reset()
+			pending.WriteString(s[nl+1:])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rest := pending.String(); rest != "" {
+		handle(rest)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	return rep, nil
+}
+
+// parseResult parses a benchmark result line of the form
+// "BenchmarkX-8  <iterations>  <value> <unit>  <value> <unit> ...".
+func parseResult(line string) (Benchmark, bool) {
+	m := resultLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(m[2], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: stripProcSuffix(m[1]), Iterations: iters}
+	fields := strings.Fields(m[3])
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics = append(b.Metrics, Metric{Unit: fields[i+1], Value: v})
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// verifyReport checks that a report file is well-formed: valid JSON with
+// at least one benchmark, each carrying at least one metric.
+func verifyReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Name == "" || len(b.Metrics) == 0 {
+			return fmt.Errorf("%s: malformed benchmark entry %+v", path, b)
+		}
+	}
+	fmt.Printf("%s: %d benchmarks OK\n", path, len(rep.Benchmarks))
+	return nil
+}

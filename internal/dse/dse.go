@@ -14,7 +14,10 @@ package dse
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mamps/internal/appmodel"
 	"mamps/internal/arch"
@@ -69,6 +72,13 @@ type Config struct {
 	// (and concurrent sweeps in the mapping service) reuse every point
 	// already analyzed instead of re-exploring its state space.
 	Cache *cache.Cache
+
+	// Workers bounds the number of configurations evaluated concurrently
+	// (default: GOMAXPROCS). Every point is an independent mapping +
+	// analysis, so the sweep parallelizes across them; results keep the
+	// deterministic enumeration order regardless. With Workers > 1 a
+	// custom MapOptions.Analyze must be safe for concurrent use.
+	Workers int
 }
 
 // Sweep evaluates every configuration in the space.
@@ -79,8 +89,14 @@ func Sweep(app *appmodel.App, cfg Config) ([]Point, error) {
 // SweepContext evaluates every configuration in the space, honouring
 // cancellation: the context is checked before each point and threaded
 // into the state-space analyses, so even a single long verification
-// aborts promptly. On cancellation the points evaluated so far are
-// returned along with the context's error.
+// aborts promptly. On cancellation the prefix of points committed so far
+// is returned along with the context's error.
+//
+// Points are evaluated by a bounded worker pool (Config.Workers): every
+// configuration is an independent mapping + analysis, so the sweep scales
+// near-linearly with cores, while a single committer emits results in the
+// deterministic enumeration order — the output is byte-identical to a
+// sequential sweep.
 func SweepContext(ctx context.Context, app *appmodel.App, cfg Config) ([]Point, error) {
 	if err := app.Validate(); err != nil {
 		return nil, err
@@ -109,18 +125,96 @@ func SweepContext(ctx context.Context, app *appmodel.App, cfg Config) ([]Point, 
 		mo.Analyze = cache.Analyzer(cfg.Cache, ctx)
 	}
 
-	var points []Point
+	// Enumerate the candidate configurations up front; their order is the
+	// result order.
+	type cand struct {
+		tiles int
+		ic    arch.InterconnectKind
+		ca    bool
+	}
+	var cands []cand
 	for tiles := cfg.MinTiles; tiles <= cfg.MaxTiles; tiles++ {
 		for _, ic := range ics {
 			if ic == arch.NoC && tiles < 2 {
 				continue // a NoC needs at least two routers to be meaningful
 			}
 			for _, ca := range caModes {
-				if err := ctx.Err(); err != nil {
-					return points, fmt.Errorf("dse: sweep cancelled at %d tiles: %w", tiles, err)
-				}
-				points = append(points, evaluate(app, tiles, ic, ca, mo))
+				cands = append(cands, cand{tiles: tiles, ic: ic, ca: ca})
 			}
+		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Single worker: evaluate inline, with no pool overhead (this is also
+	// the reference behavior the parallel path must reproduce exactly).
+	if workers == 1 {
+		points := make([]Point, 0, len(cands))
+		for _, c := range cands {
+			if err := ctx.Err(); err != nil {
+				return points, fmt.Errorf("dse: sweep cancelled at %d tiles: %w", c.tiles, err)
+			}
+			points = append(points, evaluate(app, c.tiles, c.ic, c.ca, mo))
+		}
+		return points, nil
+	}
+
+	// Workers claim candidate indices from a shared counter and publish
+	// into a fixed slot, so results carry no ordering dependence on worker
+	// scheduling. A worker that observes cancellation at claim time marks
+	// the slot skipped instead of evaluating.
+	results := make([]Point, len(cands))
+	skipped := make([]bool, len(cands))
+	done := make([]chan struct{}, len(cands))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				if ctx.Err() != nil {
+					skipped[i] = true
+					close(done[i])
+					continue
+				}
+				c := cands[i]
+				results[i] = evaluate(app, c.tiles, c.ic, c.ca, mo)
+				close(done[i])
+			}
+		}()
+	}
+	defer wg.Wait()
+
+	// Commit in enumeration order. A point whose evaluation had started
+	// before cancellation is still committed (matching the sequential
+	// semantics: the point during which the context died completes);
+	// everything after the first cancellation-observed slot is discarded.
+	points := make([]Point, 0, len(cands))
+	for i := range cands {
+		<-done[i]
+		if skipped[i] {
+			return points, fmt.Errorf("dse: sweep cancelled at %d tiles: %w", cands[i].tiles, ctx.Err())
+		}
+		points = append(points, results[i])
+		if err := ctx.Err(); err != nil && i+1 < len(cands) {
+			return points, fmt.Errorf("dse: sweep cancelled at %d tiles: %w", cands[i+1].tiles, err)
 		}
 	}
 	return points, nil

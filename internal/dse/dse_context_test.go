@@ -3,6 +3,7 @@ package dse
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 	"testing"
 
 	"mamps/internal/sdf"
@@ -88,17 +89,18 @@ func TestSweepSharedCacheReuse(t *testing.T) {
 		}
 	}
 
-	// An explicit MapOptions.Analyze must win over the cache wiring.
-	calls := 0
+	// An explicit MapOptions.Analyze must win over the cache wiring (and,
+	// with parallel workers, may be called concurrently).
+	var calls atomic.Int64
 	override := Config{Cache: c}
 	override.MapOptions.Analyze = func(g *sdf.Graph, opt statespace.Options) (statespace.Result, error) {
-		calls++
+		calls.Add(1)
 		return statespace.Analyze(g, opt)
 	}
 	if _, err := Sweep(app, override); err != nil {
 		t.Fatal(err)
 	}
-	if calls == 0 {
+	if calls.Load() == 0 {
 		t.Fatal("explicit analyzer was not used")
 	}
 }

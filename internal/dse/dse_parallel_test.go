@@ -1,0 +1,95 @@
+package dse
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"mamps/internal/service/cache"
+)
+
+// TestSweepParallelDeterministic: a parallel sweep must produce exactly
+// the points of a sequential sweep, in the same order — the worker pool
+// may only change wall-clock time, never results. Run under -race this
+// also exercises the concurrent use of mapping, analysis and the shared
+// cache.
+func TestSweepParallelDeterministic(t *testing.T) {
+	app := pipelineApp(t)
+
+	seq, err := Sweep(app, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Sweep(app, Config{Workers: max(4, runtime.GOMAXPROCS(0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel sweep: %d points, sequential: %d", len(par), len(seq))
+	}
+	for i := range seq {
+		s, p := seq[i], par[i]
+		if s.Tiles != p.Tiles || s.Interconnect != p.Interconnect || s.UseCA != p.UseCA {
+			t.Fatalf("point %d reordered: %s vs %s", i, s.Label(), p.Label())
+		}
+		if s.Throughput != p.Throughput || s.Area != p.Area {
+			t.Errorf("point %s differs: thr %v vs %v, area %+v vs %+v",
+				s.Label(), p.Throughput, s.Throughput, p.Area, s.Area)
+		}
+		if (s.Err == nil) != (p.Err == nil) {
+			t.Errorf("point %s feasibility differs: %v vs %v", s.Label(), s.Err, p.Err)
+		}
+	}
+}
+
+// TestSweepParallelSharedCache runs two concurrent parallel sweeps over
+// one cache; both must succeed with identical results (single-flight
+// deduplication keeps the cache consistent under racing workers).
+func TestSweepParallelSharedCache(t *testing.T) {
+	app := pipelineApp(t)
+	c := cache.New(0)
+	cfg := Config{Cache: c}
+
+	type out struct {
+		pts []Point
+		err error
+	}
+	res := make(chan out, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			pts, err := SweepContext(context.Background(), app, cfg)
+			res <- out{pts, err}
+		}()
+	}
+	a, b := <-res, <-res
+	if a.err != nil || b.err != nil {
+		t.Fatalf("sweep errors: %v, %v", a.err, b.err)
+	}
+	if len(a.pts) != len(b.pts) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.pts), len(b.pts))
+	}
+	for i := range a.pts {
+		if a.pts[i].Throughput != b.pts[i].Throughput || a.pts[i].Area != b.pts[i].Area {
+			t.Errorf("point %s: concurrent sweeps differ", a.pts[i].Label())
+		}
+	}
+	if c.Len() == 0 {
+		t.Fatal("shared cache was not populated")
+	}
+}
+
+// TestSweepParallelCancellation: a parallel sweep cancelled mid-flight
+// returns a deterministic prefix and the cancellation error, with no
+// goroutine leak (checked implicitly by -race and the test timeout).
+func TestSweepParallelCancellation(t *testing.T) {
+	app := pipelineApp(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pts, err := SweepContext(ctx, app, Config{Workers: 8})
+	if err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+	if len(pts) != 0 {
+		t.Fatalf("cancelled-before-start sweep returned %d points", len(pts))
+	}
+}

@@ -199,6 +199,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			RefActor:   cfg.RefActor,
 			CheckWCET:  cfg.CheckWCET,
 			Scenario:   cfg.Scenario,
+			Interrupt:  ctx.Done(),
 		})
 		return err
 	}); err != nil {
@@ -207,7 +208,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 
 	// Execution on the platform.
 	if err := step("Executing on platform", true, func() error {
-		r, err := s.Run()
+		r, err := s.RunContext(ctx)
 		res.Sim = r
 		return err
 	}); err != nil {

@@ -13,6 +13,7 @@ import (
 	"mamps/internal/flow"
 	"mamps/internal/modelio"
 	"mamps/internal/service/cache"
+	"mamps/internal/sim"
 	"mamps/internal/statespace"
 )
 
@@ -62,7 +63,8 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
 		code = http.StatusServiceUnavailable
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, statespace.ErrInterrupted):
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, statespace.ErrInterrupted),
+		errors.Is(err, sim.ErrInterrupted):
 		code = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		code = http.StatusServiceUnavailable

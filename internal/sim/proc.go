@@ -10,9 +10,12 @@ import (
 // proc is a simulated sequential engine (a processing element executing
 // its static-order schedule, or a communication-assist channel engine).
 // step attempts to make progress at the current cycle and reports whether
-// it did; wake is the cycle at which the proc next has work (a proc whose
-// wake is in the past is blocked on a resource and is re-polled after
-// every event).
+// it did; wake is the cycle at which the proc next has work. A proc that
+// reports no progress is blocked on a resource; the wake-list events of
+// the procs that own that resource re-flag it when the resource changes.
+// blockedOn derives the blocking reason from current state on demand — it
+// is only called for deadlock reports, so the hot path never formats
+// strings.
 type proc interface {
 	name() string
 	step(now int64) (progressed bool, err error)
@@ -35,14 +38,14 @@ const (
 // implementation, and serializes the produced tokens to the interconnect.
 type tileProc struct {
 	sim   *Simulation
+	id    int32
 	tile  int
 	tname string
 	sched []sdf.ActorID
 	pos   int
 
-	phase   tilePhase
-	wake    int64
-	blocked string
+	phase tilePhase
+	wake  int64
 
 	inPort      int
 	outPort     int
@@ -56,9 +59,56 @@ type tileProc struct {
 	busyCycles int64
 }
 
-func (p *tileProc) name() string      { return p.tname }
-func (p *tileProc) wakeTime() int64   { return p.wake }
-func (p *tileProc) blockedOn() string { return p.blocked }
+func (p *tileProc) name() string    { return p.tname }
+func (p *tileProc) wakeTime() int64 { return p.wake }
+
+// blockedOn re-evaluates the blocking condition of the current phase.
+func (p *tileProc) blockedOn() string {
+	a := p.actor()
+	switch p.phase {
+	case phaseAcquire:
+		for ip := p.inPort; ip < len(a.In()); ip++ {
+			cs := p.sim.channels[a.In()[ip]]
+			rate := cs.c.DstRate
+			if len(cs.dstQueue) >= rate {
+				continue
+			}
+			if !cs.interTile || p.sim.params[cs.c.ID].DstOnCA {
+				return fmt.Sprintf("tokens on %s (%d/%d)", cs.c.Name, len(cs.dstQueue), rate)
+			}
+			if cs.assembled == cs.words {
+				return ""
+			}
+			return fmt.Sprintf("words on %s (%d/%d)", cs.c.Name, cs.assembled, cs.words)
+		}
+		for _, cid := range a.Out() {
+			cs := p.sim.channels[cid]
+			if !cs.interTile && cs.dstSpace() < cs.c.SrcRate {
+				return fmt.Sprintf("space on %s", cs.c.Name)
+			}
+		}
+	case phaseSerialize:
+		for op := p.outPort; op < len(a.Out()); op++ {
+			cid := a.Out()[op]
+			cs := p.sim.channels[cid]
+			if !cs.interTile {
+				continue
+			}
+			pr := p.sim.params[cid]
+			if pr.SrcOnCA {
+				if op == p.outPort && p.tokenIdx < len(p.outTokens[op]) &&
+					len(p.sim.caSer[cid].queue) >= p.sim.caSer[cid].capacity {
+					return fmt.Sprintf("CA queue of %s", cs.c.Name)
+				}
+				continue
+			}
+			if op == p.outPort && p.words >= 0 && p.wordCharged && cs.stageSpace() < 1 {
+				return fmt.Sprintf("full NI stage of %s", cs.c.Name)
+			}
+		}
+	}
+	return ""
+}
 
 func (p *tileProc) actor() *sdf.Actor {
 	return p.sim.graph.Actor(p.sched[p.pos])
@@ -68,6 +118,7 @@ func (p *tileProc) actor() *sdf.Actor {
 func (p *tileProc) advance(now, cycles int64) {
 	p.wake = now + cycles
 	p.busyCycles += cycles
+	p.sim.pushWake(p.id, p.wake)
 }
 
 func (p *tileProc) step(now int64) (bool, error) {
@@ -97,7 +148,6 @@ func (p *tileProc) stepAcquire(now int64, a *sdf.Actor) (bool, error) {
 		}
 		if !cs.interTile || p.sim.params[cs.c.ID].DstOnCA {
 			// Local tokens (or CA-filled buffers): wait for the producer.
-			p.blocked = fmt.Sprintf("tokens on %s (%d/%d)", cs.c.Name, len(cs.dstQueue), rate)
 			return false, nil
 		}
 		// PE deserialization: the NI receive stage (niRecvProc) drains
@@ -106,13 +156,12 @@ func (p *tileProc) stepAcquire(now int64, a *sdf.Actor) (bool, error) {
 		// deserialization time.
 		if cs.assembled == cs.words {
 			cs.completeToken()
+			p.sim.onCompleteToken(cs.c.ID)
 			pr := p.sim.params[cs.c.ID]
 			p.advance(now, pr.DeserFixed+int64(cs.words)*pr.DeserPerWord)
 			p.sim.trace("deser-start", cs.c.Name, now)
-			p.blocked = ""
 			return true, nil
 		}
-		p.blocked = fmt.Sprintf("words on %s (%d/%d)", cs.c.Name, cs.assembled, cs.words)
 		return false, nil
 	}
 	// All input buffers filled: check local output space, then consume.
@@ -122,7 +171,6 @@ func (p *tileProc) stepAcquire(now int64, a *sdf.Actor) (bool, error) {
 			continue
 		}
 		if cs.dstSpace() < cs.c.SrcRate {
-			p.blocked = fmt.Sprintf("space on %s", cs.c.Name)
 			return false, nil
 		}
 	}
@@ -132,9 +180,9 @@ func (p *tileProc) stepAcquire(now int64, a *sdf.Actor) (bool, error) {
 		rate := cs.c.DstRate
 		p.inTokens[i] = append([]appmodel.Token(nil), cs.dstQueue[:rate]...)
 		cs.dstQueue = cs.dstQueue[rate:]
+		p.sim.onDstConsume(cid)
 	}
 	p.phase = phaseExec
-	p.blocked = ""
 	return true, nil
 }
 
@@ -176,6 +224,7 @@ func (p *tileProc) stepProduce(now int64, a *sdf.Actor) (bool, error) {
 		if !cs.interTile {
 			cs.dstQueue = append(cs.dstQueue, p.outTokens[i]...)
 			cs.tokensCarried += int64(len(p.outTokens[i]))
+			p.sim.onDstAppend(cid)
 		}
 	}
 	if a.ID == p.sim.refActor {
@@ -208,10 +257,10 @@ func (p *tileProc) stepSerialize(now int64, a *sdf.Actor) (bool, error) {
 			ca := p.sim.caSer[cid]
 			for ; p.tokenIdx < len(toks); p.tokenIdx++ {
 				if len(ca.queue) >= ca.capacity {
-					p.blocked = fmt.Sprintf("CA queue of %s", cs.c.Name)
 					return false, nil
 				}
 				ca.queue = append(ca.queue, toks[p.tokenIdx])
+				p.sim.onCAQueueAppend(cid)
 			}
 			p.tokenIdx = 0
 			continue
@@ -222,7 +271,6 @@ func (p *tileProc) stepSerialize(now int64, a *sdf.Actor) (bool, error) {
 				p.advance(now, pr.SerFixed)
 				p.words = cs.words
 				p.wordCharged = false
-				p.blocked = ""
 				return true, nil
 			}
 			if !p.wordCharged {
@@ -231,14 +279,12 @@ func (p *tileProc) stepSerialize(now int64, a *sdf.Actor) (bool, error) {
 				// and FSL writes interleave as in the implementation.
 				p.advance(now, pr.SerPerWord)
 				p.wordCharged = true
-				p.blocked = ""
 				return true, nil
 			}
 			// Write the word into the NI send stage (blocking when the
 			// stage is full: the network interface has fallen one whole
 			// token behind and back-pressures the PE).
 			if cs.stageSpace() < 1 {
-				p.blocked = fmt.Sprintf("full NI stage of %s", cs.c.Name)
 				return false, nil
 			}
 			last := p.words == 1
@@ -247,6 +293,7 @@ func (p *tileProc) stepSerialize(now int64, a *sdf.Actor) (bool, error) {
 				tok = toks[p.tokenIdx]
 			}
 			cs.stage = append(cs.stage, stagedWord{last: last, tok: tok})
+			p.sim.onStageAppend(cid)
 			p.words--
 			p.wordCharged = false
 			if p.words == 0 {
@@ -255,7 +302,6 @@ func (p *tileProc) stepSerialize(now int64, a *sdf.Actor) (bool, error) {
 				p.words = -1
 				p.tokenIdx++
 			}
-			p.blocked = ""
 			return true, nil
 		}
 		p.tokenIdx = 0
@@ -265,7 +311,6 @@ func (p *tileProc) stepSerialize(now int64, a *sdf.Actor) (bool, error) {
 	p.phase = phaseAcquire
 	p.inPort = 0
 	p.outTokens = nil
-	p.blocked = ""
 	return true, nil
 }
 
@@ -277,32 +322,39 @@ func (p *tileProc) stepSerialize(now int64, a *sdf.Actor) (bool, error) {
 // consume it.
 type niRecvProc struct {
 	sim   *Simulation
+	id    int32
 	cid   sdf.ChannelID
 	cname string
 
-	wake    int64
-	blocked string
+	wake int64
 }
 
-func (p *niRecvProc) name() string      { return "ni-recv:" + p.cname }
-func (p *niRecvProc) wakeTime() int64   { return p.wake }
-func (p *niRecvProc) blockedOn() string { return p.blocked }
+func (p *niRecvProc) name() string    { return "ni-recv:" + p.cname }
+func (p *niRecvProc) wakeTime() int64 { return p.wake }
+
+func (p *niRecvProc) blockedOn() string {
+	cs := p.sim.channels[p.cid]
+	if cs.assembled >= cs.words {
+		return "assembly slot full"
+	}
+	return "awaiting words"
+}
 
 func (p *niRecvProc) step(now int64) (bool, error) {
 	cs := p.sim.channels[p.cid]
 	if cs.assembled >= cs.words {
-		p.blocked = "assembly slot full"
 		return false, nil
 	}
 	moved, _ := cs.drain(now)
 	if moved == 0 {
-		p.blocked = "awaiting words"
 		if nv := cs.link.nextVisible(now); nv > now {
 			p.wake = nv
+			p.sim.pushWake(p.id, nv)
 		}
 		return false, nil
 	}
-	p.blocked = ""
+	p.sim.onAssembled(p.cid)
+	p.sim.onLinkRead(p.cid)
 	return true, nil
 }
 
@@ -312,36 +364,45 @@ func (p *niRecvProc) step(now int64) (bool, error) {
 // the PE — the role of the zero-time s2/s3 actors in the Figure 4 model.
 type niSendProc struct {
 	sim   *Simulation
+	id    int32
 	cid   sdf.ChannelID
 	cname string
 
-	wake    int64
-	blocked string
+	wake int64
 }
 
-func (p *niSendProc) name() string      { return "ni-send:" + p.cname }
-func (p *niSendProc) wakeTime() int64   { return p.wake }
-func (p *niSendProc) blockedOn() string { return p.blocked }
+func (p *niSendProc) name() string    { return "ni-send:" + p.cname }
+func (p *niSendProc) wakeTime() int64 { return p.wake }
+
+func (p *niSendProc) blockedOn() string {
+	cs := p.sim.channels[p.cid]
+	if len(cs.stage) == 0 {
+		return "idle"
+	}
+	if len(cs.link.fifo) >= cs.link.depth {
+		return "full link"
+	}
+	return ""
+}
 
 func (p *niSendProc) step(now int64) (bool, error) {
 	cs := p.sim.channels[p.cid]
 	if len(cs.stage) == 0 {
-		p.blocked = "idle"
 		return false, nil
 	}
 	if len(cs.link.fifo) >= cs.link.depth {
-		p.blocked = "full link"
 		return false, nil
 	}
 	if t := cs.link.nextInjectTime(now); t > now {
 		p.wake = t
-		p.blocked = ""
-		return true, nil
+		p.sim.pushWake(p.id, t)
+		return false, nil
 	}
 	w := cs.stage[0]
 	cs.stage = cs.stage[1:]
 	cs.link.inject(now, w.last, w.tok)
-	p.blocked = ""
+	p.sim.onStagePop(p.cid)
+	p.sim.onInject(p.cid, now+cs.link.latency)
 	return true, nil
 }
 
@@ -350,43 +411,51 @@ func (p *niSendProc) step(now int64) (bool, error) {
 // timing and injects the words, concurrently with the PE.
 type caSerProc struct {
 	sim      *Simulation
+	id       int32
 	cid      sdf.ChannelID
 	cname    string
 	queue    []appmodel.Token
 	capacity int
 
 	wake        int64
-	blocked     string
 	words       int // words left to inject (-1: need to serialize next token)
 	wordCharged bool
 }
 
-func (p *caSerProc) name() string      { return "ca-ser:" + p.cname }
-func (p *caSerProc) wakeTime() int64   { return p.wake }
-func (p *caSerProc) blockedOn() string { return p.blocked }
+func (p *caSerProc) name() string    { return "ca-ser:" + p.cname }
+func (p *caSerProc) wakeTime() int64 { return p.wake }
+
+func (p *caSerProc) blockedOn() string {
+	cs := p.sim.channels[p.cid]
+	if p.words < 0 && len(p.queue) == 0 {
+		return "idle"
+	}
+	if p.words >= 0 && p.wordCharged && cs.stageSpace() < 1 {
+		return "full NI stage"
+	}
+	return ""
+}
 
 func (p *caSerProc) step(now int64) (bool, error) {
 	cs := p.sim.channels[p.cid]
 	pr := p.sim.params[p.cid]
 	if p.words < 0 {
 		if len(p.queue) == 0 {
-			p.blocked = "idle"
 			return false, nil
 		}
 		p.wake = now + pr.SerFixed
+		p.sim.pushWake(p.id, p.wake)
 		p.words = cs.words
 		p.wordCharged = false
-		p.blocked = ""
 		return true, nil
 	}
 	if !p.wordCharged {
 		p.wake = now + pr.SerPerWord
+		p.sim.pushWake(p.id, p.wake)
 		p.wordCharged = true
-		p.blocked = ""
 		return true, nil
 	}
 	if cs.stageSpace() < 1 {
-		p.blocked = "full NI stage"
 		return false, nil
 	}
 	last := p.words == 1
@@ -395,14 +464,15 @@ func (p *caSerProc) step(now int64) (bool, error) {
 		tok = p.queue[0]
 	}
 	cs.stage = append(cs.stage, stagedWord{last: last, tok: tok})
+	p.sim.onStageAppend(p.cid)
 	p.words--
 	p.wordCharged = false
 	if p.words == 0 {
 		p.queue = p.queue[1:]
 		cs.tokensCarried++
 		p.words = -1
+		p.sim.onCAQueuePop(p.cid)
 	}
-	p.blocked = ""
 	return true, nil
 }
 
@@ -410,37 +480,47 @@ func (p *caSerProc) step(now int64) (bool, error) {
 // words and fills the consumer's buffer, concurrently with the PE.
 type caDeserProc struct {
 	sim   *Simulation
+	id    int32
 	cid   sdf.ChannelID
 	cname string
 
-	wake    int64
-	blocked string
+	wake int64
 }
 
-func (p *caDeserProc) name() string      { return "ca-deser:" + p.cname }
-func (p *caDeserProc) wakeTime() int64   { return p.wake }
-func (p *caDeserProc) blockedOn() string { return p.blocked }
+func (p *caDeserProc) name() string    { return "ca-deser:" + p.cname }
+func (p *caDeserProc) wakeTime() int64 { return p.wake }
+
+func (p *caDeserProc) blockedOn() string {
+	cs := p.sim.channels[p.cid]
+	if cs.dstSpace() < 1 {
+		return "full destination buffer"
+	}
+	return "awaiting words"
+}
 
 func (p *caDeserProc) step(now int64) (bool, error) {
 	cs := p.sim.channels[p.cid]
 	if cs.dstSpace() < 1 {
-		p.blocked = "full destination buffer"
 		return false, nil
 	}
 	moved, complete := cs.drain(now)
+	if moved > 0 {
+		p.sim.onLinkRead(p.cid)
+	}
 	if complete {
 		pr := p.sim.params[p.cid]
 		// The CA needs its processing time before the next token;
 		// delivering the current token at the start of that interval is
 		// conservative for the consumer and keeps the engine simple.
 		p.wake = now + pr.DeserFixed + int64(cs.words)*pr.DeserPerWord
+		p.sim.pushWake(p.id, p.wake)
 		cs.completeToken()
-		p.blocked = ""
+		p.sim.onDstAppend(p.cid)
 		return true, nil
 	}
-	p.blocked = "awaiting words"
 	if nv := cs.link.nextVisible(now); nv > now {
 		p.wake = nv
+		p.sim.pushWake(p.id, nv)
 	}
 	return moved > 0, nil
 }

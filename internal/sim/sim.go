@@ -15,8 +15,9 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"math"
 	"strings"
 
 	"mamps/internal/appmodel"
@@ -49,7 +50,15 @@ type Options struct {
 	// completions, token (de)serializations, word injections) for
 	// debugging and Gantt visualization.
 	Trace func(event, subject string, now int64)
+	// Interrupt, if non-nil, aborts Run with ErrInterrupted when the
+	// channel becomes readable (typically a context's Done channel),
+	// checked once per event-loop round like the statespace analysis.
+	Interrupt <-chan struct{}
 }
+
+// ErrInterrupted is returned by Run when Options.Interrupt fires before
+// the simulation completes its iterations.
+var ErrInterrupted = errors.New("sim: simulation interrupted")
 
 // Result reports the measured execution.
 type Result struct {
@@ -88,10 +97,149 @@ type Simulation struct {
 	caSer    map[sdf.ChannelID]*caSerProc
 	refActor sdf.ActorID
 
+	// Event-queue scheduling state. flags marks procs that must be
+	// re-stepped at the current instant (their inputs changed, or their
+	// wake time arrived); wakes is a min-heap of future wake times. The
+	// per-channel index tables name the procs to flag when a channel
+	// resource changes (-1: no such proc); they are the static wake lists
+	// that replace the step-everything fixpoint.
+	now       int64
+	flags     []bool
+	wakes     wakeHeap
+	chDstTile []int32 // consumer tile proc per channel
+	chSrcTile []int32 // producer tile proc per channel
+	chNISend  []int32
+	chNIRecv  []int32
+	chCASer   []int32
+	chCADeser []int32
+
 	meter       wcet.Meter
 	profile     *wcet.Profile
 	completions []int64
 }
+
+// wakeEntry schedules a future re-step of one proc.
+type wakeEntry struct {
+	at int64
+	p  int32
+}
+
+// wakeHeap is a binary min-heap of future wake times.
+type wakeHeap []wakeEntry
+
+func (h *wakeHeap) push(e wakeEntry) {
+	s := append(*h, e)
+	*h = s
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].at <= s[i].at {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *wakeHeap) pop() wakeEntry {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	s = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s[l].at < s[m].at {
+			m = l
+		}
+		if r < n && s[r].at < s[m].at {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}
+
+// pushWake schedules proc p to be re-stepped at cycle t. Times at or
+// before the current instant need no heap entry: the proc's flag keeps it
+// in the current instant's passes.
+func (s *Simulation) pushWake(p int32, t int64) {
+	if t > s.now {
+		s.wakes.push(wakeEntry{at: t, p: p})
+	}
+}
+
+// flag marks a proc for re-stepping at the current instant.
+func (s *Simulation) flag(p int32) {
+	if p >= 0 {
+		s.flags[p] = true
+	}
+}
+
+// Wake-list events: each names a channel-state change and flags exactly
+// the procs whose blocking conditions read that state. The lists are
+// conservative — flagging a proc that then makes no progress is harmless,
+// missing one would strand it — and they are what lets Run step only the
+// procs whose inputs changed.
+
+// onDstAppend: tokens appended to the destination buffer (local produce,
+// CA deserialization, or PE deserialization completing).
+func (s *Simulation) onDstAppend(cid sdf.ChannelID) { s.flag(s.chDstTile[cid]) }
+
+// onDstConsume: the consumer removed tokens from the destination buffer.
+func (s *Simulation) onDstConsume(cid sdf.ChannelID) {
+	s.flag(s.chSrcTile[cid])
+	s.flag(s.chCADeser[cid])
+}
+
+// onCompleteToken: the assembly slot was handed to the destination buffer.
+func (s *Simulation) onCompleteToken(cid sdf.ChannelID) { s.flag(s.chNIRecv[cid]) }
+
+// onAssembled: the NI receive stage moved words into the assembly slot.
+func (s *Simulation) onAssembled(cid sdf.ChannelID) { s.flag(s.chDstTile[cid]) }
+
+// onStageAppend: a word entered the NI send stage.
+func (s *Simulation) onStageAppend(cid sdf.ChannelID) { s.flag(s.chNISend[cid]) }
+
+// onStagePop: the NI send stage handed a word to the connection.
+func (s *Simulation) onStagePop(cid sdf.ChannelID) {
+	s.flag(s.chSrcTile[cid])
+	s.flag(s.chCASer[cid])
+}
+
+// onCAQueueAppend: the PE handed a token to the CA serializer.
+func (s *Simulation) onCAQueueAppend(cid sdf.ChannelID) { s.flag(s.chCASer[cid]) }
+
+// onCAQueuePop: the CA serializer drained a token from its queue.
+func (s *Simulation) onCAQueuePop(cid sdf.ChannelID) { s.flag(s.chSrcTile[cid]) }
+
+// onInject: a word entered the connection, becoming visible at cycle t —
+// schedule the receiving engine for that instant.
+func (s *Simulation) onInject(cid sdf.ChannelID, t int64) {
+	if p := s.chNIRecv[cid]; p >= 0 {
+		s.pushWake(p, t)
+		if t <= s.now {
+			s.flags[p] = true
+		}
+		return
+	}
+	if p := s.chCADeser[cid]; p >= 0 {
+		s.pushWake(p, t)
+		if t <= s.now {
+			s.flags[p] = true
+		}
+	}
+}
+
+// onLinkRead: words left the connection, freeing link capacity.
+func (s *Simulation) onLinkRead(cid sdf.ChannelID) { s.flag(s.chNISend[cid]) }
 
 // New builds a simulation of the mapped application on its platform.
 func New(m *mapping.Mapping, opt Options) (*Simulation, error) {
@@ -195,15 +343,40 @@ func New(m *mapping.Mapping, opt Options) (*Simulation, error) {
 	}
 
 	// Tile processes.
+	tileIdx := make([]int32, len(m.Platform.Tiles))
+	for i := range tileIdx {
+		tileIdx[i] = -1
+	}
 	for t, tile := range m.Platform.Tiles {
 		if len(m.Schedules[t]) == 0 {
 			continue
 		}
+		tileIdx[t] = int32(len(s.procs))
 		s.procs = append(s.procs, &tileProc{
-			sim: s, tile: t, tname: tile.Name,
+			sim: s, id: int32(len(s.procs)), tile: t, tname: tile.Name,
 			sched: m.Schedules[t],
 			words: -1,
 		})
+	}
+	// Static wake lists: for every channel, the procs to flag when its
+	// buffers, stages or link change.
+	fill := func(n int) []int32 {
+		v := make([]int32, n)
+		for i := range v {
+			v[i] = -1
+		}
+		return v
+	}
+	nch := g.NumChannels()
+	s.chDstTile = fill(nch)
+	s.chSrcTile = fill(nch)
+	s.chNISend = fill(nch)
+	s.chNIRecv = fill(nch)
+	s.chCASer = fill(nch)
+	s.chCADeser = fill(nch)
+	for _, c := range g.Channels() {
+		s.chSrcTile[c.ID] = tileIdx[m.TileOf[c.Src]]
+		s.chDstTile[c.ID] = tileIdx[m.TileOf[c.Dst]]
 	}
 	// Per-channel network-interface engines: with a CA, autonomous
 	// serializer and deserializer; without, the NI receive stage that
@@ -214,31 +387,55 @@ func New(m *mapping.Mapping, opt Options) (*Simulation, error) {
 			continue
 		}
 		p := m.CommParams[c.ID]
-		s.procs = append(s.procs, &niSendProc{sim: s, cid: c.ID, cname: c.Name})
+		s.chNISend[c.ID] = int32(len(s.procs))
+		s.procs = append(s.procs, &niSendProc{sim: s, id: int32(len(s.procs)), cid: c.ID, cname: c.Name})
 		if p.SrcOnCA {
-			ser := &caSerProc{sim: s, cid: c.ID, cname: c.Name, capacity: maxInt(1, p.SrcBuffer), words: -1}
+			ser := &caSerProc{sim: s, id: int32(len(s.procs)), cid: c.ID, cname: c.Name, capacity: max(1, p.SrcBuffer), words: -1}
 			s.caSer[c.ID] = ser
+			s.chCASer[c.ID] = ser.id
 			s.procs = append(s.procs, ser)
 		}
 		if p.DstOnCA {
-			s.procs = append(s.procs, &caDeserProc{sim: s, cid: c.ID, cname: c.Name})
+			s.chCADeser[c.ID] = int32(len(s.procs))
+			s.procs = append(s.procs, &caDeserProc{sim: s, id: int32(len(s.procs)), cid: c.ID, cname: c.Name})
 		} else {
-			s.procs = append(s.procs, &niRecvProc{sim: s, cid: c.ID, cname: c.Name})
+			s.chNIRecv[c.ID] = int32(len(s.procs))
+			s.procs = append(s.procs, &niRecvProc{sim: s, id: int32(len(s.procs)), cid: c.ID, cname: c.Name})
 		}
+	}
+	// Every proc is due for a first step at cycle zero.
+	s.flags = make([]bool, len(s.procs))
+	for i := range s.flags {
+		s.flags[i] = true
 	}
 	return s, nil
 }
 
 // Run executes the simulation to completion.
+//
+// The loop is event-driven: at every instant only the procs whose flag is
+// set are stepped, in proc-index order, repeating until a pass makes no
+// progress. A proc that reports no progress is blocked on a resource and
+// has its flag cleared; the wake-list events raised by the other procs'
+// steps set it again exactly when that resource changes. Time then jumps
+// to the earliest entry of the wake heap — the next timed completion or
+// word arrival — instead of rescanning every proc and link.
 func (s *Simulation) Run() (*Result, error) {
-	var now int64
+	now := s.now
 	target := s.opt.Iterations
 	for len(s.completions) < target {
-		// Run every runnable proc to a fixpoint at the current time.
+		if s.opt.Interrupt != nil {
+			select {
+			case <-s.opt.Interrupt:
+				return nil, ErrInterrupted
+			default:
+			}
+		}
+		// Run every flagged proc to a fixpoint at the current time.
 		for {
 			progressed := false
-			for _, p := range s.procs {
-				if p.wakeTime() > now {
+			for i, p := range s.procs {
+				if !s.flags[i] || p.wakeTime() > now {
 					continue
 				}
 				moved, err := p.step(now)
@@ -247,6 +444,8 @@ func (s *Simulation) Run() (*Result, error) {
 				}
 				if moved {
 					progressed = true
+				} else {
+					s.flags[i] = false
 				}
 				if len(s.completions) >= target {
 					break
@@ -260,27 +459,18 @@ func (s *Simulation) Run() (*Result, error) {
 			break
 		}
 		// Advance to the next event.
-		next := int64(math.MaxInt64)
-		for _, p := range s.procs {
-			if w := p.wakeTime(); w > now && w < next {
-				next = w
-			}
-		}
-		for _, cs := range s.channels {
-			if cs.link == nil {
-				continue
-			}
-			if nv := cs.link.nextVisible(now); nv > now && nv < next {
-				next = nv
-			}
-		}
-		if next == math.MaxInt64 {
+		if len(s.wakes) == 0 {
 			return nil, fmt.Errorf("sim: deadlock at cycle %d:\n%s", now, s.deadlockReport(now))
 		}
+		next := s.wakes[0].at
 		if next > s.opt.MaxCycles {
 			return nil, fmt.Errorf("sim: exceeded %d cycles after %d iterations", s.opt.MaxCycles, len(s.completions))
 		}
 		now = next
+		s.now = now
+		for len(s.wakes) > 0 && s.wakes[0].at == now {
+			s.flags[s.wakes.pop().p] = true
+		}
 	}
 
 	res := &Result{
@@ -335,11 +525,21 @@ func Run(m *mapping.Mapping, opt Options) (*Result, error) {
 	return s.Run()
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+// RunContext executes the simulation, aborting with ErrInterrupted when
+// ctx is cancelled.
+func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
+	if s.opt.Interrupt == nil {
+		s.opt.Interrupt = ctx.Done()
 	}
-	return b
+	return s.Run()
+}
+
+// RunContext maps and simulates in one call under a context.
+func RunContext(ctx context.Context, m *mapping.Mapping, opt Options) (*Result, error) {
+	if opt.Interrupt == nil {
+		opt.Interrupt = ctx.Done()
+	}
+	return Run(m, opt)
 }
 
 // trace emits a simulator event if tracing is enabled.

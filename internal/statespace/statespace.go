@@ -12,14 +12,23 @@
 // a sequence of actor firings to a tile, and the tile executes the sequence
 // cyclically, one firing at a time — exactly the lookup-table scheduler the
 // MAMPS platform generates. This makes the analysis binding-aware.
+//
+// The exploration kernel is allocation-free in the steady state: states are
+// packed into a reused byte buffer, hashed into an open-addressing table
+// whose entries index an append-only state arena (collisions resolved by
+// byte comparison), in-flight firings are kept in per-actor queues that are
+// ordered by construction (no per-state sort), and the next event is taken
+// from a monotone min-heap of completion events instead of a linear scan.
 package statespace
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
+	"hash/maphash"
 	"strings"
+	"sync"
 
 	"mamps/internal/sdf"
 )
@@ -89,7 +98,9 @@ type Result struct {
 	// DeadlockReport describes, for a deadlocked execution, what every
 	// scheduled tile is blocked on. Empty otherwise.
 	DeadlockReport string
-	// StatesExplored counts distinct states visited.
+	// StatesExplored counts the distinct states recorded during the
+	// exploration. Both termination paths (recurrence and deadlock) use
+	// this same definition: the number of entries in the state store.
 	StatesExplored int
 	// MaxTokens records the highest token count observed on each channel
 	// during the exploration — the actual buffer occupancy, useful for
@@ -99,12 +110,6 @@ type Result struct {
 
 const defaultMaxStates = 1 << 20
 
-// firing is an in-flight actor execution.
-type firing struct {
-	actor     sdf.ActorID
-	remaining int64
-}
-
 // tileState is the runtime state of a scheduled tile.
 type tileState struct {
 	prologue []sdf.ActorID
@@ -112,7 +117,7 @@ type tileState struct {
 	inProl   bool
 	pos      int   // index of next entry to execute
 	busy     bool  // a firing is in progress
-	remain   int64 // remaining time of the in-progress firing
+	doneAt   int64 // absolute completion time of the in-progress firing
 	current  sdf.ActorID
 }
 
@@ -139,6 +144,262 @@ func (t *tileState) advanceEntry() {
 	}
 }
 
+// visit is the record stored per distinct state.
+type visit struct {
+	time        int64
+	completions int64
+}
+
+// stateTable is an open-addressing hash table over an append-only state
+// arena: the packed key bytes of every distinct state live contiguously in
+// one buffer, table slots hold indices into the arena, and collisions are
+// resolved by byte comparison. No per-state heap objects, no string keys.
+type stateTable struct {
+	seed   maphash.Seed
+	mask   uint64
+	slots  []int32 // arena index + 1; 0 = empty
+	hashes []uint64
+	offs   []uint32 // offs[i]..offs[i+1] is state i's key in arena
+	arena  []byte
+	visits []visit
+}
+
+// tablePool recycles state tables between analyses: a recycled table keeps
+// the capacity its last exploration grew to, so repeated analyses (the
+// steady state of buffer minimization, DSE sweeps, and the service) run
+// the whole exploration without growth reallocations.
+var tablePool sync.Pool
+
+// newStateTable sizes the store for a few hundred states of keyHint bytes
+// each up front: small explorations never reallocate, and larger ones
+// amortize growth from a realistic base instead of doubling up from a
+// page. Recycled tables keep their previous capacity instead.
+func newStateTable(keyHint int) *stateTable {
+	if v := tablePool.Get(); v != nil {
+		t := v.(*stateTable)
+		t.reset()
+		return t
+	}
+	const hintStates = 1 << 8
+	if keyHint < 4 {
+		keyHint = 4
+	}
+	t := &stateTable{seed: maphash.MakeSeed()}
+	t.slots = make([]int32, 1<<10)
+	t.mask = uint64(len(t.slots) - 1)
+	t.offs = make([]uint32, 1, hintStates)
+	t.arena = make([]byte, 0, hintStates*keyHint)
+	t.visits = make([]visit, 0, hintStates)
+	t.hashes = make([]uint64, 0, hintStates)
+	return t
+}
+
+// reset empties a recycled table, keeping every backing array.
+func (t *stateTable) reset() {
+	clear(t.slots)
+	t.offs = t.offs[:1]
+	t.arena = t.arena[:0]
+	t.visits = t.visits[:0]
+	t.hashes = t.hashes[:0]
+}
+
+// release returns the table to the pool. The caller must not touch it
+// afterwards; nothing in a Result aliases table memory.
+func (t *stateTable) release() {
+	tablePool.Put(t)
+}
+
+func (t *stateTable) len() int { return len(t.visits) }
+
+// lookupOrInsert returns the stored visit and true when key is already
+// present; otherwise it records (key, v) and returns false.
+func (t *stateTable) lookupOrInsert(key []byte, v visit) (visit, bool) {
+	h := maphash.Bytes(t.seed, key)
+	i := h & t.mask
+	for {
+		e := t.slots[i]
+		if e == 0 {
+			break
+		}
+		j := e - 1
+		if t.hashes[j] == h && bytes.Equal(key, t.arena[t.offs[j]:t.offs[j+1]]) {
+			return t.visits[j], true
+		}
+		i = (i + 1) & t.mask
+	}
+	n := len(t.visits)
+	// Grow the arena by doubling: for large buffers append's growth factor
+	// shrinks towards 1.25x, which would re-copy the arena far more often.
+	if len(t.arena)+len(key) > cap(t.arena) {
+		nc := 2 * cap(t.arena)
+		if nc < 4096 {
+			nc = 4096
+		}
+		for nc < len(t.arena)+len(key) {
+			nc *= 2
+		}
+		na := make([]byte, len(t.arena), nc)
+		copy(na, t.arena)
+		t.arena = na
+	}
+	t.arena = append(t.arena, key...)
+	t.offs = append(t.offs, uint32(len(t.arena)))
+	t.visits = append(t.visits, v)
+	t.hashes = append(t.hashes, h)
+	t.slots[i] = int32(n + 1)
+	if uint64(len(t.visits))*4 >= uint64(len(t.slots))*3 {
+		t.grow()
+	}
+	return visit{}, false
+}
+
+// grow doubles the slot array and rehashes the stored indices (the arena
+// itself never moves entries).
+func (t *stateTable) grow() {
+	slots := make([]int32, len(t.slots)*2)
+	mask := uint64(len(slots) - 1)
+	for j, h := range t.hashes {
+		i := h & mask
+		for slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		slots[i] = int32(j + 1)
+	}
+	t.slots, t.mask = slots, mask
+}
+
+// fireQueue holds the in-flight firings of one self-timed actor as
+// absolute completion times. Firings start in nondecreasing time order and
+// run for a constant execution time, so the queue is sorted by
+// construction — the canonical per-state ordering the old kernel obtained
+// with a per-state sort falls out of insertion order.
+type fireQueue struct {
+	at   []int64
+	head int
+}
+
+func (q *fireQueue) push(t int64) { q.at = append(q.at, t) }
+
+func (q *fireQueue) popFront() {
+	q.head++
+	if q.head == len(q.at) {
+		q.at = q.at[:0]
+		q.head = 0
+	}
+}
+
+func (q *fireQueue) pending() []int64 { return q.at[q.head:] }
+
+// event is one firing completion: id >= 0 is a self-timed actor's dense
+// index in selfTimed, id < 0 a scheduled tile (encoded as -tile-1).
+type event struct {
+	at int64
+	id int32
+}
+
+// eventHeap is a monotone binary min-heap of completion events: pushes are
+// never in the past, pops deliver the tracked minimum.
+type eventHeap []event
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].at <= s[i].at {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	s = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s[l].at < s[m].at {
+			m = l
+		}
+		if r < n && s[r].at < s[m].at {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}
+
+// explorer is the flattened runtime of one analysis: the graph topology
+// unpacked into dense arrays, the worklists of the start fixpoint, and the
+// state store. Everything is allocated once per Analyze call; the per-state
+// hot path does not allocate.
+type explorer struct {
+	g   *sdf.Graph
+	opt Options
+
+	// Flattened topology in CSR form: actor a's input channels are
+	// inCh[inIdx[a]:inIdx[a+1]] with matching consumption rates in inRate,
+	// and likewise for outputs. One backing array per field keeps the hot
+	// loops cache-dense and the setup allocation count constant.
+	inIdx, outIdx   []int32
+	inCh, outCh     []int32
+	inRate, outRate []int64
+	chanDst         []int32
+	execTime        []int64
+	maxConc         []int
+	tileOf          []int // -1: self-timed
+	selfTimed       []int32
+
+	tokens    []int64
+	maxTokens []int64
+	tiles     []tileState
+
+	// selfIdx maps an actor id to its dense index in selfTimed (-1 for
+	// scheduled actors); queues is indexed by that dense index so the
+	// state-key loop walks it contiguously.
+	selfIdx     []int32
+	queues      []fireQueue
+	activeCount []int
+
+	events eventHeap
+
+	// Start-fixpoint worklists with membership flags.
+	candA   []int32
+	candT   []int32
+	inCandA []bool
+	inCandT []bool
+
+	now            int64
+	refCompletions int64
+	ref            sdf.ActorID
+	zeroTimeErr    error
+
+	// State-key buffers. buf's first tokPrefix bytes mirror the channel
+	// token counts (two bytes per channel, kept current by consume and
+	// produce), so stateKey only rebuilds the time/schedule section after
+	// them. nTokBig counts channels whose token count does not fit the
+	// prefix; while any are present stateKey uses the wide fallback in
+	// slowBuf instead.
+	buf       []byte
+	tokPrefix int
+	nTokBig   int
+	slowBuf   []byte
+	wide      []uint64 // oversized components diverted to the key's wide tail
+	table     *stateTable
+}
+
 // Analyze explores the self-timed state space of g and returns its
 // worst-case throughput. The graph must be consistent. Execution must be
 // bounded (strongly connected graph, or buffer back-edges present, or all
@@ -158,17 +419,19 @@ func Analyze(g *sdf.Graph, opt Options) (Result, error) {
 		return Result{}, fmt.Errorf("statespace: reference actor %d out of range", ref)
 	}
 
+	e := &explorer{g: g, opt: opt, ref: ref}
+
 	// Assign actors to tiles.
-	tileOf := make([]int, g.NumActors()) // -1: self-timed
-	for i := range tileOf {
-		tileOf[i] = -1
+	e.tileOf = make([]int, g.NumActors())
+	for i := range e.tileOf {
+		e.tileOf[i] = -1
 	}
-	tiles := make([]*tileState, len(opt.Schedules))
+	e.tiles = make([]tileState, len(opt.Schedules))
 	for ti, s := range opt.Schedules {
 		if len(s.Entries) == 0 {
 			return Result{}, fmt.Errorf("statespace: empty schedule for tile %q", s.Tile)
 		}
-		tiles[ti] = &tileState{
+		e.tiles[ti] = tileState{
 			prologue: s.Prologue,
 			sched:    s.Entries,
 			inProl:   len(s.Prologue) > 0,
@@ -177,183 +440,86 @@ func Analyze(g *sdf.Graph, opt Options) (Result, error) {
 			if int(a) >= g.NumActors() {
 				return Result{}, fmt.Errorf("statespace: schedule for tile %q names unknown actor %d", s.Tile, a)
 			}
-			if tileOf[a] != -1 && tileOf[a] != ti {
+			if e.tileOf[a] != -1 && e.tileOf[a] != ti {
 				return Result{}, fmt.Errorf("statespace: actor %q scheduled on two tiles", g.Actor(a).Name)
 			}
-			tileOf[a] = ti
+			e.tileOf[a] = ti
 		}
 	}
 
-	// Runtime state.
-	tokens := make([]int64, g.NumChannels())
-	maxTokens := make([]int64, g.NumChannels())
-	for _, c := range g.Channels() {
-		tokens[c.ID] = int64(c.InitialTokens)
-		maxTokens[c.ID] = tokens[c.ID]
-	}
-	var active []firing // self-timed in-flight firings
-	activeCount := make([]int, g.NumActors())
-
-	ready := func(a *sdf.Actor) bool {
+	// Flatten the topology into dense CSR arrays: the hot path never
+	// touches graph objects.
+	n := g.NumActors()
+	e.inIdx = make([]int32, n+1)
+	e.outIdx = make([]int32, n+1)
+	e.execTime = make([]int64, n)
+	e.maxConc = make([]int, n)
+	nc := g.NumChannels()
+	e.inCh = make([]int32, 0, nc)
+	e.outCh = make([]int32, 0, nc)
+	e.inRate = make([]int64, 0, nc)
+	e.outRate = make([]int64, 0, nc)
+	for _, a := range g.Actors() {
+		e.execTime[a.ID] = a.ExecTime
+		e.maxConc[a.ID] = a.MaxConcurrent
+		e.inIdx[a.ID] = int32(len(e.inCh))
 		for _, cid := range a.In() {
-			c := g.Channel(cid)
-			if tokens[cid] < int64(c.DstRate) {
-				return false
-			}
+			e.inCh = append(e.inCh, int32(cid))
+			e.inRate = append(e.inRate, int64(g.Channel(cid).DstRate))
 		}
-		return true
-	}
-	consume := func(a *sdf.Actor) {
-		for _, cid := range a.In() {
-			tokens[cid] -= int64(g.Channel(cid).DstRate)
-		}
-	}
-	produce := func(a *sdf.Actor) {
+		e.outIdx[a.ID] = int32(len(e.outCh))
 		for _, cid := range a.Out() {
-			tokens[cid] += int64(g.Channel(cid).SrcRate)
-			if tokens[cid] > maxTokens[cid] {
-				maxTokens[cid] = tokens[cid]
-			}
+			e.outCh = append(e.outCh, int32(cid))
+			e.outRate = append(e.outRate, int64(g.Channel(cid).SrcRate))
+		}
+		if e.tileOf[a.ID] == -1 {
+			e.selfTimed = append(e.selfTimed, int32(a.ID))
 		}
 	}
-
-	// startAll begins every firing that can start at the current instant.
-	startAll := func() {
-		for {
-			started := false
-			// Scheduled tiles: start the next schedule entry if ready.
-			for _, t := range tiles {
-				if t.busy {
-					continue
-				}
-				a := g.Actor(t.currentEntry())
-				if ready(a) {
-					consume(a)
-					t.busy = true
-					t.current = a.ID
-					t.remain = a.ExecTime
-					started = true
-				}
-			}
-			// Self-timed actors.
-			for _, a := range g.Actors() {
-				if tileOf[a.ID] != -1 {
-					continue
-				}
-				for ready(a) && (a.MaxConcurrent == 0 || activeCount[a.ID] < a.MaxConcurrent) {
-					consume(a)
-					active = append(active, firing{a.ID, a.ExecTime})
-					activeCount[a.ID]++
-					started = true
-				}
-			}
-			if !started {
-				return
-			}
-		}
+	e.inIdx[n] = int32(len(e.inCh))
+	e.outIdx[n] = int32(len(e.outCh))
+	e.chanDst = make([]int32, g.NumChannels())
+	e.tokens = make([]int64, g.NumChannels())
+	e.maxTokens = make([]int64, g.NumChannels())
+	for _, c := range g.Channels() {
+		e.chanDst[c.ID] = int32(c.Dst)
+		e.tokens[c.ID] = int64(c.InitialTokens)
+		e.maxTokens[c.ID] = e.tokens[c.ID]
 	}
 
-	// Zero-time firings must complete immediately and may enable others.
-	// finishZero completes all firings with zero remaining time. It fails
-	// if an unbounded burst of zero-time firings occurs at one instant
-	// (a cycle of zero-execution-time actors with tokens), which indicates
-	// a modelling error.
-	var refCompletions int64
-	const zeroBurstLimit = 1 << 20
-	var zeroTimeErr error
-	finishZero := func(now int64) {
-		burst := 0
-		for {
-			burst++
-			if burst > zeroBurstLimit {
-				zeroTimeErr = fmt.Errorf("statespace: graph %q has an unbounded zero-time firing loop", g.Name)
-				return
-			}
-			done := false
-			for _, t := range tiles {
-				if t.busy && t.remain == 0 {
-					produce(g.Actor(t.current))
-					if opt.OnComplete != nil {
-						opt.OnComplete(t.current, now)
-					}
-					if t.current == ref {
-						refCompletions++
-					}
-					t.busy = false
-					t.advanceEntry()
-					done = true
-				}
-			}
-			kept := active[:0]
-			for _, f := range active {
-				if f.remaining == 0 {
-					produce(g.Actor(f.actor))
-					if opt.OnComplete != nil {
-						opt.OnComplete(f.actor, now)
-					}
-					if f.actor == ref {
-						refCompletions++
-					}
-					activeCount[f.actor]--
-					done = true
-				} else {
-					kept = append(kept, f)
-				}
-			}
-			active = kept
-			if !done {
-				return
-			}
-			startAll()
-		}
+	e.selfIdx = make([]int32, n)
+	for i := range e.selfIdx {
+		e.selfIdx[i] = -1
+	}
+	for si, a := range e.selfTimed {
+		e.selfIdx[a] = int32(si)
+	}
+	e.queues = make([]fireQueue, len(e.selfTimed))
+	e.activeCount = make([]int, n)
+	e.inCandA = make([]bool, n)
+	e.inCandT = make([]bool, len(e.tiles))
+	e.tokPrefix = 2 * len(e.tokens)
+	e.table = newStateTable(e.tokPrefix + 2*(2*len(e.tiles)+2*len(e.selfTimed)) + 1)
+	defer e.table.release()
+	e.buf = make([]byte, e.tokPrefix+512)
+	for ch, tk := range e.tokens {
+		e.setTok(int32(ch), 0, tk)
 	}
 
-	// stateKey serializes the current state.
-	buf := make([]byte, 0, 256)
-	stateKey := func() string {
-		buf = buf[:0]
-		for _, tk := range tokens {
-			buf = binary.AppendVarint(buf, tk)
-		}
-		for _, t := range tiles {
-			if t.inProl {
-				buf = binary.AppendVarint(buf, -int64(t.pos)-1)
-			} else {
-				buf = binary.AppendVarint(buf, int64(t.pos))
-			}
-			if t.busy {
-				buf = binary.AppendVarint(buf, t.remain+1)
-			} else {
-				buf = binary.AppendVarint(buf, 0)
-			}
-		}
-		// Remaining times per actor, sorted for canonical form.
-		sort.Slice(active, func(i, j int) bool {
-			if active[i].actor != active[j].actor {
-				return active[i].actor < active[j].actor
-			}
-			return active[i].remaining < active[j].remaining
-		})
-		for _, f := range active {
-			buf = binary.AppendVarint(buf, int64(f.actor))
-			buf = binary.AppendVarint(buf, f.remaining)
-		}
-		return string(buf)
+	// Seed the start fixpoint with everything, then run to the first
+	// stable instant.
+	for _, a := range e.selfTimed {
+		e.pushActorCand(a)
 	}
-
-	type visit struct {
-		time        int64
-		completions int64
+	for ti := range e.tiles {
+		e.pushTileCand(ti)
 	}
-	seen := make(map[string]visit, 1024)
-
-	var now int64
-	startAll()
-	finishZero(now)
+	e.startAll()
+	e.finishZero()
 
 	for states := 0; states < maxStates; states++ {
-		if zeroTimeErr != nil {
-			return Result{}, zeroTimeErr
+		if e.zeroTimeErr != nil {
+			return Result{}, e.zeroTimeErr
 		}
 		if opt.Interrupt != nil {
 			select {
@@ -362,16 +528,16 @@ func Analyze(g *sdf.Graph, opt Options) (Result, error) {
 			default:
 			}
 		}
-		key := stateKey()
-		if v, ok := seen[key]; ok {
-			period := now - v.time
-			firings := refCompletions - v.completions
+		key := e.stateKey()
+		if v, ok := e.table.lookupOrInsert(key, visit{e.now, e.refCompletions}); ok {
+			period := e.now - v.time
+			firings := e.refCompletions - v.completions
 			res := Result{
 				FiringsPerPeriod: firings,
 				PeriodCycles:     period,
 				TransientCycles:  v.time,
-				StatesExplored:   states,
-				MaxTokens:        maxTokens,
+				StatesExplored:   e.table.len(),
+				MaxTokens:        e.maxTokens,
 			}
 			if period > 0 && firings > 0 {
 				res.Throughput = float64(firings) / float64(q[ref]) / float64(period)
@@ -383,48 +549,324 @@ func Analyze(g *sdf.Graph, opt Options) (Result, error) {
 			}
 			return res, nil
 		}
-		seen[key] = visit{now, refCompletions}
 
 		// Advance to the next event.
-		next := int64(-1)
-		for _, t := range tiles {
-			if t.busy && (next < 0 || t.remain < next) {
-				next = t.remain
-			}
-		}
-		for _, f := range active {
-			if next < 0 || f.remaining < next {
-				next = f.remaining
-			}
-		}
-		if next < 0 {
+		if len(e.events) == 0 {
 			// Nothing in flight and nothing could start: deadlock.
 			var rep strings.Builder
-			for ti, t := range tiles {
+			for ti, t := range e.tiles {
 				a := g.Actor(t.currentEntry())
 				fmt.Fprintf(&rep, "tile %q pos %d blocked on %q:", opt.Schedules[ti].Tile, t.pos, a.Name)
 				for _, cid := range a.In() {
 					c := g.Channel(cid)
-					if tokens[cid] < int64(c.DstRate) {
-						fmt.Fprintf(&rep, " %s(%d/%d)", c.Name, tokens[cid], c.DstRate)
+					if e.tokens[cid] < int64(c.DstRate) {
+						fmt.Fprintf(&rep, " %s(%d/%d)", c.Name, e.tokens[cid], c.DstRate)
 					}
 				}
 				rep.WriteString("\n")
 			}
-			return Result{Deadlocked: true, DeadlockReport: rep.String(), StatesExplored: len(seen), TransientCycles: now, MaxTokens: maxTokens}, nil
+			return Result{Deadlocked: true, DeadlockReport: rep.String(), StatesExplored: e.table.len(), TransientCycles: e.now, MaxTokens: e.maxTokens}, nil
 		}
-		now += next
-		for _, t := range tiles {
-			if t.busy {
-				t.remain -= next
-			}
-		}
-		for i := range active {
-			active[i].remaining -= next
-		}
-		finishZero(now)
+		e.now = e.events[0].at
+		e.finishZero()
 	}
 	return Result{}, fmt.Errorf("statespace: graph %q exceeded %d states (unbounded execution?)", g.Name, maxStates)
+}
+
+func (e *explorer) pushActorCand(a int32) {
+	if !e.inCandA[a] {
+		e.inCandA[a] = true
+		e.candA = append(e.candA, a)
+	}
+}
+
+func (e *explorer) pushTileCand(ti int) {
+	if !e.inCandT[ti] {
+		e.inCandT[ti] = true
+		e.candT = append(e.candT, int32(ti))
+	}
+}
+
+func (e *explorer) ready(a int32) bool {
+	for i := e.inIdx[a]; i < e.inIdx[a+1]; i++ {
+		if e.tokens[e.inCh[i]] < e.inRate[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *explorer) consume(a int32) {
+	for i := e.inIdx[a]; i < e.inIdx[a+1]; i++ {
+		ch := e.inCh[i]
+		old := e.tokens[ch]
+		v := old - e.inRate[i]
+		e.tokens[ch] = v
+		e.setTok(ch, old, v)
+	}
+}
+
+// produce delivers one firing's output tokens and wakes the consumers.
+func (e *explorer) produce(a int32) {
+	for i := e.outIdx[a]; i < e.outIdx[a+1]; i++ {
+		cid := e.outCh[i]
+		old := e.tokens[cid]
+		tk := old + e.outRate[i]
+		e.tokens[cid] = tk
+		e.setTok(cid, old, tk)
+		if tk > e.maxTokens[cid] {
+			e.maxTokens[cid] = tk
+		}
+		dst := e.chanDst[cid]
+		if t := e.tileOf[dst]; t >= 0 {
+			e.pushTileCand(t)
+		} else {
+			e.pushActorCand(dst)
+		}
+	}
+}
+
+// setTok mirrors a channel's new token count into the key buffer's fixed
+// two-byte prefix. Counts that do not fit are tracked via nTokBig, which
+// switches stateKey to the wide fallback encoding while any are present.
+func (e *explorer) setTok(ch int32, old, v int64) {
+	if old >= 0xFFFF || v >= 0xFFFF {
+		e.setTokWide(ch, old, v)
+		return
+	}
+	binary.LittleEndian.PutUint16(e.buf[2*ch:], uint16(v))
+}
+
+// setTokWide is the overflow path of setTok, split out so the common path
+// stays within the inlining budget.
+func (e *explorer) setTokWide(ch int32, old, v int64) {
+	if old < 0xFFFF && v >= 0xFFFF {
+		e.nTokBig++
+	} else if old >= 0xFFFF && v < 0xFFFF {
+		e.nTokBig--
+	}
+	if v < 0xFFFF {
+		binary.LittleEndian.PutUint16(e.buf[2*ch:], uint16(v))
+	}
+}
+
+// startAll runs the start fixpoint over the candidate worklists: actors and
+// tiles whose inputs changed (or that just completed) are re-checked, and
+// every firing that can begin at the current instant does. Starting a
+// firing only removes tokens, so it never enables another start — a single
+// pass over the worklists reaches the fixpoint.
+func (e *explorer) startAll() {
+	for len(e.candT) > 0 || len(e.candA) > 0 {
+		for len(e.candT) > 0 {
+			ti := int(e.candT[len(e.candT)-1])
+			e.candT = e.candT[:len(e.candT)-1]
+			e.inCandT[ti] = false
+			t := &e.tiles[ti]
+			if t.busy {
+				continue
+			}
+			a := int32(t.currentEntry())
+			if e.ready(a) {
+				e.consume(a)
+				t.busy = true
+				t.current = sdf.ActorID(a)
+				t.doneAt = e.now + e.execTime[a]
+				e.events.push(event{at: t.doneAt, id: int32(-ti - 1)})
+			}
+		}
+		for len(e.candA) > 0 {
+			a := e.candA[len(e.candA)-1]
+			e.candA = e.candA[:len(e.candA)-1]
+			e.inCandA[a] = false
+			for e.ready(a) && (e.maxConc[a] == 0 || e.activeCount[a] < e.maxConc[a]) {
+				e.consume(a)
+				at := e.now + e.execTime[a]
+				e.queues[e.selfIdx[a]].push(at)
+				e.activeCount[a]++
+				e.events.push(event{at: at, id: e.selfIdx[a]})
+			}
+		}
+	}
+}
+
+// finishZero completes every firing due at the current instant and starts
+// the firings those completions enable, repeating while completions keep
+// occurring at this instant (zero-execution-time firings complete
+// immediately and may enable others). It fails if an unbounded burst of
+// zero-time firings occurs at one instant (a cycle of zero-execution-time
+// actors with tokens), which indicates a modelling error.
+const zeroBurstLimit = 1 << 20
+
+func (e *explorer) finishZero() {
+	burst := 0
+	for {
+		burst++
+		if burst > zeroBurstLimit {
+			e.zeroTimeErr = fmt.Errorf("statespace: graph %q has an unbounded zero-time firing loop", e.g.Name)
+			return
+		}
+		done := false
+		for len(e.events) > 0 && e.events[0].at == e.now {
+			ev := e.events.pop()
+			if ev.id < 0 {
+				ti := int(-ev.id - 1)
+				t := &e.tiles[ti]
+				e.produce(int32(t.current))
+				if e.opt.OnComplete != nil {
+					e.opt.OnComplete(t.current, e.now)
+				}
+				if t.current == e.ref {
+					e.refCompletions++
+				}
+				t.busy = false
+				t.advanceEntry()
+				e.pushTileCand(ti)
+			} else {
+				a := e.selfTimed[ev.id]
+				e.queues[ev.id].popFront()
+				e.produce(a)
+				if e.opt.OnComplete != nil {
+					e.opt.OnComplete(sdf.ActorID(a), e.now)
+				}
+				if sdf.ActorID(a) == e.ref {
+					e.refCompletions++
+				}
+				e.activeCount[a]--
+				e.pushActorCand(a)
+			}
+			done = true
+		}
+		if !done {
+			return
+		}
+		e.startAll()
+	}
+}
+
+// put2 writes one state component at b[pos] as two little-endian bytes.
+// Every component is non-negative (token counts, schedule positions,
+// relative completion times), so no sign mapping is needed. Values at or
+// above the 0xFFFF escape are diverted to the wide tail appended after the
+// fixed section; since the escape markers in the fixed section pin down
+// which components overflowed, the encoding stays canonical. The fixed
+// width keeps the store addresses free of the serial position dependency a
+// varint encoder would impose, which matters in the hottest loop of the
+// exploration.
+func (e *explorer) put2(b []byte, pos int, u uint64) int {
+	if u >= 0xFFFF {
+		u = e.escape(u)
+	}
+	binary.LittleEndian.PutUint16(b[pos:], uint16(u))
+	return pos + 2
+}
+
+// escape records an oversized component for the wide tail and returns the
+// escape marker; split out of put2 to keep put2 within the inlining budget.
+func (e *explorer) escape(u uint64) uint64 {
+	e.wide = append(e.wide, u)
+	return 0xFFFF
+}
+
+// Key mode bytes: every key's final byte names its encoding, so keys from
+// the narrow and wide encoders can never collide.
+const (
+	keyModeNarrow = 0x00
+	keyModeWide   = 0x01
+)
+
+// stateKey serializes the current state: channel token counts, tile
+// schedule positions with remaining execution times, and the in-flight
+// firings of every self-timed actor. The per-actor queues are ordered by
+// construction, so the encoding is canonical without sorting. The token
+// prefix of buf is already current (maintained by consume/produce); only
+// the time/schedule section after it is rebuilt, as four fixed bytes per
+// component plus a wide tail for rare oversized values. The choice between
+// this encoder and wideKey depends only on the state itself, keeping keys
+// canonical.
+func (e *explorer) stateKey() []byte {
+	if e.nTokBig > 0 {
+		return e.wideKey()
+	}
+	// Worst case: two fixed plus eight tail bytes per time component,
+	// one mode byte.
+	need := e.tokPrefix + 10*(2*len(e.tiles)+len(e.selfTimed)+len(e.events)+1)
+	if len(e.buf) < need {
+		nb := make([]byte, 2*need)
+		copy(nb, e.buf[:e.tokPrefix])
+		e.buf = nb
+	}
+	b := e.buf
+	e.wide = e.wide[:0]
+	pos := e.tokPrefix
+	now := e.now
+	for ti := range e.tiles {
+		t := &e.tiles[ti]
+		u := uint64(t.pos) << 1
+		if t.inProl {
+			u |= 1
+		}
+		pos = e.put2(b, pos, u)
+		if t.busy {
+			pos = e.put2(b, pos, uint64(t.doneAt-now+1))
+		} else {
+			pos = e.put2(b, pos, 0)
+		}
+	}
+	for si := range e.queues {
+		q := &e.queues[si]
+		pos = e.put2(b, pos, uint64(len(q.at)-q.head))
+		for i := q.head; i < len(q.at); i++ {
+			pos = e.put2(b, pos, uint64(q.at[i]-now))
+		}
+	}
+	for _, u := range e.wide {
+		binary.LittleEndian.PutUint64(b[pos:], u)
+		pos += 8
+	}
+	b[pos] = keyModeNarrow
+	return b[:pos+1]
+}
+
+// wideKey is the fallback encoding used while any token count exceeds the
+// two-byte prefix: every component is eight little-endian bytes, no
+// escapes.
+func (e *explorer) wideKey() []byte {
+	need := 8*(len(e.tokens)+2*len(e.tiles)+len(e.selfTimed)+len(e.events)) + 1
+	if cap(e.slowBuf) < need {
+		e.slowBuf = make([]byte, 2*need)
+	}
+	b := e.slowBuf[:cap(e.slowBuf)]
+	pos := 0
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[pos:], v)
+		pos += 8
+	}
+	now := e.now
+	for _, tk := range e.tokens {
+		put(uint64(tk))
+	}
+	for ti := range e.tiles {
+		t := &e.tiles[ti]
+		u := uint64(t.pos) << 1
+		if t.inProl {
+			u |= 1
+		}
+		put(u)
+		if t.busy {
+			put(uint64(t.doneAt - now + 1))
+		} else {
+			put(0)
+		}
+	}
+	for si := range e.queues {
+		q := &e.queues[si]
+		put(uint64(len(q.at) - q.head))
+		for i := q.head; i < len(q.at); i++ {
+			put(uint64(q.at[i] - now))
+		}
+	}
+	b[pos] = keyModeWide
+	return b[:pos+1]
 }
 
 // Throughput is a convenience wrapper returning only the throughput of the
