@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-json bench-smoke serve ci
+.PHONY: all build test race vet fmt fmt-check bench bench-json bench-smoke obs-smoke serve ci
 
 all: build
 
@@ -51,7 +51,18 @@ bench-smoke:
 	$(MAKE) bench-json BENCHTIME=1x BENCH_FILE=/tmp/bench-smoke.json
 	rm -f /tmp/bench-smoke.json
 
+# Telemetry-overhead gate: the kernel benchmarks run with obs disabled
+# and must not allocate a single byte more per op than the recorded
+# baseline (allocs/op is deterministic, so 1x benchtime suffices).
+OBS_BASELINE ?= BENCH_2026-08-06.json
+
+obs-smoke:
+	$(GO) test -run '^$$' \
+		-bench '^(BenchmarkStateSpaceThroughputMJPEG|BenchmarkSimulateMJPEGIteration)$$' \
+		-benchmem -benchtime=1x -json . \
+		| $(GO) run ./cmd/benchjson -compare $(OBS_BASELINE) -metric allocs/op -max-ratio 1
+
 serve:
 	$(GO) run ./cmd/mamps-serve
 
-ci: build vet fmt-check race
+ci: build vet fmt-check race obs-smoke

@@ -3,6 +3,16 @@
 // bench-json` to record the performance trajectory as BENCH_<date>.json
 // files. With -verify it instead validates an existing report file (the
 // CI bench-smoke job uses this to guard against bit-rot in the pipeline).
+//
+// With -compare it parses the stream and gates a metric against a
+// recorded baseline report: any benchmark present in both whose metric
+// exceeds baseline*max-ratio fails the run. `make obs-smoke` uses
+//
+//	go test -run '^$' -bench '...' -benchmem -json . |
+//	    benchjson -compare BENCH_2026-08-06.json -metric allocs/op -max-ratio 1
+//
+// to prove the telemetry layer adds zero allocations to the kernel hot
+// paths when disabled.
 package main
 
 import (
@@ -61,10 +71,20 @@ func stripProcSuffix(name string) string {
 
 func main() {
 	verify := flag.String("verify", "", "validate an existing report file instead of converting stdin")
+	compare := flag.String("compare", "", "baseline report file to gate the stdin stream against")
+	metric := flag.String("metric", "allocs/op", "metric unit gated by -compare")
+	maxRatio := flag.Float64("max-ratio", 1.0, "fail -compare when current > baseline*ratio")
 	flag.Parse()
 
 	if *verify != "" {
 		if err := verifyReport(*verify); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *compare != "" {
+		if err := compareReport(*compare, *metric, *maxRatio); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -189,5 +209,74 @@ func verifyReport(path string) error {
 		}
 	}
 	fmt.Printf("%s: %d benchmarks OK\n", path, len(rep.Benchmarks))
+	return nil
+}
+
+// metricOf returns a benchmark's value for the given unit.
+func metricOf(b Benchmark, unit string) (float64, bool) {
+	for _, m := range b.Metrics {
+		if m.Unit == unit {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// compareReport parses the test2json stream on stdin and gates the given
+// metric against the baseline report: every benchmark present in both
+// must satisfy current <= baseline*maxRatio. Benchmarks missing from the
+// baseline (or lacking the metric) are reported but don't fail the run,
+// so adding new benchmarks never breaks the gate.
+func compareReport(baselinePath, unit string, maxRatio float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %w", baselinePath, err)
+	}
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+
+	cur, err := parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	compared := 0
+	for _, b := range cur.Benchmarks {
+		got, ok := metricOf(b, unit)
+		if !ok {
+			continue
+		}
+		ref, ok := baseBy[b.Name]
+		if !ok {
+			fmt.Printf("%-48s %s %g (no baseline, skipped)\n", b.Name, unit, got)
+			continue
+		}
+		want, ok := metricOf(ref, unit)
+		if !ok {
+			fmt.Printf("%-48s %s %g (baseline lacks metric, skipped)\n", b.Name, unit, got)
+			continue
+		}
+		compared++
+		limit := want * maxRatio
+		status := "ok"
+		if got > limit {
+			status = "FAIL"
+			failures = append(failures,
+				fmt.Sprintf("%s: %s %g exceeds baseline %g (limit %g)", b.Name, unit, got, want, limit))
+		}
+		fmt.Printf("%-48s %s %g vs baseline %g  %s\n", b.Name, unit, got, want, status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmarks on stdin matched the baseline for %s", unit)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
 	return nil
 }

@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"mamps/internal/obs"
 	"mamps/internal/service"
 )
 
@@ -38,13 +39,24 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "per-job execution timeout")
 	cacheCap := flag.Int("cache-entries", 4096, "analysis cache capacity (entries)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on shutdown")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of key=value text")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logJSON)
 
 	srv := service.New(service.Config{
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		JobTimeout:    *jobTimeout,
 		CacheCapacity: *cacheCap,
+		Logger:        logger,
+		EnablePprof:   *enablePprof,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -23,8 +23,11 @@ import (
 	"mamps/internal/arch"
 	"mamps/internal/area"
 	"mamps/internal/mapping"
+	"mamps/internal/obs"
 	"mamps/internal/platgen"
+	"mamps/internal/sdf"
 	"mamps/internal/service/cache"
+	"mamps/internal/statespace"
 )
 
 // Point is one evaluated platform configuration.
@@ -79,6 +82,13 @@ type Config struct {
 	// deterministic enumeration order regardless. With Workers > 1 a
 	// custom MapOptions.Analyze must be safe for concurrent use.
 	Workers int
+
+	// Obs, if non-nil, records one span per evaluated candidate — on the
+	// "dse" track for a sequential sweep, or per-worker "dse-worker-N"
+	// tracks for a parallel one — annotated with the candidate label and
+	// the resulting throughput or error, and threads the set's explorer
+	// counters into every point's state-space analyses.
+	Obs *obs.Set
 }
 
 // Sweep evaluates every configuration in the space.
@@ -124,6 +134,16 @@ func SweepContext(ctx context.Context, app *appmodel.App, cfg Config) ([]Point, 
 		// cache (or, without one, just make it cancellable).
 		mo.Analyze = cache.Analyzer(cfg.Cache, ctx)
 	}
+	if stats := cfg.Obs.ExplorerOf(); stats != nil {
+		// Thread the explorer counters into every analysis. Safe to set
+		// before the cache analyzer computes its content key: telemetry
+		// destinations are not part of an analysis's identity.
+		inner := mo.Analyze
+		mo.Analyze = func(g *sdf.Graph, opt statespace.Options) (statespace.Result, error) {
+			opt.Telemetry = stats
+			return inner(g, opt)
+		}
+	}
 
 	// Enumerate the candidate configurations up front; their order is the
 	// result order.
@@ -158,12 +178,13 @@ func SweepContext(ctx context.Context, app *appmodel.App, cfg Config) ([]Point, 
 	// Single worker: evaluate inline, with no pool overhead (this is also
 	// the reference behavior the parallel path must reproduce exactly).
 	if workers == 1 {
+		scope := cfg.Obs.TraceOf().Scope("dse")
 		points := make([]Point, 0, len(cands))
 		for _, c := range cands {
 			if err := ctx.Err(); err != nil {
 				return points, fmt.Errorf("dse: sweep cancelled at %d tiles: %w", c.tiles, err)
 			}
-			points = append(points, evaluate(app, c.tiles, c.ic, c.ca, mo))
+			points = append(points, evaluateTraced(scope, app, c.tiles, c.ic, c.ca, mo))
 		}
 		return points, nil
 	}
@@ -182,8 +203,12 @@ func SweepContext(ctx context.Context, app *appmodel.App, cfg Config) ([]Point, 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Each worker records onto its own track, so span buffers stay
+			// uncontended and the exported trace shows per-worker lanes
+			// (and with them the pool's utilization over the sweep).
+			scope := cfg.Obs.TraceOf().Scope(fmt.Sprintf("dse-worker-%d", w))
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(cands) {
@@ -195,10 +220,10 @@ func SweepContext(ctx context.Context, app *appmodel.App, cfg Config) ([]Point, 
 					continue
 				}
 				c := cands[i]
-				results[i] = evaluate(app, c.tiles, c.ic, c.ca, mo)
+				results[i] = evaluateTraced(scope, app, c.tiles, c.ic, c.ca, mo)
 				close(done[i])
 			}
-		}()
+		}(w)
 	}
 	defer wg.Wait()
 
@@ -218,6 +243,26 @@ func SweepContext(ctx context.Context, app *appmodel.App, cfg Config) ([]Point, 
 		}
 	}
 	return points, nil
+}
+
+// evaluateTraced wraps evaluate in a span on the given scope (nil scope:
+// no overhead beyond the call), annotated with the candidate label and
+// its outcome.
+func evaluateTraced(scope *obs.Scope, app *appmodel.App, tiles int, ic arch.InterconnectKind, ca bool, mo mapping.Options) Point {
+	if scope == nil {
+		return evaluate(app, tiles, ic, ca, mo)
+	}
+	span := scope.Begin("evaluate")
+	pt := evaluate(app, tiles, ic, ca, mo)
+	span.SetAttrs(
+		obs.String("candidate", pt.Label()),
+		obs.Float("throughput", pt.Throughput),
+	)
+	if pt.Err != nil {
+		span.SetAttrs(obs.String("error", pt.Err.Error()))
+	}
+	span.End()
+	return pt
 }
 
 func evaluate(app *appmodel.App, tiles int, ic arch.InterconnectKind, ca bool, mo mapping.Options) Point {

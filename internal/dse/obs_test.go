@@ -1,0 +1,102 @@
+package dse
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"mamps/internal/mjpeg"
+	"mamps/internal/obs"
+)
+
+// A parallel sweep records spans from every worker while the exporter
+// snapshots concurrently; run under -race this is the regression test for
+// the telemetry layer's locking. It also checks that the explorer
+// counters flow through the sweep's analyses.
+func TestSweepTelemetryConcurrent(t *testing.T) {
+	stream, _, err := mjpeg.EncodeSequence(mjpeg.SeqGradient, 32, 32, 1, 80, mjpeg.Sampling420)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _, err := mjpeg.BuildApp(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := &obs.Set{Trace: obs.New(), Explorer: obs.NewExplorerStats(nil)}
+	cfg := Config{MinTiles: 1, MaxTiles: 4, Workers: 4, Obs: set}
+
+	// Export concurrently with the sweep's recording.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b bytes.Buffer
+			if err := set.Trace.WritePerfetto(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			if !json.Valid(b.Bytes()) {
+				t.Error("concurrent export produced invalid JSON")
+				return
+			}
+		}
+	}()
+	points, err := Sweep(app, cfg)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One span per evaluated candidate.
+	if got := set.Trace.SpanCount(); got != len(points) {
+		t.Fatalf("recorded %d spans for %d candidates", got, len(points))
+	}
+	if set.Explorer.Analyses.Value() == 0 {
+		t.Error("no analyses counted through the sweep")
+	}
+	if set.Explorer.StatesTotal.Value() == 0 {
+		t.Error("no states counted through the sweep")
+	}
+}
+
+// The sequential path records onto a single "dse" track and must return
+// the same points as an uninstrumented sweep.
+func TestSweepTelemetrySequentialUnchanged(t *testing.T) {
+	stream, _, err := mjpeg.EncodeSequence(mjpeg.SeqGradient, 32, 32, 1, 80, mjpeg.Sampling420)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _, err := mjpeg.BuildApp(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Sweep(app, Config{MinTiles: 1, MaxTiles: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := &obs.Set{Trace: obs.New()}
+	traced, err := Sweep(app, Config{MinTiles: 1, MaxTiles: 3, Workers: 1, Obs: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(traced) {
+		t.Fatalf("point counts differ: %d vs %d", len(plain), len(traced))
+	}
+	for i := range plain {
+		if plain[i].Throughput != traced[i].Throughput || plain[i].Area != traced[i].Area {
+			t.Errorf("point %d differs: %+v vs %+v", i, plain[i], traced[i])
+		}
+	}
+	if set.Trace.SpanCount() != len(traced) {
+		t.Errorf("recorded %d spans for %d candidates", set.Trace.SpanCount(), len(traced))
+	}
+}

@@ -20,16 +20,19 @@ package flow
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"mamps/internal/appmodel"
 	"mamps/internal/arch"
 	"mamps/internal/clock"
 	"mamps/internal/mapping"
+	"mamps/internal/obs"
 	"mamps/internal/platgen"
 	"mamps/internal/sdf"
 	"mamps/internal/sim"
 	"mamps/internal/statespace"
+	"mamps/internal/trace"
 	"mamps/internal/wcet"
 )
 
@@ -66,6 +69,15 @@ type Config struct {
 	// the system's monotonic clock; service tests inject a fake so step
 	// durations are deterministic and robust to wall-clock jumps.
 	Clock clock.Clock
+
+	// Obs, if non-nil, records the run into the unified telemetry layer:
+	// one wall-clock span per flow stage on the "flow" track, one span
+	// per state-space analysis on the "statespace" track (with states
+	// and throughput attributes), the simulator's Gantt lanes bridged
+	// onto cycle-domain tracks (including still-open firings closed at
+	// the final simulated time), and the kernel counter groups. Nil
+	// disables all of it at no cost.
+	Obs *obs.Set
 }
 
 // StepTiming records one design-flow step, as in Table 1.
@@ -110,6 +122,29 @@ func ContextAnalyzer(ctx context.Context) func(*sdf.Graph, statespace.Options) (
 	}
 }
 
+// TelemetryAnalyzer is ContextAnalyzer plus observability: each analysis
+// becomes a span on the trace's "statespace" track, annotated with the
+// graph name and the resulting state count and throughput, and the
+// exploration publishes its kernel counters into the set's ExplorerStats.
+// A nil set degrades to ContextAnalyzer.
+func TelemetryAnalyzer(ctx context.Context, tel *obs.Set) func(*sdf.Graph, statespace.Options) (statespace.Result, error) {
+	scope := tel.TraceOf().Scope("statespace")
+	stats := tel.ExplorerOf()
+	return func(g *sdf.Graph, opt statespace.Options) (statespace.Result, error) {
+		opt.Interrupt = ctx.Done()
+		opt.Telemetry = stats
+		span := scope.Begin("analyze", obs.String("graph", g.Name))
+		r, err := statespace.Analyze(g, opt)
+		span.SetAttrs(
+			obs.Int("states", int64(r.StatesExplored)),
+			obs.Float("throughput", r.Throughput),
+			obs.Bool("deadlocked", r.Deadlocked),
+		)
+		span.End()
+		return r, err
+	}
+}
+
 // Run executes the flow without cancellation, on the system clock.
 func Run(cfg Config) (*Result, error) { return RunContext(context.Background(), cfg) }
 
@@ -130,21 +165,32 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	// Make the deep analyses cancellable: unless the caller installed its
 	// own analyzer (e.g. the service's memoizing cache, which handles
-	// cancellation itself), wire the context into the exploration.
-	if cfg.MapOptions.Analyze == nil && ctx.Done() != nil {
-		cfg.MapOptions.Analyze = ContextAnalyzer(ctx)
+	// cancellation itself), wire the context — and, when enabled, the
+	// telemetry — into the exploration.
+	if cfg.MapOptions.Analyze == nil && (ctx.Done() != nil || cfg.Obs != nil) {
+		cfg.MapOptions.Analyze = TelemetryAnalyzer(ctx, cfg.Obs)
 	}
+	flowScope := cfg.Obs.TraceOf().Scope("flow")
 	res := &Result{}
+	var stageSpan obs.Span
 	step := func(name string, automated bool, f func() error) error {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("flow: cancelled before %q: %w", name, err)
 		}
+		stageSpan = flowScope.Begin(name,
+			obs.String("app", cfg.App.Name),
+			obs.Int("actors", int64(cfg.App.Graph.NumActors())),
+		)
 		start := clk.Now()
 		err := f()
 		res.Steps = append(res.Steps, StepTiming{Name: name, Automated: automated, Elapsed: clk.Since(start)})
 		if err == nil && ctx.Err() != nil {
 			err = fmt.Errorf("flow: cancelled during %q: %w", name, ctx.Err())
 		}
+		if err != nil {
+			stageSpan.SetAttrs(obs.String("error", err.Error()))
+		}
+		stageSpan.End()
 		return err
 	}
 
@@ -165,6 +211,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}); err != nil {
 			return nil, err
 		}
+		stageSpan.SetAttrs(
+			obs.Int("tiles", int64(len(res.Platform.Tiles))),
+			obs.String("interconnect", cfg.Interconnect.String()),
+		)
 	}
 
 	// SDF3 mapping.
@@ -176,6 +226,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	res.WorstCase = res.Mapping.Analysis.Throughput
+	stageSpan.SetAttrs(obs.Float("worstCaseThroughput", res.WorstCase))
 
 	// MAMPS platform generation.
 	if err := step("Generating Xilinx project (MAMPS)", true, func() error {
@@ -190,8 +241,16 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return res, nil
 	}
 
-	// Synthesis: elaborating the executable platform.
+	// Synthesis: elaborating the executable platform. When tracing, a
+	// Gantt collector taps the simulator's event stream so its lanes can
+	// be bridged into the cycle domain of the trace afterwards.
 	var s *sim.Simulation
+	var gantt *trace.Gantt
+	var simTrace func(event, subject string, now int64)
+	if tr := cfg.Obs.TraceOf(); tr != nil {
+		gantt = trace.New()
+		simTrace = gantt.Collector()
+	}
 	if err := step("Synthesis of the system", true, func() error {
 		var err error
 		s, err = sim.New(res.Mapping, sim.Options{
@@ -200,22 +259,36 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			CheckWCET:  cfg.CheckWCET,
 			Scenario:   cfg.Scenario,
 			Interrupt:  ctx.Done(),
+			Trace:      simTrace,
+			Telemetry:  cfg.Obs.SimOf(),
 		})
 		return err
 	}); err != nil {
 		return nil, err
 	}
 
-	// Execution on the platform.
-	if err := step("Executing on platform", true, func() error {
+	// Execution on the platform. The Gantt lanes are bridged even when
+	// execution fails (deadlock, WCET violation, cancellation): firings
+	// still in flight are closed at the final simulated time and marked
+	// open, which is exactly the timeline a designer needs to see why the
+	// platform stalled.
+	execErr := step("Executing on platform", true, func() error {
 		r, err := s.RunContext(ctx)
 		res.Sim = r
 		return err
-	}); err != nil {
-		return nil, err
+	})
+	if gantt != nil {
+		bridgeGantt(cfg.Obs.TraceOf(), gantt, s.Now(), res.Sim)
+	}
+	if execErr != nil {
+		return nil, execErr
 	}
 	res.Measured = res.Sim.Throughput
 	res.Profile = res.Sim.Profile
+	stageSpan.SetAttrs(
+		obs.Float("measuredThroughput", res.Measured),
+		obs.Int("cycles", s.Now()),
+	)
 
 	// Expected-case analysis: same binding, maximum measured times.
 	if err := step("Expected-case analysis (SDF3)", true, func() error {
@@ -234,5 +307,39 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}); err != nil {
 		return nil, err
 	}
+	stageSpan.SetAttrs(obs.Float("expectedThroughput", res.Expected))
 	return res, nil
+}
+
+// bridgeGantt copies the simulator's Gantt lanes into the trace's
+// platform-cycle domain. Spans left open (firings in flight when the run
+// deadlocked or was interrupted) are closed at the final simulated time
+// `end` and labelled "exec (open)". When a result is available, each tile
+// additionally gets a full-run summary span carrying its busy/stall
+// cycle split and utilization.
+func bridgeGantt(tr *obs.Trace, g *trace.Gantt, end int64, r *sim.Result) {
+	g.CloseOpen(end)
+	for _, sp := range g.Spans() {
+		tr.AddCycleSpan(sp.Lane, sp.Label, sp.Start, sp.End)
+	}
+	if r == nil || end <= 0 {
+		return
+	}
+	tiles := make([]string, 0, len(r.TileBusy))
+	for tile := range r.TileBusy {
+		tiles = append(tiles, tile)
+	}
+	sort.Strings(tiles)
+	for _, tile := range tiles {
+		busy := r.TileBusy[tile]
+		stall := end - busy
+		if stall < 0 {
+			stall = 0
+		}
+		tr.AddCycleSpan("tiles", tile, 0, end,
+			obs.Int("busyCycles", busy),
+			obs.Int("stallCycles", stall),
+			obs.Float("utilization", float64(busy)/float64(end)),
+		)
+	}
 }

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error)", s)
+}
+
+// NewLogger returns a structured logger writing to w at the given level,
+// in logfmt-style text or JSON.
+func NewLogger(w io.Writer, level slog.Level, jsonFormat bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// NopLogger returns a logger that discards everything (the default for
+// embedded servers and tests).
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+}
+
+// RequestIDs issues short, unique request identifiers: a per-process
+// random prefix plus an atomic sequence number, cheap enough for every
+// request and unique across restarts. The zero value is ready to use.
+type RequestIDs struct {
+	seed atomic.Uint64
+	n    atomic.Uint64
+}
+
+// Next returns the next request ID, e.g. "f3a91c07-000042".
+func (r *RequestIDs) Next() string {
+	seed := r.seed.Load()
+	for seed == 0 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			b = [8]byte{1} // entropy failure: fall back to the counter alone
+		}
+		v := binary.LittleEndian.Uint64(b[:]) | 1
+		r.seed.CompareAndSwap(0, v)
+		seed = r.seed.Load()
+	}
+	var p [4]byte
+	binary.BigEndian.PutUint32(p[:], uint32(seed))
+	return fmt.Sprintf("%s-%06x", hex.EncodeToString(p[:]), r.n.Add(1))
+}
+
+// requestIDKey is the context key request IDs travel under.
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the context's request ID, or "" when absent.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// The entire API must be a no-op on nil receivers: disabled telemetry is
+// a nil pointer, not a conditional at every call site.
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	s := tr.Scope("x")
+	if s != nil {
+		t.Fatal("nil trace should hand out a nil scope")
+	}
+	sp := s.Begin("a", String("k", "v"))
+	sp.SetAttrs(Int("n", 1))
+	sp.End()
+	s.Add("b", 0, 10)
+	tr.AddCycleSpan("lane", "c", 0, 5)
+	if n := tr.SpanCount(); n != 0 {
+		t.Fatalf("nil trace SpanCount = %d", n)
+	}
+
+	var c *Counter
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	var g *Gauge
+	g.Store(7)
+	g.Max(9)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge should read 0")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("y", "") != nil {
+		t.Fatal("nil registry should hand out nil metrics")
+	}
+	r.WritePrometheus(&strings.Builder{})
+
+	var set *Set
+	if set.TraceOf() != nil || set.ExplorerOf() != nil || set.SimOf() != nil {
+		t.Fatal("nil set accessors should return nil")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Add(2)
+	c.Add(3)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Store(4)
+	g.Max(2) // lower: ignored
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+	g.Max(9)
+	if g.Value() != 9 {
+		t.Fatalf("gauge after Max = %d, want 9", g.Value())
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mamps_test_total", "A test counter.")
+	c.Add(11)
+	g := r.Gauge("mamps_test_depth", "A test gauge.")
+	g.Store(3)
+	if r.Counter("mamps_test_total", "ignored") != c {
+		t.Fatal("re-registration should return the same counter")
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP mamps_test_total A test counter.",
+		"# TYPE mamps_test_total counter",
+		"mamps_test_total 11",
+		"# TYPE mamps_test_depth gauge",
+		"mamps_test_depth 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted by name: the gauge (depth) precedes the counter (total).
+	if strings.Index(out, "mamps_test_depth") > strings.Index(out, "mamps_test_total") {
+		t.Errorf("metrics not sorted by name:\n%s", out)
+	}
+}
+
+func TestKernelStatsConstructorsStandalone(t *testing.T) {
+	// A nil registry must still give functional (unregistered) metrics —
+	// the CLI uses them for one-shot summaries.
+	e := NewExplorerStats(nil)
+	e.Analyses.Add(1)
+	e.States.Store(5)
+	if e.Analyses.Value() != 1 || e.States.Value() != 5 {
+		t.Fatal("standalone explorer stats not functional")
+	}
+	s := NewSimStats(nil)
+	s.Steps.Add(10)
+	s.MaxWakeHeap.Max(4)
+	if s.Steps.Value() != 10 || s.MaxWakeHeap.Value() != 4 {
+		t.Fatal("standalone sim stats not functional")
+	}
+
+	// With a registry, the canonical names appear in the exposition.
+	r := NewRegistry()
+	NewExplorerStats(r).StatesTotal.Add(42)
+	NewSimStats(r).Runs.Add(2)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, "mamps_statespace_states_total 42") {
+		t.Errorf("missing statespace counter:\n%s", out)
+	}
+	if !strings.Contains(out, "mamps_sim_runs_total 2") {
+		t.Errorf("missing sim counter:\n%s", out)
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	var n int64
+	tr := New(WithNow(func() int64 { n += 1000; return n }))
+	s := tr.Scope("work")
+	sp := s.Begin("job", String("kind", "test"))
+	sp.SetAttrs(Int("result", 7))
+	sp.End()
+	tr.AddCycleSpan("lane", "exec", 10, 20)
+	tr.AddCycleSpan("lane", "exec", 30, 25) // reversed bounds normalize
+	if got := tr.SpanCount(); got != 3 {
+		t.Fatalf("SpanCount = %d, want 3", got)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "": slog.LevelInfo, "INFO": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel should reject unknown levels")
+	}
+}
+
+func TestRequestIDs(t *testing.T) {
+	var ids RequestIDs
+	a, b := ids.Next(), ids.Next()
+	if a == b {
+		t.Fatalf("request IDs must be unique, got %q twice", a)
+	}
+	if len(a) != len("xxxxxxxx-000001") {
+		t.Fatalf("unexpected ID shape %q", a)
+	}
+	ctx := WithRequestID(context.Background(), a)
+	if got := RequestID(ctx); got != a {
+		t.Fatalf("RequestID = %q, want %q", got, a)
+	}
+	if got := RequestID(context.Background()); got != "" {
+		t.Fatalf("RequestID on empty context = %q", got)
+	}
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The Perfetto exporter renders a Trace as a Chrome trace_event JSON
+// document ({"traceEvents":[...]}) loadable in ui.perfetto.dev or
+// chrome://tracing. Wall-domain spans appear under the "flow (wall
+// clock)" process with nanosecond precision (trace_event timestamps are
+// microseconds); cycle-domain spans appear under the "platform (cycles)"
+// process with one cycle rendered as one microsecond, so the simulator's
+// Gantt lanes and the flow's wall timeline sit side by side in one view.
+
+// teEvent is one trace_event entry; field order fixes the JSON layout.
+type teEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const (
+	pidWall   = 1
+	pidCycles = 2
+)
+
+// WritePerfetto writes the trace's spans as a trace_event JSON document,
+// one event per line. Tracks are assigned thread IDs in sorted name
+// order within their domain, so the output is deterministic for a
+// deterministic recording. Spans still open are closed at their track's
+// last observed time and flagged with an "open":true arg, so stalled or
+// interrupted activities render instead of disappearing.
+func (t *Trace) WritePerfetto(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: cannot export a nil trace")
+	}
+
+	// Snapshot under the locks.
+	type trackSnap struct {
+		domain Domain
+		track  string
+		spans  []spanRec
+	}
+	t.mu.Lock()
+	scopes := append([]*Scope(nil), t.scopes...)
+	t.mu.Unlock()
+	byKey := map[[2]string][]spanRec{}
+	for _, s := range scopes {
+		s.mu.Lock()
+		spans := append([]spanRec(nil), s.spans...)
+		s.mu.Unlock()
+		for _, r := range spans {
+			k := [2]string{domainName(r.domain), s.track}
+			byKey[k] = append(byKey[k], r)
+		}
+	}
+	snaps := make([]trackSnap, 0, len(byKey))
+	for k, spans := range byKey {
+		d := Wall
+		if k[0] == domainName(Cycles) {
+			d = Cycles
+		}
+		snaps = append(snaps, trackSnap{domain: d, track: k[1], spans: spans})
+	}
+	sort.Slice(snaps, func(i, j int) bool {
+		if snaps[i].domain != snaps[j].domain {
+			return snaps[i].domain < snaps[j].domain
+		}
+		return snaps[i].track < snaps[j].track
+	})
+
+	var events []teEvent
+	meta := func(pid int, name string) {
+		events = append(events, teEvent{Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name}})
+	}
+	meta(pidWall, "flow (wall clock)")
+	meta(pidCycles, "platform (cycles)")
+
+	tid := map[Domain]int{Wall: 0, Cycles: 0}
+	for _, sn := range snaps {
+		pid := pidWall
+		if sn.domain == Cycles {
+			pid = pidCycles
+		}
+		tid[sn.domain]++
+		id := tid[sn.domain]
+		events = append(events, teEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: id,
+			Args: map[string]any{"name": sn.track}})
+
+		// Open spans close at the track's last observed instant.
+		last := int64(0)
+		for _, r := range sn.spans {
+			end := r.start
+			if r.dur > 0 {
+				end += r.dur
+			}
+			if end > last {
+				last = end
+			}
+		}
+		for _, r := range sn.spans {
+			dur := r.dur
+			open := dur < 0
+			if open {
+				if dur = last - r.start; dur < 0 {
+					dur = 0
+				}
+			}
+			ev := teEvent{Name: r.name, Ph: "X", Pid: pid, Tid: id,
+				Ts: toMicros(r.start, sn.domain)}
+			d := toMicros(dur, sn.domain)
+			ev.Dur = &d
+			if len(r.attrs) > 0 || open {
+				ev.Args = make(map[string]any, len(r.attrs)+1)
+				for _, a := range r.attrs {
+					ev.Args[a.Key] = a.Val
+				}
+				if open {
+					ev.Args["open"] = true
+				}
+			}
+			events = append(events, ev)
+		}
+	}
+
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// toMicros converts a span time to trace_event microseconds: wall
+// nanoseconds are divided down, platform cycles map 1:1.
+func toMicros(v int64, d Domain) float64 {
+	if d == Wall {
+		return float64(v) / 1e3
+	}
+	return float64(v)
+}
+
+func domainName(d Domain) string {
+	if d == Cycles {
+		return "cycles"
+	}
+	return "wall"
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// traceDoc mirrors the trace_event JSON for decoding in tests.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  *float64       `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func exportDoc(t *testing.T, tr *Trace) (string, traceDoc) {
+	t.Helper()
+	var b bytes.Buffer
+	if err := tr.WritePerfetto(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Fatalf("exporter emitted invalid JSON:\n%s", b.String())
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	return b.String(), doc
+}
+
+func TestWritePerfettoShape(t *testing.T) {
+	var n int64
+	tr := New(WithNow(func() int64 { n += 1500; return n }))
+	s := tr.Scope("flow")
+	sp := s.Begin("map", String("app", "mjpeg"))
+	sp.End()
+	tr.AddCycleSpan("VLD", "exec", 100, 250, Int("firing", 1))
+	tr.AddCycleSpan("IDCT", "exec", 250, 400)
+
+	out, doc := exportDoc(t, tr)
+
+	// Every event is either metadata or a complete span, on one of the
+	// two process lanes, with sane times.
+	pids := map[int]bool{}
+	var wallX, cycleX int
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				t.Errorf("event %d: unexpected metadata %q", i, ev.Name)
+			}
+			if _, ok := ev.Args["name"].(string); !ok {
+				t.Errorf("event %d: metadata without name arg", i)
+			}
+		case "X":
+			if ev.Ts < 0 || ev.Dur == nil || *ev.Dur < 0 {
+				t.Errorf("event %d: bad times ts=%v dur=%v", i, ev.Ts, ev.Dur)
+			}
+			if ev.Tid <= 0 {
+				t.Errorf("event %d: span without track tid", i)
+			}
+			if ev.Pid == pidWall {
+				wallX++
+			} else {
+				cycleX++
+			}
+		default:
+			t.Errorf("event %d: unexpected phase %q", i, ev.Ph)
+		}
+		if ev.Pid != pidWall && ev.Pid != pidCycles {
+			t.Errorf("event %d: pid %d outside the two domains", i, ev.Pid)
+		}
+		pids[ev.Pid] = true
+	}
+	if !pids[pidWall] || !pids[pidCycles] {
+		t.Error("expected events in both time domains")
+	}
+	if wallX != 1 || cycleX != 2 {
+		t.Errorf("span counts wall=%d cycles=%d, want 1 and 2", wallX, cycleX)
+	}
+	// Wall nanoseconds are rendered as microseconds.
+	if !strings.Contains(out, `"ts":1.5`) {
+		t.Errorf("wall span start not converted to microseconds:\n%s", out)
+	}
+	// Cycle tracks are named after their lanes.
+	for _, lane := range []string{"VLD", "IDCT", "flow"} {
+		if !strings.Contains(out, fmt.Sprintf(`"name":%q`, lane)) {
+			t.Errorf("missing track name %q:\n%s", lane, out)
+		}
+	}
+}
+
+func TestWritePerfettoOpenSpan(t *testing.T) {
+	var n int64
+	tr := New(WithNow(func() int64 { n += 1000; return n }))
+	s := tr.Scope("flow")
+	s.Begin("stuck") // never ended
+	done := s.Begin("done")
+	done.End()
+
+	_, doc := exportDoc(t, tr)
+	var found bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "stuck" {
+			found = true
+			if open, _ := ev.Args["open"].(bool); !open {
+				t.Errorf("open span not flagged: %+v", ev)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Errorf("open span has no closed duration: %+v", ev)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("open span missing from export")
+	}
+}
+
+func TestWritePerfettoNilTrace(t *testing.T) {
+	var tr *Trace
+	if err := tr.WritePerfetto(&bytes.Buffer{}); err == nil {
+		t.Fatal("exporting a nil trace should error")
+	}
+}
+
+// Concurrent recording from many scopes while the exporter snapshots —
+// the DSE worker-pool pattern. Run with -race.
+func TestConcurrentRecordingAndExport(t *testing.T) {
+	tr := New()
+	const workers, spansPer = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scope := tr.Scope(fmt.Sprintf("worker-%d", w))
+			for i := 0; i < spansPer; i++ {
+				sp := scope.Begin("evaluate", Int("i", int64(i)))
+				tr.AddCycleSpan("shared", "tick", int64(i), int64(i+1))
+				sp.SetAttrs(Bool("ok", true))
+				sp.End()
+			}
+		}(w)
+	}
+	// Export concurrently with the recorders.
+	var exportWG sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		exportWG.Add(1)
+		go func() {
+			defer exportWG.Done()
+			var b bytes.Buffer
+			if err := tr.WritePerfetto(&b); err != nil {
+				t.Error(err)
+			}
+			if !json.Valid(b.Bytes()) {
+				t.Error("concurrent export produced invalid JSON")
+			}
+		}()
+	}
+	wg.Wait()
+	exportWG.Wait()
+	if got, want := tr.SpanCount(), workers*spansPer*2; got != want {
+		t.Fatalf("SpanCount = %d, want %d", got, want)
+	}
+	_, doc := exportDoc(t, tr)
+	var spans int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans != workers*spansPer*2 {
+		t.Fatalf("exported %d spans, want %d", spans, workers*spansPer*2)
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// metricKind distinguishes the Prometheus type declared on exposition.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+)
+
+// metric is one named, registered counter or gauge.
+type metric struct {
+	name, help string
+	kind       metricKind
+	c          *Counter
+	g          *Gauge
+}
+
+// Registry is a named collection of counters and gauges with a
+// Prometheus text exposition. All methods are safe for concurrent use,
+// and a nil *Registry hands out nil (no-op) metrics, so instrumented
+// code never branches on whether metrics are enabled.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Registering the same name as a gauge and a counter is a
+// programming error; the first registration's kind wins.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m.c
+	}
+	m := &metric{name: name, help: help, kind: kindCounter, c: &Counter{}}
+	r.metrics[name] = m
+	return m.c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m.g
+	}
+	m := &metric{name: name, help: help, kind: kindGauge, g: &Gauge{}}
+	r.metrics[name] = m
+	return m.g
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format, sorted by name. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	for _, m := range ms {
+		typ, val := "gauge", int64(0)
+		if m.kind == kindCounter {
+			typ, val = "counter", m.c.Value()
+		} else {
+			val = m.g.Value()
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, typ, m.name, val)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"mamps/internal/arch"
@@ -12,6 +14,8 @@ import (
 	"mamps/internal/dse"
 	"mamps/internal/flow"
 	"mamps/internal/modelio"
+	"mamps/internal/obs"
+	"mamps/internal/sdf"
 	"mamps/internal/service/cache"
 	"mamps/internal/sim"
 	"mamps/internal/statespace"
@@ -25,6 +29,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/dse", s.instrument("dse", s.handleDSE))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -39,13 +50,28 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with latency and status-code metrics.
+// instrument wraps a handler with latency and status-code metrics, a
+// per-request ID (returned as X-Request-ID and threaded through the
+// context so job logs correlate with access lines), and a structured
+// access log. Health probes log at Debug so they don't drown the
+// interesting traffic.
 func (s *Server) instrument(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := s.clk.Now()
+		id := s.reqIDs.Next()
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(obs.WithRequestID(r.Context(), id))
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		fn(rec, r)
-		s.metrics.observeRequest(endpoint, rec.code, s.clk.Since(start))
+		elapsed := s.clk.Since(start)
+		s.metrics.observeRequest(endpoint, rec.code, elapsed)
+		level := slog.LevelInfo
+		if endpoint == "healthz" {
+			level = slog.LevelDebug
+		}
+		s.log.Log(r.Context(), level, "request",
+			"requestID", id, "endpoint", endpoint, "method", r.Method,
+			"path", r.URL.Path, "status", rec.code, "elapsed", elapsed)
 	}
 }
 
@@ -94,8 +120,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{name: "mamps_cache_misses_total", help: "Cache lookups that computed.", value: float64(st.Cache.Misses), counter: true},
 		{name: "mamps_cache_dedup_total", help: "Lookups that joined an in-flight computation.", value: float64(st.Cache.Dedup), counter: true},
 		{name: "mamps_cache_evictions_total", help: "Entries dropped by the LRU bound.", value: float64(st.Cache.Evictions), counter: true},
+		{name: "mamps_cache_inflight", help: "Analyses currently being computed under single-flight.", value: float64(st.Cache.InFlight)},
 		{name: "mamps_uptime_seconds", help: "Time since the server started.", value: st.UptimeSec},
 	})
+	// The kernel counter groups (mamps_statespace_*, mamps_sim_*) live in
+	// the obs registry, fed by every job's analyses and simulations.
+	s.obsReg.WritePrometheus(w)
 }
 
 // elapsedMS measures a handler's wall time for the response envelope.
@@ -117,7 +147,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	h.Float(req.TargetThroughput)
 
 	val, hit, err := s.submit(r.Context(), h.Sum(), func(ctx context.Context) (any, error) {
-		return analyzeJob(ctx, req)
+		return s.analyzeJob(ctx, req)
 	})
 	if err != nil {
 		s.writeError(w, err)
@@ -129,7 +159,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-func analyzeJob(ctx context.Context, req modelio.AnalyzeRequestJSON) (any, error) {
+func (s *Server) analyzeJob(ctx context.Context, req modelio.AnalyzeRequestJSON) (any, error) {
 	built, err := resolveApp(req.AppXML, req.Workload)
 	if err != nil {
 		return nil, err
@@ -145,7 +175,7 @@ func analyzeJob(ctx context.Context, req modelio.AnalyzeRequestJSON) (any, error
 	for _, a := range g.Actors() {
 		a.MaxConcurrent = 1
 	}
-	sopt := statespace.Options{Interrupt: ctx.Done()}
+	sopt := statespace.Options{Interrupt: ctx.Done(), Telemetry: s.explorer}
 	thr, err := buffer.Evaluate(g, buffer.LowerBounds(g), sopt)
 	if err != nil {
 		return nil, err
@@ -216,9 +246,17 @@ func (s *Server) flowJob(ctx context.Context, req modelio.FlowRequestJSON) (any,
 	}
 	cfg := flow.Config{App: built.app, Clock: s.clk, Scenario: "service"}
 	cfg.MapOptions.UseCA = req.UseCA
+	// The simulator publishes its counters into the service registry; no
+	// Trace, so span recording stays disabled on the service path.
+	cfg.Obs = &obs.Set{Sim: s.simStats}
 	// Route the binding-aware verifications through the shared cache, so
-	// distinct requests over the same model reuse each other's analyses.
-	cfg.MapOptions.Analyze = cache.Analyzer(s.cache, ctx)
+	// distinct requests over the same model reuse each other's analyses,
+	// with the explorer counters threaded into every computed analysis.
+	analyze := cache.Analyzer(s.cache, ctx)
+	cfg.MapOptions.Analyze = func(g *sdf.Graph, opt statespace.Options) (statespace.Result, error) {
+		opt.Telemetry = s.explorer
+		return analyze(g, opt)
+	}
 
 	if req.ArchXML != "" {
 		cfg.Platform, err = modelio.ReadArch([]byte(req.ArchXML))
@@ -297,6 +335,7 @@ func (s *Server) dseJob(ctx context.Context, req modelio.DSERequestJSON) (any, e
 		MaxTiles: req.MaxTiles,
 		WithCA:   req.WithCA,
 		Cache:    s.cache,
+		Obs:      &obs.Set{Explorer: s.explorer},
 	}
 	for _, name := range req.Interconnects {
 		ic, err := parseInterconnect(name)

@@ -1,0 +1,132 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mamps/internal/obs"
+)
+
+// Every response carries an X-Request-ID, and the access log line for the
+// request carries the same ID at Info level; health probes log at Debug.
+func TestRequestIDsAndAccessLog(t *testing.T) {
+	var logBuf bytes.Buffer
+	s := New(Config{Workers: 1, Logger: obs.NewLogger(&logBuf, slog.LevelInfo, false)})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, _ := post(t, ts, "/v1/analyze", `{"workload":`+smallMJPEG+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status = %d", resp.StatusCode)
+	}
+	id := resp.Header.Get("X-Request-ID")
+	if id == "" {
+		t.Fatal("response missing X-Request-ID")
+	}
+	if !strings.Contains(logBuf.String(), "requestID="+id) {
+		t.Errorf("access log missing request ID %q:\n%s", id, logBuf.String())
+	}
+	if !strings.Contains(logBuf.String(), "endpoint=analyze") {
+		t.Errorf("access log missing endpoint:\n%s", logBuf.String())
+	}
+
+	// healthz logs at Debug: invisible at Info level.
+	logBuf.Reset()
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	if hresp.Header.Get("X-Request-ID") == "" {
+		t.Error("healthz missing X-Request-ID")
+	}
+	if strings.Contains(logBuf.String(), "endpoint=healthz") {
+		t.Errorf("healthz should not log at Info:\n%s", logBuf.String())
+	}
+
+	// Two requests, two distinct IDs.
+	resp2, _ := post(t, ts, "/v1/analyze", `{"workload":`+smallMJPEG+`}`)
+	if id2 := resp2.Header.Get("X-Request-ID"); id2 == "" || id2 == id {
+		t.Errorf("request IDs not unique: %q then %q", id, id2)
+	}
+}
+
+// After real work, /metrics exposes the kernel counter groups fed by the
+// jobs' analyses and simulations, plus the cache in-flight gauge.
+func TestMetricsKernelCounters(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, _ := post(t, ts, "/v1/flow", `{"workload":`+smallMJPEG+`,"tiles":5,"iterations":-1}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("flow status = %d", resp.StatusCode)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	out := string(body)
+	for _, want := range []string{
+		"mamps_cache_inflight",
+		"mamps_statespace_analyses_total",
+		"mamps_statespace_states_total",
+		"mamps_sim_runs_total",
+		"mamps_sim_steps_total",
+		"mamps_sim_tile_busy_cycles_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	// The flow actually fed them: non-zero totals.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "mamps_statespace_analyses_total ") ||
+			strings.HasPrefix(line, "mamps_sim_runs_total ") {
+			if strings.HasSuffix(line, " 0") {
+				t.Errorf("kernel counter still zero after a flow: %s", line)
+			}
+		}
+	}
+}
+
+// /debug/pprof is mounted only when the operator opts in.
+func TestPprofGated(t *testing.T) {
+	off := New(Config{Workers: 1})
+	defer off.Shutdown(context.Background())
+	tsOff := httptest.NewServer(off.Handler())
+	defer tsOff.Close()
+	resp, err := http.Get(tsOff.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without opt-in: status %d, want 404", resp.StatusCode)
+	}
+
+	on := New(Config{Workers: 1, EnablePprof: true})
+	defer on.Shutdown(context.Background())
+	tsOn := httptest.NewServer(on.Handler())
+	defer tsOn.Close()
+	resp, err = http.Get(tsOn.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Errorf("pprof index: status %d, body %d bytes", resp.StatusCode, len(body))
+	}
+}

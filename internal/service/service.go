@@ -21,11 +21,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mamps/internal/clock"
+	"mamps/internal/obs"
 	"mamps/internal/service/cache"
 )
 
@@ -44,6 +46,14 @@ type Config struct {
 	// Clock is the time source for latency measurement and flow step
 	// timing; nil selects the system monotonic clock.
 	Clock clock.Clock
+	// Logger receives structured access and lifecycle logs; every request
+	// line carries the request ID also returned in the X-Request-ID
+	// header. Nil discards logs.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// Handler. Off by default: the profiles expose internals, so the
+	// operator opts in (mamps-serve -pprof).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +104,12 @@ type Server struct {
 	metrics *metrics
 	start   time.Time
 
+	log      *slog.Logger
+	reqIDs   obs.RequestIDs
+	obsReg   *obs.Registry
+	explorer *obs.ExplorerStats
+	simStats *obs.SimStats
+
 	baseCtx context.Context // cancelled only by forced shutdown
 	abort   context.CancelFunc
 
@@ -110,20 +126,32 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, abort := context.WithCancel(context.Background())
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+	reg := obs.NewRegistry()
 	s := &Server{
-		cfg:     cfg,
-		clk:     cfg.Clock,
-		cache:   cache.New(cfg.CacheCapacity),
-		metrics: newMetrics(),
-		start:   cfg.Clock.Now(),
-		baseCtx: ctx,
-		abort:   abort,
-		jobs:    make(chan *job, cfg.QueueDepth),
+		cfg:      cfg,
+		clk:      cfg.Clock,
+		cache:    cache.New(cfg.CacheCapacity),
+		metrics:  newMetrics(),
+		start:    cfg.Clock.Now(),
+		log:      logger,
+		obsReg:   reg,
+		explorer: obs.NewExplorerStats(reg),
+		simStats: obs.NewSimStats(reg),
+		baseCtx:  ctx,
+		abort:    abort,
+		jobs:     make(chan *job, cfg.QueueDepth),
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
+	s.log.Info("service started",
+		"workers", cfg.Workers, "queueDepth", cfg.QueueDepth,
+		"jobTimeout", cfg.JobTimeout, "pprof", cfg.EnablePprof)
 	return s
 }
 
@@ -208,6 +236,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		close(s.jobs)
+		s.log.Info("service draining", "queued", s.depth.Load())
 	}
 	s.mu.Unlock()
 

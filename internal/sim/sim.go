@@ -23,6 +23,7 @@ import (
 	"mamps/internal/appmodel"
 	"mamps/internal/comm"
 	"mamps/internal/mapping"
+	"mamps/internal/obs"
 	"mamps/internal/sdf"
 	"mamps/internal/wcet"
 )
@@ -54,6 +55,11 @@ type Options struct {
 	// channel becomes readable (typically a context's Done channel),
 	// checked once per event-loop round like the statespace analysis.
 	Interrupt <-chan struct{}
+	// Telemetry, if non-nil, receives the run's event-loop counters
+	// (proc steps, fixpoint rounds, wake-heap high-water mark, per-tile
+	// busy/stall cycles), accumulated in locals and published once at
+	// termination so the hot loop never touches an atomic.
+	Telemetry *obs.SimStats
 }
 
 // ErrInterrupted is returned by Run when Options.Interrupt fires before
@@ -421,6 +427,40 @@ func New(m *mapping.Mapping, opt Options) (*Simulation, error) {
 // to the earliest entry of the wake heap — the next timed completion or
 // word arrival — instead of rescanning every proc and link.
 func (s *Simulation) Run() (*Result, error) {
+	var t simTally
+	res, err := s.runLoop(&t)
+	if st := s.opt.Telemetry; st != nil {
+		s.publishTelemetry(st, &t)
+	}
+	return res, err
+}
+
+// simTally accumulates the event-loop counters of one run in plain
+// locals; Run publishes them into Options.Telemetry at termination.
+type simTally struct {
+	steps   int64
+	rounds  int64
+	maxHeap int
+}
+
+// publishTelemetry flushes a finished (or aborted) run's tally and the
+// per-tile busy/stall split into the telemetry counters.
+func (s *Simulation) publishTelemetry(st *obs.SimStats, t *simTally) {
+	st.Runs.Add(1)
+	st.Steps.Add(t.steps)
+	st.Rounds.Add(t.rounds)
+	st.MaxWakeHeap.Max(int64(t.maxHeap))
+	for _, p := range s.procs {
+		if tp, ok := p.(*tileProc); ok {
+			st.BusyCycles.Add(tp.busyCycles)
+			if stall := s.now - tp.busyCycles; stall > 0 {
+				st.StallCycles.Add(stall)
+			}
+		}
+	}
+}
+
+func (s *Simulation) runLoop(t *simTally) (*Result, error) {
 	now := s.now
 	target := s.opt.Iterations
 	for len(s.completions) < target {
@@ -433,11 +473,13 @@ func (s *Simulation) Run() (*Result, error) {
 		}
 		// Run every flagged proc to a fixpoint at the current time.
 		for {
+			t.rounds++
 			progressed := false
 			for i, p := range s.procs {
 				if !s.flags[i] || p.wakeTime() > now {
 					continue
 				}
+				t.steps++
 				moved, err := p.step(now)
 				if err != nil {
 					return nil, err
@@ -461,6 +503,9 @@ func (s *Simulation) Run() (*Result, error) {
 		// Advance to the next event.
 		if len(s.wakes) == 0 {
 			return nil, fmt.Errorf("sim: deadlock at cycle %d:\n%s", now, s.deadlockReport(now))
+		}
+		if len(s.wakes) > t.maxHeap {
+			t.maxHeap = len(s.wakes)
 		}
 		next := s.wakes[0].at
 		if next > s.opt.MaxCycles {
@@ -506,6 +551,11 @@ func (s *Simulation) Run() (*Result, error) {
 	}
 	return res, nil
 }
+
+// Now returns the current simulated time: the final cycle after a
+// completed run, or the instant an aborted run (deadlock, interrupt)
+// stopped at — the closing time for any still-open trace spans.
+func (s *Simulation) Now() int64 { return s.now }
 
 // deadlockReport describes what every proc is blocked on.
 func (s *Simulation) deadlockReport(now int64) string {

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+
+	"mamps/internal/arch"
+	"mamps/internal/mapping"
+	"mamps/internal/obs"
+)
+
+func TestSimTelemetryCounters(t *testing.T) {
+	app, _ := execPipelineApp(t, 16, [3]int64{100, 150, 80})
+	m := mustMap(t, app, 3, arch.FSL, mapping.Options{
+		FixedBinding: map[string]int{"src": 0, "mid": 1, "sink": 2},
+	})
+	tel := obs.NewSimStats(nil)
+	res, err := Run(m, Options{Iterations: 20, RefActor: "sink", Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel.Runs.Value() != 1 {
+		t.Errorf("runs = %d, want 1", tel.Runs.Value())
+	}
+	if tel.Steps.Value() == 0 || tel.Rounds.Value() == 0 {
+		t.Errorf("event-loop counters empty: steps=%d rounds=%d",
+			tel.Steps.Value(), tel.Rounds.Value())
+	}
+	if tel.MaxWakeHeap.Value() == 0 {
+		t.Error("wake-heap high-water mark not recorded")
+	}
+	// Busy matches the result's per-tile accounting, and busy+stall spans
+	// the full run on every tile (3 tiles x final time).
+	var busy int64
+	for _, b := range res.TileBusy {
+		busy += b
+	}
+	if tel.BusyCycles.Value() != busy {
+		t.Errorf("busy cycles = %d, want %d", tel.BusyCycles.Value(), busy)
+	}
+	if got, want := tel.BusyCycles.Value()+tel.StallCycles.Value(), 3*res.Cycles; got != want {
+		t.Errorf("busy+stall = %d, want %d (tiles x cycles)", got, want)
+	}
+
+	// And the run itself is unchanged by the instrumentation.
+	plain, err := Run(m, Options{Iterations: 20, RefActor: "sink"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Throughput != res.Throughput || plain.Cycles != res.Cycles {
+		t.Errorf("telemetry changed the simulation: %+v vs %+v", plain, res)
+	}
+}

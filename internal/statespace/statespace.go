@@ -30,6 +30,7 @@ import (
 	"strings"
 	"sync"
 
+	"mamps/internal/obs"
 	"mamps/internal/sdf"
 )
 
@@ -76,7 +77,18 @@ type Options struct {
 	// channel). Long-running analyses driven by the mapping service check
 	// it once per explored state.
 	Interrupt <-chan struct{}
+
+	// Telemetry, if non-nil, receives the exploration's counters: sampled
+	// progress (states recorded, arena bytes, table slots) every
+	// telemetrySample states, and totals at termination. Nil disables
+	// every publication behind a single pointer check, preserving the
+	// hot loop's allocation-free guarantee.
+	Telemetry *obs.ExplorerStats
 }
+
+// telemetrySample is the state-count interval between progress
+// publications; a power of two so the sampling test is a mask.
+const telemetrySample = 1 << 12
 
 // ErrInterrupted is returned by Analyze when Options.Interrupt fires
 // before the exploration reaches a recurrent state.
@@ -524,9 +536,13 @@ func Analyze(g *sdf.Graph, opt Options) (Result, error) {
 		if opt.Interrupt != nil {
 			select {
 			case <-opt.Interrupt:
+				e.publishFinal(opt.Telemetry, false, true)
 				return Result{}, ErrInterrupted
 			default:
 			}
+		}
+		if tel := opt.Telemetry; tel != nil && states&(telemetrySample-1) == 0 {
+			e.publishProgress(tel)
 		}
 		key := e.stateKey()
 		if v, ok := e.table.lookupOrInsert(key, visit{e.now, e.refCompletions}); ok {
@@ -547,6 +563,7 @@ func Analyze(g *sdf.Graph, opt Options) (Result, error) {
 				// remaining structure is stalled).
 				res.Deadlocked = true
 			}
+			e.publishFinal(opt.Telemetry, res.Deadlocked, false)
 			return res, nil
 		}
 
@@ -565,12 +582,41 @@ func Analyze(g *sdf.Graph, opt Options) (Result, error) {
 				}
 				rep.WriteString("\n")
 			}
+			e.publishFinal(opt.Telemetry, true, false)
 			return Result{Deadlocked: true, DeadlockReport: rep.String(), StatesExplored: e.table.len(), TransientCycles: e.now, MaxTokens: e.maxTokens}, nil
 		}
 		e.now = e.events[0].at
 		e.finishZero()
 	}
 	return Result{}, fmt.Errorf("statespace: graph %q exceeded %d states (unbounded execution?)", g.Name, maxStates)
+}
+
+// publishProgress mirrors the exploration's current sizes into the
+// telemetry gauges; called at a sampled interval so the hot loop's cost
+// is one pointer check per state.
+func (e *explorer) publishProgress(tel *obs.ExplorerStats) {
+	tel.States.Store(int64(e.table.len()))
+	tel.ArenaBytes.Store(int64(len(e.table.arena)))
+	tel.TableSlots.Store(int64(len(e.table.slots)))
+}
+
+// publishFinal records a terminated exploration: the last progress
+// sample plus the per-outcome counters. Interrupted explorations do not
+// count as completed analyses.
+func (e *explorer) publishFinal(tel *obs.ExplorerStats, deadlocked, interrupted bool) {
+	if tel == nil {
+		return
+	}
+	e.publishProgress(tel)
+	tel.StatesTotal.Add(int64(e.table.len()))
+	if interrupted {
+		tel.Interrupted.Add(1)
+		return
+	}
+	tel.Analyses.Add(1)
+	if deadlocked {
+		tel.Deadlocks.Add(1)
+	}
 }
 
 func (e *explorer) pushActorCand(a int32) {

@@ -1,0 +1,89 @@
+package statespace
+
+import (
+	"testing"
+
+	"mamps/internal/obs"
+	"mamps/internal/sdf"
+)
+
+func TestAnalyzeTelemetryCounters(t *testing.T) {
+	g := sdf.NewGraph("cycle")
+	a := g.AddActor("a", 2)
+	b := g.AddActor("b", 3)
+	g.Connect(a, b, 1, 1, 0)
+	g.Connect(b, a, 1, 1, 1)
+
+	tel := obs.NewExplorerStats(nil)
+	res, err := Analyze(g, Options{Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel.Analyses.Value() != 1 {
+		t.Errorf("analyses = %d, want 1", tel.Analyses.Value())
+	}
+	if got := tel.StatesTotal.Value(); got != int64(res.StatesExplored) {
+		t.Errorf("states total = %d, want %d", got, res.StatesExplored)
+	}
+	if tel.States.Value() == 0 || tel.TableSlots.Value() == 0 || tel.ArenaBytes.Value() == 0 {
+		t.Errorf("final gauges not published: states=%d slots=%d arena=%d",
+			tel.States.Value(), tel.TableSlots.Value(), tel.ArenaBytes.Value())
+	}
+	if tel.Deadlocks.Value() != 0 || tel.Interrupted.Value() != 0 {
+		t.Errorf("unexpected terminal counters: deadlocks=%d interrupted=%d",
+			tel.Deadlocks.Value(), tel.Interrupted.Value())
+	}
+
+	// The telemetry must not perturb the analysis itself.
+	plain, err := Analyze(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Throughput != res.Throughput || plain.StatesExplored != res.StatesExplored {
+		t.Errorf("telemetry changed the analysis: %+v vs %+v", plain, res)
+	}
+}
+
+func TestAnalyzeTelemetryDeadlock(t *testing.T) {
+	g := sdf.NewGraph("dead")
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	// No initial tokens anywhere: nothing can ever fire.
+	g.Connect(a, b, 1, 1, 0)
+	g.Connect(b, a, 1, 1, 0)
+
+	tel := obs.NewExplorerStats(nil)
+	res, err := Analyze(g, Options{Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatal("expected a deadlock")
+	}
+	if tel.Deadlocks.Value() != 1 || tel.Analyses.Value() != 1 {
+		t.Errorf("deadlocks=%d analyses=%d, want 1 and 1",
+			tel.Deadlocks.Value(), tel.Analyses.Value())
+	}
+}
+
+func TestAnalyzeTelemetryInterrupted(t *testing.T) {
+	g := sdf.NewGraph("cycle")
+	a := g.AddActor("a", 2)
+	b := g.AddActor("b", 3)
+	g.Connect(a, b, 1, 1, 0)
+	g.Connect(b, a, 1, 1, 1)
+
+	done := make(chan struct{})
+	close(done)
+	tel := obs.NewExplorerStats(nil)
+	if _, err := Analyze(g, Options{Interrupt: done, Telemetry: tel}); err != ErrInterrupted {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if tel.Interrupted.Value() != 1 {
+		t.Errorf("interrupted = %d, want 1", tel.Interrupted.Value())
+	}
+	if tel.Analyses.Value() != 0 {
+		t.Errorf("an aborted exploration must not count as an analysis (got %d)",
+			tel.Analyses.Value())
+	}
+}

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// A firing still in flight when the simulation stopped must surface as a
+// closed "(open)" span, not vanish from the chart.
+func TestCloseOpen(t *testing.T) {
+	g := New()
+	c := g.Collector()
+	c("exec-start", "VLD", 10)
+	c("exec-end", "VLD", 30)
+	c("exec-start", "IDCT", 25) // never ends: deadlocked mid-firing
+	c("exec-start", "CC", 90)   // started after the chosen end time
+
+	if n := g.CloseOpen(60); n != 2 {
+		t.Fatalf("CloseOpen closed %d spans, want 2", n)
+	}
+	if n := g.CloseOpen(60); n != 0 {
+		t.Fatalf("second CloseOpen closed %d spans, want 0", n)
+	}
+
+	byLane := map[string]Span{}
+	for _, s := range g.Spans() {
+		byLane[s.Lane] = s
+	}
+	if s := byLane["IDCT"]; s.Label != "exec (open)" || s.Start != 25 || s.End != 60 {
+		t.Errorf("IDCT open span = %+v, want exec (open) 25..60", s)
+	}
+	// A span starting after the close time clamps to zero length rather
+	// than going backwards.
+	if s := byLane["CC"]; s.Label != "exec (open)" || s.Start != 90 || s.End != 90 {
+		t.Errorf("CC open span = %+v, want exec (open) 90..90", s)
+	}
+	if s := byLane["VLD"]; s.Label != "exec" || s.End != 30 {
+		t.Errorf("completed span altered: %+v", s)
+	}
+	// The rendered chart shows the open lanes.
+	if out := g.Render(40); !strings.Contains(out, "IDCT") {
+		t.Errorf("render lost the open lane:\n%s", out)
+	}
+}

@@ -55,6 +55,26 @@ func (g *Gantt) Collector() func(event, subject string, now int64) {
 	}
 }
 
+// CloseOpen closes every open span (an exec-start whose exec-end never
+// arrived — a firing still in flight when the simulation deadlocked or
+// was interrupted) at time end, labelling it "exec (open)" so the stall
+// is visible in the chart instead of silently dropped. Spans that
+// started after end are closed at their own start. It returns the number
+// of spans closed.
+func (g *Gantt) CloseOpen(end int64) int {
+	n := 0
+	for subject, start := range g.open {
+		at := end
+		if at < start {
+			at = start
+		}
+		g.Add(subject, "exec (open)", start, at)
+		delete(g.open, subject)
+		n++
+	}
+	return n
+}
+
 // Spans returns the recorded spans, ordered by start time.
 func (g *Gantt) Spans() []Span {
 	out := append([]Span(nil), g.spans...)
