@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-json bench-smoke obs-smoke serve ci
+.PHONY: all build test race vet fmt fmt-check bench bench-json bench-smoke obs-smoke faults-smoke vuln serve ci
 
 all: build
 
@@ -62,7 +62,19 @@ obs-smoke:
 		-benchmem -benchtime=1x -json . \
 		| $(GO) run ./cmd/benchjson -compare $(OBS_BASELINE) -metric allocs/op -max-ratio 1
 
+# Fault-injection smoke: the reduced seeded conservativeness sweep plus
+# the degraded-mode recovery and resilience tests.
+faults-smoke:
+	$(GO) test ./internal/faults
+	$(GO) test -short -run 'TestFault|TestInterrupt|TestDeadlock' ./internal/sim
+	$(GO) test -short -run 'TestFlowDegraded|TestFlowFaults' ./internal/flow
+
+# Vulnerability scan (requires network for the vuln DB; CI runs it as
+# its own job).
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
+
 serve:
 	$(GO) run ./cmd/mamps-serve
 
-ci: build vet fmt-check race obs-smoke
+ci: build vet fmt-check race obs-smoke faults-smoke

@@ -6,6 +6,14 @@
 //
 //	mamps-flow -app app.xml [-arch plat.xml | -tiles 4 -interconnect fsl] -out projectdir
 //	mamps-flow -workload mjpeg -iterations -1 -trace-out flow.json
+//	mamps-flow -workload mjpeg -iterations -1 -inject 'tile=tile1@cycle=50000'
+//
+// -inject runs the execution under a deterministic fault scenario
+// (seeded jitter, transient link degradation, tile fail-stop; see the
+// grammar in internal/faults). A fail-stop does not kill the flow: it
+// re-maps onto the surviving tiles, re-verifies the throughput bound
+// (-target overrides the constraint), re-executes, and reports the
+// degraded mode.
 //
 // XML models loaded from disk are analysis-only (actor behaviour lives in
 // Go), so with -app the command covers the mapping and generation steps.
@@ -25,6 +33,7 @@ import (
 	"path/filepath"
 
 	"mamps"
+	"mamps/internal/faults"
 	"mamps/internal/flow"
 	"mamps/internal/mjpeg"
 	"mamps/internal/obs"
@@ -40,6 +49,8 @@ func main() {
 	useCA := flag.Bool("ca", false, "offload (de)serialization to communication assists")
 	iterations := flag.Int("iterations", 0, "iterations to execute on the platform (-1: full input; needs -workload)")
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace_event JSON file of the run")
+	inject := flag.String("inject", "", "fault scenario, e.g. 'seed=7;jitter=0.5;link=*@from=0@until=20000@stall=4;tile=tile1@cycle=50000'")
+	target := flag.Float64("target", 0, "throughput constraint (iterations/cycle) checked in degraded mode; 0: the original bound")
 	flag.Parse()
 
 	if (*appPath == "") == (*workload == "") {
@@ -96,6 +107,15 @@ func main() {
 		cfg.Iterations = fullIterations
 	}
 
+	if *inject != "" {
+		spec, err := faults.ParseSpec(*inject)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Faults = spec
+	}
+	cfg.TargetThroughput = *target
+
 	if *archPath != "" {
 		raw, err := os.ReadFile(*archPath)
 		if err != nil {
@@ -136,6 +156,9 @@ func main() {
 		fmt.Printf("Expected-case throughput:         %.6g iterations/cycle (%.4f per Mcycle)\n",
 			res.Expected, flow.MCUsPerMegacycle(res.Expected))
 	}
+	if res.Degraded != nil {
+		printDegraded(res)
+	}
 	if cfg.Obs != nil {
 		printCounters(cfg.Obs)
 	}
@@ -169,6 +192,24 @@ func writeTrace(path string, set *obs.Set) {
 	}
 	fmt.Printf("Wrote %d trace spans to %s (open at https://ui.perfetto.dev)\n",
 		set.Trace.SpanCount(), path)
+}
+
+// printDegraded reports the degraded-mode recovery after a fail-stop.
+func printDegraded(res *mamps.FlowResult) {
+	deg := res.Degraded
+	fmt.Printf("DEGRADED MODE: %s failed at cycle %d; re-mapped onto %d surviving tiles\n",
+		deg.FailedTile, deg.FailCycle, len(deg.SurvivingTiles))
+	fmt.Printf("  migrated actors: %v (%d bytes of program and state)\n",
+		deg.MigratedActors, deg.MigrationBytes)
+	fmt.Printf("  degraded worst-case throughput: %.6g iterations/cycle (%.4f per Mcycle)\n",
+		deg.WorstCase, flow.MCUsPerMegacycle(deg.WorstCase))
+	fmt.Printf("  degraded measured throughput:   %.6g iterations/cycle (%.4f per Mcycle)\n",
+		deg.Measured, flow.MCUsPerMegacycle(deg.Measured))
+	verdict := "MET"
+	if !deg.ConstraintMet {
+		verdict = "NOT met"
+	}
+	fmt.Printf("  throughput constraint %s in degraded mode\n", verdict)
 }
 
 // printCounters summarizes the kernel telemetry of the run.

@@ -1,0 +1,109 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the mamps-flow -inject grammar into a Spec. The spec
+// is a ';'-separated list of clauses; each clause is a 'key=value' head
+// followed by '@'-separated 'key=value' options:
+//
+//	seed=42                                   scenario seed
+//	jitter=0.3                                per-firing WCET jitter fraction
+//	tile=t1@cycle=50000                       fail-stop of tile t1 at cycle 50000
+//	link=vld2iqzz@from=1000@until=9000@stall=4   degradation window on one channel
+//	link=*@from=0@until=5000@stall=2          degradation window on every channel
+//
+// Example: "jitter=0.5;link=*@from=0@until=20000@stall=4;tile=tile1@cycle=50000".
+func ParseSpec(s string) (*Spec, error) {
+	spec := &Spec{}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		parts := strings.Split(clause, "@")
+		head, headVal, err := splitKV(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		opts, err := parseOpts(parts[1:])
+		if err != nil {
+			return nil, fmt.Errorf("faults: clause %q: %w", clause, err)
+		}
+		switch head {
+		case "seed":
+			n, err := strconv.ParseUint(headVal, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: seed %q: %w", headVal, err)
+			}
+			spec.Seed = n
+		case "jitter":
+			f, err := strconv.ParseFloat(headVal, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: jitter %q: %w", headVal, err)
+			}
+			spec.JitterFrac = f
+		case "tile":
+			if spec.FailTile != "" {
+				return nil, fmt.Errorf("faults: more than one fail-stop tile")
+			}
+			spec.FailTile = headVal
+			cycle, ok := opts["cycle"]
+			if !ok {
+				return nil, fmt.Errorf("faults: tile clause %q needs @cycle=N", clause)
+			}
+			spec.FailCycle = cycle
+		case "link":
+			ch := headVal
+			if ch == "*" {
+				ch = ""
+			}
+			d := Degradation{
+				Channel:  ch,
+				From:     opts["from"],
+				Until:    opts["until"],
+				MaxStall: opts["stall"],
+			}
+			if d.MaxStall == 0 {
+				return nil, fmt.Errorf("faults: link clause %q needs @stall=N", clause)
+			}
+			if d.Until == 0 {
+				return nil, fmt.Errorf("faults: link clause %q needs @until=N", clause)
+			}
+			spec.Degradations = append(spec.Degradations, d)
+		default:
+			return nil, fmt.Errorf("faults: unknown clause %q (seed, jitter, tile or link)", head)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+func splitKV(s string) (key, val string, err error) {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" || v == "" {
+		return "", "", fmt.Errorf("faults: malformed clause %q, want key=value", s)
+	}
+	return k, v, nil
+}
+
+func parseOpts(parts []string) (map[string]int64, error) {
+	opts := make(map[string]int64, len(parts))
+	for _, p := range parts {
+		k, v, err := splitKV(p)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("option %s=%q: %w", k, v, err)
+		}
+		opts[k] = n
+	}
+	return opts, nil
+}

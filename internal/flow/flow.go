@@ -19,6 +19,7 @@ package flow
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"mamps/internal/appmodel"
 	"mamps/internal/arch"
 	"mamps/internal/clock"
+	"mamps/internal/faults"
 	"mamps/internal/mapping"
 	"mamps/internal/obs"
 	"mamps/internal/platgen"
@@ -64,6 +66,18 @@ type Config struct {
 	// CheckWCET aborts execution on a WCET violation (on by default in
 	// experiments; here opt-in).
 	CheckWCET bool
+
+	// Faults, if non-nil and non-empty, injects the deterministic fault
+	// scenario into the platform execution (see package faults). A tile
+	// fail-stop triggers degraded-mode recovery: the flow re-maps onto the
+	// surviving tiles, re-verifies the bound, re-executes under the same
+	// scenario minus the fail-stop, and reports the outcome in
+	// Result.Degraded.
+	Faults *faults.Spec
+	// TargetThroughput is the application's throughput constraint in
+	// iterations/cycle, checked by the degraded-mode recovery. Zero means
+	// "the original mapping's worst-case bound".
+	TargetThroughput float64
 
 	// Clock is the time source for the Table 1 step timings. Nil selects
 	// the system's monotonic clock; service tests inject a fake so step
@@ -104,6 +118,36 @@ type Result struct {
 	Profile *wcet.Profile
 	Sim     *sim.Result
 	Steps   []StepTiming
+
+	// Degraded reports the outcome of degraded-mode recovery after a tile
+	// fail-stop (nil when no fail-stop occurred).
+	Degraded *Degraded
+}
+
+// Degraded is the flow's answer to a tile fail-stop: the application
+// re-mapped, re-verified and re-executed on the surviving tiles.
+type Degraded struct {
+	// FailedTile and FailCycle identify the injected fail-stop.
+	FailedTile string
+	FailCycle  int64
+	// SurvivingTiles names the tiles the degraded mapping may use.
+	SurvivingTiles []string
+	// Mapping is the degraded mapping on the surviving tiles.
+	Mapping *mapping.Mapping
+	// WorstCase is the degraded mapping's guaranteed throughput bound and
+	// Measured its achieved throughput under the remaining fault scenario
+	// (the original scenario minus the fail-stop).
+	WorstCase float64
+	Measured  float64
+	// ConstraintMet reports whether WorstCase still meets the throughput
+	// constraint (Config.TargetThroughput, defaulting to the original
+	// mapping's bound).
+	ConstraintMet bool
+	// MigratedActors names the actors bound to a different tile than in
+	// the original mapping; MigrationBytes totals the instruction and data
+	// memory that must move with them — the mode-transition cost.
+	MigratedActors []string
+	MigrationBytes int64
 }
 
 // MCUsPerMegacycle converts a throughput in iterations per cycle into the
@@ -162,6 +206,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	clk := cfg.Clock
 	if clk == nil {
 		clk = clock.System()
+	}
+	engine, err := cfg.Faults.Engine()
+	if err != nil {
+		return nil, err
 	}
 	// Make the deep analyses cancellable: unless the caller installed its
 	// own analyzer (e.g. the service's memoizing cache, which handles
@@ -261,6 +309,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			Interrupt:  ctx.Done(),
 			Trace:      simTrace,
 			Telemetry:  cfg.Obs.SimOf(),
+			Faults:     engine,
 		})
 		return err
 	}); err != nil {
@@ -281,6 +330,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		bridgeGantt(cfg.Obs.TraceOf(), gantt, s.Now(), res.Sim)
 	}
 	if execErr != nil {
+		// A tile fail-stop is not the end of the flow: re-map onto the
+		// surviving tiles and report the degraded mode.
+		var tf *faults.ErrTileFailed
+		if errors.As(execErr, &tf) {
+			if err := runDegraded(ctx, cfg, res, engine, tf, step); err != nil {
+				return nil, err
+			}
+			return res, nil
+		}
 		return nil, execErr
 	}
 	res.Measured = res.Sim.Throughput
@@ -309,6 +367,91 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	stageSpan.SetAttrs(obs.Float("expectedThroughput", res.Expected))
 	return res, nil
+}
+
+// runDegraded is the flow's degraded-mode recovery after a tile
+// fail-stop: re-run binding and static-order scheduling with the failed
+// tile disabled, re-verify the throughput bound, re-execute under the
+// remaining fault scenario (fail-stop removed — the tile is already gone
+// from the platform), and record the outcome, including the migration
+// cost, in res.Degraded.
+func runDegraded(ctx context.Context, cfg Config, res *Result, engine *faults.Engine,
+	tf *faults.ErrTileFailed, step func(string, bool, func() error) error) error {
+	failed := -1
+	for i, tl := range res.Platform.Tiles {
+		if tl.Name == tf.Tile {
+			failed = i
+			break
+		}
+	}
+	if failed < 0 {
+		return fmt.Errorf("flow: failed tile %q not in platform", tf.Tile)
+	}
+	deg := &Degraded{FailedTile: tf.Tile, FailCycle: tf.Cycle}
+	for i, tl := range res.Platform.Tiles {
+		if i != failed {
+			deg.SurvivingTiles = append(deg.SurvivingTiles, tl.Name)
+		}
+	}
+
+	if err := step("Degraded re-mapping (SDF3)", true, func() error {
+		opts := cfg.MapOptions
+		opts.DisabledTiles = append(append([]int(nil), opts.DisabledTiles...), failed)
+		opts.FixedBinding = nil
+		m, err := mapping.Map(cfg.App, res.Platform, opts)
+		if err != nil {
+			return fmt.Errorf("flow: degraded re-mapping after %q failed at cycle %d: %w", tf.Tile, tf.Cycle, err)
+		}
+		deg.Mapping = m
+		return nil
+	}); err != nil {
+		return err
+	}
+	deg.WorstCase = deg.Mapping.Analysis.Throughput
+	target := cfg.TargetThroughput
+	if target == 0 {
+		target = res.WorstCase
+	}
+	deg.ConstraintMet = deg.WorstCase >= target*(1-1e-9)
+
+	// Migration cost: every actor now on a different tile must move its
+	// implementation memory there.
+	g := cfg.App.Graph
+	for _, a := range g.Actors() {
+		from, to := res.Mapping.TileOf[a.ID], deg.Mapping.TileOf[a.ID]
+		if from == to {
+			continue
+		}
+		deg.MigratedActors = append(deg.MigratedActors, a.Name)
+		if im := cfg.App.ImplFor(a.ID, res.Platform.Tiles[to].PE); im != nil {
+			deg.MigrationBytes += int64(im.InstrMem + im.DataMem)
+		}
+	}
+
+	if err := step("Degraded execution on platform", true, func() error {
+		sp := engine.Spec()
+		degEngine, err := sp.WithoutFailStop().Engine()
+		if err != nil {
+			return err
+		}
+		r, err := sim.RunContext(ctx, deg.Mapping, sim.Options{
+			Iterations: cfg.Iterations,
+			RefActor:   cfg.RefActor,
+			CheckWCET:  cfg.CheckWCET,
+			Scenario:   cfg.Scenario + "-degraded",
+			Telemetry:  cfg.Obs.SimOf(),
+			Faults:     degEngine,
+		})
+		if err != nil {
+			return fmt.Errorf("flow: degraded execution: %w", err)
+		}
+		deg.Measured = r.Throughput
+		return nil
+	}); err != nil {
+		return err
+	}
+	res.Degraded = deg
+	return nil
 }
 
 // bridgeGantt copies the simulator's Gantt lanes into the trace's

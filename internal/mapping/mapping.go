@@ -61,6 +61,10 @@ type Options struct {
 	// experiment, which maps actors "to the same resources as in the
 	// original experiment".
 	FixedBinding map[string]int
+	// DisabledTiles lists tile indices no actor may be bound to. The
+	// flow's degraded-mode recovery re-maps onto the tiles surviving a
+	// fail-stop by disabling the failed one.
+	DisabledTiles []int
 
 	// Analyze, if set, replaces the direct statespace.Analyze call of the
 	// binding-aware throughput verification. The mapping service injects
@@ -179,6 +183,13 @@ func (m *Mapping) bind(q []int64, opt Options) error {
 	nTiles := len(p.Tiles)
 	load := make([]int64, nTiles)
 	memUse := make([]int, nTiles)
+	disabled := make([]bool, nTiles)
+	for _, t := range opt.DisabledTiles {
+		if t < 0 || t >= nTiles {
+			return fmt.Errorf("mapping: disabled tile %d out of range", t)
+		}
+		disabled[t] = true
+	}
 
 	weight := func(a *sdf.Actor, pe arch.PEType) int64 {
 		im := m.App.ImplFor(a.ID, pe)
@@ -212,6 +223,9 @@ func (m *Mapping) bind(q []int64, opt Options) error {
 			if t < 0 || t >= nTiles {
 				return fmt.Errorf("mapping: FixedBinding places %q on invalid tile %d", a.Name, t)
 			}
+			if disabled[t] {
+				return fmt.Errorf("mapping: FixedBinding places %q on disabled tile %d", a.Name, t)
+			}
 			im := m.App.ImplFor(a.ID, p.Tiles[t].PE)
 			if im == nil {
 				return fmt.Errorf("mapping: actor %q has no implementation for tile %d (%s)", a.Name, t, p.Tiles[t].PE)
@@ -224,6 +238,9 @@ func (m *Mapping) bind(q []int64, opt Options) error {
 		best := -1
 		bestCost := 0.0
 		for t, tile := range p.Tiles {
+			if disabled[t] {
+				continue
+			}
 			im := m.App.ImplFor(a.ID, tile.PE)
 			if im == nil {
 				continue

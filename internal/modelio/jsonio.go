@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"mamps/internal/dse"
+	"mamps/internal/faults"
 	"mamps/internal/flow"
 	"mamps/internal/sdf"
 )
@@ -48,6 +49,13 @@ type FlowRequestJSON struct {
 	Iterations int    `json:"iterations,omitempty"`
 	RefActor   string `json:"refActor,omitempty"`
 	UseCA      bool   `json:"useCA,omitempty"`
+	// Faults injects a deterministic fault scenario into the platform
+	// execution; a tile fail-stop triggers degraded-mode re-mapping onto
+	// the surviving tiles, reported in the response's degraded section.
+	Faults *faults.Spec `json:"faults,omitempty"`
+	// TargetThroughput (iterations/cycle) is the constraint the degraded
+	// mode is checked against; zero checks against the original bound.
+	TargetThroughput float64 `json:"targetThroughput,omitempty"`
 }
 
 // AnalyzeRequestJSON asks for the SDF3-side graph analyses.
@@ -108,10 +116,27 @@ type FlowResponseJSON struct {
 	// Binding maps each actor to its tile index.
 	Binding map[string]int `json:"binding"`
 	Steps   []StepJSON     `json:"steps"`
+	// Degraded reports the recovery after an injected tile fail-stop.
+	Degraded *DegradedJSON `json:"degraded,omitempty"`
 	// Cached reports that the response was served from the analysis
 	// cache rather than computed for this request.
 	Cached    bool    `json:"cached"`
 	ElapsedMS float64 `json:"elapsedMS"`
+}
+
+// DegradedJSON is the degraded-mode section of a flow response: the
+// failure, the re-mapping onto the surviving tiles, and whether the
+// throughput constraint still holds there.
+type DegradedJSON struct {
+	FailedTile     string         `json:"failedTile"`
+	FailCycle      int64          `json:"failCycle"`
+	SurvivingTiles []string       `json:"survivingTiles"`
+	WorstCase      ThroughputJSON `json:"worstCase"`
+	Measured       ThroughputJSON `json:"measured"`
+	ConstraintMet  bool           `json:"constraintMet"`
+	Binding        map[string]int `json:"binding"`
+	MigratedActors []string       `json:"migratedActors,omitempty"`
+	MigrationBytes int64          `json:"migrationBytes"`
 }
 
 // NewFlowResponseJSON flattens a flow result into its wire form.
@@ -121,7 +146,7 @@ func NewFlowResponseJSON(res *flow.Result) FlowResponseJSON {
 	for _, a := range g.Actors() {
 		binding[a.Name] = res.Mapping.TileOf[a.ID]
 	}
-	return FlowResponseJSON{
+	resp := FlowResponseJSON{
 		App:          res.Mapping.App.Name,
 		Tiles:        len(res.Platform.Tiles),
 		Interconnect: res.Platform.Interconnect.Kind.String(),
@@ -131,6 +156,26 @@ func NewFlowResponseJSON(res *flow.Result) FlowResponseJSON {
 		Binding:      binding,
 		Steps:        StepsJSON(res.Steps),
 	}
+	if deg := res.Degraded; deg != nil {
+		dj := &DegradedJSON{
+			FailedTile:     deg.FailedTile,
+			FailCycle:      deg.FailCycle,
+			SurvivingTiles: deg.SurvivingTiles,
+			WorstCase:      NewThroughputJSON(deg.WorstCase),
+			Measured:       NewThroughputJSON(deg.Measured),
+			ConstraintMet:  deg.ConstraintMet,
+			MigratedActors: deg.MigratedActors,
+			MigrationBytes: deg.MigrationBytes,
+		}
+		if deg.Mapping != nil {
+			dj.Binding = make(map[string]int, g.NumActors())
+			for _, a := range g.Actors() {
+				dj.Binding[a.Name] = deg.Mapping.TileOf[a.ID]
+			}
+		}
+		resp.Degraded = dj
+	}
+	return resp
 }
 
 // ActorJSON is one repetition-vector row.
@@ -242,9 +287,20 @@ type Table1RowJSON struct {
 	Quoted    string  `json:"quoted,omitempty"`
 }
 
-// ErrorJSON is the error envelope of the service.
+// ErrorJSON is the error envelope of the service. Beyond the message,
+// structured failures carry a machine-readable classification so clients
+// can react without parsing prose.
 type ErrorJSON struct {
 	Error string `json:"error"`
+	// Kind classifies structured failures ("deadlock", "panic").
+	Kind string `json:"kind,omitempty"`
+	// Cycle and Report detail a platform deadlock (kind "deadlock").
+	Cycle  int64  `json:"cycle,omitempty"`
+	Report string `json:"report,omitempty"`
+	// Draining marks a rejection from a server that is shutting down.
+	Draining bool `json:"draining,omitempty"`
+	// RetryAfterSec mirrors the Retry-After header for JSON-only clients.
+	RetryAfterSec int `json:"retryAfterSec,omitempty"`
 }
 
 // EncodeJSON writes v as indented JSON, the output format of both the

@@ -354,6 +354,9 @@ type SimStats struct {
 	// spent executing/serializing vs. blocked waiting.
 	BusyCycles  *Counter
 	StallCycles *Counter
+	// FaultEvents counts injected faults (jitter draws, word stalls,
+	// fail-stops) over all runs.
+	FaultEvents *Counter
 }
 
 // NewSimStats returns simulator counters registered under their
@@ -364,6 +367,7 @@ func NewSimStats(r *Registry) *SimStats {
 		return &SimStats{
 			Runs: &Counter{}, Steps: &Counter{}, Rounds: &Counter{},
 			MaxWakeHeap: &Gauge{}, BusyCycles: &Counter{}, StallCycles: &Counter{},
+			FaultEvents: &Counter{},
 		}
 	}
 	return &SimStats{
@@ -373,6 +377,7 @@ func NewSimStats(r *Registry) *SimStats {
 		MaxWakeHeap: r.Gauge("mamps_sim_wake_heap_max", "Deepest the future-wake heap grew."),
 		BusyCycles:  r.Counter("mamps_sim_tile_busy_cycles_total", "Tile cycles spent executing and serializing."),
 		StallCycles: r.Counter("mamps_sim_tile_stall_cycles_total", "Tile cycles spent blocked on tokens or space."),
+		FaultEvents: r.Counter("mamps_sim_fault_events_total", "Injected fault events (jitter, word stalls, fail-stops)."),
 	}
 }
 

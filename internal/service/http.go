@@ -2,11 +2,13 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"time"
 
 	"mamps/internal/arch"
@@ -28,6 +30,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/flow", s.instrument("flow", s.handleFlow))
 	mux.HandleFunc("POST /v1/dse", s.instrument("dse", s.handleDSE))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -39,22 +42,32 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// statusRecorder captures the response code for the request metrics.
+// statusRecorder captures the response code for the request metrics, and
+// whether anything was written yet — the panic recovery can only send a
+// clean 500 while the response is still untouched.
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(p)
 }
 
 // instrument wraps a handler with latency and status-code metrics, a
 // per-request ID (returned as X-Request-ID and threaded through the
-// context so job logs correlate with access lines), and a structured
-// access log. Health probes log at Debug so they don't drown the
-// interesting traffic.
+// context so job logs correlate with access lines), panic recovery (a
+// handler panic becomes a logged stack plus a 500 carrying the request
+// ID; the server keeps serving), and a structured access log. Health
+// probes log at Debug so they don't drown the interesting traffic.
 func (s *Server) instrument(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := s.clk.Now()
@@ -62,16 +75,29 @@ func (s *Server) instrument(endpoint string, fn http.HandlerFunc) http.HandlerFu
 		w.Header().Set("X-Request-ID", id)
 		r = r.WithContext(obs.WithRequestID(r.Context(), id))
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.observePanic()
+				s.log.Error("handler panic",
+					"requestID", id, "endpoint", endpoint, "panic", fmt.Sprint(p),
+					"stack", string(debug.Stack()))
+				if !rec.wrote {
+					s.writeJSON(rec, http.StatusInternalServerError, modelio.ErrorJSON{
+						Error: fmt.Sprintf("internal error (request %s)", id), Kind: "panic",
+					})
+				}
+			}
+			elapsed := s.clk.Since(start)
+			s.metrics.observeRequest(endpoint, rec.code, elapsed)
+			level := slog.LevelInfo
+			if endpoint == "healthz" || endpoint == "readyz" {
+				level = slog.LevelDebug
+			}
+			s.log.Log(r.Context(), level, "request",
+				"requestID", id, "endpoint", endpoint, "method", r.Method,
+				"path", r.URL.Path, "status", rec.code, "elapsed", elapsed)
+		}()
 		fn(rec, r)
-		elapsed := s.clk.Since(start)
-		s.metrics.observeRequest(endpoint, rec.code, elapsed)
-		level := slog.LevelInfo
-		if endpoint == "healthz" {
-			level = slog.LevelDebug
-		}
-		s.log.Log(r.Context(), level, "request",
-			"requestID", id, "endpoint", endpoint, "method", r.Method,
-			"path", r.URL.Path, "status", rec.code, "elapsed", elapsed)
 	}
 }
 
@@ -81,28 +107,60 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = modelio.EncodeJSON(w, v)
 }
 
-// writeError maps service and compute errors to status codes: queue
-// pressure and drain are 503 (retryable), timeouts 504, infeasible or
-// invalid models 422.
+// writeError maps service and compute errors to status codes: a full
+// queue is 429 with Retry-After (the client should back off, not fail
+// over), drain is 503 with Retry-After (this instance is going away),
+// timeouts 504, deadlocks a structured 422 carrying the cycle and the
+// per-engine report, other infeasible or invalid models a plain 422.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	code := http.StatusUnprocessableEntity
+	body := modelio.ErrorJSON{Error: err.Error()}
+	var de *sim.DeadlockError
 	switch {
-	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+		body.RetryAfterSec = 1
+	case errors.Is(err, ErrDraining):
 		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "5")
+		body.Draining = true
+		body.RetryAfterSec = 5
+	case errors.As(err, &de):
+		body.Kind = "deadlock"
+		body.Cycle = de.Cycle
+		body.Report = de.Report
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, statespace.ErrInterrupted),
 		errors.Is(err, sim.ErrInterrupted):
 		code = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		code = http.StatusServiceUnavailable
 	}
-	s.writeJSON(w, code, modelio.ErrorJSON{Error: err.Error()})
+	s.writeJSON(w, code, body)
 }
 
+// handleHealthz is the liveness probe: 200 while the process can still
+// answer (including mid-drain, status "draining"), 503 with Retry-After
+// only once the workers have exited.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	code := http.StatusOK
+	if st.Status == "stopped" {
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "5")
+	}
+	s.writeJSON(w, code, st)
+}
+
+// handleReadyz is the readiness probe: it flips to 503 the moment a
+// drain begins — before /healthz goes down — so load balancers stop
+// routing new work here while in-flight jobs finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
 	code := http.StatusOK
 	if st.Status != "ok" {
 		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "5")
 	}
 	s.writeJSON(w, code, st)
 }
@@ -214,6 +272,11 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	workloadHash(h, req.AppXML, req.Workload)
 	h.String(req.ArchXML).Int(int64(req.Tiles)).String(req.Interconnect).
 		Int(int64(req.Iterations)).String(req.RefActor).Bool(req.UseCA)
+	// The fault scenario changes the execution (and possibly triggers a
+	// degraded re-mapping), so it is part of the content address. Marshal
+	// keeps the key stable across spec shapes ("null" when absent).
+	fb, _ := json.Marshal(req.Faults)
+	h.String(string(fb)).Float(req.TargetThroughput)
 
 	val, hit, err := s.submit(r.Context(), h.Sum(), func(ctx context.Context) (any, error) {
 		return s.flowJob(ctx, req)
@@ -246,6 +309,8 @@ func (s *Server) flowJob(ctx context.Context, req modelio.FlowRequestJSON) (any,
 	}
 	cfg := flow.Config{App: built.app, Clock: s.clk, Scenario: "service"}
 	cfg.MapOptions.UseCA = req.UseCA
+	cfg.Faults = req.Faults
+	cfg.TargetThroughput = req.TargetThroughput
 	// The simulator publishes its counters into the service registry; no
 	// Trace, so span recording stays disabled on the service path.
 	cfg.Obs = &obs.Set{Sim: s.simStats}

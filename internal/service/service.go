@@ -14,6 +14,7 @@
 //	POST /v1/flow     — the end-to-end Figure 1 flow
 //	POST /v1/dse      — platform design-space sweep with Pareto marking
 //	GET  /healthz     — liveness and drain state
+//	GET  /readyz      — readiness; 503 from the moment a drain begins
 //	GET  /metrics     — Prometheus text exposition
 package service
 
@@ -22,13 +23,18 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math/rand"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mamps/internal/clock"
+	"mamps/internal/faults"
 	"mamps/internal/obs"
 	"mamps/internal/service/cache"
+	"mamps/internal/sim"
+	"mamps/internal/statespace"
 )
 
 // Config configures a Server.
@@ -54,6 +60,14 @@ type Config struct {
 	// Handler. Off by default: the profiles expose internals, so the
 	// operator opts in (mamps-serve -pprof).
 	EnablePprof bool
+	// RetryAttempts is how many times a job failing with a transient
+	// error (an injected fault, a spurious interrupt) is retried with
+	// jittered exponential backoff before the failure is reported
+	// (default 2; negative disables retries).
+	RetryAttempts int
+	// RetryBase is the base delay of the retry backoff (default 25ms);
+	// attempt n waits RetryBase·2^n plus up to half that again of jitter.
+	RetryBase time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +82,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Clock == nil {
 		c.Clock = clock.System()
+	}
+	if c.RetryAttempts == 0 {
+		c.RetryAttempts = 2
+	}
+	if c.RetryAttempts < 0 {
+		c.RetryAttempts = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 25 * time.Millisecond
 	}
 	return c
 }
@@ -115,6 +138,7 @@ type Server struct {
 
 	mu       sync.RWMutex // guards draining state vs. queue sends
 	draining bool
+	stopped  atomic.Bool // workers have exited; /healthz goes down
 	jobs     chan *job
 	wg       sync.WaitGroup
 
@@ -169,7 +193,7 @@ func (s *Server) worker() {
 		s.busy.Add(1)
 		var res jobResult
 		if j.key == "" {
-			res.val, res.err = j.run(j.ctx)
+			res.val, res.err = s.runSafe(j.ctx, j.run)
 		} else {
 			res.val, res.hit, res.err = s.cache.Do(j.ctx, j.key, func() (any, error) {
 				return j.run(j.ctx)
@@ -178,6 +202,58 @@ func (s *Server) worker() {
 		s.busy.Add(-1)
 		s.metrics.observeJob()
 		j.result <- res
+	}
+}
+
+// runSafe executes an uncached job, converting a panic into an error so
+// one faulty job cannot take a worker — and with it the daemon — down.
+// (Cached jobs get the same protection from cache.Do.)
+func (s *Server) runSafe(ctx context.Context, run func(context.Context) (any, error)) (v any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.metrics.observePanic()
+			s.log.Error("job panic", "panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+			err = fmt.Errorf("service: job panic: %v", p)
+		}
+	}()
+	return run(ctx)
+}
+
+// transient reports whether a job failure is worth retrying: injected
+// transient faults, or an interrupt that fired without the job's own
+// context being done (a cancelled context never retries).
+func transient(err error) bool {
+	return faults.IsTransient(err) ||
+		errors.Is(err, sim.ErrInterrupted) ||
+		errors.Is(err, statespace.ErrInterrupted)
+}
+
+// withRetry wraps a job with jittered-exponential-backoff retries of
+// transient failures. The wrapping sits inside the cache computation, so
+// a retried success is cached like any other (errors never are).
+func (s *Server) withRetry(run func(context.Context) (any, error)) func(context.Context) (any, error) {
+	if s.cfg.RetryAttempts == 0 {
+		return run
+	}
+	return func(ctx context.Context) (any, error) {
+		for attempt := 0; ; attempt++ {
+			v, err := run(ctx)
+			if err == nil || attempt >= s.cfg.RetryAttempts || !transient(err) || ctx.Err() != nil {
+				return v, err
+			}
+			delay := s.cfg.RetryBase << attempt
+			delay += time.Duration(rand.Int63n(int64(delay)/2 + 1))
+			s.metrics.observeRetry()
+			s.log.Info("retrying transient job failure",
+				"attempt", attempt+1, "delay", delay, "error", err)
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, err
+			case <-t.C:
+			}
+		}
 	}
 }
 
@@ -191,7 +267,7 @@ func (s *Server) submit(ctx context.Context, key string, run func(context.Contex
 	stop := context.AfterFunc(s.baseCtx, cancel)
 	defer stop()
 
-	j := &job{ctx: jctx, key: key, run: run, result: make(chan jobResult, 1)}
+	j := &job{ctx: jctx, key: key, run: s.withRetry(run), result: make(chan jobResult, 1)}
 
 	s.mu.RLock()
 	if s.draining {
@@ -243,6 +319,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		s.stopped.Store(true)
 		close(done)
 	}()
 	select {
@@ -255,9 +332,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// Stats is the operational snapshot served by /healthz.
+// Stats is the operational snapshot served by /healthz and /readyz.
 type Stats struct {
-	Status     string      `json:"status"` // "ok" or "draining"
+	Status string `json:"status"` // "ok", "draining" or "stopped"
+	// Draining mirrors Status for probes that only read booleans: true
+	// from the moment Shutdown begins.
+	Draining   bool        `json:"draining"`
 	UptimeSec  float64     `json:"uptimeSec"`
 	Workers    int         `json:"workers"`
 	BusyWork   int64       `json:"busyWorkers"`
@@ -268,12 +348,17 @@ type Stats struct {
 
 // Stats returns the current operational snapshot.
 func (s *Server) Stats() Stats {
+	draining := s.Drained()
 	status := "ok"
-	if s.Drained() {
+	if draining {
 		status = "draining"
+	}
+	if s.stopped.Load() {
+		status = "stopped"
 	}
 	return Stats{
 		Status:     status,
+		Draining:   draining,
 		UptimeSec:  s.clk.Since(s.start).Seconds(),
 		Workers:    s.cfg.Workers,
 		BusyWork:   s.busy.Load(),

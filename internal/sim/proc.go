@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mamps/internal/appmodel"
+	"mamps/internal/faults"
 	"mamps/internal/sdf"
 )
 
@@ -57,6 +58,11 @@ type tileProc struct {
 	outTokens [][]appmodel.Token
 
 	busyCycles int64
+
+	// failAt is the fault engine's scheduled fail-stop cycle for this
+	// tile (-1: none). From that cycle on the tile executes nothing and
+	// the run aborts with *faults.ErrTileFailed.
+	failAt int64
 }
 
 func (p *tileProc) name() string    { return p.tname }
@@ -122,6 +128,11 @@ func (p *tileProc) advance(now, cycles int64) {
 }
 
 func (p *tileProc) step(now int64) (bool, error) {
+	if p.failAt >= 0 && now >= p.failAt {
+		p.sim.trace("fault-failstop", p.tname, now)
+		p.sim.faultEvents++
+		return false, &faults.ErrTileFailed{Tile: p.tname, Cycle: p.failAt}
+	}
 	a := p.actor()
 	switch p.phase {
 	case phaseAcquire:
@@ -201,6 +212,19 @@ func (p *tileProc) stepExec(now int64, a *sdf.Actor) (bool, error) {
 	cycles := p.sim.meter.Cycles()
 	if p.sim.opt.CheckWCET && cycles > im.WCET {
 		return false, fmt.Errorf("sim: actor %q fired with %d cycles, above its WCET %d", a.Name, cycles, im.WCET)
+	}
+	if e := p.sim.opt.Faults; e != nil {
+		// Jitter lengthens the firing within its WCET headroom, so the
+		// analysis bound built from the WCETs stays valid. The firing
+		// sequence number advances even for zero draws to keep every
+		// firing's stream coordinate stable.
+		seq := p.sim.firingSeq[a.ID]
+		p.sim.firingSeq[a.ID] = seq + 1
+		if j := e.ExecJitter(a.Name, seq, im.WCET-cycles); j > 0 {
+			cycles += j
+			p.sim.faultEvents++
+			p.sim.trace("fault-jitter", a.Name, now)
+		}
 	}
 	p.sim.profile.Record(a.Name).Observe(p.sim.opt.Scenario, cycles)
 	p.sim.trace("exec-start", a.Name, now)
@@ -369,6 +393,11 @@ type niSendProc struct {
 	cname string
 
 	wake int64
+
+	// Transient-degradation state: word number stalledWord (counted over
+	// the channel's lifetime) may not be injected before cycle stallUntil.
+	stalledWord int64
+	stallUntil  int64
 }
 
 func (p *niSendProc) name() string    { return "ni-send:" + p.cname }
@@ -397,6 +426,25 @@ func (p *niSendProc) step(now int64) (bool, error) {
 		p.wake = t
 		p.sim.pushWake(p.id, t)
 		return false, nil
+	}
+	if e := p.sim.opt.Faults; e != nil {
+		// Degradation windows delay the injection of individual words; the
+		// word number (count over the channel's lifetime) is the stream
+		// coordinate, drawn exactly once per word.
+		word := cs.link.wordsCarried
+		if p.stalledWord != word {
+			if stall := e.WordStall(p.cname, word, now); stall > 0 {
+				p.stalledWord = word
+				p.stallUntil = now + stall
+				p.sim.faultEvents++
+				p.sim.trace("fault-stall", p.cname, now)
+			}
+		}
+		if p.stalledWord == word && now < p.stallUntil {
+			p.wake = p.stallUntil
+			p.sim.pushWake(p.id, p.stallUntil)
+			return false, nil
+		}
 	}
 	w := cs.stage[0]
 	cs.stage = cs.stage[1:]

@@ -22,6 +22,7 @@ import (
 
 	"mamps/internal/appmodel"
 	"mamps/internal/comm"
+	"mamps/internal/faults"
 	"mamps/internal/mapping"
 	"mamps/internal/obs"
 	"mamps/internal/sdf"
@@ -60,11 +61,32 @@ type Options struct {
 	// busy/stall cycles), accumulated in locals and published once at
 	// termination so the hot loop never touches an atomic.
 	Telemetry *obs.SimStats
+	// Faults, if non-nil, is the deterministic fault engine: per-firing
+	// WCET jitter (bounded so no firing exceeds its WCET), transient
+	// link degradation windows (extra stall cycles on word injection),
+	// and tile fail-stop (the run then aborts with *faults.ErrTileFailed).
+	// Fault events are emitted on Trace ("fault-jitter", "fault-stall",
+	// "fault-failstop") and counted in Telemetry.
+	Faults *faults.Engine
 }
 
 // ErrInterrupted is returned by Run when Options.Interrupt fires before
 // the simulation completes its iterations.
 var ErrInterrupted = errors.New("sim: simulation interrupted")
+
+// DeadlockError is returned by Run when the platform stalls: no proc can
+// make progress and no future event is scheduled. Cycle is the instant
+// the platform stalled at; Report describes what every engine is blocked
+// on. The flow and service classify it with errors.As instead of string
+// matching.
+type DeadlockError struct {
+	Cycle  int64
+	Report string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at cycle %d:\n%s", e.Cycle, e.Report)
+}
 
 // Result reports the measured execution.
 type Result struct {
@@ -122,6 +144,12 @@ type Simulation struct {
 	meter       wcet.Meter
 	profile     *wcet.Profile
 	completions []int64
+
+	// firingSeq numbers each actor's firings from zero: the per-firing
+	// coordinate of the fault engine's jitter stream. faultEvents counts
+	// injected faults for the telemetry tally.
+	firingSeq   []int64
+	faultEvents int64
 }
 
 // wakeEntry schedules a future re-step of one proc.
@@ -358,11 +386,15 @@ func New(m *mapping.Mapping, opt Options) (*Simulation, error) {
 			continue
 		}
 		tileIdx[t] = int32(len(s.procs))
-		s.procs = append(s.procs, &tileProc{
+		tp := &tileProc{
 			sim: s, id: int32(len(s.procs)), tile: t, tname: tile.Name,
 			sched: m.Schedules[t],
-			words: -1,
-		})
+			words: -1, failAt: -1,
+		}
+		if fc, ok := opt.Faults.TileFailCycle(tile.Name); ok {
+			tp.failAt = fc
+		}
+		s.procs = append(s.procs, tp)
 	}
 	// Static wake lists: for every channel, the procs to flag when its
 	// buffers, stages or link change.
@@ -394,7 +426,7 @@ func New(m *mapping.Mapping, opt Options) (*Simulation, error) {
 		}
 		p := m.CommParams[c.ID]
 		s.chNISend[c.ID] = int32(len(s.procs))
-		s.procs = append(s.procs, &niSendProc{sim: s, id: int32(len(s.procs)), cid: c.ID, cname: c.Name})
+		s.procs = append(s.procs, &niSendProc{sim: s, id: int32(len(s.procs)), cid: c.ID, cname: c.Name, stalledWord: -1})
 		if p.SrcOnCA {
 			ser := &caSerProc{sim: s, id: int32(len(s.procs)), cid: c.ID, cname: c.Name, capacity: max(1, p.SrcBuffer), words: -1}
 			s.caSer[c.ID] = ser
@@ -413,6 +445,17 @@ func New(m *mapping.Mapping, opt Options) (*Simulation, error) {
 	s.flags = make([]bool, len(s.procs))
 	for i := range s.flags {
 		s.flags[i] = true
+	}
+	if opt.Faults != nil {
+		s.firingSeq = make([]int64, g.NumActors())
+		// A fail-stop is an event of its own: wake the failing tile at
+		// its scheduled cycle so the failure is detected at exactly that
+		// instant even when the tile is blocked there.
+		for _, p := range s.procs {
+			if tp, ok := p.(*tileProc); ok && tp.failAt > 0 {
+				s.pushWake(tp.id, tp.failAt)
+			}
+		}
 	}
 	return s, nil
 }
@@ -450,6 +493,7 @@ func (s *Simulation) publishTelemetry(st *obs.SimStats, t *simTally) {
 	st.Steps.Add(t.steps)
 	st.Rounds.Add(t.rounds)
 	st.MaxWakeHeap.Max(int64(t.maxHeap))
+	st.FaultEvents.Add(s.faultEvents)
 	for _, p := range s.procs {
 		if tp, ok := p.(*tileProc); ok {
 			st.BusyCycles.Add(tp.busyCycles)
@@ -502,7 +546,7 @@ func (s *Simulation) runLoop(t *simTally) (*Result, error) {
 		}
 		// Advance to the next event.
 		if len(s.wakes) == 0 {
-			return nil, fmt.Errorf("sim: deadlock at cycle %d:\n%s", now, s.deadlockReport(now))
+			return nil, &DeadlockError{Cycle: now, Report: s.deadlockReport(now)}
 		}
 		if len(s.wakes) > t.maxHeap {
 			t.maxHeap = len(s.wakes)
