@@ -4,15 +4,16 @@
 // files. With -verify it instead validates an existing report file (the
 // CI bench-smoke job uses this to guard against bit-rot in the pipeline).
 //
-// With -compare it parses the stream and gates a metric against a
+// With -compare it parses the stream and gates metrics against a
 // recorded baseline report: any benchmark present in both whose metric
-// exceeds baseline*max-ratio fails the run. `make obs-smoke` uses
+// exceeds baseline*max-ratio fails the run. -gate takes several gates at
+// once as comma-separated unit:max-ratio pairs. `make obs-smoke` uses
 //
 //	go test -run '^$' -bench '...' -benchmem -json . |
-//	    benchjson -compare BENCH_2026-08-06.json -metric allocs/op -max-ratio 1
+//	    benchjson -compare BENCH_2026-08-06.json -gate 'allocs/op:1,ns/op:1.2'
 //
 // to prove the telemetry layer adds zero allocations to the kernel hot
-// paths when disabled.
+// paths when disabled, and to flag wall-time regressions beyond 20%.
 package main
 
 import (
@@ -74,6 +75,7 @@ func main() {
 	compare := flag.String("compare", "", "baseline report file to gate the stdin stream against")
 	metric := flag.String("metric", "allocs/op", "metric unit gated by -compare")
 	maxRatio := flag.Float64("max-ratio", 1.0, "fail -compare when current > baseline*ratio")
+	gate := flag.String("gate", "", "comma-separated unit:max-ratio gates for -compare (e.g. 'allocs/op:1,ns/op:1.2'); overrides -metric/-max-ratio")
 	flag.Parse()
 
 	if *verify != "" {
@@ -84,7 +86,16 @@ func main() {
 		return
 	}
 	if *compare != "" {
-		if err := compareReport(*compare, *metric, *maxRatio); err != nil {
+		gates := []gateSpec{{unit: *metric, maxRatio: *maxRatio}}
+		if *gate != "" {
+			var err error
+			gates, err = parseGates(*gate)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if err := compareReport(*compare, gates); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -222,12 +233,43 @@ func metricOf(b Benchmark, unit string) (float64, bool) {
 	return 0, false
 }
 
-// compareReport parses the test2json stream on stdin and gates the given
+// gateSpec is one -compare gate: a metric unit and the highest tolerated
+// current/baseline ratio.
+type gateSpec struct {
+	unit     string
+	maxRatio float64
+}
+
+// parseGates parses the -gate list ("allocs/op:1,ns/op:1.2").
+func parseGates(s string) ([]gateSpec, error) {
+	var gates []gateSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		i := strings.LastIndex(part, ":")
+		if i < 0 {
+			return nil, fmt.Errorf("bad gate %q: want unit:max-ratio", part)
+		}
+		ratio, err := strconv.ParseFloat(part[i+1:], 64)
+		if err != nil || ratio <= 0 {
+			return nil, fmt.Errorf("bad gate ratio in %q: want a positive number", part)
+		}
+		gates = append(gates, gateSpec{unit: part[:i], maxRatio: ratio})
+	}
+	if len(gates) == 0 {
+		return nil, fmt.Errorf("empty -gate list")
+	}
+	return gates, nil
+}
+
+// compareReport parses the test2json stream on stdin once and gates each
 // metric against the baseline report: every benchmark present in both
-// must satisfy current <= baseline*maxRatio. Benchmarks missing from the
-// baseline (or lacking the metric) are reported but don't fail the run,
-// so adding new benchmarks never breaks the gate.
-func compareReport(baselinePath, unit string, maxRatio float64) error {
+// must satisfy current <= baseline*maxRatio for every gate. Benchmarks
+// missing from the baseline (or lacking a metric) are reported but don't
+// fail the run, so adding new benchmarks never breaks the gate.
+func compareReport(baselinePath string, gates []gateSpec) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -246,34 +288,36 @@ func compareReport(baselinePath, unit string, maxRatio float64) error {
 		return err
 	}
 	var failures []string
-	compared := 0
-	for _, b := range cur.Benchmarks {
-		got, ok := metricOf(b, unit)
-		if !ok {
-			continue
+	for _, g := range gates {
+		compared := 0
+		for _, b := range cur.Benchmarks {
+			got, ok := metricOf(b, g.unit)
+			if !ok {
+				continue
+			}
+			ref, ok := baseBy[b.Name]
+			if !ok {
+				fmt.Printf("%-48s %s %g (no baseline, skipped)\n", b.Name, g.unit, got)
+				continue
+			}
+			want, ok := metricOf(ref, g.unit)
+			if !ok {
+				fmt.Printf("%-48s %s %g (baseline lacks metric, skipped)\n", b.Name, g.unit, got)
+				continue
+			}
+			compared++
+			limit := want * g.maxRatio
+			status := "ok"
+			if got > limit {
+				status = "FAIL"
+				failures = append(failures,
+					fmt.Sprintf("%s: %s %g exceeds baseline %g (limit %g)", b.Name, g.unit, got, want, limit))
+			}
+			fmt.Printf("%-48s %s %g vs baseline %g  %s\n", b.Name, g.unit, got, want, status)
 		}
-		ref, ok := baseBy[b.Name]
-		if !ok {
-			fmt.Printf("%-48s %s %g (no baseline, skipped)\n", b.Name, unit, got)
-			continue
+		if compared == 0 {
+			return fmt.Errorf("no benchmarks on stdin matched the baseline for %s", g.unit)
 		}
-		want, ok := metricOf(ref, unit)
-		if !ok {
-			fmt.Printf("%-48s %s %g (baseline lacks metric, skipped)\n", b.Name, unit, got)
-			continue
-		}
-		compared++
-		limit := want * maxRatio
-		status := "ok"
-		if got > limit {
-			status = "FAIL"
-			failures = append(failures,
-				fmt.Sprintf("%s: %s %g exceeds baseline %g (limit %g)", b.Name, unit, got, want, limit))
-		}
-		fmt.Printf("%-48s %s %g vs baseline %g  %s\n", b.Name, unit, got, want, status)
-	}
-	if compared == 0 {
-		return fmt.Errorf("no benchmarks on stdin matched the baseline for %s", unit)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))

@@ -1,0 +1,313 @@
+// Command mamps-runs inspects and gates the persistent run registry
+// written by mamps-serve -runlog (and by the regress replay itself).
+//
+//	mamps-runs -dir RUNLOG list [-app A] [-kind K] [-regressed] [-limit N] [-offset N]
+//	mamps-runs -dir RUNLOG show ID
+//	mamps-runs -dir RUNLOG diff ID-A ID-B
+//	mamps-runs -dir RUNLOG gc [-max-records N] [-max-age D]
+//	mamps-runs -dir RUNLOG baseline [ID]
+//	mamps-runs regress [-baselines FILE] [-update] [-perturb N] [-quick]
+//
+// `regress` replays the example-graph corpus and compares each entry
+// against the checked-in baselines with zero tolerance — the flow's
+// kernels are deterministic, so any drift in a throughput bound,
+// measured cycles, states explored or simulator steps is a regression
+// and exits nonzero. `-update` refreshes the baseline file instead;
+// `-perturb N` adds N cycles to one WCET per entry to prove the gate
+// fires. `make regress` wraps the gate for CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"mamps/internal/corpus"
+	"mamps/internal/runlog"
+)
+
+func main() {
+	dir := flag.String("dir", "", "run registry directory (as given to mamps-serve -runlog)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "list":
+		err = cmdList(*dir, args)
+	case "show":
+		err = cmdShow(*dir, args)
+	case "diff":
+		err = cmdDiff(*dir, args)
+	case "gc":
+		err = cmdGC(*dir, args)
+	case "baseline":
+		err = cmdBaseline(*dir, args)
+	case "regress":
+		err = cmdRegress(args)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: mamps-runs [-dir RUNLOG] COMMAND [ARGS]
+
+Commands:
+  list      list recorded runs (filters: -app, -kind, -regressed, -limit, -offset)
+  show ID   print one run record as JSON
+  diff A B  structured comparison of two runs
+  gc        enforce retention bounds (-max-records, -max-age)
+  baseline  [ID] freeze a run as the reference for its key; no ID lists baselines
+  regress   replay the example-graph corpus against checked-in baselines
+`)
+}
+
+func openRegistry(dir string, opt runlog.Options) (*runlog.Registry, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("this command needs -dir (the run registry directory)")
+	}
+	return runlog.Open(dir, opt)
+}
+
+func cmdList(dir string, args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	app := fs.String("app", "", "filter by application name")
+	kind := fs.String("kind", "", "filter by run kind (flow, dse, analysis)")
+	regressed := fs.Bool("regressed", false, "only runs tagged as regressions")
+	limit := fs.Int("limit", 20, "page size (0 = all)")
+	offset := fs.Int("offset", 0, "page offset")
+	fs.Parse(args)
+	r, err := openRegistry(dir, runlog.Options{})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	recs, total := r.List(runlog.Filter{
+		App: *app, Kind: *kind, Regressed: *regressed,
+		Limit: *limit, Offset: *offset,
+	})
+	fmt.Printf("%-20s %-20s %-8s %-12s %-9s %-12s %s\n",
+		"ID", "TIME", "KIND", "APP", "OUTCOME", "BOUND", "REGRESSION")
+	for _, rec := range recs {
+		reg := "-"
+		if rec.Regression != nil {
+			reg = "ok"
+			if rec.Regression.Regressed {
+				reg = "REGRESSED"
+			}
+		}
+		fmt.Printf("%-20s %-20s %-8s %-12s %-9s %-12.6g %s\n",
+			rec.ID, rec.Time.Format("2006-01-02T15:04:05Z"), rec.Kind,
+			rec.App, rec.Outcome, rec.Bound, reg)
+	}
+	fmt.Printf("%d of %d run(s)\n", len(recs), total)
+	return nil
+}
+
+func cmdShow(dir string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: mamps-runs -dir DIR show ID")
+	}
+	r, err := openRegistry(dir, runlog.Options{})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	rec, ok := r.Get(args[0])
+	if !ok {
+		return fmt.Errorf("no run %q", args[0])
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func cmdDiff(dir string, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: mamps-runs -dir DIR diff ID-A ID-B")
+	}
+	r, err := openRegistry(dir, runlog.Options{})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	d, err := r.CompareByID(args[0], args[1])
+	if err != nil {
+		return err
+	}
+	printDiff(d)
+	return nil
+}
+
+func printDiff(d runlog.Diff) {
+	fmt.Printf("diff %s -> %s\n", d.A, d.B)
+	if d.GraphKeyChanged {
+		fmt.Println("  graph key changed (different canonical model content)")
+	}
+	row := func(name string, dl runlog.Delta) {
+		marker := " "
+		if dl.Changed(0) {
+			marker = "*"
+		}
+		fmt.Printf("%s %-16s %14.6g -> %-14.6g (%+.4g%%)\n", marker, name, dl.A, dl.B, dl.Rel*100)
+	}
+	row("bound", d.Bound)
+	row("measured", d.Measured)
+	row("expected", d.Expected)
+	row("cycles", d.Cycles)
+	row("analyses", d.Analyses)
+	row("states", d.StatesExplored)
+	row("simSteps", d.SimSteps)
+	row("busyCycles", d.BusyCycles)
+	row("stallCycles", d.StallCycles)
+	row("faultEvents", d.FaultEvents)
+	for _, s := range d.Stages {
+		fmt.Printf("  stage %-32s %10.0fus -> %-10.0fus (x%.2f)\n", s.Name, s.AMicros, s.BMicros, s.Ratio)
+	}
+}
+
+func cmdGC(dir string, args []string) error {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	maxRecords := fs.Int("max-records", 0, "keep at most N records (0 = no count bound)")
+	maxAge := fs.Duration("max-age", 0, "drop records older than this (0 = no age bound)")
+	fs.Parse(args)
+	r, err := openRegistry(dir, runlog.Options{MaxRecords: *maxRecords, MaxAge: *maxAge})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	n, err := r.GC()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("removed %d record(s), %d kept\n", n, r.Len())
+	return nil
+}
+
+func cmdBaseline(dir string, args []string) error {
+	r, err := openRegistry(dir, runlog.Options{})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	if len(args) == 0 {
+		for _, b := range r.Baselines() {
+			fmt.Printf("%-44s %s bound=%.6g\n", b.BaselineKey, b.ID, b.Bound)
+		}
+		return nil
+	}
+	rec, err := r.SetBaseline(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline %s frozen from run %s\n", rec.BaselineKey, rec.ID)
+	return nil
+}
+
+func cmdRegress(args []string) error {
+	fs := flag.NewFlagSet("regress", flag.ExitOnError)
+	baselines := fs.String("baselines", "regress/baselines.json", "checked-in baseline records")
+	update := fs.Bool("update", false, "rewrite the baseline file from this replay instead of gating")
+	perturb := fs.Int64("perturb", 0, "add N cycles to one WCET per entry (to demonstrate the gate)")
+	quick := fs.Bool("quick", false, "skip the MJPEG flow entries")
+	keep := fs.String("keep", "", "record the replay into this registry directory (default: a temp dir)")
+	fs.Parse(args)
+
+	recs, err := corpus.Run(corpus.Options{PerturbWCET: *perturb, Quick: *quick})
+	if err != nil {
+		return err
+	}
+
+	if *update {
+		out := make([]runlog.Record, 0, len(recs))
+		for _, rec := range recs {
+			out = append(out, corpus.Strip(rec))
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Corpus < out[j].Corpus })
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*baselines, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d baseline record(s) to %s\n", len(out), *baselines)
+		return nil
+	}
+
+	data, err := os.ReadFile(*baselines)
+	if err != nil {
+		return fmt.Errorf("reading baselines (run `mamps-runs regress -update` to create them): %w", err)
+	}
+	var base []runlog.Record
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", *baselines, err)
+	}
+
+	dir := *keep
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "mamps-regress-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	// Zero tolerances: the kernels are deterministic, so the gate demands
+	// bit-identical numbers.
+	r, err := runlog.Open(dir, runlog.Options{})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	for _, b := range base {
+		if err := r.ImportBaseline(b); err != nil {
+			return err
+		}
+	}
+
+	failed := 0
+	for _, rec := range recs {
+		stored, err := r.Append(rec)
+		if err != nil {
+			return err
+		}
+		switch {
+		case stored.Regression == nil:
+			failed++
+			fmt.Printf("FAIL  %-12s no baseline for key %s (run `mamps-runs regress -update`)\n",
+				rec.Corpus, stored.BaselineKey)
+		case stored.Regression.Regressed:
+			failed++
+			fmt.Printf("FAIL  %-12s (%s)\n", rec.Corpus, stored.ID)
+			for _, reason := range stored.Regression.Reasons {
+				fmt.Printf("      %s\n", reason)
+			}
+		default:
+			fmt.Printf("ok    %-12s bound=%.6g states=%d simSteps=%d\n",
+				rec.Corpus, stored.Bound, stored.Counters.StatesExplored, stored.Counters.SimSteps)
+		}
+	}
+	fmt.Printf("%d entr(ies) replayed, %d regressed (mamps_regressions_total %d)\n",
+		len(recs), failed, r.Regressions())
+	if failed > 0 {
+		return fmt.Errorf("regression gate failed")
+	}
+	return nil
+}

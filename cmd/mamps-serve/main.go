@@ -11,6 +11,7 @@
 //	POST /v1/analyze  {"workload":{"name":"mjpeg"}, "targetThroughput":1e-4}
 //	POST /v1/flow     {"workload":{"name":"mjpeg"}, "tiles":5, "iterations":-1}
 //	POST /v1/dse      {"workload":{"name":"mjpeg"}, "maxTiles":6}
+//	GET  /v1/runs     (with -runlog: list recorded runs; /{id}, /{id}/trace, /compare?a=&b=)
 //	GET  /healthz
 //	GET  /metrics
 //
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"mamps/internal/obs"
+	"mamps/internal/runlog"
 	"mamps/internal/service"
 )
 
@@ -42,6 +44,9 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of key=value text")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	runlogDir := flag.String("runlog", "", "run registry directory: record every computed run and serve GET /v1/runs")
+	runlogMax := flag.Int("runlog-max-records", 10000, "run registry retention: max records kept (0 = unlimited)")
+	runlogAge := flag.Duration("runlog-max-age", 0, "run registry retention: max record age (0 = unlimited)")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -50,6 +55,19 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, level, *logJSON)
 
+	var runs *runlog.Registry
+	if *runlogDir != "" {
+		runs, err = runlog.Open(*runlogDir, runlog.Options{
+			MaxRecords: *runlogMax,
+			MaxAge:     *runlogAge,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer runs.Close()
+		log.Printf("run registry at %s (%d records)", *runlogDir, runs.Len())
+	}
+
 	srv := service.New(service.Config{
 		Workers:       *workers,
 		QueueDepth:    *queue,
@@ -57,6 +75,7 @@ func main() {
 		CacheCapacity: *cacheCap,
 		Logger:        logger,
 		EnablePprof:   *enablePprof,
+		RunLog:        runs,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,0 +1,240 @@
+// Package corpus is the reproducible example-graph corpus behind `make
+// regress`: a fixed set of small analysis graphs plus the full MJPEG
+// flow on both interconnects, each replayed deterministically and
+// summarized as a runlog.Record keyed by corpus entry name
+// ("corpus/<name>").
+//
+// The records carry only deterministic quantities the kernels guarantee
+// bit-identical run to run — throughput bound, measured throughput,
+// simulated cycles, states explored, simulator steps — so the regression
+// gate compares them against checked-in baselines with zero tolerance.
+// Baseline matching is by entry name, not graph key: a perturbed WCET
+// changes the canonical graph key and is itself reported as drift
+// ("graph key changed") instead of silently missing the baseline.
+package corpus
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mamps/internal/appmodel"
+	"mamps/internal/arch"
+	"mamps/internal/flow"
+	"mamps/internal/mjpeg"
+	"mamps/internal/obs"
+	"mamps/internal/runlog"
+	"mamps/internal/sdf"
+	"mamps/internal/service/cache"
+	"mamps/internal/statespace"
+)
+
+// Options configures a corpus replay.
+type Options struct {
+	// PerturbWCET adds the given number of cycles to one actor's
+	// execution time in every entry — a deliberate drift used to verify
+	// the regression gate actually fires. Zero replays faithfully.
+	PerturbWCET int64
+	// Quick skips the expensive flow entries (the MJPEG executions),
+	// keeping only the small analysis graphs.
+	Quick bool
+}
+
+// Entry is one reproducible corpus run.
+type Entry struct {
+	// Name keys the entry's baseline ("corpus/<name>").
+	Name string
+	// Kind is "analysis" or "flow".
+	Kind string
+	// Run replays the entry and returns its record (ID/Seq/Time unset;
+	// the registry assigns them on Append).
+	Run func(opt Options) (runlog.Record, error)
+}
+
+// Entries returns the corpus in a fixed order.
+func Entries() []Entry {
+	return []Entry{
+		analysisEntry("cycle", func() (*sdf.Graph, statespace.Options) {
+			g := sdf.NewGraph("cycle")
+			a := g.AddActor("a", 2)
+			b := g.AddActor("b", 3)
+			g.Connect(a, b, 1, 1, 0)
+			g.Connect(b, a, 1, 1, 1)
+			return g, statespace.Options{}
+		}),
+		analysisEntry("pipe", func() (*sdf.Graph, statespace.Options) {
+			g := sdf.NewGraph("pipe")
+			a := g.AddActor("a", 2)
+			b := g.AddActor("b", 3)
+			g.Connect(a, b, 1, 1, 0)
+			g.Connect(b, a, 1, 1, 2)
+			return g, statespace.Options{}
+		}),
+		analysisEntry("mr", func() (*sdf.Graph, statespace.Options) {
+			g := sdf.NewGraph("mr")
+			a := g.AddActor("a", 2)
+			b := g.AddActor("b", 3)
+			a.MaxConcurrent = 1
+			b.MaxConcurrent = 1
+			g.Connect(a, b, 2, 1, 0)
+			g.Connect(b, a, 1, 2, 2)
+			return g, statespace.Options{}
+		}),
+		analysisEntry("sched", func() (*sdf.Graph, statespace.Options) {
+			g := sdf.NewGraph("sched")
+			a := g.AddActor("a", 2)
+			b := g.AddActor("b", 3)
+			g.Connect(a, b, 1, 1, 1)
+			g.Connect(b, a, 1, 1, 1)
+			return g, statespace.Options{
+				Schedules: []statespace.Schedule{{Tile: "t0", Entries: []sdf.ActorID{a.ID, b.ID}}},
+			}
+		}),
+		mjpegEntry("mjpeg-fsl", arch.FSL),
+		mjpegEntry("mjpeg-noc", arch.NoC),
+	}
+}
+
+// Run replays the selected corpus entries in order, stopping at the
+// first entry that fails to execute (a failing entry is a broken build,
+// not a regression).
+func Run(opt Options) ([]runlog.Record, error) {
+	var recs []runlog.Record
+	for _, e := range Entries() {
+		if opt.Quick && e.Kind == "flow" {
+			continue
+		}
+		rec, err := e.Run(opt)
+		if err != nil {
+			return recs, fmt.Errorf("corpus %s: %w", e.Name, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// perturbGraph adds delta cycles to the execution time of the graph's
+// first actor.
+func perturbGraph(g *sdf.Graph, delta int64) {
+	if delta == 0 {
+		return
+	}
+	g.Actors()[0].ExecTime += delta
+}
+
+// perturbApp perturbs an application model: the first actor's graph
+// execution time and the WCETs of all its implementations move together,
+// so both the canonical graph key and the analyzed bound drift.
+func perturbApp(app *appmodel.App, delta int64) {
+	if delta == 0 {
+		return
+	}
+	a := app.Graph.Actors()[0]
+	a.ExecTime += delta
+	impls := app.Impls[a.ID]
+	for i := range impls {
+		impls[i].WCET += delta
+	}
+}
+
+func analysisEntry(name string, build func() (*sdf.Graph, statespace.Options)) Entry {
+	return Entry{Name: name, Kind: "analysis", Run: func(opt Options) (runlog.Record, error) {
+		g, sopt := build()
+		perturbGraph(g, opt.PerturbWCET)
+		stats := obs.NewExplorerStats(nil)
+		sopt.Telemetry = stats
+		key := cache.GraphKey(g)
+		r, err := statespace.Analyze(g, sopt)
+		if err != nil {
+			return runlog.Record{}, err
+		}
+		rec := runlog.Record{
+			Kind:     "analysis",
+			App:      name,
+			Corpus:   name,
+			GraphKey: key,
+			Outcome:  "ok",
+			Bound:    r.Throughput,
+			Counters: runlog.CountersFrom(&obs.Set{Explorer: stats}),
+		}
+		if r.Deadlocked {
+			rec.Outcome = "deadlock"
+		}
+		return rec, nil
+	}}
+}
+
+// mjpegEntry replays the full flow — map, verify, generate, execute,
+// re-analyze — on the MJPEG decoder (32x32 gradient, 2 frames) over 5
+// tiles, the configuration the statespace and simulator goldens pin.
+func mjpegEntry(name string, ic arch.InterconnectKind) Entry {
+	return Entry{Name: name, Kind: "flow", Run: func(opt Options) (runlog.Record, error) {
+		stream, _, err := mjpeg.EncodeSequence(mjpeg.SeqGradient, 32, 32, 2, 90, mjpeg.Sampling420)
+		if err != nil {
+			return runlog.Record{}, err
+		}
+		app, actors, err := mjpeg.BuildApp(stream)
+		if err != nil {
+			return runlog.Record{}, err
+		}
+		perturbApp(app, opt.PerturbWCET)
+		si := actors.VLD.Info()
+		iters := si.MCUsPerFrame() * si.Frames
+
+		ctx := context.Background()
+		set := &obs.Set{Explorer: obs.NewExplorerStats(nil), Sim: obs.NewSimStats(nil)}
+		cfg := flow.Config{
+			App:          app,
+			Tiles:        5,
+			Interconnect: ic,
+			Iterations:   iters,
+			RefActor:     "Raster",
+			Scenario:     "corpus",
+			Obs:          set,
+		}
+		cfg.MapOptions.Analyze = flow.TelemetryAnalyzer(ctx, set)
+		key := cache.GraphKey(app.Graph)
+		res, err := flow.RunContext(ctx, cfg)
+		if err != nil {
+			return runlog.Record{}, err
+		}
+		rec := runlog.Record{
+			Kind:     "flow",
+			App:      app.Name,
+			Corpus:   name,
+			GraphKey: key,
+			Outcome:  "ok",
+			Bound:    res.WorstCase,
+			Measured: res.Measured,
+			Expected: res.Expected,
+			Config: runlog.ConfigSummary{
+				Tiles: 5, Interconnect: ic.String(),
+				Iterations: iters, RefActor: "Raster",
+			},
+			Counters: runlog.CountersFrom(set),
+		}
+		if res.Sim != nil {
+			rec.Cycles = res.Sim.Cycles
+		}
+		for _, st := range res.Steps {
+			rec.Steps = append(rec.Steps, runlog.StageTime{
+				Name: st.Name, Automated: st.Automated,
+				Micros: float64(st.Elapsed.Microseconds()),
+			})
+		}
+		return rec, nil
+	}}
+}
+
+// Strip removes the nondeterministic parts of a record — identity,
+// timestamps, per-stage wall times, stored artifacts and the regression
+// verdict — leaving exactly what a checked-in baseline should pin.
+func Strip(rec runlog.Record) runlog.Record {
+	rec.ID = ""
+	rec.Seq = 0
+	rec.Time = time.Time{}
+	rec.Steps = nil
+	rec.Artifacts = nil
+	rec.Regression = nil
+	return rec
+}

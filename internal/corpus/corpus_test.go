@@ -1,0 +1,49 @@
+package corpus
+
+import "testing"
+
+// TestQuickRunDeterministic replays the analysis entries twice and
+// checks bit-identical records — the property `make regress` relies on.
+func TestQuickRunDeterministic(t *testing.T) {
+	a, err := Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("quick corpus sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := Strip(a[i]), Strip(b[i])
+		if x.GraphKey != y.GraphKey || x.Bound != y.Bound ||
+			x.Counters.StatesExplored != y.Counters.StatesExplored {
+			t.Errorf("%s: rerun differs: %+v vs %+v", x.Corpus, x, y)
+		}
+		// BaselineKey is derived from Corpus by the registry on Append.
+		if x.GraphKey == "" || x.Corpus == "" || x.Bound <= 0 {
+			t.Errorf("%s: incomplete record: %+v", x.Corpus, x)
+		}
+	}
+}
+
+// TestPerturbationChangesKey checks that a WCET perturbation is visible
+// as a graph-key change, which is how the regression gate attributes
+// model-content drift.
+func TestPerturbationChangesKey(t *testing.T) {
+	base, err := Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pert, err := Run(Options{Quick: true, PerturbWCET: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if base[i].GraphKey == pert[i].GraphKey {
+			t.Errorf("%s: +1 WCET did not change the graph key", base[i].Corpus)
+		}
+	}
+}

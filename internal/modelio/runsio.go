@@ -1,0 +1,12 @@
+package modelio
+
+import "mamps/internal/runlog"
+
+// RunListJSON is the wire envelope of GET /v1/runs: one page of run
+// records (newest first) plus the total number of matches before paging,
+// so clients can page without a second count request.
+type RunListJSON struct {
+	Total int             `json:"total"`
+	Count int             `json:"count"`
+	Runs  []runlog.Record `json:"runs"`
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// DefaultLatencyBuckets are histogram upper bounds in seconds spanning
+// sub-millisecond cache hits up to multi-second DSE sweeps — the bucket
+// layout the mapping service uses for its request-latency and job
+// queue-wait histograms.
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket histogram with a Prometheus text
+// exposition. All methods are safe for concurrent use, and — like the
+// rest of this package — a nil *Histogram is a valid disabled histogram.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds
+	counts []uint64  // per-bucket (not cumulative); len(bounds)+1, last is overflow
+	sum    float64
+	n      uint64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds. The bounds are copied; values above the last bound land in an
+// implicit +Inf overflow bucket.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket containing it, the standard fixed-bucket estimate.
+// Returns 0 for an empty histogram; observations in the overflow bucket
+// are attributed to the last finite bound (the estimate saturates).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	rank := q * float64(h.n)
+	cum := 0.0
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i == len(h.bounds) { // overflow: saturate at the last bound
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := 0.0
+		if c > 0 {
+			frac = (rank - prev) / float64(c)
+		}
+		return lo + (hi-lo)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// WritePrometheus renders the histogram's _bucket/_sum/_count series
+// under the given metric name. labels, when non-empty, is a rendered
+// label list without braces (e.g. `endpoint="flow"`) merged with each
+// series' own labels. The caller writes the # HELP/# TYPE header (the
+// same metric name may be rendered for several label sets).
+func (h *Histogram) WritePrometheus(w io.Writer, name, labels string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]uint64(nil), h.counts...)
+	sum, n := h.sum, h.n
+	h.mu.Unlock()
+
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, ub := range bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, ub, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, n)
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, n)
+}

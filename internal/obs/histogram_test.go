@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramObserveAndCounts(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 106 {
+		t.Errorf("Sum = %g, want 106", got)
+	}
+	// 0.5 and 1 land in le=1 (bounds are inclusive upper bounds), 1.5 in
+	// le=2, 3 in le=4, 100 in the overflow bucket.
+	var b strings.Builder
+	h.WritePrometheus(&b, "x_seconds", `endpoint="e"`)
+	out := b.String()
+	for _, want := range []string{
+		`x_seconds_bucket{endpoint="e",le="1"} 2`,
+		`x_seconds_bucket{endpoint="e",le="2"} 3`,
+		`x_seconds_bucket{endpoint="e",le="4"} 4`,
+		`x_seconds_bucket{endpoint="e",le="+Inf"} 5`,
+		`x_seconds_sum{endpoint="e"} 106`,
+		`x_seconds_count{endpoint="e"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramPrometheusNoLabels(t *testing.T) {
+	h := NewHistogram(1)
+	h.Observe(0.5)
+	var b strings.Builder
+	h.WritePrometheus(&b, "y", "")
+	out := b.String()
+	for _, want := range []string{`y_bucket{le="1"} 1`, "y_sum 0.5", "y_count 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(10, 20, 40)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty Quantile = %g, want 0", q)
+	}
+	// 100 observations uniform over the first bucket's count: all in
+	// le=10, so the median interpolates to ~5.
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-5) > 0.11 {
+		t.Errorf("Quantile(0.5) = %g, want ~5", q)
+	}
+	// Push half the mass into (20,40]: the 0.9-quantile now sits there.
+	for i := 0; i < 100; i++ {
+		h.Observe(30)
+	}
+	if q := h.Quantile(0.9); q <= 20 || q > 40 {
+		t.Errorf("Quantile(0.9) = %g, want in (20,40]", q)
+	}
+	// Overflow saturates at the last bound.
+	h2 := NewHistogram(1, 2)
+	h2.Observe(100)
+	if q := h2.Quantile(0.99); q != 2 {
+		t.Errorf("overflow Quantile = %g, want 2 (saturated)", q)
+	}
+}
+
+func TestHistogramNilAndConcurrent(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+	if nilH.Count() != 0 || nilH.Sum() != 0 || nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram not a no-op")
+	}
+	nilH.WritePrometheus(&strings.Builder{}, "n", "")
+
+	h := NewHistogram(DefaultLatencyBuckets...)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i%70) / 10)
+			}
+		}(g)
+	}
+	var render sync.WaitGroup
+	render.Add(1)
+	go func() {
+		defer render.Done()
+		for i := 0; i < 50; i++ {
+			h.WritePrometheus(&strings.Builder{}, "z", "")
+			h.Quantile(0.99)
+		}
+	}()
+	wg.Wait()
+	render.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Errorf("Count = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram with non-ascending bounds did not panic")
+		}
+	}()
+	NewHistogram(2, 1)
+}

@@ -338,6 +338,21 @@ func NewExplorerStats(r *Registry) *ExplorerStats {
 	}
 }
 
+// AddTo adds this group's counter values into dst. The service's run
+// recording uses it to fold a per-run group (fresh, unregistered) into
+// the process-wide registered totals after the run completes; the
+// sampled progress gauges are point-in-time and are not transferred.
+// Nil source or destination is a no-op.
+func (e *ExplorerStats) AddTo(dst *ExplorerStats) {
+	if e == nil || dst == nil {
+		return
+	}
+	dst.Analyses.Add(e.Analyses.Value())
+	dst.StatesTotal.Add(e.StatesTotal.Value())
+	dst.Deadlocks.Add(e.Deadlocks.Value())
+	dst.Interrupted.Add(e.Interrupted.Value())
+}
+
 // SimStats receives the platform simulator's counters, published once
 // per completed (or aborted) run from locals accumulated in the event
 // loop — the hot loop itself never touches an atomic. Create with
@@ -379,6 +394,21 @@ func NewSimStats(r *Registry) *SimStats {
 		StallCycles: r.Counter("mamps_sim_tile_stall_cycles_total", "Tile cycles spent blocked on tokens or space."),
 		FaultEvents: r.Counter("mamps_sim_fault_events_total", "Injected fault events (jitter, word stalls, fail-stops)."),
 	}
+}
+
+// AddTo adds this group's counter values into dst and raises dst's
+// wake-heap high-water mark. Nil source or destination is a no-op.
+func (s *SimStats) AddTo(dst *SimStats) {
+	if s == nil || dst == nil {
+		return
+	}
+	dst.Runs.Add(s.Runs.Value())
+	dst.Steps.Add(s.Steps.Value())
+	dst.Rounds.Add(s.Rounds.Value())
+	dst.MaxWakeHeap.Max(s.MaxWakeHeap.Value())
+	dst.BusyCycles.Add(s.BusyCycles.Value())
+	dst.StallCycles.Add(s.StallCycles.Value())
+	dst.FaultEvents.Add(s.FaultEvents.Value())
 }
 
 // Set bundles the telemetry destinations of one run: a span trace and

@@ -70,6 +70,39 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return m.g
 }
 
+// RegisterCounter registers an existing counter object under name, so a
+// component that owns its counters (e.g. the run registry, which must
+// keep counting whether or not a serving process is attached) can expose
+// them through a registry without losing accumulated values. If the name
+// is already registered the existing counter wins and is returned.
+func (r *Registry) RegisterCounter(name, help string, c *Counter) *Counter {
+	if r == nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m.c
+	}
+	r.metrics[name] = &metric{name: name, help: help, kind: kindCounter, c: c}
+	return c
+}
+
+// RegisterGauge registers an existing gauge object under name; see
+// RegisterCounter.
+func (r *Registry) RegisterGauge(name, help string, g *Gauge) *Gauge {
+	if r == nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m.g
+	}
+	r.metrics[name] = &metric{name: name, help: help, kind: kindGauge, g: g}
+	return g
+}
+
 // WritePrometheus renders every registered metric in the Prometheus text
 // exposition format, sorted by name. A nil registry writes nothing.
 func (r *Registry) WritePrometheus(w io.Writer) {

@@ -1,0 +1,191 @@
+package runlog
+
+import (
+	"fmt"
+	"math"
+)
+
+// Delta is one compared quantity: the two values and their absolute and
+// relative differences (B relative to A).
+type Delta struct {
+	A   float64 `json:"a"`
+	B   float64 `json:"b"`
+	Abs float64 `json:"abs"`
+	// Rel is (B-A)/|A|; zero when A is zero and B is zero, +-Inf encoded
+	// as a large finite value would be wrong, so it is omitted (NaN->0)
+	// when A is zero and B differs — Abs still carries the change.
+	Rel float64 `json:"rel"`
+}
+
+func delta(a, b float64) Delta {
+	d := Delta{A: a, B: b, Abs: b - a}
+	if a != 0 {
+		d.Rel = (b - a) / math.Abs(a)
+	}
+	return d
+}
+
+// Changed reports whether the relative drift exceeds the tolerance. A
+// zero tolerance demands exact equality. A change from or to zero is
+// always beyond any finite tolerance (unless both are zero).
+func (d Delta) Changed(tol float64) bool {
+	if d.A == d.B {
+		return false
+	}
+	if d.A == 0 {
+		return true
+	}
+	return math.Abs(d.Abs) > tol*math.Abs(d.A)
+}
+
+// StageDelta compares one named flow stage's wall time across two runs.
+type StageDelta struct {
+	Name    string  `json:"name"`
+	AMicros float64 `json:"aMicros"`
+	BMicros float64 `json:"bMicros"`
+	// Ratio is B/A (0 when A is 0).
+	Ratio float64 `json:"ratio"`
+}
+
+// Diff is the structured comparison of two run records.
+type Diff struct {
+	// A and B are the compared run IDs (B against A).
+	A string `json:"a"`
+	B string `json:"b"`
+	// GraphKeyChanged marks that the two runs analyzed different
+	// canonical graphs — any numeric comparison below is then
+	// apples-to-oranges.
+	GraphKeyChanged bool `json:"graphKeyChanged,omitempty"`
+
+	Bound    Delta `json:"bound"`
+	Measured Delta `json:"measured"`
+	Expected Delta `json:"expected"`
+	Cycles   Delta `json:"cycles"`
+
+	// Counter deltas of the deterministic kernel quantities.
+	Analyses       Delta `json:"analyses"`
+	StatesExplored Delta `json:"statesExplored"`
+	SimSteps       Delta `json:"simSteps"`
+	BusyCycles     Delta `json:"busyCycles"`
+	StallCycles    Delta `json:"stallCycles"`
+	FaultEvents    Delta `json:"faultEvents"`
+
+	// Stages compares the per-stage wall times (present in both runs).
+	Stages []StageDelta `json:"stages,omitempty"`
+}
+
+// Compare builds the structured diff of two records (B against A).
+func Compare(a, b *Record) Diff {
+	d := Diff{
+		A: a.ID, B: b.ID,
+
+		GraphKeyChanged: a.GraphKey != b.GraphKey,
+		Bound:           delta(a.Bound, b.Bound),
+		Measured:        delta(a.Measured, b.Measured),
+		Expected:        delta(a.Expected, b.Expected),
+		Cycles:          delta(float64(a.Cycles), float64(b.Cycles)),
+		Analyses:        delta(float64(a.Counters.Analyses), float64(b.Counters.Analyses)),
+		StatesExplored:  delta(float64(a.Counters.StatesExplored), float64(b.Counters.StatesExplored)),
+		SimSteps:        delta(float64(a.Counters.SimSteps), float64(b.Counters.SimSteps)),
+		BusyCycles:      delta(float64(a.Counters.BusyCycles), float64(b.Counters.BusyCycles)),
+		StallCycles:     delta(float64(a.Counters.StallCycles), float64(b.Counters.StallCycles)),
+		FaultEvents:     delta(float64(a.Counters.FaultEvents), float64(b.Counters.FaultEvents)),
+	}
+	bSteps := make(map[string]float64, len(b.Steps))
+	for _, s := range b.Steps {
+		bSteps[s.Name] = s.Micros
+	}
+	for _, s := range a.Steps {
+		bm, ok := bSteps[s.Name]
+		if !ok {
+			continue
+		}
+		sd := StageDelta{Name: s.Name, AMicros: s.Micros, BMicros: bm}
+		if s.Micros > 0 {
+			sd.Ratio = bm / s.Micros
+		}
+		d.Stages = append(d.Stages, sd)
+	}
+	return d
+}
+
+// CompareByID builds the diff of two runs in the registry.
+func (r *Registry) CompareByID(a, b string) (Diff, error) {
+	ra, ok := r.Get(a)
+	if !ok {
+		return Diff{}, fmt.Errorf("runlog: no run %q", a)
+	}
+	rb, ok := r.Get(b)
+	if !ok {
+		return Diff{}, fmt.Errorf("runlog: no run %q", b)
+	}
+	return Compare(&ra, &rb), nil
+}
+
+// Tolerances bound the relative drift the regression detector accepts in
+// each deterministic quantity (0.02 = 2%). The zero value demands
+// bit-identical reruns — the right setting for the deterministic kernels
+// of this flow, whose analysis and simulation results do not vary from
+// run to run.
+type Tolerances struct {
+	// Bound tolerates drift in the worst-case throughput bound.
+	Bound float64 `json:"bound,omitempty"`
+	// Measured tolerates drift in the measured throughput.
+	Measured float64 `json:"measured,omitempty"`
+	// Cycles tolerates drift in the total simulated cycles.
+	Cycles float64 `json:"cycles,omitempty"`
+	// States tolerates drift in the states explored by the analyses.
+	States float64 `json:"states,omitempty"`
+	// SimSteps tolerates drift in the simulator's executed steps.
+	SimSteps float64 `json:"simSteps,omitempty"`
+}
+
+// Regression is the outcome of the on-ingest baseline comparison.
+type Regression struct {
+	// BaselineID names the reference record (may be empty for imported
+	// baselines that never had an ID).
+	BaselineID string `json:"baselineID,omitempty"`
+	// BaselineKey is the key the comparison matched on.
+	BaselineKey string `json:"baselineKey"`
+	// Regressed marks drift beyond tolerance; Reasons lists each
+	// offending quantity.
+	Regressed bool     `json:"regressed"`
+	Reasons   []string `json:"reasons,omitempty"`
+	// Diff is the full structured comparison against the baseline.
+	Diff *Diff `json:"diff,omitempty"`
+}
+
+// compareToBaseline runs the regression check of rec against base.
+func compareToBaseline(base, rec *Record, tol Tolerances) *Regression {
+	d := Compare(base, rec)
+	reg := &Regression{BaselineID: base.ID, BaselineKey: base.baselineKey(), Diff: &d}
+	reason := func(format string, args ...any) {
+		reg.Regressed = true
+		reg.Reasons = append(reg.Reasons, fmt.Sprintf(format, args...))
+	}
+	if d.GraphKeyChanged {
+		reason("graph key changed: %s -> %s (model content drifted, e.g. a WCET)",
+			shortKey(base.GraphKey), shortKey(rec.GraphKey))
+	}
+	if d.Bound.Changed(tol.Bound) {
+		reason("throughput bound drifted %+.4g%% (%.6g -> %.6g, tolerance %g%%)",
+			d.Bound.Rel*100, d.Bound.A, d.Bound.B, tol.Bound*100)
+	}
+	if d.Measured.Changed(tol.Measured) {
+		reason("measured throughput drifted %+.4g%% (%.6g -> %.6g, tolerance %g%%)",
+			d.Measured.Rel*100, d.Measured.A, d.Measured.B, tol.Measured*100)
+	}
+	if d.Cycles.Changed(tol.Cycles) {
+		reason("measured cycles drifted %+.4g%% (%.0f -> %.0f, tolerance %g%%)",
+			d.Cycles.Rel*100, d.Cycles.A, d.Cycles.B, tol.Cycles*100)
+	}
+	if d.StatesExplored.Changed(tol.States) {
+		reason("states explored drifted %+.4g%% (%.0f -> %.0f, tolerance %g%%)",
+			d.StatesExplored.Rel*100, d.StatesExplored.A, d.StatesExplored.B, tol.States*100)
+	}
+	if d.SimSteps.Changed(tol.SimSteps) {
+		reason("simulator steps drifted %+.4g%% (%.0f -> %.0f, tolerance %g%%)",
+			d.SimSteps.Rel*100, d.SimSteps.A, d.SimSteps.B, tol.SimSteps*100)
+	}
+	return reg
+}

@@ -1,0 +1,701 @@
+// Package runlog is the persistent run registry of the mapping flow: a
+// crash-safe, append-only record of every completed flow/DSE/analysis
+// run, durable across process restarts and queryable after the fact.
+//
+// One run becomes one Record — identity (ID, sequence number, timestamp
+// from an injectable clock), the canonical reorder-invariant graph key of
+// the analyzed model, a summary of the flow configuration (tiles,
+// interconnect, iterations, fault scenario, throughput constraint), the
+// three Figure 6 throughput numbers (worst-case bound, measured,
+// expected), per-stage wall times (Table 1), the degraded-mode outcome,
+// and the full kernel-counter set from internal/obs. Records are stored
+// as an append-only JSONL index (index.jsonl) plus an optional per-run
+// artifact directory (runs/<id>/ holding e.g. the Perfetto trace or a
+// deadlock report).
+//
+// Durability contract: the index is recovered on Open by scanning line by
+// line; a truncated or garbled final record — the signature of a crash
+// mid-append — is dropped and the file truncated back to the last intact
+// line, so a registry always reopens. Retention is bounded by count
+// (MaxRecords) and age (MaxAge against the injected clock); GC rewrites
+// the index atomically (temp file + rename) and removes the artifact
+// directories of expired runs, including orphans left by a crash between
+// artifact write and index append.
+//
+// On top of the history sits the regression detector: a baseline freezes
+// one reference record per baseline key (the canonical graph key plus a
+// configuration fingerprint, or an explicit corpus entry name). Every
+// Append compares the incoming record against the baseline for its key;
+// drift beyond the configured Tolerances in any deterministic quantity —
+// throughput bound, measured throughput, measured cycles, states
+// explored, simulator steps — tags the stored record with the reasons and
+// increments the mamps_regressions_total counter.
+package runlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mamps/internal/clock"
+	"mamps/internal/faults"
+	"mamps/internal/obs"
+)
+
+// Record is one completed (or failed) run.
+type Record struct {
+	// ID identifies the run ("r000042-1a2b3c4d"); Seq is its position in
+	// the append order. Both are assigned by Append.
+	ID  string `json:"id"`
+	Seq int64  `json:"seq"`
+	// Time is the completion time, read from the registry's clock.
+	Time time.Time `json:"time"`
+	// Kind is the run type: "flow", "dse" or "analysis".
+	Kind string `json:"kind"`
+	// App names the application model; GraphKey is its canonical
+	// reorder-invariant content key (cache.GraphKey).
+	App      string `json:"app"`
+	GraphKey string `json:"graphKey"`
+	// Corpus names the regression-corpus entry this run replays, when it
+	// is one ("" for service traffic). Corpus runs are baseline-matched by
+	// name, so a perturbation that changes the graph key is itself drift.
+	Corpus string `json:"corpus,omitempty"`
+	// BaselineKey is the key this run is baseline-matched under. Empty on
+	// Append defaults to "graph/<GraphKey>" (or "corpus/<Corpus>").
+	BaselineKey string `json:"baselineKey,omitempty"`
+	// Outcome is "ok", "degraded", "deadlock" or "error"; Error carries
+	// the failure text for the last two.
+	Outcome string `json:"outcome"`
+	Error   string `json:"error,omitempty"`
+
+	// Config summarizes the request that produced the run.
+	Config ConfigSummary `json:"config"`
+
+	// Bound is the guaranteed worst-case throughput (iterations/cycle);
+	// Measured and Expected the executed and re-analyzed throughputs
+	// (zero when not executed). Cycles is the total simulated time.
+	Bound    float64 `json:"boundThroughput"`
+	Measured float64 `json:"measuredThroughput,omitempty"`
+	Expected float64 `json:"expectedThroughput,omitempty"`
+	Cycles   int64   `json:"cycles,omitempty"`
+
+	// Steps are the Table 1 per-stage wall times.
+	Steps []StageTime `json:"steps,omitempty"`
+
+	// Degraded summarizes the degraded-mode recovery after an injected
+	// tile fail-stop.
+	Degraded *DegradedSummary `json:"degraded,omitempty"`
+
+	// Counters is the run's kernel-counter set (internal/obs groups).
+	Counters Counters `json:"counters"`
+
+	// Artifacts names the files stored under the run's artifact
+	// directory (e.g. "trace.json", "deadlock.txt").
+	Artifacts []string `json:"artifacts,omitempty"`
+
+	// Regression is attached by Append when a baseline exists for the
+	// run's key; Regression.Regressed marks drift beyond tolerance.
+	Regression *Regression `json:"regression,omitempty"`
+}
+
+// ConfigSummary is the part of a run's configuration worth keeping: what
+// a reader needs to interpret (and reproduce) the numbers.
+type ConfigSummary struct {
+	Tiles            int          `json:"tiles,omitempty"`
+	Interconnect     string       `json:"interconnect,omitempty"`
+	Iterations       int          `json:"iterations,omitempty"`
+	RefActor         string       `json:"refActor,omitempty"`
+	UseCA            bool         `json:"useCA,omitempty"`
+	Faults           *faults.Spec `json:"faults,omitempty"`
+	TargetThroughput float64      `json:"targetThroughput,omitempty"`
+}
+
+// StageTime is one Table 1 design-flow stage wall time.
+type StageTime struct {
+	Name      string  `json:"name"`
+	Automated bool    `json:"automated"`
+	Micros    float64 `json:"micros"`
+}
+
+// DegradedSummary is the run's degraded-mode outcome.
+type DegradedSummary struct {
+	FailedTile     string  `json:"failedTile"`
+	FailCycle      int64   `json:"failCycle"`
+	Bound          float64 `json:"boundThroughput"`
+	Measured       float64 `json:"measuredThroughput"`
+	ConstraintMet  bool    `json:"constraintMet"`
+	MigratedActors int     `json:"migratedActors"`
+	MigrationBytes int64   `json:"migrationBytes"`
+}
+
+// Counters is the kernel-counter set of one run, snapshot from the
+// internal/obs metric groups the run was instrumented with.
+type Counters struct {
+	Analyses       int64 `json:"analyses,omitempty"`
+	StatesExplored int64 `json:"statesExplored,omitempty"`
+	Deadlocks      int64 `json:"deadlocks,omitempty"`
+	Interrupted    int64 `json:"interrupted,omitempty"`
+	SimRuns        int64 `json:"simRuns,omitempty"`
+	SimSteps       int64 `json:"simSteps,omitempty"`
+	SimRounds      int64 `json:"simRounds,omitempty"`
+	BusyCycles     int64 `json:"busyCycles,omitempty"`
+	StallCycles    int64 `json:"stallCycles,omitempty"`
+	FaultEvents    int64 `json:"faultEvents,omitempty"`
+}
+
+// CountersFrom snapshots the counter values of a telemetry set.
+func CountersFrom(set *obs.Set) Counters {
+	var c Counters
+	if e := set.ExplorerOf(); e != nil {
+		c.Analyses = e.Analyses.Value()
+		c.StatesExplored = e.StatesTotal.Value()
+		c.Deadlocks = e.Deadlocks.Value()
+		c.Interrupted = e.Interrupted.Value()
+	}
+	if s := set.SimOf(); s != nil {
+		c.SimRuns = s.Runs.Value()
+		c.SimSteps = s.Steps.Value()
+		c.SimRounds = s.Rounds.Value()
+		c.BusyCycles = s.BusyCycles.Value()
+		c.StallCycles = s.StallCycles.Value()
+		c.FaultEvents = s.FaultEvents.Value()
+	}
+	return c
+}
+
+// Artifact is one file to store alongside a record.
+type Artifact struct {
+	Name string
+	Data []byte
+}
+
+// Options configures a Registry.
+type Options struct {
+	// Clock stamps records and drives age-based GC; nil selects the
+	// system clock.
+	Clock clock.Clock
+	// MaxRecords bounds the index length; 0 means unlimited. Exceeding
+	// the bound triggers GC on Append.
+	MaxRecords int
+	// MaxAge expires records older than this; 0 means no age bound. Age
+	// is only enforced by GC (explicit or append-triggered).
+	MaxAge time.Duration
+	// Tolerances configure the regression detector. The zero value
+	// demands bit-identical deterministic quantities.
+	Tolerances Tolerances
+}
+
+// Registry is the persistent run registry rooted at one directory. All
+// methods are safe for concurrent use.
+type Registry struct {
+	dir string
+	clk clock.Clock
+	opt Options
+
+	mu        sync.Mutex
+	recs      []Record
+	byID      map[string]int
+	baselines map[string]Record
+	seq       int64
+	index     *os.File
+
+	records     *obs.Gauge
+	regressions *obs.Counter
+	gcRemoved   *obs.Counter
+}
+
+const (
+	indexName     = "index.jsonl"
+	baselinesName = "baselines.jsonl"
+	runsDirName   = "runs"
+)
+
+// Open creates or recovers the registry rooted at dir.
+func Open(dir string, opt Options) (*Registry, error) {
+	if opt.Clock == nil {
+		opt.Clock = clock.System()
+	}
+	if err := os.MkdirAll(filepath.Join(dir, runsDirName), 0o755); err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	r := &Registry{
+		dir: dir, clk: opt.Clock, opt: opt,
+		byID:      make(map[string]int),
+		baselines: make(map[string]Record),
+		records:   &obs.Gauge{}, regressions: &obs.Counter{}, gcRemoved: &obs.Counter{},
+	}
+	recs, err := recoverJSONL(filepath.Join(dir, indexName))
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		r.byID[rec.ID] = len(r.recs)
+		r.recs = append(r.recs, rec)
+		if rec.Seq > r.seq {
+			r.seq = rec.Seq
+		}
+	}
+	bases, err := recoverJSONL(filepath.Join(dir, baselinesName))
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range bases { // append-only: the latest baseline per key wins
+		r.baselines[b.baselineKey()] = b
+	}
+	r.index, err = os.OpenFile(filepath.Join(dir, indexName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	r.records.Store(int64(len(r.recs)))
+	return r, nil
+}
+
+// Close releases the index file. The registry must not be used after.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.index == nil {
+		return nil
+	}
+	err := r.index.Close()
+	r.index = nil
+	return err
+}
+
+// Dir returns the registry root directory.
+func (r *Registry) Dir() string { return r.dir }
+
+// AttachMetrics registers the registry's metrics — record count,
+// regressions detected, records removed by GC — with an obs registry, so
+// a serving process exposes them on /metrics. Values accumulated before
+// attachment are preserved (the same metric objects are registered).
+func (r *Registry) AttachMetrics(reg *obs.Registry) {
+	reg.RegisterGauge("mamps_runlog_records", "Records in the run registry index.", r.records)
+	reg.RegisterCounter("mamps_regressions_total", "Runs that drifted beyond tolerance from their baseline.", r.regressions)
+	reg.RegisterCounter("mamps_runlog_gc_removed_total", "Run records removed by retention GC.", r.gcRemoved)
+}
+
+// Regressions returns the number of regressions detected since Open.
+func (r *Registry) Regressions() int64 { return r.regressions.Value() }
+
+// recoverJSONL reads records from a JSONL file, tolerating a truncated
+// final record: complete, parseable lines are kept; a trailing fragment
+// (no newline, or garbage) is dropped and the file truncated back to the
+// last intact line. A parseable final line that merely lost its newline
+// is kept and the newline restored.
+func recoverJSONL(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	var recs []Record
+	good := 0 // bytes of intact, newline-terminated records
+	rest := data
+	for {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break
+		}
+		line := rest[:nl]
+		rest = rest[nl+1:]
+		if len(bytes.TrimSpace(line)) == 0 {
+			good += nl + 1
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A garbled line mid-file means everything after it is
+			// suspect; drop from here.
+			break
+		}
+		recs = append(recs, rec)
+		good += nl + 1
+	}
+	if good == len(data) {
+		return recs, nil
+	}
+	// A trailing fragment. If it parses it only lost its newline; keep it
+	// and normalize. Otherwise truncate it away.
+	frag := bytes.TrimSpace(data[good:])
+	var rec Record
+	if len(frag) > 0 && json.Unmarshal(frag, &rec) == nil {
+		recs = append(recs, rec)
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("runlog: %w", err)
+		}
+		_, werr := f.WriteString("\n")
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			return nil, fmt.Errorf("runlog: repairing %s: %v, %v", path, werr, cerr)
+		}
+		return recs, nil
+	}
+	if err := os.Truncate(path, int64(good)); err != nil {
+		return nil, fmt.Errorf("runlog: truncating damaged tail of %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// baselineKey returns the key a record is baseline-matched under.
+func (rec *Record) baselineKey() string {
+	if rec.BaselineKey != "" {
+		return rec.BaselineKey
+	}
+	if rec.Corpus != "" {
+		return "corpus/" + rec.Corpus
+	}
+	return "graph/" + rec.GraphKey
+}
+
+// shortKey abbreviates a graph key for run IDs.
+func shortKey(key string) string {
+	if len(key) > 8 {
+		return key[:8]
+	}
+	if key == "" {
+		return "nokey"
+	}
+	return key
+}
+
+// Append assigns the record its identity (ID, Seq, Time), stores the
+// artifacts under runs/<id>/, runs the regression check against the
+// baseline for the record's key, and durably appends the record to the
+// index. The stored record is returned. If retention bounds are set and
+// exceeded, a GC pass runs before returning.
+func (r *Registry) Append(rec Record, artifacts ...Artifact) (Record, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.index == nil {
+		return Record{}, fmt.Errorf("runlog: registry is closed")
+	}
+	r.seq++
+	rec.Seq = r.seq
+	rec.ID = fmt.Sprintf("r%06d-%s", rec.Seq, shortKey(rec.GraphKey))
+	rec.Time = r.clk.Now().UTC()
+	rec.BaselineKey = rec.baselineKey()
+
+	// Artifacts first: a crash between here and the index append leaves
+	// an orphan directory that the next GC sweeps, never a dangling
+	// index entry.
+	if len(artifacts) > 0 {
+		adir := filepath.Join(r.dir, runsDirName, rec.ID)
+		if err := os.MkdirAll(adir, 0o755); err != nil {
+			return Record{}, fmt.Errorf("runlog: %w", err)
+		}
+		for _, a := range artifacts {
+			name := filepath.Base(a.Name) // no path traversal out of the run dir
+			if err := os.WriteFile(filepath.Join(adir, name), a.Data, 0o644); err != nil {
+				return Record{}, fmt.Errorf("runlog: artifact %s: %w", name, err)
+			}
+			rec.Artifacts = append(rec.Artifacts, name)
+		}
+		sort.Strings(rec.Artifacts)
+	}
+
+	if base, ok := r.baselines[rec.BaselineKey]; ok {
+		reg := compareToBaseline(&base, &rec, r.opt.Tolerances)
+		rec.Regression = reg
+		if reg.Regressed {
+			r.regressions.Add(1)
+		}
+	}
+
+	if err := r.appendLine(rec); err != nil {
+		return Record{}, err
+	}
+	r.byID[rec.ID] = len(r.recs)
+	r.recs = append(r.recs, rec)
+	r.records.Store(int64(len(r.recs)))
+
+	if r.opt.MaxRecords > 0 && len(r.recs) > r.opt.MaxRecords {
+		if _, err := r.gcLocked(); err != nil {
+			return Record{}, err
+		}
+	}
+	return rec, nil
+}
+
+// appendLine writes one record to the index and syncs it to disk.
+func (r *Registry) appendLine(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := r.index.Write(line); err != nil {
+		return fmt.Errorf("runlog: appending index: %w", err)
+	}
+	if err := r.index.Sync(); err != nil {
+		return fmt.Errorf("runlog: syncing index: %w", err)
+	}
+	return nil
+}
+
+// Get returns the record with the given ID.
+func (r *Registry) Get(id string) (Record, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.byID[id]
+	if !ok {
+		return Record{}, false
+	}
+	return r.recs[i], true
+}
+
+// ArtifactPath returns the on-disk path of a run's artifact, verifying
+// the record lists it.
+func (r *Registry) ArtifactPath(id, name string) (string, error) {
+	rec, ok := r.Get(id)
+	if !ok {
+		return "", fmt.Errorf("runlog: no run %q", id)
+	}
+	for _, a := range rec.Artifacts {
+		if a == name {
+			return filepath.Join(r.dir, runsDirName, id, name), nil
+		}
+	}
+	return "", fmt.Errorf("runlog: run %s has no artifact %q", id, name)
+}
+
+// Filter selects records for List. Zero fields match everything.
+type Filter struct {
+	// App, Kind, GraphKey and BaselineKey match exactly when non-empty.
+	App, Kind, GraphKey, BaselineKey string
+	// Regressed selects only runs tagged as regressions.
+	Regressed bool
+	// Since selects runs at or after the given time.
+	Since time.Time
+	// Offset and Limit page through the matches, newest first. Limit 0
+	// means no bound.
+	Offset, Limit int
+}
+
+func (f *Filter) match(rec *Record) bool {
+	if f.App != "" && rec.App != f.App {
+		return false
+	}
+	if f.Kind != "" && rec.Kind != f.Kind {
+		return false
+	}
+	if f.GraphKey != "" && !strings.HasPrefix(rec.GraphKey, f.GraphKey) {
+		return false
+	}
+	if f.BaselineKey != "" && rec.BaselineKey != f.BaselineKey {
+		return false
+	}
+	if f.Regressed && (rec.Regression == nil || !rec.Regression.Regressed) {
+		return false
+	}
+	if !f.Since.IsZero() && rec.Time.Before(f.Since) {
+		return false
+	}
+	return true
+}
+
+// List returns the matching records, newest first, after paging, plus
+// the total number of matches before paging.
+func (r *Registry) List(f Filter) ([]Record, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var all []Record
+	for i := len(r.recs) - 1; i >= 0; i-- {
+		if f.match(&r.recs[i]) {
+			all = append(all, r.recs[i])
+		}
+	}
+	total := len(all)
+	if f.Offset > 0 {
+		if f.Offset >= len(all) {
+			all = nil
+		} else {
+			all = all[f.Offset:]
+		}
+	}
+	if f.Limit > 0 && len(all) > f.Limit {
+		all = all[:f.Limit]
+	}
+	return all, total
+}
+
+// Len returns the number of records in the index.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recs)
+}
+
+// SetBaseline freezes the identified run as the reference record for its
+// baseline key. Later runs of the same key are compared against it on
+// Append.
+func (r *Registry) SetBaseline(id string) (Record, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.byID[id]
+	if !ok {
+		return Record{}, fmt.Errorf("runlog: no run %q", id)
+	}
+	rec := r.recs[i]
+	if err := r.importBaselineLocked(rec); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// ImportBaseline installs an externally produced reference record (e.g.
+// from a checked-in baseline file) without requiring the run to exist in
+// this registry's index.
+func (r *Registry) ImportBaseline(rec Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.importBaselineLocked(rec)
+}
+
+func (r *Registry) importBaselineLocked(rec Record) error {
+	rec.BaselineKey = rec.baselineKey()
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(r.dir, baselinesName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	_, werr := f.Write(append(line, '\n'))
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("runlog: appending baseline: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("runlog: %w", cerr)
+	}
+	r.baselines[rec.BaselineKey] = rec
+	return nil
+}
+
+// Baselines returns the frozen reference records, sorted by key.
+func (r *Registry) Baselines() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := make([]string, 0, len(r.baselines))
+	for k := range r.baselines {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Record, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, r.baselines[k])
+	}
+	return out
+}
+
+// Baseline returns the reference record for a key, if frozen.
+func (r *Registry) Baseline(key string) (Record, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.baselines[key]
+	return b, ok
+}
+
+// GC enforces the retention bounds: records beyond MaxRecords (oldest
+// first) or older than MaxAge are dropped, the index is rewritten
+// atomically, expired artifact directories are removed, and orphan
+// artifact directories (from a crash between artifact write and index
+// append) are swept. Returns the number of records removed.
+func (r *Registry) GC() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gcLocked()
+}
+
+func (r *Registry) gcLocked() (int, error) {
+	if r.index == nil {
+		return 0, fmt.Errorf("runlog: registry is closed")
+	}
+	cutoff := time.Time{}
+	if r.opt.MaxAge > 0 {
+		cutoff = r.clk.Now().UTC().Add(-r.opt.MaxAge)
+	}
+	keep := r.recs[:0:0]
+	var dropped []Record
+	for _, rec := range r.recs {
+		if !cutoff.IsZero() && rec.Time.Before(cutoff) {
+			dropped = append(dropped, rec)
+			continue
+		}
+		keep = append(keep, rec)
+	}
+	if r.opt.MaxRecords > 0 && len(keep) > r.opt.MaxRecords {
+		over := len(keep) - r.opt.MaxRecords
+		dropped = append(dropped, keep[:over]...)
+		keep = keep[over:]
+	}
+
+	// Rewrite the index atomically even when nothing was dropped from
+	// the in-memory view: GC doubles as the orphan sweep and compaction
+	// entry point.
+	tmp := filepath.Join(r.dir, indexName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("runlog: %w", err)
+	}
+	for _, rec := range keep {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			f.Close()
+			return 0, fmt.Errorf("runlog: %w", err)
+		}
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("runlog: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("runlog: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("runlog: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(r.dir, indexName)); err != nil {
+		return 0, fmt.Errorf("runlog: %w", err)
+	}
+	// Reopen the append handle on the renamed file.
+	r.index.Close()
+	r.index, err = os.OpenFile(filepath.Join(r.dir, indexName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("runlog: %w", err)
+	}
+
+	r.recs = keep
+	r.byID = make(map[string]int, len(keep))
+	for i, rec := range keep {
+		r.byID[rec.ID] = i
+	}
+	r.records.Store(int64(len(r.recs)))
+	r.gcRemoved.Add(int64(len(dropped)))
+
+	// Remove expired and orphan artifact directories.
+	runsDir := filepath.Join(r.dir, runsDirName)
+	for _, rec := range dropped {
+		os.RemoveAll(filepath.Join(runsDir, rec.ID))
+	}
+	if entries, err := os.ReadDir(runsDir); err == nil {
+		for _, e := range entries {
+			if _, ok := r.byID[e.Name()]; !ok {
+				os.RemoveAll(filepath.Join(runsDir, e.Name()))
+			}
+		}
+	}
+	return len(dropped), nil
+}

@@ -1,0 +1,451 @@
+package runlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mamps/internal/clock"
+)
+
+func testRecord(app string, bound float64) Record {
+	return Record{
+		Kind: "flow", App: app, GraphKey: "k-" + app, Outcome: "ok",
+		Bound: bound, Cycles: 100,
+		Counters: Counters{Analyses: 1, StatesExplored: 10, SimSteps: 50},
+	}
+}
+
+func TestAppendGetList(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		rec, err := r.Append(testRecord(fmt.Sprintf("app%d", i%2), 0.1*float64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.ID == "" || rec.Seq != int64(i+1) {
+			t.Fatalf("Append assigned ID=%q Seq=%d, want non-empty ID and Seq %d", rec.ID, rec.Seq, i+1)
+		}
+		ids = append(ids, rec.ID)
+	}
+	got, ok := r.Get(ids[2])
+	if !ok || got.App != "app0" {
+		t.Fatalf("Get(%s) = %+v, %v", ids[2], got, ok)
+	}
+
+	// List is newest-first with paging and a pre-paging total.
+	recs, total := r.List(Filter{Limit: 2})
+	if total != 5 || len(recs) != 2 || recs[0].ID != ids[4] || recs[1].ID != ids[3] {
+		t.Fatalf("List page = %d/%d starting %s", len(recs), total, recs[0].ID)
+	}
+	recs, total = r.List(Filter{App: "app1"})
+	if total != 2 || len(recs) != 2 {
+		t.Fatalf("List(app1) total = %d", total)
+	}
+	recs, _ = r.List(Filter{Offset: 4})
+	if len(recs) != 1 || recs[0].ID != ids[0] {
+		t.Fatalf("List offset page wrong: %+v", recs)
+	}
+}
+
+func TestReopenRecoversIndex(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := r.Append(testRecord("a", 0.1))
+	b, _ := r.Append(testRecord("b", 0.2))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Len() != 2 {
+		t.Fatalf("reopened Len = %d, want 2", r2.Len())
+	}
+	if _, ok := r2.Get(a.ID); !ok {
+		t.Errorf("run %s lost on reopen", a.ID)
+	}
+	// Sequence numbering continues after the recovered maximum.
+	c, err := r2.Append(testRecord("c", 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seq != b.Seq+1 {
+		t.Errorf("Seq after reopen = %d, want %d", c.Seq, b.Seq+1)
+	}
+}
+
+func TestTruncatedTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Append(testRecord("a", 0.1))
+	r.Append(testRecord("b", 0.2))
+	r.Close()
+	path := filepath.Join(dir, "index.jsonl")
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("garbage tail truncated", func(t *testing.T) {
+		// A crash mid-append leaves half a JSON object with no newline.
+		damaged := append(append([]byte{}, intact...), `{"id":"r0000`...)
+		if err := os.WriteFile(path, damaged, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		if r.Len() != 2 {
+			t.Fatalf("Len after recovery = %d, want 2", r.Len())
+		}
+		// The file itself was repaired: the fragment is gone.
+		data, _ := os.ReadFile(path)
+		if string(data) != string(intact) {
+			t.Errorf("index not truncated back to the last intact line:\n%q", data)
+		}
+	})
+
+	t.Run("unterminated final line kept", func(t *testing.T) {
+		// A crash between write and the newline of a complete record: the
+		// line parses, so it is kept and the newline restored.
+		noNL := append([]byte{}, intact...)
+		noNL = noNL[:len(noNL)-1]
+		if err := os.WriteFile(path, noNL, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		if r.Len() != 2 {
+			t.Fatalf("Len after newline repair = %d, want 2", r.Len())
+		}
+		data, _ := os.ReadFile(path)
+		if string(data) != string(intact) {
+			t.Errorf("lost newline not restored")
+		}
+	})
+
+	t.Run("garbled middle drops the suspect tail", func(t *testing.T) {
+		lines := strings.SplitAfter(string(intact), "\n")
+		damaged := lines[0] + "NOT JSON\n" + lines[1]
+		if err := os.WriteFile(path, []byte(damaged), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		if r.Len() != 1 {
+			t.Fatalf("Len after mid-file damage = %d, want 1", r.Len())
+		}
+	})
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 8, 10
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := r.Append(testRecord(fmt.Sprintf("w%d", w), 0.1)); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers race the writers (the -race run is the point).
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.List(Filter{Limit: 5})
+				r.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != writers*each {
+		t.Fatalf("Len = %d, want %d", r.Len(), writers*each)
+	}
+	r.Close()
+
+	// Every record survived durably, with unique IDs.
+	r2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Len() != writers*each {
+		t.Fatalf("reopened Len = %d, want %d", r2.Len(), writers*each)
+	}
+}
+
+func TestArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rec, err := r.Append(testRecord("a", 0.1),
+		Artifact{Name: "trace.json", Data: []byte(`{"traceEvents":[]}`)},
+		Artifact{Name: "../escape.txt", Data: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Artifacts) != 2 {
+		t.Fatalf("Artifacts = %v", rec.Artifacts)
+	}
+	p, err := r.ArtifactPath(rec.ID, "trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(p); err != nil || string(data) != `{"traceEvents":[]}` {
+		t.Fatalf("artifact content = %q, %v", data, err)
+	}
+	// Path traversal in the name was neutralized to its base name.
+	if _, err := os.Stat(filepath.Join(dir, "escape.txt")); !os.IsNotExist(err) {
+		t.Error("artifact escaped the run directory")
+	}
+	if _, err := r.ArtifactPath(rec.ID, "escape.txt"); err != nil {
+		t.Errorf("sanitized artifact not listed: %v", err)
+	}
+	if _, err := r.ArtifactPath(rec.ID, "nothere"); err == nil {
+		t.Error("ArtifactPath for unknown artifact did not fail")
+	}
+}
+
+func TestBaselineRegressionOnIngest(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	first, err := r.Append(testRecord("a", 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Regression != nil {
+		t.Fatal("run before any baseline carries a Regression")
+	}
+	if _, err := r.SetBaseline(first.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical rerun: compared, not regressed.
+	same, err := r.Append(testRecord("a", 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Regression == nil || same.Regression.Regressed {
+		t.Fatalf("identical rerun = %+v, want compared and clean", same.Regression)
+	}
+
+	// Drifted bound: regressed, counter incremented, tagged with a reason.
+	bad := testRecord("a", 0.15)
+	drifted, err := r.Append(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted.Regression == nil || !drifted.Regression.Regressed {
+		t.Fatalf("drifted run not tagged: %+v", drifted.Regression)
+	}
+	if len(drifted.Regression.Reasons) == 0 || !strings.Contains(drifted.Regression.Reasons[0], "bound") {
+		t.Errorf("Reasons = %v", drifted.Regression.Reasons)
+	}
+	if r.Regressions() != 1 {
+		t.Errorf("Regressions = %d, want 1", r.Regressions())
+	}
+
+	// Regressed filter finds exactly the tagged run.
+	recs, total := r.List(Filter{Regressed: true})
+	if total != 1 || recs[0].ID != drifted.ID {
+		t.Errorf("List(Regressed) = %d records", total)
+	}
+}
+
+func TestBaselineSurvivesReopenAndTolerances(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{Tolerances: Tolerances{Bound: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testRecord("a", 0.2)
+	base.Corpus = "entry" // baseline-matched by corpus name
+	if err := r.ImportBaseline(base); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	r2, err := Open(dir, Options{Tolerances: Tolerances{Bound: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, ok := r2.Baseline("corpus/entry"); !ok {
+		t.Fatal("baseline lost on reopen")
+	}
+	// 25% drift is inside the 50% tolerance.
+	in := testRecord("a", 0.15)
+	in.Corpus = "entry"
+	rec, err := r2.Append(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Regression == nil || rec.Regression.Regressed {
+		t.Fatalf("drift within tolerance flagged: %+v", rec.Regression)
+	}
+}
+
+func TestGCRetention(t *testing.T) {
+	dir := t.TempDir()
+	clk := clock.NewFake(time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC))
+	r, err := Open(dir, Options{Clock: clk, MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	old, err := r.Append(testRecord("old", 0.1), Artifact{Name: "trace.json", Data: []byte("{}")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Hour)
+	fresh, err := r.Append(testRecord("fresh", 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An orphan artifact directory, as left by a crash between artifact
+	// write and index append.
+	orphan := filepath.Join(dir, "runs", "r999999-dead")
+	os.MkdirAll(orphan, 0o755)
+
+	n, err := r.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("GC removed %d, want 1", n)
+	}
+	if _, ok := r.Get(old.ID); ok {
+		t.Error("expired record still present")
+	}
+	if _, ok := r.Get(fresh.ID); !ok {
+		t.Error("fresh record dropped")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "runs", old.ID)); !os.IsNotExist(err) {
+		t.Error("expired artifact directory not removed")
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("orphan artifact directory not swept")
+	}
+
+	// The registry still appends durably after the atomic index rewrite.
+	if _, err := r.Append(testRecord("after", 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r2, err := Open(dir, Options{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Len() != 2 {
+		t.Fatalf("Len after GC+append+reopen = %d, want 2", r2.Len())
+	}
+}
+
+func TestGCMaxRecordsOnAppend(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{MaxRecords: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < 6; i++ {
+		if _, err := r.Append(testRecord(fmt.Sprintf("a%d", i), 0.1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (MaxRecords)", r.Len())
+	}
+	recs, _ := r.List(Filter{})
+	if recs[len(recs)-1].App != "a3" {
+		t.Errorf("oldest kept = %s, want a3", recs[len(recs)-1].App)
+	}
+}
+
+func TestCompareAndDiff(t *testing.T) {
+	a := testRecord("a", 0.2)
+	a.ID = "ra"
+	a.Steps = []StageTime{{Name: "SDF3", Automated: true, Micros: 100}}
+	b := testRecord("a", 0.1)
+	b.ID = "rb"
+	b.Cycles = 200
+	b.Steps = []StageTime{{Name: "SDF3", Automated: true, Micros: 150}}
+	d := Compare(&a, &b)
+	if !d.Bound.Changed(0) || d.Bound.Rel != -0.5 {
+		t.Errorf("Bound delta = %+v", d.Bound)
+	}
+	if !d.Cycles.Changed(0) {
+		t.Error("Cycles change missed")
+	}
+	if d.StatesExplored.Changed(0) {
+		t.Error("equal StatesExplored flagged")
+	}
+	if len(d.Stages) != 1 || d.Stages[0].Ratio != 1.5 {
+		t.Errorf("Stages = %+v", d.Stages)
+	}
+	// The record (with its Regression) round-trips through JSON.
+	b.Regression = &Regression{BaselineKey: "graph/k-a", Regressed: true, Diff: &d}
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Record
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Regression.Regressed || back.Regression.Diff.Bound.Rel != -0.5 {
+		t.Errorf("round-trip lost regression data: %+v", back.Regression)
+	}
+}

@@ -29,6 +29,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
 	mux.HandleFunc("POST /v1/flow", s.instrument("flow", s.handleFlow))
 	mux.HandleFunc("POST /v1/dse", s.instrument("dse", s.handleDSE))
+	mux.HandleFunc("GET /v1/runs", s.instrument("runs", s.handleRunsList))
+	mux.HandleFunc("GET /v1/runs/compare", s.instrument("runs_compare", s.handleRunsCompare))
+	mux.HandleFunc("GET /v1/runs/{id}", s.instrument("runs_get", s.handleRunGet))
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.instrument("runs_trace", s.handleRunTrace))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -180,6 +184,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{name: "mamps_cache_evictions_total", help: "Entries dropped by the LRU bound.", value: float64(st.Cache.Evictions), counter: true},
 		{name: "mamps_cache_inflight", help: "Analyses currently being computed under single-flight.", value: float64(st.Cache.InFlight)},
 		{name: "mamps_uptime_seconds", help: "Time since the server started.", value: st.UptimeSec},
+		{name: "mamps_process_start_time_seconds", help: "Unix time the server process started.", value: float64(s.start.Unix())},
+		{name: "mamps_build_info", help: "Build metadata; the value is always 1.",
+			labels: fmt.Sprintf("version=%q,go_version=%q", buildVersion, buildGoVersion), value: 1},
 	})
 	// The kernel counter groups (mamps_statespace_*, mamps_sim_*) live in
 	// the obs registry, fed by every job's analyses and simulations.
@@ -311,16 +318,30 @@ func (s *Server) flowJob(ctx context.Context, req modelio.FlowRequestJSON) (any,
 	cfg.MapOptions.UseCA = req.UseCA
 	cfg.Faults = req.Faults
 	cfg.TargetThroughput = req.TargetThroughput
-	// The simulator publishes its counters into the service registry; no
-	// Trace, so span recording stays disabled on the service path.
-	cfg.Obs = &obs.Set{Sim: s.simStats}
-	// Route the binding-aware verifications through the shared cache, so
-	// distinct requests over the same model reuse each other's analyses,
-	// with the explorer counters threaded into every computed analysis.
-	analyze := cache.Analyzer(s.cache, ctx)
-	cfg.MapOptions.Analyze = func(g *sdf.Graph, opt statespace.Options) (statespace.Result, error) {
-		opt.Telemetry = s.explorer
-		return analyze(g, opt)
+	rt := s.newRunTelemetry()
+	var graphKey string
+	if rt != nil {
+		// Recorded runs get a private telemetry set (trace + fresh counter
+		// groups) and analyze directly instead of through the shared cache:
+		// the stored Record's counters then reflect exactly this run's
+		// deterministic work, independent of cache warmth, which is what the
+		// regression detector compares. Repeated identical requests still
+		// skip recomputation (and recording) at the job-level content cache.
+		graphKey = cache.GraphKey(built.app.Graph)
+		cfg.Obs = rt.set
+		cfg.MapOptions.Analyze = flow.TelemetryAnalyzer(ctx, rt.set)
+	} else {
+		// The simulator publishes its counters into the service registry; no
+		// Trace, so span recording stays disabled on the service path.
+		cfg.Obs = &obs.Set{Sim: s.simStats}
+		// Route the binding-aware verifications through the shared cache, so
+		// distinct requests over the same model reuse each other's analyses,
+		// with the explorer counters threaded into every computed analysis.
+		analyze := cache.Analyzer(s.cache, ctx)
+		cfg.MapOptions.Analyze = func(g *sdf.Graph, opt statespace.Options) (statespace.Result, error) {
+			opt.Telemetry = s.explorer
+			return analyze(g, opt)
+		}
 	}
 
 	if req.ArchXML != "" {
@@ -357,6 +378,10 @@ func (s *Server) flowJob(ctx context.Context, req modelio.FlowRequestJSON) (any,
 	}
 
 	res, err := flow.RunContext(ctx, cfg)
+	if rt != nil {
+		rt.fold(s)
+		s.recordFlowRun(req, built.app.Name, graphKey, rt, res, err)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -402,6 +427,17 @@ func (s *Server) dseJob(ctx context.Context, req modelio.DSERequestJSON) (any, e
 		Cache:    s.cache,
 		Obs:      &obs.Set{Explorer: s.explorer},
 	}
+	rt := s.newRunTelemetry()
+	var graphKey string
+	if rt != nil {
+		// Recorded sweeps use private telemetry and a private per-run cache:
+		// intra-sweep dedup still works (and is deterministic), but the
+		// counters never depend on what earlier requests left in the shared
+		// cache — the regression detector needs reproducible counts.
+		graphKey = cache.GraphKey(built.app.Graph)
+		cfg.Obs = rt.set
+		cfg.Cache = cache.New(0)
+	}
 	for _, name := range req.Interconnects {
 		ic, err := parseInterconnect(name)
 		if err != nil {
@@ -410,6 +446,10 @@ func (s *Server) dseJob(ctx context.Context, req modelio.DSERequestJSON) (any, e
 		cfg.Interconnects = append(cfg.Interconnects, ic)
 	}
 	points, err := dse.SweepContext(ctx, built.app, cfg)
+	if rt != nil {
+		rt.fold(s)
+		s.recordDSERun(req, built.app.Name, graphKey, rt, points, err)
+	}
 	if err != nil {
 		return nil, err
 	}

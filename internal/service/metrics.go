@@ -6,36 +6,14 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"mamps/internal/obs"
 )
 
-// latencyBuckets are the histogram upper bounds in seconds, spanning the
-// sub-millisecond cache hits up to multi-second DSE sweeps.
-var latencyBuckets = []float64{
-	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
-	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
-}
-
-// histogram is a fixed-bucket latency histogram.
-type histogram struct {
-	counts []uint64 // one per bucket, cumulative style computed on render
-	sum    float64
-	count  uint64
-}
-
-func (h *histogram) observe(seconds float64) {
-	for i, ub := range latencyBuckets {
-		if seconds <= ub {
-			h.counts[i]++
-			break
-		}
-	}
-	h.sum += seconds
-	h.count++
-}
-
 // metrics aggregates the service counters. All methods are safe for
-// concurrent use; rendering holds the same lock as observation, which is
-// fine at the /metrics scrape rates the service targets.
+// concurrent use. The fixed-bucket histograms are obs.Histogram (shared
+// with the rest of the telemetry layer); request counters stay under one
+// lock, which is fine at the /metrics scrape rates the service targets.
 // reqKey labels one request counter series.
 type reqKey struct {
 	endpoint string
@@ -45,32 +23,43 @@ type reqKey struct {
 type metrics struct {
 	mu       sync.Mutex
 	requests map[reqKey]uint64
-	latency  map[string]*histogram // endpoint -> histogram
-	rejected map[string]uint64     // reason -> count
-	jobs     uint64                // jobs completed by workers
-	retries  uint64                // transient job failures retried
-	panics   uint64                // handler/job panics recovered
+	latency  map[string]*obs.Histogram // endpoint -> request latency
+	rejected map[string]uint64         // reason -> count
+	jobs     uint64                    // jobs completed by workers
+	retries  uint64                    // transient job failures retried
+	panics   uint64                    // handler/job panics recovered
+
+	// queueWait observes the time each job spent waiting in the bounded
+	// queue before a worker picked it up — the admission-side latency a
+	// request pays before any computation starts.
+	queueWait *obs.Histogram
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: make(map[reqKey]uint64),
-		latency:  make(map[string]*histogram),
-		rejected: make(map[string]uint64),
+		requests:  make(map[reqKey]uint64),
+		latency:   make(map[string]*obs.Histogram),
+		rejected:  make(map[string]uint64),
+		queueWait: obs.NewHistogram(obs.DefaultLatencyBuckets...),
 	}
 }
 
 // observeRequest records one finished HTTP request.
 func (m *metrics) observeRequest(endpoint string, code int, d time.Duration) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.requests[reqKey{endpoint, code}]++
 	h, ok := m.latency[endpoint]
 	if !ok {
-		h = &histogram{counts: make([]uint64, len(latencyBuckets))}
+		h = obs.NewHistogram(obs.DefaultLatencyBuckets...)
 		m.latency[endpoint] = h
 	}
-	h.observe(d.Seconds())
+	m.mu.Unlock()
+	h.Observe(d.Seconds())
+}
+
+// observeQueueWait records one job's time from enqueue to worker pickup.
+func (m *metrics) observeQueueWait(d time.Duration) {
+	m.queueWait.Observe(d.Seconds())
 }
 
 // observeReject records a request turned away before reaching a worker.
@@ -121,9 +110,11 @@ func (m *metrics) snapshotRetries() uint64 {
 
 // gauge is a point-in-time value appended by the server at render time.
 // Monotonic values (the cache's *_total series) set counter so the
-// exposition declares the right Prometheus type.
+// exposition declares the right Prometheus type; labels, when non-empty,
+// is a rendered label list without braces (mamps_build_info uses it).
 type gauge struct {
 	name, help string
+	labels     string
 	value      float64
 	counter    bool
 }
@@ -175,23 +166,23 @@ func (m *metrics) write(w io.Writer, gauges []gauge) {
 	}
 	sort.Strings(eps)
 	for _, ep := range eps {
-		h := m.latency[ep]
-		var cum uint64
-		for i, ub := range latencyBuckets {
-			cum += h.counts[i]
-			fmt.Fprintf(w, "mamps_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, ub, cum)
-		}
-		fmt.Fprintf(w, "mamps_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.count)
-		fmt.Fprintf(w, "mamps_request_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
-		fmt.Fprintf(w, "mamps_request_seconds_count{endpoint=%q} %d\n", ep, h.count)
+		m.latency[ep].WritePrometheus(w, "mamps_request_seconds", fmt.Sprintf("endpoint=%q", ep))
 	}
+
+	fmt.Fprintln(w, "# HELP mamps_job_queue_wait_seconds Time jobs spent queued before a worker picked them up.")
+	fmt.Fprintln(w, "# TYPE mamps_job_queue_wait_seconds histogram")
+	m.queueWait.WritePrometheus(w, "mamps_job_queue_wait_seconds", "")
 
 	for _, g := range gauges {
 		typ := "gauge"
 		if g.counter {
 			typ = "counter"
 		}
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", g.name, g.help, g.name, typ, g.name, g.value)
+		series := g.name
+		if g.labels != "" {
+			series += "{" + g.labels + "}"
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", g.name, g.help, g.name, typ, series, g.value)
 	}
 }
 

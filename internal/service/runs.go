@@ -1,0 +1,329 @@
+package service
+
+// Run-registry surface of the service: when the server is started with a
+// run registry (Config.RunLog), every computed flow and DSE job is
+// recorded as a persistent runlog.Record — with its own deterministic
+// kernel-counter snapshot and a Perfetto trace artifact — and the
+// history becomes queryable over HTTP:
+//
+//	GET /v1/runs                  list, with filtering and paging
+//	GET /v1/runs/{id}             one record
+//	GET /v1/runs/{id}/trace       the run's Perfetto trace artifact
+//	GET /v1/runs/compare?a=&b=    structured diff of two runs
+//
+// Cache hits replay a stored computation and do not append new runs, so
+// the registry records work actually performed.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+
+	"mamps/internal/dse"
+	"mamps/internal/flow"
+	"mamps/internal/modelio"
+	"mamps/internal/obs"
+	"mamps/internal/runlog"
+	"mamps/internal/service/cache"
+	"mamps/internal/sim"
+)
+
+// buildVersion and buildGoVersion label the mamps_build_info gauge. The
+// VCS revision, when the binary was built from a checkout, is more
+// useful than the module version ("(devel)" for every dev build).
+var buildVersion, buildGoVersion = func() (string, string) {
+	gov := runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown", gov
+	}
+	v := bi.Main.Version
+	if v == "" {
+		v = "unknown"
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+			v = s.Value[:12]
+		}
+	}
+	return v, gov
+}()
+
+// runTelemetry is the private telemetry bundle of one recorded run: a
+// fresh trace plus unregistered kernel-counter groups, so the stored
+// Record carries exactly this run's counts (the process-wide /metrics
+// totals receive the same counts via fold afterwards). nil when the run
+// registry is disabled.
+type runTelemetry struct {
+	trace *obs.Trace
+	set   *obs.Set
+}
+
+func (s *Server) newRunTelemetry() *runTelemetry {
+	if s.runlog == nil {
+		return nil
+	}
+	tr := obs.New()
+	return &runTelemetry{
+		trace: tr,
+		set:   &obs.Set{Trace: tr, Explorer: obs.NewExplorerStats(nil), Sim: obs.NewSimStats(nil)},
+	}
+}
+
+// fold adds the run's counters into the process-wide registered groups.
+func (rt *runTelemetry) fold(s *Server) {
+	rt.set.Explorer.AddTo(s.explorer)
+	rt.set.Sim.AddTo(s.simStats)
+}
+
+// traceArtifact exports the run's trace as a Perfetto artifact, or nil
+// when nothing was recorded.
+func (rt *runTelemetry) traceArtifact() *runlog.Artifact {
+	if rt.trace.SpanCount() == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := rt.trace.WritePerfetto(&buf); err != nil {
+		return nil
+	}
+	return &runlog.Artifact{Name: "trace.json", Data: buf.Bytes()}
+}
+
+// flowBaselineKey keys a service flow run for baseline matching: the
+// canonical graph key plus a fingerprint of the configuration knobs that
+// change the numbers (two requests over the same model with different
+// iteration counts must not be compared against each other).
+func flowBaselineKey(graphKey string, req modelio.FlowRequestJSON) string {
+	h := cache.NewHasher("mamps/runlog/flowcfg/v1")
+	h.String(req.ArchXML).Int(int64(req.Tiles)).String(req.Interconnect).
+		Int(int64(req.Iterations)).String(req.RefActor).Bool(req.UseCA)
+	fb, _ := json.Marshal(req.Faults)
+	h.String(string(fb)).Float(req.TargetThroughput)
+	return "graph/" + graphKey + "/cfg/" + h.Sum()[:12]
+}
+
+// recordFlowRun appends one computed flow run (successful or not) to the
+// run registry. Recording failures are logged, never surfaced to the
+// client — the registry is observability, not the serving path.
+func (s *Server) recordFlowRun(req modelio.FlowRequestJSON, app, graphKey string,
+	rt *runTelemetry, res *flow.Result, runErr error) {
+	rec := runlog.Record{
+		Kind:        "flow",
+		App:         app,
+		GraphKey:    graphKey,
+		BaselineKey: flowBaselineKey(graphKey, req),
+		Config: runlog.ConfigSummary{
+			Tiles: req.Tiles, Interconnect: req.Interconnect,
+			Iterations: req.Iterations, RefActor: req.RefActor,
+			UseCA: req.UseCA, Faults: req.Faults,
+			TargetThroughput: req.TargetThroughput,
+		},
+		Counters: runlog.CountersFrom(rt.set),
+	}
+	var artifacts []runlog.Artifact
+	switch {
+	case runErr == nil:
+		rec.Outcome = "ok"
+		rec.Bound = res.WorstCase
+		rec.Measured = res.Measured
+		rec.Expected = res.Expected
+		if res.Sim != nil {
+			rec.Cycles = res.Sim.Cycles
+		}
+		for _, st := range res.Steps {
+			rec.Steps = append(rec.Steps, runlog.StageTime{
+				Name: st.Name, Automated: st.Automated,
+				Micros: float64(st.Elapsed.Microseconds()),
+			})
+		}
+		if d := res.Degraded; d != nil {
+			rec.Outcome = "degraded"
+			rec.Degraded = &runlog.DegradedSummary{
+				FailedTile: d.FailedTile, FailCycle: d.FailCycle,
+				Bound: d.WorstCase, Measured: d.Measured,
+				ConstraintMet:  d.ConstraintMet,
+				MigratedActors: len(d.MigratedActors),
+				MigrationBytes: d.MigrationBytes,
+			}
+		}
+	default:
+		rec.Outcome = "error"
+		rec.Error = runErr.Error()
+		var de *sim.DeadlockError
+		if errors.As(runErr, &de) {
+			rec.Outcome = "deadlock"
+			artifacts = append(artifacts, runlog.Artifact{
+				Name: "deadlock.txt", Data: []byte(de.Report),
+			})
+		}
+	}
+	if a := rt.traceArtifact(); a != nil {
+		artifacts = append(artifacts, *a)
+	}
+	s.appendRun(rec, artifacts)
+}
+
+// recordDSERun appends one computed DSE sweep to the run registry.
+func (s *Server) recordDSERun(req modelio.DSERequestJSON, app, graphKey string,
+	rt *runTelemetry, points []dse.Point, runErr error) {
+	h := cache.NewHasher("mamps/runlog/dsecfg/v1")
+	h.Int(int64(req.MinTiles)).Int(int64(req.MaxTiles)).
+		Strings(req.Interconnects).Bool(req.WithCA)
+	rec := runlog.Record{
+		Kind:        "dse",
+		App:         app,
+		GraphKey:    graphKey,
+		BaselineKey: "graph/" + graphKey + "/dse/" + h.Sum()[:12],
+		Config: runlog.ConfigSummary{
+			Tiles:        req.MaxTiles,
+			Interconnect: strings.Join(req.Interconnects, ","),
+			UseCA:        req.WithCA,
+		},
+		Counters: runlog.CountersFrom(rt.set),
+	}
+	var artifacts []runlog.Artifact
+	if runErr != nil {
+		rec.Outcome = "error"
+		rec.Error = runErr.Error()
+	} else {
+		rec.Outcome = "ok"
+		// Bound records the sweep's best guaranteed throughput — the number
+		// the regression gate watches for a DSE run.
+		for _, p := range points {
+			if p.Err == nil && p.Throughput > rec.Bound {
+				rec.Bound = p.Throughput
+			}
+		}
+	}
+	if a := rt.traceArtifact(); a != nil {
+		artifacts = append(artifacts, *a)
+	}
+	s.appendRun(rec, artifacts)
+}
+
+func (s *Server) appendRun(rec runlog.Record, artifacts []runlog.Artifact) {
+	stored, err := s.runlog.Append(rec, artifacts...)
+	if err != nil {
+		s.log.Error("runlog append failed", "kind", rec.Kind, "app", rec.App, "err", err)
+		return
+	}
+	if stored.Regression != nil && stored.Regression.Regressed {
+		s.log.Warn("run regressed against baseline",
+			"run", stored.ID, "baseline", stored.Regression.BaselineID,
+			"baselineKey", stored.Regression.BaselineKey,
+			"reasons", strings.Join(stored.Regression.Reasons, "; "))
+	}
+}
+
+// ---- /v1/runs ----
+
+// runlogOr404 guards the run endpoints when no registry is configured.
+func (s *Server) runlogOr404(w http.ResponseWriter) bool {
+	if s.runlog != nil {
+		return true
+	}
+	s.writeJSON(w, http.StatusNotFound, modelio.ErrorJSON{
+		Error: "run registry not enabled (start the server with -runlog <dir>)",
+	})
+	return false
+}
+
+func (s *Server) handleRunsList(w http.ResponseWriter, r *http.Request) {
+	if !s.runlogOr404(w) {
+		return
+	}
+	q := r.URL.Query()
+	f := runlog.Filter{
+		App:         q.Get("app"),
+		Kind:        q.Get("kind"),
+		GraphKey:    q.Get("graphKey"),
+		BaselineKey: q.Get("baselineKey"),
+		Regressed:   q.Get("regressed") == "true" || q.Get("regressed") == "1",
+		Limit:       50,
+	}
+	for name, dst := range map[string]*int{"limit": &f.Limit, "offset": &f.Offset} {
+		v := q.Get(name)
+		if v == "" {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.writeJSON(w, http.StatusBadRequest, modelio.ErrorJSON{
+				Error: fmt.Sprintf("bad %s %q: want a non-negative integer", name, v),
+			})
+			return
+		}
+		*dst = n
+	}
+	if v := q.Get("since"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			s.writeJSON(w, http.StatusBadRequest, modelio.ErrorJSON{
+				Error: fmt.Sprintf("bad since %q: want RFC 3339 (%v)", v, err),
+			})
+			return
+		}
+		f.Since = t
+	}
+	recs, total := s.runlog.List(f)
+	s.writeJSON(w, http.StatusOK, modelio.RunListJSON{Total: total, Count: len(recs), Runs: recs})
+}
+
+func (s *Server) handleRunGet(w http.ResponseWriter, r *http.Request) {
+	if !s.runlogOr404(w) {
+		return
+	}
+	id := r.PathValue("id")
+	rec, ok := s.runlog.Get(id)
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, modelio.ErrorJSON{Error: fmt.Sprintf("no run %q", id)})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	if !s.runlogOr404(w) {
+		return
+	}
+	id := r.PathValue("id")
+	path, err := s.runlog.ArtifactPath(id, "trace.json")
+	if err != nil {
+		s.writeJSON(w, http.StatusNotFound, modelio.ErrorJSON{Error: err.Error()})
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		s.writeJSON(w, http.StatusNotFound, modelio.ErrorJSON{Error: fmt.Sprintf("run %s: trace artifact missing on disk", id)})
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = io.Copy(w, f)
+}
+
+func (s *Server) handleRunsCompare(w http.ResponseWriter, r *http.Request) {
+	if !s.runlogOr404(w) {
+		return
+	}
+	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	if a == "" || b == "" {
+		s.writeJSON(w, http.StatusBadRequest, modelio.ErrorJSON{Error: "compare needs both ?a= and ?b= run IDs"})
+		return
+	}
+	d, err := s.runlog.CompareByID(a, b)
+	if err != nil {
+		s.writeJSON(w, http.StatusNotFound, modelio.ErrorJSON{Error: err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, d)
+}

@@ -1,0 +1,225 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mamps/internal/modelio"
+	"mamps/internal/runlog"
+)
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestRunsEndpointsRoundTrip is the wire-level acceptance test of the
+// run registry: flow runs executed through the service are recorded,
+// listable, retrievable with their kernel counters and Perfetto trace,
+// and diffable over HTTP.
+func TestRunsEndpointsRoundTrip(t *testing.T) {
+	reg, err := runlog.Open(t.TempDir(), runlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	s := New(Config{Workers: 2, RunLog: reg})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Two identical flow requests: the second is a cache hit and must NOT
+	// append a second record.
+	body := `{"workload":` + smallMJPEG + `,"tiles":5,"iterations":-1}`
+	for i := 0; i < 2; i++ {
+		resp, data := post(t, ts, "/v1/flow", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("flow %d: status %d: %s", i, resp.StatusCode, data)
+		}
+	}
+	// A different configuration appends a second record.
+	resp, data := post(t, ts, "/v1/flow", `{"workload":`+smallMJPEG+`,"tiles":5,"iterations":2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flow variant: status %d: %s", resp.StatusCode, data)
+	}
+
+	resp, data = get(t, ts, "/v1/runs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/runs: %d: %s", resp.StatusCode, data)
+	}
+	var list modelio.RunListJSON
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatalf("list not JSON: %v\n%s", err, data)
+	}
+	if list.Total != 2 || len(list.Runs) != 2 {
+		t.Fatalf("list = %d/%d runs (cache hit appended a record?):\n%s", len(list.Runs), list.Total, data)
+	}
+	newest, oldest := list.Runs[0], list.Runs[1]
+	if oldest.Kind != "flow" || oldest.Outcome != "ok" || oldest.App == "" || oldest.GraphKey == "" {
+		t.Fatalf("recorded run malformed: %+v", oldest)
+	}
+	if oldest.Bound <= 0 || oldest.Measured <= 0 || oldest.Cycles <= 0 {
+		t.Errorf("run lacks throughput numbers: bound=%g measured=%g cycles=%d",
+			oldest.Bound, oldest.Measured, oldest.Cycles)
+	}
+	if oldest.Counters.Analyses == 0 || oldest.Counters.StatesExplored == 0 || oldest.Counters.SimSteps == 0 {
+		t.Errorf("run lacks kernel counters: %+v", oldest.Counters)
+	}
+	if len(oldest.Steps) == 0 {
+		t.Error("run lacks per-stage wall times")
+	}
+	// Both runs share the graph but differ in config, so their baseline
+	// keys must differ (different iteration counts are not comparable).
+	if newest.GraphKey != oldest.GraphKey {
+		t.Errorf("same workload, different graph keys")
+	}
+	if newest.BaselineKey == oldest.BaselineKey {
+		t.Error("different configs share a baseline key")
+	}
+
+	// Filtering and paging.
+	resp, data = get(t, ts, "/v1/runs?kind=dse")
+	json.Unmarshal(data, &list)
+	if list.Total != 0 {
+		t.Errorf("kind=dse total = %d, want 0", list.Total)
+	}
+	resp, data = get(t, ts, "/v1/runs?limit=1&offset=1")
+	json.Unmarshal(data, &list)
+	if list.Total != 2 || len(list.Runs) != 1 || list.Runs[0].ID != oldest.ID {
+		t.Errorf("paged list wrong: %s", data)
+	}
+	resp, _ = get(t, ts, "/v1/runs?limit=x")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad limit: status %d, want 400", resp.StatusCode)
+	}
+
+	// Get by ID.
+	resp, data = get(t, ts, "/v1/runs/"+oldest.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET run: %d", resp.StatusCode)
+	}
+	var rec runlog.Record
+	if err := json.Unmarshal(data, &rec); err != nil || rec.ID != oldest.ID {
+		t.Fatalf("get by ID = %+v, %v", rec, err)
+	}
+	resp, _ = get(t, ts, "/v1/runs/nosuch")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown run: status %d, want 404", resp.StatusCode)
+	}
+
+	// The Perfetto trace artifact.
+	resp, data = get(t, ts, "/v1/runs/"+oldest.ID+"/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: %d: %s", resp.StatusCode, data)
+	}
+	var trace any
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace is not JSON: %v", err)
+	}
+	if !strings.Contains(string(data), "SDF3") {
+		t.Error("trace lacks the flow stage spans")
+	}
+
+	// Compare the two runs.
+	resp, data = get(t, ts, "/v1/runs/compare?a="+oldest.ID+"&b="+newest.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET compare: %d: %s", resp.StatusCode, data)
+	}
+	var d runlog.Diff
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.A != oldest.ID || d.B != newest.ID {
+		t.Errorf("diff ids = %s/%s", d.A, d.B)
+	}
+	if d.GraphKeyChanged {
+		t.Error("same graph flagged as changed")
+	}
+	// 2 iterations vs the full input must show in the simulated cycles.
+	if !d.Cycles.Changed(0) {
+		t.Errorf("iteration-count change invisible in diff: %+v", d.Cycles)
+	}
+	resp, _ = get(t, ts, "/v1/runs/compare?a="+oldest.ID)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("compare without b: status %d, want 400", resp.StatusCode)
+	}
+
+	// The registry's metrics are on /metrics, along with the new
+	// build-info and queue-wait series.
+	resp, data = get(t, ts, "/metrics")
+	for _, want := range []string{
+		"mamps_runlog_records 2",
+		"mamps_regressions_total 0",
+		"mamps_build_info{version=",
+		"go_version=\"go",
+		"mamps_process_start_time_seconds",
+		"mamps_job_queue_wait_seconds_bucket",
+		"mamps_job_queue_wait_seconds_count",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestRunsEndpointsDisabled pins the behaviour without -runlog: the
+// endpoints exist but answer 404 with a hint.
+func TestRunsEndpointsDisabled(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/v1/runs", "/v1/runs/x", "/v1/runs/x/trace", "/v1/runs/compare?a=x&b=y"} {
+		resp, data := get(t, ts, path)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(data), "-runlog") {
+			t.Errorf("GET %s: no enable hint in %s", path, data)
+		}
+	}
+}
+
+// TestDSERunRecorded covers the DSE recording path: a sweep appends one
+// "dse" record carrying the best bound and the explorer counters.
+func TestDSERunRecorded(t *testing.T) {
+	reg, err := runlog.Open(t.TempDir(), runlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	s := New(Config{Workers: 2, RunLog: reg})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := post(t, ts, "/v1/dse", `{"workload":`+smallMJPEG+`,"minTiles":2,"maxTiles":2,"interconnects":["fsl"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dse: %d: %s", resp.StatusCode, data)
+	}
+	recs, total := reg.List(runlog.Filter{Kind: "dse"})
+	if total != 1 {
+		t.Fatalf("dse records = %d, want 1", total)
+	}
+	rec := recs[0]
+	if rec.Outcome != "ok" || rec.Bound <= 0 || rec.Counters.StatesExplored == 0 {
+		t.Fatalf("dse record malformed: %+v", rec)
+	}
+	if !strings.HasPrefix(rec.BaselineKey, "graph/") || !strings.Contains(rec.BaselineKey, "/dse/") {
+		t.Errorf("dse baseline key = %q", rec.BaselineKey)
+	}
+}

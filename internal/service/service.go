@@ -32,6 +32,7 @@ import (
 	"mamps/internal/clock"
 	"mamps/internal/faults"
 	"mamps/internal/obs"
+	"mamps/internal/runlog"
 	"mamps/internal/service/cache"
 	"mamps/internal/sim"
 	"mamps/internal/statespace"
@@ -68,6 +69,14 @@ type Config struct {
 	// RetryBase is the base delay of the retry backoff (default 25ms);
 	// attempt n waits RetryBase·2^n plus up to half that again of jitter.
 	RetryBase time.Duration
+	// RunLog, if non-nil, records every computed flow/DSE run into the
+	// persistent run registry: per-run kernel counters, stage timings,
+	// bound vs. measured throughput, a Perfetto trace artifact, and the
+	// on-ingest baseline regression check. The registry's metrics
+	// (mamps_runlog_records, mamps_regressions_total, ...) are attached
+	// to the service's /metrics exposition. Cache hits replay a stored
+	// computation and do not append new runs.
+	RunLog *runlog.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -106,10 +115,11 @@ var (
 
 // job is one unit of work for the pool.
 type job struct {
-	ctx    context.Context
-	key    string // content key; empty disables caching
-	run    func(context.Context) (any, error)
-	result chan jobResult
+	ctx      context.Context
+	key      string // content key; empty disables caching
+	enqueued time.Time
+	run      func(context.Context) (any, error)
+	result   chan jobResult
 }
 
 type jobResult struct {
@@ -132,6 +142,7 @@ type Server struct {
 	obsReg   *obs.Registry
 	explorer *obs.ExplorerStats
 	simStats *obs.SimStats
+	runlog   *runlog.Registry
 
 	baseCtx context.Context // cancelled only by forced shutdown
 	abort   context.CancelFunc
@@ -165,9 +176,13 @@ func New(cfg Config) *Server {
 		obsReg:   reg,
 		explorer: obs.NewExplorerStats(reg),
 		simStats: obs.NewSimStats(reg),
+		runlog:   cfg.RunLog,
 		baseCtx:  ctx,
 		abort:    abort,
 		jobs:     make(chan *job, cfg.QueueDepth),
+	}
+	if s.runlog != nil {
+		s.runlog.AttachMetrics(reg)
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -186,6 +201,7 @@ func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.jobs {
 		s.depth.Add(-1)
+		s.metrics.observeQueueWait(s.clk.Since(j.enqueued))
 		if err := j.ctx.Err(); err != nil {
 			j.result <- jobResult{err: err}
 			continue
@@ -267,7 +283,7 @@ func (s *Server) submit(ctx context.Context, key string, run func(context.Contex
 	stop := context.AfterFunc(s.baseCtx, cancel)
 	defer stop()
 
-	j := &job{ctx: jctx, key: key, run: s.withRetry(run), result: make(chan jobResult, 1)}
+	j := &job{ctx: jctx, key: key, enqueued: s.clk.Now(), run: s.withRetry(run), result: make(chan jobResult, 1)}
 
 	s.mu.RLock()
 	if s.draining {
