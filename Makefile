@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-json bench-smoke obs-smoke faults-smoke regress regress-update vuln serve ci
+.PHONY: all build test race vet fmt fmt-check bench bench-json bench-smoke obs-smoke faults-smoke dse-smoke regress regress-update vuln serve ci
 
 all: build
 
@@ -36,7 +36,7 @@ bench:
 # trajectory of the analysis/simulation kernels stays trackable in-tree.
 # Override BENCHTIME (e.g. BENCHTIME=1x) for a smoke run.
 BENCHTIME ?= 2s
-BENCH_PATTERN ?= ^(BenchmarkStateSpace|BenchmarkSimulate|BenchmarkMapping|BenchmarkHSDF|BenchmarkPlatform|BenchmarkDSE)
+BENCH_PATTERN ?= ^(BenchmarkStateSpace|BenchmarkSimulate|BenchmarkMapping|BenchmarkHSDF|BenchmarkPlatform|BenchmarkDSE|BenchmarkSolver|BenchmarkEnergy)
 BENCH_FILE ?= BENCH_$(shell date +%Y-%m-%d).json
 
 bench-json:
@@ -60,7 +60,7 @@ OBS_GATES ?= allocs/op:1,ns/op:1.2
 
 obs-smoke:
 	$(GO) test -run '^$$' \
-		-bench '^(BenchmarkStateSpaceThroughputMJPEG|BenchmarkSimulateMJPEGIteration)$$' \
+		-bench '^(BenchmarkStateSpaceThroughputMJPEG|BenchmarkSimulateMJPEGIteration|BenchmarkSolverMJPEG|BenchmarkEnergyFold)$$' \
 		-benchmem -benchtime=5x -json . \
 		| $(GO) run ./cmd/benchjson -compare $(OBS_BASELINE) -gate '$(OBS_GATES)'
 
@@ -70,6 +70,13 @@ faults-smoke:
 	$(GO) test ./internal/faults
 	$(GO) test -short -run 'TestFault|TestInterrupt|TestDeadlock' ./internal/sim
 	$(GO) test -short -run 'TestFlowDegraded|TestFlowFaults' ./internal/flow
+
+# DSE smoke: the E10 solver-vs-greedy experiment doubles as an
+# end-to-end assertion — it exits nonzero unless the branch-and-bound
+# search matches or beats the greedy binder at every tile count while
+# expanding fewer nodes than exhaustive enumeration.
+dse-smoke:
+	$(GO) run ./cmd/experiments -run dse
 
 # Throughput-regression gate: replay the example-graph corpus (small
 # analysis graphs + the full MJPEG flow on FSL and NoC) and compare every
@@ -91,4 +98,4 @@ vuln:
 serve:
 	$(GO) run ./cmd/mamps-serve
 
-ci: build vet fmt-check race obs-smoke faults-smoke regress
+ci: build vet fmt-check race obs-smoke faults-smoke dse-smoke regress

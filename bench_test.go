@@ -28,6 +28,7 @@ import (
 
 	"mamps/internal/arch"
 	"mamps/internal/dse"
+	"mamps/internal/energy"
 	"mamps/internal/experiments"
 	"mamps/internal/flow"
 	"mamps/internal/hsdf"
@@ -36,6 +37,7 @@ import (
 	"mamps/internal/platgen"
 	"mamps/internal/service"
 	"mamps/internal/sim"
+	"mamps/internal/solver"
 	"mamps/internal/statespace"
 )
 
@@ -320,6 +322,57 @@ func BenchmarkDSESweep(b *testing.B) {
 	}
 	b.Run("seq", run(1))
 	b.Run("par", run(runtime.GOMAXPROCS(0)))
+}
+
+// BenchmarkSolverMJPEG runs the branch-and-bound binding search on the
+// MJPEG decoder over 3 FSL tiles (the regress-corpus configuration) and
+// reports the search effort alongside the verified bound.
+func BenchmarkSolverMJPEG(b *testing.B) {
+	cfg, _ := mjpegAppForBench(b)
+	p, err := arch.DefaultTemplate().Generate("p", 3, arch.FSL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod := energy.DefaultModel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *solver.Result
+	for i := 0; i < b.N; i++ {
+		res, err = solver.Solve(context.Background(), cfg.App, p, solver.Options{
+			Mode: solver.Best, NodeBudget: 512, Energy: &mod,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Best.Throughput*1e6, "bound-MCU/Mcycle")
+	b.ReportMetric(float64(res.Stats.NodesExpanded), "nodes/op")
+	b.ReportMetric(float64(res.Stats.NodesPruned), "pruned/op")
+}
+
+// BenchmarkEnergyFold measures the worst-case energy fold over a mapped
+// MJPEG decoder — the per-candidate cost the solver pays in Pareto mode.
+func BenchmarkEnergyFold(b *testing.B) {
+	cfg, _ := mjpegAppForBench(b)
+	p, err := arch.DefaultTemplate().Generate("p", 5, arch.FSL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := mapping.Map(cfg.App, p, mapping.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod := energy.DefaultModel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rep energy.Report
+	for i := 0; i < b.N; i++ {
+		rep, err = mod.OfMapping(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.TotalPJ, "pJ/iteration")
 }
 
 func BenchmarkMJPEGEncode(b *testing.B) {

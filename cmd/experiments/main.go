@@ -34,6 +34,19 @@ type document struct {
 	Ovh    *overheadJSON           `json:"commOverhead,omitempty"`
 	Bufs   []ablationJSON          `json:"bufferAblation,omitempty"`
 	FIFO   []ablationJSON          `json:"fifoAblation,omitempty"`
+	DSE    []solverDSEJSON         `json:"solverDSE,omitempty"`
+}
+
+type solverDSEJSON struct {
+	Label      string  `json:"label"`
+	Greedy     float64 `json:"greedyMcusPerMcycle"`
+	Solver     float64 `json:"solverMcusPerMcycle"`
+	EnergyPJ   float64 `json:"energyPJ"`
+	Slices     int     `json:"slices"`
+	Nodes      int64   `json:"nodesExpanded"`
+	Pruned     int64   `json:"nodesPruned"`
+	Exhaustive int64   `json:"exhaustiveNodes"`
+	Pareto     bool    `json:"pareto,omitempty"`
 }
 
 type caJSON struct {
@@ -77,7 +90,7 @@ func fig6JSON(rows []experiments.Fig6Row) []modelio.Fig6RowJSON {
 }
 
 func main() {
-	runFlag := flag.String("run", "all", "experiment to run: all, fig6a, fig6b, fig6m, table1, ca, nocarea, overhead, buffers, fifo")
+	runFlag := flag.String("run", "all", "experiment to run: all, fig6a, fig6b, fig6m, table1, ca, nocarea, overhead, buffers, fifo, dse")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document instead of text tables")
 	flag.Parse()
 	cfg := experiments.DefaultConfig()
@@ -198,6 +211,31 @@ func main() {
 			text("  %6d %12.4f %12.4f\n", p.Value, p.WorstCase*1e6, p.Measured*1e6)
 		}
 		text("\n")
+	}
+	if want("dse") {
+		ran = true
+		rows, err := experiments.SolverDSE(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		text("E10: global mapping solver vs greedy binder, MJPEG on 1..%d FSL tiles:\n", cfg.Tiles)
+		text("  %-8s %12s %12s %14s %8s %8s %10s %8s %s\n",
+			"config", "greedy", "solver", "energy (pJ)", "slices", "nodes", "exhaustive", "pruned", "front")
+		for _, r := range rows {
+			doc.DSE = append(doc.DSE, solverDSEJSON{
+				Label: r.Label, Greedy: r.Greedy * 1e6, Solver: r.Solver * 1e6,
+				EnergyPJ: r.EnergyPJ, Slices: r.Slices,
+				Nodes: r.Nodes, Pruned: r.Pruned, Exhaustive: r.Exhaustive, Pareto: r.Pareto,
+			})
+			front := ""
+			if r.Pareto {
+				front = "*"
+			}
+			text("  %-8s %12.4f %12.4f %14.4g %8d %8d %10d %8d %s\n",
+				r.Label, r.Greedy*1e6, r.Solver*1e6, r.EnergyPJ, r.Slices,
+				r.Nodes, r.Exhaustive, r.Pruned, front)
+		}
+		text("  (throughputs in MCU/Mcycle; * marks the throughput x area x energy Pareto front)\n\n")
 	}
 	if want("overhead") {
 		ran = true

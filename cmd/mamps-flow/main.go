@@ -33,6 +33,7 @@ import (
 	"path/filepath"
 
 	"mamps"
+	"mamps/internal/energy"
 	"mamps/internal/faults"
 	"mamps/internal/flow"
 	"mamps/internal/mjpeg"
@@ -51,6 +52,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace_event JSON file of the run")
 	inject := flag.String("inject", "", "fault scenario, e.g. 'seed=7;jitter=0.5;link=*@from=0@until=20000@stall=4;tile=tile1@cycle=50000'")
 	target := flag.Float64("target", 0, "throughput constraint (iterations/cycle) checked in degraded mode; 0: the original bound")
+	energyOut := flag.Bool("energy", false, "report the energy estimate of the mapping (worst-case fold; plus measured fold when executed)")
 	flag.Parse()
 
 	if (*appPath == "") == (*workload == "") {
@@ -159,6 +161,9 @@ func main() {
 	if res.Degraded != nil {
 		printDegraded(res)
 	}
+	if *energyOut {
+		printEnergy(res, cfg.Iterations)
+	}
 	if cfg.Obs != nil {
 		printCounters(cfg.Obs)
 	}
@@ -210,6 +215,27 @@ func printDegraded(res *mamps.FlowResult) {
 		verdict = "NOT met"
 	}
 	fmt.Printf("  throughput constraint %s in degraded mode\n", verdict)
+}
+
+// printEnergy folds the energy model over the mapping: always at the
+// guaranteed worst-case period, and additionally at the measured period
+// when the platform simulator executed the workload.
+func printEnergy(res *mamps.FlowResult, iterations int) {
+	mod := energy.DefaultModel()
+	wc, err := mod.OfMapping(res.Mapping)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Energy (worst-case period):       %.4g pJ/iteration (%.4g dynamic + %.4g comm + %.4g static), avg %.3f W\n",
+		wc.TotalPJ, wc.DynamicPJ, wc.CommPJ, wc.StaticPJ, wc.AvgWatts)
+	if res.Sim != nil && iterations > 0 {
+		meas, err := mod.OfExecution(res.Mapping, iterations, res.Sim.Cycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Energy (measured period):         %.4g pJ/iteration, avg %.3f W\n",
+			meas.TotalPJ, meas.AvgWatts)
+	}
 }
 
 // printCounters summarizes the kernel telemetry of the run.

@@ -6,15 +6,17 @@
 //	mamps-runs -dir RUNLOG diff ID-A ID-B
 //	mamps-runs -dir RUNLOG gc [-max-records N] [-max-age D]
 //	mamps-runs -dir RUNLOG baseline [ID]
-//	mamps-runs regress [-baselines FILE] [-update] [-perturb N] [-quick]
+//	mamps-runs regress [-baselines FILE] [-update] [-perturb N] [-perturb-energy PJ] [-quick]
 //
 // `regress` replays the example-graph corpus and compares each entry
 // against the checked-in baselines with zero tolerance — the flow's
 // kernels are deterministic, so any drift in a throughput bound,
-// measured cycles, states explored or simulator steps is a regression
-// and exits nonzero. `-update` refreshes the baseline file instead;
-// `-perturb N` adds N cycles to one WCET per entry to prove the gate
-// fires. `make regress` wraps the gate for CI.
+// measured cycles, states explored, simulator steps, solver search
+// effort or energy estimate is a regression and exits nonzero.
+// `-update` refreshes the baseline file instead; `-perturb N` adds N
+// cycles to one WCET per entry and `-perturb-energy PJ` shifts the
+// energy model's PE constant, each proving its gate fires. `make
+// regress` wraps the gate for CI.
 package main
 
 import (
@@ -171,12 +173,15 @@ func printDiff(d runlog.Diff) {
 	row("measured", d.Measured)
 	row("expected", d.Expected)
 	row("cycles", d.Cycles)
+	row("energyPJ", d.EnergyPJ)
 	row("analyses", d.Analyses)
 	row("states", d.StatesExplored)
 	row("simSteps", d.SimSteps)
 	row("busyCycles", d.BusyCycles)
 	row("stallCycles", d.StallCycles)
 	row("faultEvents", d.FaultEvents)
+	row("solverNodes", d.SolverNodes)
+	row("solverPruned", d.SolverPruned)
 	for _, s := range d.Stages {
 		fmt.Printf("  stage %-32s %10.0fus -> %-10.0fus (x%.2f)\n", s.Name, s.AMicros, s.BMicros, s.Ratio)
 	}
@@ -225,11 +230,12 @@ func cmdRegress(args []string) error {
 	baselines := fs.String("baselines", "regress/baselines.json", "checked-in baseline records")
 	update := fs.Bool("update", false, "rewrite the baseline file from this replay instead of gating")
 	perturb := fs.Int64("perturb", 0, "add N cycles to one WCET per entry (to demonstrate the gate)")
+	perturbEnergy := fs.Float64("perturb-energy", 0, "add N pJ/cycle to the PE energy constant (to demonstrate the energy gate)")
 	quick := fs.Bool("quick", false, "skip the MJPEG flow entries")
 	keep := fs.String("keep", "", "record the replay into this registry directory (default: a temp dir)")
 	fs.Parse(args)
 
-	recs, err := corpus.Run(corpus.Options{PerturbWCET: *perturb, Quick: *quick})
+	recs, err := corpus.Run(corpus.Options{PerturbWCET: *perturb, PerturbEnergy: *perturbEnergy, Quick: *quick})
 	if err != nil {
 		return err
 	}
@@ -300,8 +306,16 @@ func cmdRegress(args []string) error {
 				fmt.Printf("      %s\n", reason)
 			}
 		default:
-			fmt.Printf("ok    %-12s bound=%.6g states=%d simSteps=%d\n",
+			line := fmt.Sprintf("ok    %-12s bound=%.6g states=%d simSteps=%d",
 				rec.Corpus, stored.Bound, stored.Counters.StatesExplored, stored.Counters.SimSteps)
+			if stored.EnergyPJ > 0 {
+				line += fmt.Sprintf(" energyPJ=%.6g", stored.EnergyPJ)
+			}
+			if stored.Counters.SolverNodes > 0 {
+				line += fmt.Sprintf(" solverNodes=%d pruned=%d",
+					stored.Counters.SolverNodes, stored.Counters.SolverPruned)
+			}
+			fmt.Println(line)
 		}
 	}
 	fmt.Printf("%d entr(ies) replayed, %d regressed (mamps_regressions_total %d)\n",

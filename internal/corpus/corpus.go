@@ -20,12 +20,14 @@ import (
 
 	"mamps/internal/appmodel"
 	"mamps/internal/arch"
+	"mamps/internal/energy"
 	"mamps/internal/flow"
 	"mamps/internal/mjpeg"
 	"mamps/internal/obs"
 	"mamps/internal/runlog"
 	"mamps/internal/sdf"
 	"mamps/internal/service/cache"
+	"mamps/internal/solver"
 	"mamps/internal/statespace"
 )
 
@@ -35,6 +37,11 @@ type Options struct {
 	// execution time in every entry — a deliberate drift used to verify
 	// the regression gate actually fires. Zero replays faithfully.
 	PerturbWCET int64
+	// PerturbEnergy adds the given number of picojoules to the energy
+	// model's per-cycle PE constant in the solver entry — a deliberate
+	// drift proving the gate catches silent recalibrations, which change
+	// no graph key and no throughput, only the energy estimate.
+	PerturbEnergy float64
 	// Quick skips the expensive flow entries (the MJPEG executions),
 	// keeping only the small analysis graphs.
 	Quick bool
@@ -92,6 +99,7 @@ func Entries() []Entry {
 		}),
 		mjpegEntry("mjpeg-fsl", arch.FSL),
 		mjpegEntry("mjpeg-noc", arch.NoC),
+		solverEntry("mjpeg-solver"),
 	}
 }
 
@@ -223,6 +231,59 @@ func mjpegEntry(name string, ic arch.InterconnectKind) Entry {
 			})
 		}
 		return rec, nil
+	}}
+}
+
+// solverEntry runs the branch-and-bound binding search on the MJPEG
+// decoder over 3 FSL tiles with a node budget, recording the verified
+// best throughput, its energy estimate and the search counters — all
+// deterministic, so the gate pins the solver's traversal and the energy
+// model's calibration bit-for-bit.
+func solverEntry(name string) Entry {
+	return Entry{Name: name, Kind: "flow", Run: func(opt Options) (runlog.Record, error) {
+		stream, _, err := mjpeg.EncodeSequence(mjpeg.SeqGradient, 32, 32, 2, 90, mjpeg.Sampling420)
+		if err != nil {
+			return runlog.Record{}, err
+		}
+		app, _, err := mjpeg.BuildApp(stream)
+		if err != nil {
+			return runlog.Record{}, err
+		}
+		perturbApp(app, opt.PerturbWCET)
+		plat, err := arch.DefaultTemplate().Generate("mjpeg_solver_3fsl", 3, arch.FSL)
+		if err != nil {
+			return runlog.Record{}, err
+		}
+
+		ctx := context.Background()
+		set := &obs.Set{Explorer: obs.NewExplorerStats(nil), Solver: obs.NewSolverStats(nil)}
+		mod := energy.DefaultModel()
+		mod.PEDynamicPJPerCycle += opt.PerturbEnergy
+		sopt := solver.Options{Mode: solver.Best, NodeBudget: 512, Energy: &mod, Obs: set}
+		sopt.MapOptions.Analyze = flow.TelemetryAnalyzer(ctx, set)
+
+		key := cache.GraphKey(app.Graph)
+		res, err := solver.Solve(ctx, app, plat, sopt)
+		if err != nil {
+			return runlog.Record{}, err
+		}
+		if res.Best == nil {
+			return runlog.Record{}, fmt.Errorf("solver found no feasible binding")
+		}
+		return runlog.Record{
+			Kind:     "dse",
+			App:      app.Name,
+			Corpus:   name,
+			GraphKey: key,
+			Outcome:  "ok",
+			Bound:    res.Best.Throughput,
+			EnergyPJ: res.Best.Energy.TotalPJ,
+			AvgWatts: res.Best.Energy.AvgWatts,
+			Config: runlog.ConfigSummary{
+				Tiles: 3, Interconnect: arch.FSL.String(),
+			},
+			Counters: runlog.CountersFrom(set),
+		}, nil
 	}}
 }
 

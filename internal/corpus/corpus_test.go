@@ -1,6 +1,11 @@
 package corpus
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"mamps/internal/runlog"
+)
 
 // TestQuickRunDeterministic replays the analysis entries twice and
 // checks bit-identical records — the property `make regress` relies on.
@@ -45,5 +50,95 @@ func TestPerturbationChangesKey(t *testing.T) {
 		if base[i].GraphKey == pert[i].GraphKey {
 			t.Errorf("%s: +1 WCET did not change the graph key", base[i].Corpus)
 		}
+	}
+}
+
+// solverCorpusEntry fetches the mjpeg-solver entry.
+func solverCorpusEntry(t *testing.T) Entry {
+	t.Helper()
+	for _, e := range Entries() {
+		if e.Name == "mjpeg-solver" {
+			return e
+		}
+	}
+	t.Fatal("mjpeg-solver entry missing from corpus")
+	return Entry{}
+}
+
+// TestSolverEntryDeterministic replays the solver entry twice: bound,
+// energy and search counters must be bit-identical, and all populated.
+func TestSolverEntryDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full MJPEG solver search")
+	}
+	e := solverCorpusEntry(t)
+	a, err := e.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := Strip(a), Strip(b)
+	if x.Bound != y.Bound || x.EnergyPJ != y.EnergyPJ ||
+		x.Counters.SolverNodes != y.Counters.SolverNodes ||
+		x.Counters.SolverPruned != y.Counters.SolverPruned {
+		t.Fatalf("solver entry rerun differs:\n%+v\n%+v", x, y)
+	}
+	if x.Bound <= 0 || x.EnergyPJ <= 0 || x.AvgWatts <= 0 {
+		t.Fatalf("solver entry incomplete: %+v", x)
+	}
+	if x.Counters.SolverNodes == 0 || x.Counters.SolverPruned == 0 {
+		t.Fatalf("solver counters not recorded: %+v", x.Counters)
+	}
+}
+
+// TestEnergyPerturbationTripsGate proves a silent energy-model
+// recalibration fails the zero-tolerance regression gate with a clear
+// reason: the graph key and the throughput bound are unchanged, only the
+// energy estimate drifts.
+func TestEnergyPerturbationTripsGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full MJPEG solver search")
+	}
+	e := solverCorpusEntry(t)
+	base, err := e.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pert, err := e.Run(Options{PerturbEnergy: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.GraphKey != pert.GraphKey || base.Bound != pert.Bound {
+		t.Fatalf("energy perturbation must not move the graph key or the bound")
+	}
+	if base.EnergyPJ == pert.EnergyPJ {
+		t.Fatal("energy perturbation did not move the estimate")
+	}
+
+	reg, err := runlog.Open(t.TempDir(), runlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.ImportBaseline(Strip(base)); err != nil {
+		t.Fatal(err)
+	}
+	stored, err := reg.Append(Strip(pert))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored.Regression == nil || !stored.Regression.Regressed {
+		t.Fatal("perturbed energy run was not flagged as a regression")
+	}
+	found := false
+	for _, r := range stored.Regression.Reasons {
+		if strings.Contains(r, "energy per iteration drifted") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no energy reason in %v", stored.Regression.Reasons)
 	}
 }

@@ -9,6 +9,14 @@
 // rather than synthesis and measurement (hours), the exploration is the
 // "very fast design space exploration for real-time embedded systems" the
 // template-based architecture enables.
+//
+// Every feasible point also carries an energy estimate (internal/energy
+// folded over the verified analysis), so the front is three-objective:
+// maximize throughput, minimize area, minimize energy per iteration.
+// With Config.UseSolver the per-point binding comes from the
+// branch-and-bound search of internal/solver instead of the greedy
+// binder, turning the sweep into a global exploration over bindings ×
+// platform configurations.
 package dse
 
 import (
@@ -22,11 +30,14 @@ import (
 	"mamps/internal/appmodel"
 	"mamps/internal/arch"
 	"mamps/internal/area"
+	"mamps/internal/energy"
 	"mamps/internal/mapping"
 	"mamps/internal/obs"
+	"mamps/internal/pareto"
 	"mamps/internal/platgen"
 	"mamps/internal/sdf"
 	"mamps/internal/service/cache"
+	"mamps/internal/solver"
 	"mamps/internal/statespace"
 )
 
@@ -41,11 +52,18 @@ type Point struct {
 	Throughput float64
 	// Area is the FPGA resource estimate of the generated platform.
 	Area area.Estimate
+	// Energy is the energy estimate of the mapping at its guaranteed
+	// throughput (internal/energy folded over the analysis).
+	Energy energy.Report
 	// Err records why a configuration was infeasible, if it was.
 	Err error
 
 	// Mapping is retained for feasible points.
 	Mapping *mapping.Mapping
+
+	// Solver holds the branch-and-bound search statistics when the point
+	// was found with Config.UseSolver; nil for greedy points.
+	Solver *solver.Stats
 }
 
 // Label returns a short identifier for reports.
@@ -69,6 +87,19 @@ type Config struct {
 	WithCA bool
 	// MapOptions applied to every mapping.
 	MapOptions mapping.Options
+
+	// UseSolver replaces the greedy binder with the branch-and-bound
+	// binding search of internal/solver for every candidate platform:
+	// each point then reports the best verified binding on that platform
+	// rather than the single greedy one. SolverNodeBudget bounds the
+	// per-point search (0: exhaustive); a truncated search still returns
+	// the best binding found, flagged in Point.Solver.BudgetExhausted.
+	UseSolver        bool
+	SolverNodeBudget int64
+
+	// Energy calibrates the per-point energy estimates; nil selects
+	// energy.DefaultModel.
+	Energy *energy.Model
 
 	// Cache, if set, memoizes the binding-aware throughput analyses of
 	// the sweep under their canonical content keys, so repeated sweeps
@@ -175,6 +206,20 @@ func SweepContext(ctx context.Context, app *appmodel.App, cfg Config) ([]Point, 
 		workers = 1
 	}
 
+	mod := energy.DefaultModel()
+	if cfg.Energy != nil {
+		mod = *cfg.Energy
+	}
+	env := evalEnv{
+		ctx:        ctx,
+		app:        app,
+		mo:         mo,
+		useSolver:  cfg.UseSolver,
+		nodeBudget: cfg.SolverNodeBudget,
+		mod:        mod,
+		set:        cfg.Obs,
+	}
+
 	// Single worker: evaluate inline, with no pool overhead (this is also
 	// the reference behavior the parallel path must reproduce exactly).
 	if workers == 1 {
@@ -184,7 +229,7 @@ func SweepContext(ctx context.Context, app *appmodel.App, cfg Config) ([]Point, 
 			if err := ctx.Err(); err != nil {
 				return points, fmt.Errorf("dse: sweep cancelled at %d tiles: %w", c.tiles, err)
 			}
-			points = append(points, evaluateTraced(scope, app, c.tiles, c.ic, c.ca, mo))
+			points = append(points, env.evaluateTraced(scope, c.tiles, c.ic, c.ca))
 		}
 		return points, nil
 	}
@@ -220,7 +265,7 @@ func SweepContext(ctx context.Context, app *appmodel.App, cfg Config) ([]Point, 
 					continue
 				}
 				c := cands[i]
-				results[i] = evaluateTraced(scope, app, c.tiles, c.ic, c.ca, mo)
+				results[i] = env.evaluateTraced(scope, c.tiles, c.ic, c.ca)
 				close(done[i])
 			}
 		}(w)
@@ -245,15 +290,27 @@ func SweepContext(ctx context.Context, app *appmodel.App, cfg Config) ([]Point, 
 	return points, nil
 }
 
+// evalEnv carries the per-sweep evaluation context shared by all
+// workers.
+type evalEnv struct {
+	ctx        context.Context
+	app        *appmodel.App
+	mo         mapping.Options
+	useSolver  bool
+	nodeBudget int64
+	mod        energy.Model
+	set        *obs.Set
+}
+
 // evaluateTraced wraps evaluate in a span on the given scope (nil scope:
 // no overhead beyond the call), annotated with the candidate label and
 // its outcome.
-func evaluateTraced(scope *obs.Scope, app *appmodel.App, tiles int, ic arch.InterconnectKind, ca bool, mo mapping.Options) Point {
+func (env evalEnv) evaluateTraced(scope *obs.Scope, tiles int, ic arch.InterconnectKind, ca bool) Point {
 	if scope == nil {
-		return evaluate(app, tiles, ic, ca, mo)
+		return env.evaluate(tiles, ic, ca)
 	}
 	span := scope.Begin("evaluate")
-	pt := evaluate(app, tiles, ic, ca, mo)
+	pt := env.evaluate(tiles, ic, ca)
 	span.SetAttrs(
 		obs.String("candidate", pt.Label()),
 		obs.Float("throughput", pt.Throughput),
@@ -265,9 +322,9 @@ func evaluateTraced(scope *obs.Scope, app *appmodel.App, tiles int, ic arch.Inte
 	return pt
 }
 
-func evaluate(app *appmodel.App, tiles int, ic arch.InterconnectKind, ca bool, mo mapping.Options) Point {
+func (env evalEnv) evaluate(tiles int, ic arch.InterconnectKind, ca bool) Point {
 	pt := Point{Tiles: tiles, Interconnect: ic, UseCA: ca}
-	plat, err := arch.DefaultTemplate().Generate(fmt.Sprintf("%s_%d%s", app.Name, tiles, ic), tiles, ic)
+	plat, err := arch.DefaultTemplate().Generate(fmt.Sprintf("%s_%d%s", env.app.Name, tiles, ic), tiles, ic)
 	if err != nil {
 		pt.Err = err
 		return pt
@@ -277,11 +334,40 @@ func evaluate(app *appmodel.App, tiles int, ic arch.InterconnectKind, ca bool, m
 			t.HasCA = true
 		}
 	}
+	mo := env.mo
 	mo.UseCA = ca
-	m, err := mapping.Map(app, plat, mo)
-	if err != nil {
-		pt.Err = err
-		return pt
+
+	var m *mapping.Mapping
+	if env.useSolver {
+		res, err := solver.Solve(env.ctx, env.app, plat, solver.Options{
+			Mode:       solver.Best,
+			NodeBudget: env.nodeBudget,
+			MapOptions: mo,
+			Energy:     &env.mod,
+			Obs:        env.set,
+		})
+		if err != nil {
+			pt.Err = err
+			return pt
+		}
+		if res.Best == nil {
+			pt.Err = fmt.Errorf("dse: solver found no feasible binding on %d tiles", tiles)
+			return pt
+		}
+		m = res.Best.Mapping
+		pt.Energy = res.Best.Energy
+		pt.Solver = &res.Stats
+	} else {
+		m, err = mapping.Map(env.app, plat, mo)
+		if err != nil {
+			pt.Err = err
+			return pt
+		}
+		pt.Energy, err = env.mod.OfMapping(m)
+		if err != nil {
+			pt.Err = err
+			return pt
+		}
 	}
 	pt.Mapping = m
 	pt.Throughput = m.Analysis.Throughput
@@ -294,8 +380,10 @@ func evaluate(app *appmodel.App, tiles int, ic arch.InterconnectKind, ca bool, m
 	return pt
 }
 
-// ParetoFront returns the feasible points that are Pareto-optimal for
-// (maximize throughput, minimize slices), sorted by ascending area.
+// ParetoFront returns the feasible points that are Pareto-optimal over
+// three objectives — maximize throughput, minimize slices, minimize
+// energy per iteration — sorted by ascending area (throughput, then
+// energy, breaking ties).
 func ParetoFront(points []Point) []Point {
 	feasible := make([]Point, 0, len(points))
 	for _, p := range points {
@@ -303,19 +391,22 @@ func ParetoFront(points []Point) []Point {
 			feasible = append(feasible, p)
 		}
 	}
-	sort.Slice(feasible, func(i, j int) bool {
+	sort.SliceStable(feasible, func(i, j int) bool {
 		if feasible[i].Area.Slices != feasible[j].Area.Slices {
 			return feasible[i].Area.Slices < feasible[j].Area.Slices
 		}
-		return feasible[i].Throughput > feasible[j].Throughput
-	})
-	var front []Point
-	best := -1.0
-	for _, p := range feasible {
-		if p.Throughput > best {
-			front = append(front, p)
-			best = p.Throughput
+		if feasible[i].Throughput != feasible[j].Throughput {
+			return feasible[i].Throughput > feasible[j].Throughput
 		}
+		return feasible[i].Energy.TotalPJ < feasible[j].Energy.TotalPJ
+	})
+	vecs := make([][]float64, len(feasible))
+	for i, p := range feasible {
+		vecs[i] = []float64{p.Throughput, -float64(p.Area.Slices), -p.Energy.TotalPJ}
+	}
+	var front []Point
+	for _, i := range pareto.Front(vecs) {
+		front = append(front, feasible[i])
 	}
 	return front
 }

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"fmt"
 	"testing"
 
 	"mamps/internal/appmodel"
@@ -107,11 +108,158 @@ func TestParetoFront(t *testing.T) {
 		t.Fatal("empty Pareto front")
 	}
 	for i := 1; i < len(front); i++ {
-		if front[i].Area.Slices <= front[i-1].Area.Slices {
+		if front[i].Area.Slices < front[i-1].Area.Slices {
 			t.Error("front not sorted by area")
 		}
-		if front[i].Throughput <= front[i-1].Throughput {
-			t.Error("front not strictly improving")
+	}
+	// Three-objective mutual non-domination: no front member may be at
+	// least as good everywhere and strictly better somewhere.
+	dominates := func(a, b Point) bool {
+		geq := a.Throughput >= b.Throughput && a.Area.Slices <= b.Area.Slices && a.Energy.TotalPJ <= b.Energy.TotalPJ
+		gt := a.Throughput > b.Throughput || a.Area.Slices < b.Area.Slices || a.Energy.TotalPJ < b.Energy.TotalPJ
+		return geq && gt
+	}
+	for i := range front {
+		for j := range front {
+			if i != j && dominates(front[i], front[j]) {
+				t.Errorf("front member %s dominates front member %s", front[i].Label(), front[j].Label())
+			}
+		}
+	}
+	// Every dropped feasible point must be dominated by a front member.
+	for _, p := range pts {
+		if p.Err != nil || p.Throughput <= 0 {
+			continue
+		}
+		onFront := false
+		for _, f := range front {
+			if f.Label() == p.Label() {
+				onFront = true
+			}
+		}
+		if onFront {
+			continue
+		}
+		covered := false
+		for _, f := range front {
+			if dominates(f, p) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("dropped point %s is not dominated by any front member", p.Label())
+		}
+	}
+}
+
+// TestParetoFrontEnergyDimension pins that the energy objective is live:
+// a point that loses on throughput and ties on area but wins on energy
+// stays on the front.
+func TestParetoFrontEnergyDimension(t *testing.T) {
+	mk := func(tiles int, thr, pj float64, slices int) Point {
+		p := Point{Tiles: tiles, Interconnect: arch.FSL, Throughput: thr}
+		p.Area.Slices = slices
+		p.Energy.TotalPJ = pj
+		return p
+	}
+	pts := []Point{
+		mk(1, 2.0, 100, 500),
+		mk(2, 1.0, 50, 500), // slower, same area, but cheapest energy: on the front
+		mk(3, 0.5, 200, 500),
+	}
+	front := ParetoFront(pts)
+	if len(front) != 2 {
+		t.Fatalf("front size = %d, want 2 (fast point + low-energy point)", len(front))
+	}
+	seen := map[int]bool{}
+	for _, p := range front {
+		seen[p.Tiles] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("front = %v, want tiles 1 and 2", front)
+	}
+}
+
+// TestSweepEnergyPopulated: every feasible point carries a positive,
+// internally consistent energy report.
+func TestSweepEnergyPopulated(t *testing.T) {
+	app := pipelineApp(t)
+	pts, err := Sweep(app, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Err != nil {
+			continue
+		}
+		if p.Energy.TotalPJ <= 0 || p.Energy.AvgWatts <= 0 {
+			t.Errorf("%s: energy not populated: %+v", p.Label(), p.Energy)
+		}
+	}
+}
+
+// TestSweepSolverBeatsGreedy: with the branch-and-bound binder enabled,
+// every feasible point's throughput is at least the greedy point's on
+// the same platform, and the search statistics are reported.
+func TestSweepSolverBeatsGreedy(t *testing.T) {
+	app := pipelineApp(t)
+	cfg := Config{Interconnects: []arch.InterconnectKind{arch.FSL}}
+	greedy, err := Sweep(app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.UseSolver = true
+	solved, err := Sweep(app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(solved) != len(greedy) {
+		t.Fatalf("point counts differ: %d vs %d", len(solved), len(greedy))
+	}
+	for i := range solved {
+		if solved[i].Err != nil || greedy[i].Err != nil {
+			continue
+		}
+		if solved[i].Throughput < greedy[i].Throughput {
+			t.Errorf("%s: solver %.9g below greedy %.9g",
+				solved[i].Label(), solved[i].Throughput, greedy[i].Throughput)
+		}
+		if solved[i].Solver == nil || solved[i].Solver.Verifications == 0 {
+			t.Errorf("%s: solver stats missing", solved[i].Label())
+		}
+		if greedy[i].Solver != nil {
+			t.Errorf("%s: greedy point should carry no solver stats", greedy[i].Label())
+		}
+	}
+}
+
+// TestSweepSolverDeterministicParallel: the solver-backed sweep is
+// byte-identical across runs and worker counts.
+func TestSweepSolverDeterministicParallel(t *testing.T) {
+	app := pipelineApp(t)
+	run := func(workers int) string {
+		pts, err := Sweep(app, Config{UseSolver: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for _, p := range pts {
+			out += p.Label()
+			if p.Err != nil {
+				out += ":err;"
+				continue
+			}
+			out += fmt.Sprintf(":%.12g:%d:%.12g:%d:%d;",
+				p.Throughput, p.Area.Slices, p.Energy.TotalPJ,
+				p.Solver.NodesExpanded, p.Solver.NodesPruned)
+		}
+		return out
+	}
+	seq := run(1)
+	for _, w := range []int{2, 4} {
+		if got := run(w); got != seq {
+			t.Fatalf("workers=%d diverges:\n%s\n%s", w, got, seq)
 		}
 	}
 }

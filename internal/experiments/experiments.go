@@ -23,6 +23,7 @@ import (
 	"mamps/internal/appmodel"
 	"mamps/internal/arch"
 	"mamps/internal/area"
+	"mamps/internal/dse"
 	"mamps/internal/flow"
 	"mamps/internal/mapping"
 	"mamps/internal/mjpeg"
@@ -448,4 +449,93 @@ func FIFOAblation(cfg Config) ([]AblationPoint, error) {
 		out = append(out, AblationPoint{Value: depth, WorstCase: m.Analysis.Throughput, Measured: r.Throughput})
 	}
 	return out, nil
+}
+
+// SolverDSERow compares the greedy and branch-and-bound binders on one
+// platform configuration of the MJPEG sweep.
+type SolverDSERow struct {
+	Label string
+	// Greedy and Solver are the guaranteed throughput bounds of the two
+	// binders on the same platform (iterations/cycle).
+	Greedy, Solver float64
+	// EnergyPJ and Slices are the solver point's other two objectives.
+	EnergyPJ float64
+	Slices   int
+	// Nodes/Pruned are the search counters; Exhaustive is the full
+	// assignment-tree node count the bound is measured against.
+	Nodes, Pruned, Exhaustive int64
+	// Pareto marks membership in the three-objective front.
+	Pareto bool
+}
+
+// SolverDSE is the global-mapping experiment (EXPERIMENTS.md E10): sweep
+// the MJPEG decoder over 1..cfg.Tiles FSL tiles twice — once with the
+// greedy binder, once with the branch-and-bound solver — and compare. It
+// fails when the solver is ever below the greedy bound at the same tile
+// count, or when the search expanded at least as many nodes as
+// exhaustive enumeration on a multi-tile platform (no pruning leverage).
+func SolverDSE(cfg Config) ([]SolverDSERow, error) {
+	stream, _, err := mjpeg.EncodeSequence(mjpeg.SeqGradient, cfg.Width, cfg.Height, cfg.Frames, cfg.Quality, mjpeg.Sampling420)
+	if err != nil {
+		return nil, err
+	}
+	app, _, err := mjpeg.BuildApp(stream)
+	if err != nil {
+		return nil, err
+	}
+	base := dse.Config{MinTiles: 1, MaxTiles: cfg.Tiles, Interconnects: []arch.InterconnectKind{arch.FSL}}
+	greedy, err := dse.Sweep(app, base)
+	if err != nil {
+		return nil, err
+	}
+	solvedCfg := base
+	solvedCfg.UseSolver = true
+	solved, err := dse.Sweep(app, solvedCfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(greedy) != len(solved) {
+		return nil, fmt.Errorf("experiments: sweep sizes differ: %d vs %d", len(greedy), len(solved))
+	}
+	onFront := map[string]bool{}
+	for _, p := range dse.ParetoFront(solved) {
+		onFront[p.Label()] = true
+	}
+	nActors := app.Graph.NumActors()
+	rows := make([]SolverDSERow, 0, len(solved))
+	for i, p := range solved {
+		if p.Err != nil || greedy[i].Err != nil {
+			continue
+		}
+		if p.Throughput < greedy[i].Throughput {
+			return nil, fmt.Errorf("experiments: solver bound %.6g below greedy %.6g at %s",
+				p.Throughput, greedy[i].Throughput, p.Label())
+		}
+		// Full tree: one node per partial assignment of 0..nActors-1 actors.
+		exhaustive := int64(0)
+		nodes := int64(1)
+		for k := 0; k < nActors; k++ {
+			exhaustive += nodes
+			nodes *= int64(p.Tiles)
+		}
+		if p.Tiles > 1 && p.Solver.NodesExpanded >= exhaustive {
+			return nil, fmt.Errorf("experiments: no pruning at %s: %d nodes of %d exhaustive",
+				p.Label(), p.Solver.NodesExpanded, exhaustive)
+		}
+		rows = append(rows, SolverDSERow{
+			Label:      p.Label(),
+			Greedy:     greedy[i].Throughput,
+			Solver:     p.Throughput,
+			EnergyPJ:   p.Energy.TotalPJ,
+			Slices:     p.Area.Slices,
+			Nodes:      p.Solver.NodesExpanded,
+			Pruned:     p.Solver.NodesPruned,
+			Exhaustive: exhaustive,
+			Pareto:     onFront[p.Label()],
+		})
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("experiments: no feasible solver sweep points")
+	}
+	return rows, nil
 }

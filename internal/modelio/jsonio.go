@@ -75,6 +75,11 @@ type DSERequestJSON struct {
 	MaxTiles      int           `json:"maxTiles,omitempty"`
 	Interconnects []string      `json:"interconnects,omitempty"`
 	WithCA        bool          `json:"withCA,omitempty"`
+	// Solver replaces the greedy binder with the branch-and-bound
+	// binding search per candidate platform; SolverNodeBudget bounds
+	// each per-point search (0: exhaustive).
+	Solver           bool  `json:"solver,omitempty"`
+	SolverNodeBudget int64 `json:"solverNodeBudget,omitempty"`
 }
 
 // ThroughputJSON reports one throughput in both units of the paper.
@@ -231,8 +236,16 @@ type DSEPointJSON struct {
 	Throughput   ThroughputJSON `json:"throughput"`
 	Slices       int            `json:"slices"`
 	BRAMs        int            `json:"brams"`
-	Pareto       bool           `json:"pareto,omitempty"`
-	Error        string         `json:"error,omitempty"`
+	// EnergyPJ is the estimated energy per graph iteration at the
+	// guaranteed throughput; AvgWatts the corresponding average power.
+	EnergyPJ float64 `json:"energyPJ,omitempty"`
+	AvgWatts float64 `json:"avgWatts,omitempty"`
+	// SolverNodes/SolverPruned report the branch-and-bound effort when
+	// the sweep ran with the solver enabled.
+	SolverNodes  int64  `json:"solverNodes,omitempty"`
+	SolverPruned int64  `json:"solverPruned,omitempty"`
+	Pareto       bool   `json:"pareto,omitempty"`
+	Error        string `json:"error,omitempty"`
 }
 
 // DSEResponseJSON is the result of a sweep.
@@ -259,7 +272,13 @@ func NewDSEResponseJSON(app string, points []dse.Point) DSEResponseJSON {
 			Throughput:   NewThroughputJSON(p.Throughput),
 			Slices:       p.Area.Slices,
 			BRAMs:        p.Area.BRAMs,
+			EnergyPJ:     p.Energy.TotalPJ,
+			AvgWatts:     p.Energy.AvgWatts,
 			Pareto:       onFront[p.Label()],
+		}
+		if p.Solver != nil {
+			pj.SolverNodes = p.Solver.NodesExpanded
+			pj.SolverPruned = p.Solver.NodesPruned
 		}
 		if p.Err != nil {
 			pj.Error = p.Err.Error()

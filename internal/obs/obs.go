@@ -411,6 +411,54 @@ func (s *SimStats) AddTo(dst *SimStats) {
 	dst.FaultEvents.Add(s.FaultEvents.Value())
 }
 
+// SolverStats receives the branch-and-bound mapping solver's counters:
+// how much of the binding tree was expanded, how much the admissible
+// throughput bound pruned away, and how often the incumbent improved.
+// The pruning ratio Pruned/(Expanded+Pruned) is the solver's figure of
+// merit against exhaustive enumeration. Create with NewSolverStats.
+type SolverStats struct {
+	// NodesExpanded counts search-tree nodes whose children were
+	// generated; NodesPruned counts subtrees cut by the admissible
+	// throughput bound (or, in Pareto mode, by front domination).
+	NodesExpanded *Counter
+	NodesPruned   *Counter
+	// Incumbents counts improvements of the best verified binding;
+	// Verifications counts the full binding-aware analyses run on
+	// candidate leaves.
+	Incumbents    *Counter
+	Verifications *Counter
+}
+
+// NewSolverStats returns solver counters registered under their
+// canonical mamps_solver_* names; a nil registry yields unregistered
+// but fully functional metrics.
+func NewSolverStats(r *Registry) *SolverStats {
+	if r == nil {
+		return &SolverStats{
+			NodesExpanded: &Counter{}, NodesPruned: &Counter{},
+			Incumbents: &Counter{}, Verifications: &Counter{},
+		}
+	}
+	return &SolverStats{
+		NodesExpanded: r.Counter("mamps_solver_nodes_expanded_total", "Branch-and-bound nodes expanded."),
+		NodesPruned:   r.Counter("mamps_solver_nodes_pruned_total", "Branch-and-bound subtrees pruned by the admissible bound."),
+		Incumbents:    r.Counter("mamps_solver_incumbents_total", "Improvements of the best verified binding."),
+		Verifications: r.Counter("mamps_solver_verifications_total", "Binding-aware throughput analyses of candidate leaves."),
+	}
+}
+
+// AddTo adds this group's counter values into dst. Nil source or
+// destination is a no-op.
+func (s *SolverStats) AddTo(dst *SolverStats) {
+	if s == nil || dst == nil {
+		return
+	}
+	dst.NodesExpanded.Add(s.NodesExpanded.Value())
+	dst.NodesPruned.Add(s.NodesPruned.Value())
+	dst.Incumbents.Add(s.Incumbents.Value())
+	dst.Verifications.Add(s.Verifications.Value())
+}
+
 // Set bundles the telemetry destinations of one run: a span trace and
 // the kernel counter groups. Any field may be nil to disable that part;
 // a nil *Set disables everything behind a single check.
@@ -418,6 +466,7 @@ type Set struct {
 	Trace    *Trace
 	Explorer *ExplorerStats
 	Sim      *SimStats
+	Solver   *SolverStats
 }
 
 // TraceOf returns the set's trace, tolerating a nil set.
@@ -442,4 +491,12 @@ func (s *Set) SimOf() *SimStats {
 		return nil
 	}
 	return s.Sim
+}
+
+// SolverOf returns the set's solver stats, tolerating a nil set.
+func (s *Set) SolverOf() *SolverStats {
+	if s == nil {
+		return nil
+	}
+	return s.Solver
 }

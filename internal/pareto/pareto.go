@@ -1,0 +1,54 @@
+// Package pareto implements n-objective Pareto dominance over plain
+// float64 objective vectors. It is the single dominance definition
+// shared by the design-space sweep (throughput × area × energy fronts
+// over platform configurations) and the mapping solver's
+// enumerate-all-Pareto-optimal mode (throughput × energy fronts over
+// bindings), so the two layers can never disagree about what "optimal"
+// means.
+//
+// Every objective is maximized; callers negate minimized objectives
+// (area slices, energy per iteration) before calling in. The functions
+// are deterministic and preserve input order, which the deterministic
+// sweep and solver outputs rely on.
+package pareto
+
+// Dominates reports whether objective vector a dominates b: a is at
+// least as good (>=) in every objective and strictly better (>) in at
+// least one. Equal vectors do not dominate each other. The vectors must
+// have the same length; extra objectives in the longer vector are
+// ignored beyond the shorter one's length.
+func Dominates(a, b []float64) bool {
+	n := min(len(a), len(b))
+	strict := false
+	for i := 0; i < n; i++ {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Front returns the indices of the non-dominated vectors, in input
+// order. A vector is dropped exactly when some other vector dominates
+// it, so every index missing from the result is dominated by at least
+// one index present in it (duplicates of a non-dominated vector are all
+// kept: equal vectors never dominate each other).
+func Front(items [][]float64) []int {
+	var front []int
+	for i, a := range items {
+		dominated := false
+		for j, b := range items {
+			if i != j && Dominates(b, a) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}

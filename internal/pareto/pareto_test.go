@@ -1,0 +1,99 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{0, 0}, true},
+		{[]float64{1, 0}, []float64{0, 1}, false},
+		{[]float64{0, 1}, []float64{1, 0}, false},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal: no domination
+		{[]float64{2, 1}, []float64{1, 1}, true},  // weakly better + one strict
+		{[]float64{1}, []float64{2}, false},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestFrontProperty is the dominance-helper property test: over random
+// objective sets (1..4 objectives, with deliberate duplicates), no front
+// member dominates another front member, and every dropped vector is
+// dominated by at least one front member.
+func TestFrontProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nObj := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(30)
+		items := make([][]float64, n)
+		for i := range items {
+			v := make([]float64, nObj)
+			for k := range v {
+				// Small integer grid: plenty of ties and duplicates.
+				v[k] = float64(rng.Intn(5))
+			}
+			items[i] = v
+		}
+		front := Front(items)
+		if len(front) == 0 {
+			t.Fatalf("trial %d: empty front over %d items", trial, n)
+		}
+		onFront := make(map[int]bool, len(front))
+		for _, i := range front {
+			onFront[i] = true
+		}
+		for _, i := range front {
+			for _, j := range front {
+				if i != j && Dominates(items[i], items[j]) {
+					t.Fatalf("trial %d: front member %v dominates front member %v",
+						trial, items[i], items[j])
+				}
+			}
+		}
+		for i := range items {
+			if onFront[i] {
+				continue
+			}
+			dominated := false
+			for _, j := range front {
+				if Dominates(items[j], items[i]) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				t.Fatalf("trial %d: dropped vector %v is not dominated by any front member",
+					trial, items[i])
+			}
+		}
+	}
+}
+
+// TestFrontOrderAndDuplicates pins the deterministic contract: input
+// order is preserved and equal non-dominated vectors are all kept.
+func TestFrontOrderAndDuplicates(t *testing.T) {
+	items := [][]float64{
+		{1, 2}, // front
+		{2, 1}, // front
+		{1, 2}, // duplicate of the first: still on the front
+		{0, 0}, // dominated
+	}
+	front := Front(items)
+	want := []int{0, 1, 2}
+	if len(front) != len(want) {
+		t.Fatalf("front = %v, want %v", front, want)
+	}
+	for i := range want {
+		if front[i] != want[i] {
+			t.Fatalf("front = %v, want %v", front, want)
+		}
+	}
+}

@@ -61,6 +61,10 @@ type Diff struct {
 	Measured Delta `json:"measured"`
 	Expected Delta `json:"expected"`
 	Cycles   Delta `json:"cycles"`
+	// EnergyPJ compares the energy-model estimate per iteration — a
+	// deterministic fold over the analysis, so it drifts only when the
+	// model constants, the binding or the bound change.
+	EnergyPJ Delta `json:"energyPJ"`
 
 	// Counter deltas of the deterministic kernel quantities.
 	Analyses       Delta `json:"analyses"`
@@ -69,6 +73,8 @@ type Diff struct {
 	BusyCycles     Delta `json:"busyCycles"`
 	StallCycles    Delta `json:"stallCycles"`
 	FaultEvents    Delta `json:"faultEvents"`
+	SolverNodes    Delta `json:"solverNodes"`
+	SolverPruned   Delta `json:"solverPruned"`
 
 	// Stages compares the per-stage wall times (present in both runs).
 	Stages []StageDelta `json:"stages,omitempty"`
@@ -84,12 +90,15 @@ func Compare(a, b *Record) Diff {
 		Measured:        delta(a.Measured, b.Measured),
 		Expected:        delta(a.Expected, b.Expected),
 		Cycles:          delta(float64(a.Cycles), float64(b.Cycles)),
+		EnergyPJ:        delta(a.EnergyPJ, b.EnergyPJ),
 		Analyses:        delta(float64(a.Counters.Analyses), float64(b.Counters.Analyses)),
 		StatesExplored:  delta(float64(a.Counters.StatesExplored), float64(b.Counters.StatesExplored)),
 		SimSteps:        delta(float64(a.Counters.SimSteps), float64(b.Counters.SimSteps)),
 		BusyCycles:      delta(float64(a.Counters.BusyCycles), float64(b.Counters.BusyCycles)),
 		StallCycles:     delta(float64(a.Counters.StallCycles), float64(b.Counters.StallCycles)),
 		FaultEvents:     delta(float64(a.Counters.FaultEvents), float64(b.Counters.FaultEvents)),
+		SolverNodes:     delta(float64(a.Counters.SolverNodes), float64(b.Counters.SolverNodes)),
+		SolverPruned:    delta(float64(a.Counters.SolverPruned), float64(b.Counters.SolverPruned)),
 	}
 	bSteps := make(map[string]float64, len(b.Steps))
 	for _, s := range b.Steps {
@@ -138,6 +147,10 @@ type Tolerances struct {
 	States float64 `json:"states,omitempty"`
 	// SimSteps tolerates drift in the simulator's executed steps.
 	SimSteps float64 `json:"simSteps,omitempty"`
+	// Energy tolerates drift in the per-iteration energy estimate.
+	Energy float64 `json:"energy,omitempty"`
+	// SolverNodes tolerates drift in the solver's expanded node count.
+	SolverNodes float64 `json:"solverNodes,omitempty"`
 }
 
 // Regression is the outcome of the on-ingest baseline comparison.
@@ -186,6 +199,14 @@ func compareToBaseline(base, rec *Record, tol Tolerances) *Regression {
 	if d.SimSteps.Changed(tol.SimSteps) {
 		reason("simulator steps drifted %+.4g%% (%.0f -> %.0f, tolerance %g%%)",
 			d.SimSteps.Rel*100, d.SimSteps.A, d.SimSteps.B, tol.SimSteps*100)
+	}
+	if d.EnergyPJ.Changed(tol.Energy) {
+		reason("energy per iteration drifted %+.4g%% (%.6g pJ -> %.6g pJ, tolerance %g%%; energy-model constant or binding changed)",
+			d.EnergyPJ.Rel*100, d.EnergyPJ.A, d.EnergyPJ.B, tol.Energy*100)
+	}
+	if d.SolverNodes.Changed(tol.SolverNodes) {
+		reason("solver nodes expanded drifted %+.4g%% (%.0f -> %.0f, tolerance %g%%; search order or bound changed)",
+			d.SolverNodes.Rel*100, d.SolverNodes.A, d.SolverNodes.B, tol.SolverNodes*100)
 	}
 	return reg
 }

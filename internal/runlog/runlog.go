@@ -85,6 +85,12 @@ type Record struct {
 	Expected float64 `json:"expectedThroughput,omitempty"`
 	Cycles   int64   `json:"cycles,omitempty"`
 
+	// EnergyPJ is the energy-model estimate per graph iteration at the
+	// guaranteed throughput, AvgWatts the corresponding average power
+	// (zero when no energy fold ran).
+	EnergyPJ float64 `json:"energyPJ,omitempty"`
+	AvgWatts float64 `json:"avgWatts,omitempty"`
+
 	// Steps are the Table 1 per-stage wall times.
 	Steps []StageTime `json:"steps,omitempty"`
 
@@ -147,6 +153,10 @@ type Counters struct {
 	BusyCycles     int64 `json:"busyCycles,omitempty"`
 	StallCycles    int64 `json:"stallCycles,omitempty"`
 	FaultEvents    int64 `json:"faultEvents,omitempty"`
+
+	SolverNodes      int64 `json:"solverNodes,omitempty"`
+	SolverPruned     int64 `json:"solverPruned,omitempty"`
+	SolverIncumbents int64 `json:"solverIncumbents,omitempty"`
 }
 
 // CountersFrom snapshots the counter values of a telemetry set.
@@ -165,6 +175,11 @@ func CountersFrom(set *obs.Set) Counters {
 		c.BusyCycles = s.BusyCycles.Value()
 		c.StallCycles = s.StallCycles.Value()
 		c.FaultEvents = s.FaultEvents.Value()
+	}
+	if sv := set.SolverOf(); sv != nil {
+		c.SolverNodes = sv.NodesExpanded.Value()
+		c.SolverPruned = sv.NodesPruned.Value()
+		c.SolverIncumbents = sv.Incumbents.Value()
 	}
 	return c
 }

@@ -400,7 +400,8 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 	h := cache.NewHasher("mamps/req/dse/v1")
 	workloadHash(h, req.AppXML, req.Workload)
 	h.Int(int64(req.MinTiles)).Int(int64(req.MaxTiles)).
-		Strings(req.Interconnects).Bool(req.WithCA)
+		Strings(req.Interconnects).Bool(req.WithCA).
+		Bool(req.Solver).Int(req.SolverNodeBudget)
 
 	val, hit, err := s.submit(r.Context(), h.Sum(), func(ctx context.Context) (any, error) {
 		return s.dseJob(ctx, req)
@@ -421,11 +422,13 @@ func (s *Server) dseJob(ctx context.Context, req modelio.DSERequestJSON) (any, e
 		return nil, err
 	}
 	cfg := dse.Config{
-		MinTiles: req.MinTiles,
-		MaxTiles: req.MaxTiles,
-		WithCA:   req.WithCA,
-		Cache:    s.cache,
-		Obs:      &obs.Set{Explorer: s.explorer},
+		MinTiles:         req.MinTiles,
+		MaxTiles:         req.MaxTiles,
+		WithCA:           req.WithCA,
+		UseSolver:        req.Solver,
+		SolverNodeBudget: req.SolverNodeBudget,
+		Cache:            s.cache,
+		Obs:              &obs.Set{Explorer: s.explorer, Solver: s.solverStat},
 	}
 	rt := s.newRunTelemetry()
 	var graphKey string

@@ -75,7 +75,12 @@ func (s *Server) newRunTelemetry() *runTelemetry {
 	tr := obs.New()
 	return &runTelemetry{
 		trace: tr,
-		set:   &obs.Set{Trace: tr, Explorer: obs.NewExplorerStats(nil), Sim: obs.NewSimStats(nil)},
+		set: &obs.Set{
+			Trace:    tr,
+			Explorer: obs.NewExplorerStats(nil),
+			Sim:      obs.NewSimStats(nil),
+			Solver:   obs.NewSolverStats(nil),
+		},
 	}
 }
 
@@ -83,6 +88,7 @@ func (s *Server) newRunTelemetry() *runTelemetry {
 func (rt *runTelemetry) fold(s *Server) {
 	rt.set.Explorer.AddTo(s.explorer)
 	rt.set.Sim.AddTo(s.simStats)
+	rt.set.Solver.AddTo(s.solverStat)
 }
 
 // traceArtifact exports the run's trace as a Perfetto artifact, or nil
@@ -177,7 +183,8 @@ func (s *Server) recordDSERun(req modelio.DSERequestJSON, app, graphKey string,
 	rt *runTelemetry, points []dse.Point, runErr error) {
 	h := cache.NewHasher("mamps/runlog/dsecfg/v1")
 	h.Int(int64(req.MinTiles)).Int(int64(req.MaxTiles)).
-		Strings(req.Interconnects).Bool(req.WithCA)
+		Strings(req.Interconnects).Bool(req.WithCA).
+		Bool(req.Solver).Int(req.SolverNodeBudget)
 	rec := runlog.Record{
 		Kind:        "dse",
 		App:         app,
@@ -197,10 +204,13 @@ func (s *Server) recordDSERun(req modelio.DSERequestJSON, app, graphKey string,
 	} else {
 		rec.Outcome = "ok"
 		// Bound records the sweep's best guaranteed throughput — the number
-		// the regression gate watches for a DSE run.
+		// the regression gate watches for a DSE run — and EnergyPJ that
+		// point's energy estimate.
 		for _, p := range points {
 			if p.Err == nil && p.Throughput > rec.Bound {
 				rec.Bound = p.Throughput
+				rec.EnergyPJ = p.Energy.TotalPJ
+				rec.AvgWatts = p.Energy.AvgWatts
 			}
 		}
 	}

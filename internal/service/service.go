@@ -137,12 +137,13 @@ type Server struct {
 	metrics *metrics
 	start   time.Time
 
-	log      *slog.Logger
-	reqIDs   obs.RequestIDs
-	obsReg   *obs.Registry
-	explorer *obs.ExplorerStats
-	simStats *obs.SimStats
-	runlog   *runlog.Registry
+	log        *slog.Logger
+	reqIDs     obs.RequestIDs
+	obsReg     *obs.Registry
+	explorer   *obs.ExplorerStats
+	simStats   *obs.SimStats
+	solverStat *obs.SolverStats
+	runlog     *runlog.Registry
 
 	baseCtx context.Context // cancelled only by forced shutdown
 	abort   context.CancelFunc
@@ -167,19 +168,20 @@ func New(cfg Config) *Server {
 	}
 	reg := obs.NewRegistry()
 	s := &Server{
-		cfg:      cfg,
-		clk:      cfg.Clock,
-		cache:    cache.New(cfg.CacheCapacity),
-		metrics:  newMetrics(),
-		start:    cfg.Clock.Now(),
-		log:      logger,
-		obsReg:   reg,
-		explorer: obs.NewExplorerStats(reg),
-		simStats: obs.NewSimStats(reg),
-		runlog:   cfg.RunLog,
-		baseCtx:  ctx,
-		abort:    abort,
-		jobs:     make(chan *job, cfg.QueueDepth),
+		cfg:        cfg,
+		clk:        cfg.Clock,
+		cache:      cache.New(cfg.CacheCapacity),
+		metrics:    newMetrics(),
+		start:      cfg.Clock.Now(),
+		log:        logger,
+		obsReg:     reg,
+		explorer:   obs.NewExplorerStats(reg),
+		simStats:   obs.NewSimStats(reg),
+		solverStat: obs.NewSolverStats(reg),
+		runlog:     cfg.RunLog,
+		baseCtx:    ctx,
+		abort:      abort,
+		jobs:       make(chan *job, cfg.QueueDepth),
 	}
 	if s.runlog != nil {
 		s.runlog.AttachMetrics(reg)

@@ -162,7 +162,8 @@ func SweepContext(ctx context.Context, app *App, cfg DSEConfig) ([]DSEPoint, err
 	return dse.SweepContext(ctx, app, cfg)
 }
 
-// ParetoFront filters a sweep to its throughput/area Pareto front.
+// ParetoFront filters a sweep to its Pareto front over the three
+// objectives throughput (maximized), area and energy (minimized).
 func ParetoFront(points []DSEPoint) []DSEPoint { return dse.ParetoFront(points) }
 
 // AnalysisCache is the content-addressed analysis cache of the mapping
