@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-json bench-smoke obs-smoke faults-smoke dse-smoke regress regress-update vuln serve ci
+.PHONY: all build test race vet fmt fmt-check bench bench-json bench-smoke obs-smoke par-smoke faults-smoke dse-smoke regress regress-update vuln serve ci
 
 all: build
 
@@ -36,7 +36,7 @@ bench:
 # trajectory of the analysis/simulation kernels stays trackable in-tree.
 # Override BENCHTIME (e.g. BENCHTIME=1x) for a smoke run.
 BENCHTIME ?= 2s
-BENCH_PATTERN ?= ^(BenchmarkStateSpace|BenchmarkSimulate|BenchmarkMapping|BenchmarkHSDF|BenchmarkPlatform|BenchmarkDSE|BenchmarkSolver|BenchmarkEnergy)
+BENCH_PATTERN ?= ^(BenchmarkStateSpace|BenchmarkSimulate|BenchmarkMapping|BenchmarkHSDF|BenchmarkPlatform|BenchmarkDSE|BenchmarkSolver|BenchmarkEnergy|BenchmarkAnalyze)
 BENCH_FILE ?= BENCH_$(shell date +%Y-%m-%d).json
 
 bench-json:
@@ -63,6 +63,15 @@ obs-smoke:
 		-bench '^(BenchmarkStateSpaceThroughputMJPEG|BenchmarkSimulateMJPEGIteration|BenchmarkSolverMJPEG|BenchmarkEnergyFold)$$' \
 		-benchmem -benchtime=5x -json . \
 		| $(GO) run ./cmd/benchjson -compare $(OBS_BASELINE) -gate '$(OBS_GATES)'
+
+# Parallel-equivalence smoke: the sharded explorer must return results
+# bit-identical to the sequential kernel (workers 2/4/8 vs 1 over the
+# full equivalence corpus, MJPEG included) and survive an interrupt
+# storm, all under the race detector. Plus the warm-start soundness
+# suite: every reuse tier is cross-checked against a cold analysis.
+par-smoke:
+	$(GO) test -race -run 'TestParallel' ./internal/statespace
+	$(GO) test -race ./internal/statespace/warm ./internal/statespace/shard
 
 # Fault-injection smoke: the reduced seeded conservativeness sweep plus
 # the degraded-mode recovery and resilience tests.
@@ -98,4 +107,4 @@ vuln:
 serve:
 	$(GO) run ./cmd/mamps-serve
 
-ci: build vet fmt-check race obs-smoke faults-smoke dse-smoke regress
+ci: build vet fmt-check race obs-smoke par-smoke faults-smoke dse-smoke regress

@@ -19,6 +19,7 @@ package mamps
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -35,10 +36,12 @@ import (
 	"mamps/internal/mapping"
 	"mamps/internal/mjpeg"
 	"mamps/internal/platgen"
+	"mamps/internal/sdf"
 	"mamps/internal/service"
 	"mamps/internal/sim"
 	"mamps/internal/solver"
 	"mamps/internal/statespace"
+	"mamps/internal/statespace/warm"
 )
 
 // benchCfg is a slightly smaller workload than the experiment default so
@@ -201,7 +204,7 @@ func BenchmarkStateSpaceThroughputMJPEG(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := statespace.Analyze(m.Expanded.Graph, statespace.Options{
-			Schedules: m.ExpandedSchedules, MaxStates: 1 << 22,
+			Schedules: m.ExpandedSchedules, MaxStates: 1 << 22, Workers: 1,
 		}); err != nil {
 			b.Fatal(err)
 		}
@@ -227,7 +230,7 @@ func BenchmarkStateSpaceStates(b *testing.B) {
 	states := 0
 	for i := 0; i < b.N; i++ {
 		r, err := statespace.Analyze(m.Expanded.Graph, statespace.Options{
-			Schedules: m.ExpandedSchedules, MaxStates: 1 << 22,
+			Schedules: m.ExpandedSchedules, MaxStates: 1 << 22, Workers: 1,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -238,6 +241,91 @@ func BenchmarkStateSpaceStates(b *testing.B) {
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(states)*float64(b.N)/secs, "states/s")
 	}
+}
+
+// BenchmarkStateSpaceParallel sweeps the sharded exploration over worker
+// counts on the MJPEG workload (results are bit-identical at every
+// setting; see internal/statespace/parallel.go). The speedup over the
+// workers=1 sub-benchmark is the tentpole figure of EXPERIMENTS.md E11 —
+// on a single-core host the sweep degenerates to measuring the pipeline
+// overhead, which is itself worth tracking.
+func BenchmarkStateSpaceParallel(b *testing.B) {
+	cfg, _ := mjpegAppForBench(b)
+	p, err := arch.DefaultTemplate().Generate("p", 5, arch.FSL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := mapping.Map(cfg.App, p, mapping.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			states := 0
+			for i := 0; i < b.N; i++ {
+				r, err := statespace.Analyze(m.Expanded.Graph, statespace.Options{
+					Schedules: m.ExpandedSchedules, MaxStates: 1 << 22, Workers: w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = r.StatesExplored
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(states)*float64(b.N)/secs, "states/s")
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeWarmStart measures the warm-start tiers against cold
+// analysis on the MJPEG mapped graph: an exact repeat, a uniformly
+// scaled-WCET variant (both answered arithmetically, no exploration) and
+// a one-WCET-delta variant. The delta variant's first request runs cold
+// (pre-sized by the structural hint) and is then cached, so its steady
+// state — what the loop measures — is the exact tier, which is the point
+// of warm-starting an iterative design loop.
+func BenchmarkAnalyzeWarmStart(b *testing.B) {
+	cfg, _ := mjpegAppForBench(b)
+	p, err := arch.DefaultTemplate().Generate("p", 5, arch.FSL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := mapping.Map(cfg.App, p, mapping.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := m.Expanded.Graph
+	sopt := statespace.Options{Schedules: m.ExpandedSchedules, MaxStates: 1 << 22, Workers: 1}
+	variant := func(scale int64, delta int64) *sdf.Graph {
+		vg := g.Clone()
+		for _, a := range vg.Actors() {
+			a.ExecTime *= scale
+		}
+		vg.Actors()[0].ExecTime += delta
+		return vg
+	}
+	run := func(b *testing.B, analyze func(*sdf.Graph, statespace.Options) (statespace.Result, error), vg *sdf.Graph) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := analyze(vg, sopt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) { run(b, statespace.Analyze, g) })
+	warmed := func(b *testing.B) warm.AnalyzeFunc {
+		an := warm.New(8, nil).Analyzer(statespace.Analyze)
+		if _, err := an(g, sopt); err != nil {
+			b.Fatal(err)
+		}
+		return an
+	}
+	b.Run("exact", func(b *testing.B) { run(b, warmed(b), g) })
+	b.Run("scaled", func(b *testing.B) { run(b, warmed(b), variant(3, 0)) })
+	b.Run("hint-1wcet-delta", func(b *testing.B) { run(b, warmed(b), variant(1, 7)) })
 }
 
 func BenchmarkHSDFConversion(b *testing.B) {

@@ -47,6 +47,8 @@ func main() {
 	runlogDir := flag.String("runlog", "", "run registry directory: record every computed run and serve GET /v1/runs")
 	runlogMax := flag.Int("runlog-max-records", 10000, "run registry retention: max records kept (0 = unlimited)")
 	runlogAge := flag.Duration("runlog-max-age", 0, "run registry retention: max record age (0 = unlimited)")
+	analyzeWorkers := flag.Int("analyze-workers", 0, "default state-space analysis workers for jobs that don't set analyzeWorkers (0: one per CPU; 1: sequential — every setting yields bit-identical results)")
+	warmCap := flag.Int("warm-entries", 0, "warm-start analysis cache capacity (0: default 256, negative: disable)")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -69,13 +71,15 @@ func main() {
 	}
 
 	srv := service.New(service.Config{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		JobTimeout:    *jobTimeout,
-		CacheCapacity: *cacheCap,
-		Logger:        logger,
-		EnablePprof:   *enablePprof,
-		RunLog:        runs,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		JobTimeout:     *jobTimeout,
+		CacheCapacity:  *cacheCap,
+		Logger:         logger,
+		EnablePprof:    *enablePprof,
+		RunLog:         runs,
+		AnalyzeWorkers: *analyzeWorkers,
+		WarmCapacity:   *warmCap,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -104,8 +104,19 @@ func LowerBounds(g *sdf.Graph) Distribution {
 // Evaluate returns the worst-case throughput of g under distribution d,
 // using the given analysis options (schedules are honoured).
 func Evaluate(g *sdf.Graph, d Distribution, opt statespace.Options) (float64, error) {
+	return EvaluateWith(g, d, nil, opt)
+}
+
+// EvaluateWith is Evaluate through a custom analysis entry point (e.g. a
+// warm-start cache or a telemetry wrapper); nil analyze selects
+// statespace.Analyze. The entry point must be semantically equivalent to
+// statespace.Analyze.
+func EvaluateWith(g *sdf.Graph, d Distribution, analyze func(*sdf.Graph, statespace.Options) (statespace.Result, error), opt statespace.Options) (float64, error) {
+	if analyze == nil {
+		analyze = statespace.Analyze
+	}
 	bg, _ := Apply(g, d)
-	r, err := statespace.Analyze(bg, opt)
+	r, err := analyze(bg, opt)
 	if err != nil {
 		return 0, err
 	}
@@ -116,6 +127,9 @@ func Evaluate(g *sdf.Graph, d Distribution, opt statespace.Options) (float64, er
 type Options struct {
 	// Analysis options applied to every evaluation (e.g. schedules).
 	Analysis statespace.Options
+	// Analyze, if set, replaces the direct statespace.Analyze call of
+	// every evaluation (see EvaluateWith).
+	Analyze func(*sdf.Graph, statespace.Options) (statespace.Result, error)
 	// MaxSteps bounds the number of capacity increments; zero selects a
 	// default of 4096.
 	MaxSteps int
@@ -133,7 +147,7 @@ func Minimize(g *sdf.Graph, target float64, opt Options) (Distribution, float64,
 		maxSteps = 4096
 	}
 	d := LowerBounds(g)
-	thr, err := Evaluate(g, d, opt.Analysis)
+	thr, err := EvaluateWith(g, d, opt.Analyze, opt.Analysis)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -151,7 +165,7 @@ func Minimize(g *sdf.Graph, target float64, opt Options) (Distribution, float64,
 			inc := gcd(c.SrcRate, c.DstRate)
 			trial := d.Clone()
 			trial[c.ID] += inc
-			tThr, err := Evaluate(g, trial, opt.Analysis)
+			tThr, err := EvaluateWith(g, trial, opt.Analyze, opt.Analysis)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -174,7 +188,7 @@ func Minimize(g *sdf.Graph, target float64, opt Options) (Distribution, float64,
 					trial[c.ID] += gcd(c.SrcRate, c.DstRate)
 				}
 			}
-			tThr, err := Evaluate(g, trial, opt.Analysis)
+			tThr, err := EvaluateWith(g, trial, opt.Analyze, opt.Analysis)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -206,7 +220,7 @@ type ParetoPoint struct {
 // improving for a full round.
 func Pareto(g *sdf.Graph, maxTotal int, opt Options) ([]ParetoPoint, error) {
 	d := LowerBounds(g)
-	thr, err := Evaluate(g, d, opt.Analysis)
+	thr, err := EvaluateWith(g, d, opt.Analyze, opt.Analysis)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +234,7 @@ func Pareto(g *sdf.Graph, maxTotal int, opt Options) ([]ParetoPoint, error) {
 			}
 			trial := d.Clone()
 			trial[c.ID] += gcd(c.SrcRate, c.DstRate)
-			tThr, err := Evaluate(g, trial, opt.Analysis)
+			tThr, err := EvaluateWith(g, trial, opt.Analyze, opt.Analysis)
 			if err != nil {
 				return nil, err
 			}

@@ -34,6 +34,7 @@ import (
 	"mamps/internal/sdf"
 	"mamps/internal/sim"
 	"mamps/internal/statespace"
+	"mamps/internal/statespace/warm"
 	"mamps/internal/trace"
 	"mamps/internal/wcet"
 )
@@ -54,6 +55,21 @@ type Config struct {
 
 	// MapOptions steer the SDF3 step.
 	MapOptions mapping.Options
+
+	// AnalyzeWorkers selects the state-space exploration parallelism of
+	// every throughput analysis the flow performs (statespace
+	// Options.Workers): 1 runs the sequential kernel, larger values
+	// shard the exploration with a bit-identical result, 0 keeps the
+	// analysis default. Applied only where the analysis does not set its
+	// own worker count.
+	AnalyzeWorkers int
+
+	// Warm, if non-nil, routes the flow's analyses through the
+	// warm-start cache: identical or WCET-scaled repeats of a prior
+	// exploration are served arithmetically, structural near-misses
+	// pre-size the state store. Sound-or-cold: results are bit-identical
+	// to cold analysis.
+	Warm *warm.Cache
 
 	// Iterations to execute on the platform; zero skips execution (and
 	// the Expected analysis).
@@ -189,6 +205,34 @@ func TelemetryAnalyzer(ctx context.Context, tel *obs.Set) func(*sdf.Graph, state
 	}
 }
 
+// wrapAnalyzer layers the flow-level analysis options onto an analyzer:
+// a default worker count (applied only when the analysis didn't choose
+// its own) and, outermost, the warm-start cache, so warm hits skip the
+// inner analyzer entirely while hint/miss tiers inherit the worker
+// count. Nil inner with nothing to add stays nil (mapping falls back to
+// statespace.Analyze directly).
+func wrapAnalyzer(inner func(*sdf.Graph, statespace.Options) (statespace.Result, error), workers int, wc *warm.Cache) func(*sdf.Graph, statespace.Options) (statespace.Result, error) {
+	if workers == 0 && wc == nil {
+		return inner
+	}
+	if inner == nil {
+		inner = statespace.Analyze
+	}
+	if workers != 0 {
+		base := inner
+		inner = func(g *sdf.Graph, opt statespace.Options) (statespace.Result, error) {
+			if opt.Workers == 0 {
+				opt.Workers = workers
+			}
+			return base(g, opt)
+		}
+	}
+	if wc != nil {
+		inner = wc.Analyzer(inner)
+	}
+	return inner
+}
+
 // Run executes the flow without cancellation, on the system clock.
 func Run(cfg Config) (*Result, error) { return RunContext(context.Background(), cfg) }
 
@@ -218,6 +262,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.MapOptions.Analyze == nil && (ctx.Done() != nil || cfg.Obs != nil) {
 		cfg.MapOptions.Analyze = TelemetryAnalyzer(ctx, cfg.Obs)
 	}
+	cfg.MapOptions.Analyze = wrapAnalyzer(cfg.MapOptions.Analyze, cfg.AnalyzeWorkers, cfg.Warm)
 	flowScope := cfg.Obs.TraceOf().Scope("flow")
 	res := &Result{}
 	var stageSpan obs.Span

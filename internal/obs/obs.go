@@ -314,6 +314,13 @@ type ExplorerStats struct {
 	States     *Gauge
 	ArenaBytes *Gauge
 	TableSlots *Gauge
+	// ParallelRuns counts explorations that ran the sharded pipeline;
+	// ShardHandoffs the producer→shard batch hand-offs they made.
+	// ShardStates samples the fullest shard's occupancy, exposing
+	// partition skew (compare against States/shard count).
+	ParallelRuns  *Counter
+	ShardHandoffs *Counter
+	ShardStates   *Gauge
 }
 
 // NewExplorerStats returns explorer counters registered under their
@@ -325,16 +332,20 @@ func NewExplorerStats(r *Registry) *ExplorerStats {
 			Analyses: &Counter{}, StatesTotal: &Counter{},
 			Deadlocks: &Counter{}, Interrupted: &Counter{},
 			States: &Gauge{}, ArenaBytes: &Gauge{}, TableSlots: &Gauge{},
+			ParallelRuns: &Counter{}, ShardHandoffs: &Counter{}, ShardStates: &Gauge{},
 		}
 	}
 	return &ExplorerStats{
-		Analyses:    r.Counter("mamps_statespace_analyses_total", "State-space explorations completed."),
-		StatesTotal: r.Counter("mamps_statespace_states_total", "Distinct states explored, over all analyses."),
-		Deadlocks:   r.Counter("mamps_statespace_deadlocks_total", "Explorations that ended in deadlock."),
-		Interrupted: r.Counter("mamps_statespace_interrupted_total", "Explorations aborted by cancellation."),
-		States:      r.Gauge("mamps_statespace_states", "Sampled states of the exploration in progress."),
-		ArenaBytes:  r.Gauge("mamps_statespace_arena_bytes", "Sampled state-arena bytes of the exploration in progress."),
-		TableSlots:  r.Gauge("mamps_statespace_table_slots", "Sampled open-addressing slots of the exploration in progress."),
+		Analyses:      r.Counter("mamps_statespace_analyses_total", "State-space explorations completed."),
+		StatesTotal:   r.Counter("mamps_statespace_states_total", "Distinct states explored, over all analyses."),
+		Deadlocks:     r.Counter("mamps_statespace_deadlocks_total", "Explorations that ended in deadlock."),
+		Interrupted:   r.Counter("mamps_statespace_interrupted_total", "Explorations aborted by cancellation."),
+		States:        r.Gauge("mamps_statespace_states", "Sampled states of the exploration in progress."),
+		ArenaBytes:    r.Gauge("mamps_statespace_arena_bytes", "Sampled state-arena bytes of the exploration in progress."),
+		TableSlots:    r.Gauge("mamps_statespace_table_slots", "Sampled open-addressing slots of the exploration in progress."),
+		ParallelRuns:  r.Counter("mamps_statespace_parallel_analyses_total", "Explorations run on the sharded parallel pipeline."),
+		ShardHandoffs: r.Counter("mamps_statespace_shard_handoffs_total", "Producer-to-shard batch hand-offs in parallel explorations."),
+		ShardStates:   r.Gauge("mamps_statespace_shard_states", "Sampled occupancy of the fullest seen-table shard."),
 	}
 }
 
@@ -351,6 +362,8 @@ func (e *ExplorerStats) AddTo(dst *ExplorerStats) {
 	dst.StatesTotal.Add(e.StatesTotal.Value())
 	dst.Deadlocks.Add(e.Deadlocks.Value())
 	dst.Interrupted.Add(e.Interrupted.Value())
+	dst.ParallelRuns.Add(e.ParallelRuns.Value())
+	dst.ShardHandoffs.Add(e.ShardHandoffs.Value())
 }
 
 // SimStats receives the platform simulator's counters, published once
@@ -459,6 +472,56 @@ func (s *SolverStats) AddTo(dst *SolverStats) {
 	dst.Verifications.Add(s.Verifications.Value())
 }
 
+// WarmStats receives the warm-start analysis cache's counters: how often
+// a prior exploration was reused (and at which tier) versus analyzed
+// cold. Create with NewWarmStats.
+type WarmStats struct {
+	// Exact counts full-result reuse (identical graph, schedules and
+	// reference actor); Scaled counts results transformed from a prior
+	// exploration whose WCETs differ by one exact rational factor; Hint
+	// counts cold analyses accelerated by a structural size hint.
+	Exact  *Counter
+	Scaled *Counter
+	Hint   *Counter
+	// Misses counts analyses with no structural match; Bailouts counts
+	// requests the cache refused to serve (side-effecting options) and
+	// reuse attempts abandoned because soundness could not be proven.
+	Misses   *Counter
+	Bailouts *Counter
+}
+
+// NewWarmStats returns warm-start counters registered under their
+// canonical mamps_warmstart_* names; a nil registry yields unregistered
+// but fully functional metrics.
+func NewWarmStats(r *Registry) *WarmStats {
+	if r == nil {
+		return &WarmStats{
+			Exact: &Counter{}, Scaled: &Counter{}, Hint: &Counter{},
+			Misses: &Counter{}, Bailouts: &Counter{},
+		}
+	}
+	return &WarmStats{
+		Exact:    r.Counter("mamps_warmstart_exact_hits_total", "Analyses served verbatim from a prior exploration."),
+		Scaled:   r.Counter("mamps_warmstart_scaled_hits_total", "Analyses transformed from a prior exploration by an exact WCET scaling."),
+		Hint:     r.Counter("mamps_warmstart_hint_hits_total", "Cold analyses pre-sized from a structurally matching prior exploration."),
+		Misses:   r.Counter("mamps_warmstart_misses_total", "Analyses with no reusable prior exploration."),
+		Bailouts: r.Counter("mamps_warmstart_bailouts_total", "Reuse attempts abandoned because soundness could not be proven."),
+	}
+}
+
+// AddTo adds this group's counter values into dst. Nil source or
+// destination is a no-op.
+func (w *WarmStats) AddTo(dst *WarmStats) {
+	if w == nil || dst == nil {
+		return
+	}
+	dst.Exact.Add(w.Exact.Value())
+	dst.Scaled.Add(w.Scaled.Value())
+	dst.Hint.Add(w.Hint.Value())
+	dst.Misses.Add(w.Misses.Value())
+	dst.Bailouts.Add(w.Bailouts.Value())
+}
+
 // Set bundles the telemetry destinations of one run: a span trace and
 // the kernel counter groups. Any field may be nil to disable that part;
 // a nil *Set disables everything behind a single check.
@@ -467,6 +530,7 @@ type Set struct {
 	Explorer *ExplorerStats
 	Sim      *SimStats
 	Solver   *SolverStats
+	Warm     *WarmStats
 }
 
 // TraceOf returns the set's trace, tolerating a nil set.
@@ -499,4 +563,12 @@ func (s *Set) SolverOf() *SolverStats {
 		return nil
 	}
 	return s.Solver
+}
+
+// WarmOf returns the set's warm-start stats, tolerating a nil set.
+func (s *Set) WarmOf() *WarmStats {
+	if s == nil {
+		return nil
+	}
+	return s.Warm
 }

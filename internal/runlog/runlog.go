@@ -120,6 +120,11 @@ type ConfigSummary struct {
 	UseCA            bool         `json:"useCA,omitempty"`
 	Faults           *faults.Spec `json:"faults,omitempty"`
 	TargetThroughput float64      `json:"targetThroughput,omitempty"`
+	// AnalyzeWorkers records the state-space parallelism the run was
+	// requested with. Provenance only: results and counters are
+	// bit-identical at every setting, so this never participates in
+	// baseline comparison keys.
+	AnalyzeWorkers int `json:"analyzeWorkers,omitempty"`
 }
 
 // StageTime is one Table 1 design-flow stage wall time.
@@ -157,6 +162,17 @@ type Counters struct {
 	SolverNodes      int64 `json:"solverNodes,omitempty"`
 	SolverPruned     int64 `json:"solverPruned,omitempty"`
 	SolverIncumbents int64 `json:"solverIncumbents,omitempty"`
+
+	// Warm-start tier counts. Deterministic for a given request sequence
+	// (unlike e.g. shard hand-off counts, which depend on scheduling and
+	// are deliberately excluded): the regression gate pins them so a
+	// silently changed reuse decision — the precursor of an unsound
+	// reuse — fails with an explicit reason.
+	WarmExact    int64 `json:"warmExact,omitempty"`
+	WarmScaled   int64 `json:"warmScaled,omitempty"`
+	WarmHint     int64 `json:"warmHint,omitempty"`
+	WarmMisses   int64 `json:"warmMisses,omitempty"`
+	WarmBailouts int64 `json:"warmBailouts,omitempty"`
 }
 
 // CountersFrom snapshots the counter values of a telemetry set.
@@ -180,6 +196,13 @@ func CountersFrom(set *obs.Set) Counters {
 		c.SolverNodes = sv.NodesExpanded.Value()
 		c.SolverPruned = sv.NodesPruned.Value()
 		c.SolverIncumbents = sv.Incumbents.Value()
+	}
+	if w := set.WarmOf(); w != nil {
+		c.WarmExact = w.Exact.Value()
+		c.WarmScaled = w.Scaled.Value()
+		c.WarmHint = w.Hint.Value()
+		c.WarmMisses = w.Misses.Value()
+		c.WarmBailouts = w.Bailouts.Value()
 	}
 	return c
 }

@@ -1,0 +1,48 @@
+package sdf
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// StructuralDigest returns a content hash of the graph's execution
+// structure *excluding* execution times: actor count, per-actor
+// auto-concurrency bounds, and every channel's endpoints, rates and
+// initial tokens, all in declaration (ID) order.
+//
+// Two graphs with equal digests run the same self-timed trajectory shape:
+// the state sequences visit the same token counts and schedule positions,
+// and differ only in the timing induced by the WCETs. The warm-start
+// analysis cache uses this as its "near miss" key — a request whose graph
+// differs from a cached exploration only in WCETs can reuse the prior
+// exploration's structure (exactly, when the WCETs are related by one
+// rational factor; as a size hint otherwise).
+//
+// The digest is deliberately order-sensitive (IDs, not names): cached
+// per-channel and per-actor vectors such as Result.MaxTokens are indexed
+// by ID, so reuse is only sound between graphs whose declaration orders
+// agree. Names, token sizes and anything else without influence on the
+// abstract execution are excluded.
+func (g *Graph) StructuralDigest() string {
+	h := sha256.New()
+	var b [8]byte
+	u := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	u(uint64(len(g.actors)))
+	for _, a := range g.actors {
+		u(uint64(a.MaxConcurrent))
+	}
+	u(uint64(len(g.channels)))
+	for _, c := range g.channels {
+		u(uint64(c.Src))
+		u(uint64(c.Dst))
+		u(uint64(c.SrcRate))
+		u(uint64(c.DstRate))
+		u(uint64(c.InitialTokens))
+	}
+	sum := h.Sum(nil)
+	return "sdf-struct:" + hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,58 @@
+package sdf
+
+import "testing"
+
+func digestGraph(wcets [2]int64, srcRate, dstRate, tokens, maxConc int, names [2]string) string {
+	g := NewGraph("g")
+	a := g.AddActor(names[0], wcets[0])
+	b := g.AddActor(names[1], wcets[1])
+	a.MaxConcurrent = maxConc
+	g.Connect(a, b, srcRate, dstRate, tokens)
+	g.Connect(b, a, dstRate, srcRate, 2)
+	return g.StructuralDigest()
+}
+
+func TestStructuralDigest(t *testing.T) {
+	base := digestGraph([2]int64{2, 3}, 1, 1, 1, 0, [2]string{"a", "b"})
+
+	// Insensitive to what does not shape the trajectory: WCETs and names.
+	if got := digestGraph([2]int64{700, 1}, 1, 1, 1, 0, [2]string{"a", "b"}); got != base {
+		t.Error("digest changed with WCETs")
+	}
+	if got := digestGraph([2]int64{2, 3}, 1, 1, 1, 0, [2]string{"x", "y"}); got != base {
+		t.Error("digest changed with actor names")
+	}
+
+	// Sensitive to everything that does.
+	if got := digestGraph([2]int64{2, 3}, 2, 1, 1, 0, [2]string{"a", "b"}); got == base {
+		t.Error("digest ignored a rate change")
+	}
+	if got := digestGraph([2]int64{2, 3}, 1, 1, 3, 0, [2]string{"a", "b"}); got == base {
+		t.Error("digest ignored an initial-token change")
+	}
+	if got := digestGraph([2]int64{2, 3}, 1, 1, 1, 1, [2]string{"a", "b"}); got == base {
+		t.Error("digest ignored a MaxConcurrent change")
+	}
+
+	// Sensitive to topology and declaration order (results are ID-indexed).
+	g := NewGraph("g")
+	b := g.AddActor("b", 3)
+	a := g.AddActor("a", 2)
+	a.MaxConcurrent = 0
+	g.Connect(a, b, 1, 1, 1)
+	g.Connect(b, a, 1, 1, 2)
+	if g.StructuralDigest() == base {
+		t.Error("digest ignored actor declaration order")
+	}
+
+	three := NewGraph("g")
+	x := three.AddActor("a", 2)
+	y := three.AddActor("b", 3)
+	z := three.AddActor("c", 1)
+	three.Connect(x, y, 1, 1, 1)
+	three.Connect(y, z, 1, 1, 2)
+	three.Connect(z, x, 1, 1, 0)
+	if three.StructuralDigest() == base {
+		t.Error("digest ignored added actor/channel")
+	}
+}

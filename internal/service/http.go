@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"runtime/debug"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"mamps/internal/service/cache"
 	"mamps/internal/sim"
 	"mamps/internal/statespace"
+	"mamps/internal/statespace/warm"
 )
 
 // Handler returns the service's HTTP surface.
@@ -200,6 +202,33 @@ func (s *Server) elapsedMS(start time.Time) float64 {
 
 // ---- /v1/analyze ----
 
+// validateWorkers rejects worker counts a request must not ask for:
+// negative, or beyond 4×GOMAXPROCS (the analysis kernel would clamp, but
+// the service boundary answers an absurd request with a structured 400
+// instead of silently spawning bounded-but-surprising goroutine pools).
+// Zero is "use the server default" and always valid.
+func validateWorkers(field string, w int) error {
+	limit := 4 * runtime.GOMAXPROCS(0)
+	if w < 0 || w > limit {
+		return fmt.Errorf("%s %d out of range (want 1..%d, or 0 for the server default)", field, w, limit)
+	}
+	return nil
+}
+
+// writeValidationError answers a 400 with the structured error body.
+func (s *Server) writeValidationError(w http.ResponseWriter, err error) {
+	s.writeJSON(w, http.StatusBadRequest, modelio.ErrorJSON{Error: err.Error(), Kind: "validation"})
+}
+
+// analyzeWorkers resolves a request's analyzeWorkers field against the
+// server default.
+func (s *Server) analyzeWorkers(req int) int {
+	if req != 0 {
+		return req
+	}
+	return s.cfg.AnalyzeWorkers
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	start := s.clk.Now()
 	var req modelio.AnalyzeRequestJSON
@@ -207,6 +236,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, modelio.ErrorJSON{Error: err.Error()})
 		return
 	}
+	if err := validateWorkers("analyzeWorkers", req.AnalyzeWorkers); err != nil {
+		s.writeValidationError(w, err)
+		return
+	}
+	// analyzeWorkers is deliberately absent from the content key: the
+	// analysis result is bit-identical at every worker count, so requests
+	// differing only in parallelism share one cache entry.
 	h := cache.NewHasher("mamps/req/analyze/v1")
 	workloadHash(h, req.AppXML, req.Workload)
 	h.Float(req.TargetThroughput)
@@ -240,15 +276,25 @@ func (s *Server) analyzeJob(ctx context.Context, req modelio.AnalyzeRequestJSON)
 	for _, a := range g.Actors() {
 		a.MaxConcurrent = 1
 	}
-	sopt := statespace.Options{Interrupt: ctx.Done(), Telemetry: s.explorer}
-	thr, err := buffer.Evaluate(g, buffer.LowerBounds(g), sopt)
+	sopt := statespace.Options{
+		Interrupt: ctx.Done(), Telemetry: s.explorer,
+		Workers: s.analyzeWorkers(req.AnalyzeWorkers),
+	}
+	// Route the evaluations through the shared warm-start cache (nil
+	// degrades to cold analysis): repeated workloads differing only in
+	// WCETs reuse prior explorations, bit-identically.
+	var analyze warm.AnalyzeFunc
+	if s.warm != nil {
+		analyze = s.warm.Analyzer(statespace.Analyze)
+	}
+	thr, err := buffer.EvaluateWith(g, buffer.LowerBounds(g), analyze, sopt)
 	if err != nil {
 		return nil, err
 	}
 	resp.Throughput = modelio.NewThroughputJSON(thr)
 
 	if req.TargetThroughput > 0 {
-		dist, got, err := buffer.Minimize(g, req.TargetThroughput, buffer.Options{Analysis: sopt})
+		dist, got, err := buffer.Minimize(g, req.TargetThroughput, buffer.Options{Analysis: sopt, Analyze: analyze})
 		if err != nil {
 			return nil, err
 		}
@@ -275,6 +321,12 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, modelio.ErrorJSON{Error: err.Error()})
 		return
 	}
+	if err := validateWorkers("analyzeWorkers", req.AnalyzeWorkers); err != nil {
+		s.writeValidationError(w, err)
+		return
+	}
+	// analyzeWorkers is not part of the content key (results are
+	// bit-identical at every worker count).
 	h := cache.NewHasher("mamps/req/flow/v1")
 	workloadHash(h, req.AppXML, req.Workload)
 	h.String(req.ArchXML).Int(int64(req.Tiles)).String(req.Interconnect).
@@ -318,6 +370,7 @@ func (s *Server) flowJob(ctx context.Context, req modelio.FlowRequestJSON) (any,
 	cfg.MapOptions.UseCA = req.UseCA
 	cfg.Faults = req.Faults
 	cfg.TargetThroughput = req.TargetThroughput
+	cfg.AnalyzeWorkers = s.analyzeWorkers(req.AnalyzeWorkers)
 	rt := s.newRunTelemetry()
 	var graphKey string
 	if rt != nil {
@@ -342,6 +395,11 @@ func (s *Server) flowJob(ctx context.Context, req modelio.FlowRequestJSON) (any,
 			opt.Telemetry = s.explorer
 			return analyze(g, opt)
 		}
+		// The shared warm-start cache layers on top (flow wraps it
+		// outermost): near-miss requests reuse prior explorations the
+		// exact-key cache cannot serve. Recorded runs stay cold so their
+		// counters are reproducible.
+		cfg.Warm = s.warm
 	}
 
 	if req.ArchXML != "" {
@@ -397,6 +455,16 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, modelio.ErrorJSON{Error: err.Error()})
 		return
 	}
+	if err := validateWorkers("workers", req.Workers); err != nil {
+		s.writeValidationError(w, err)
+		return
+	}
+	if err := validateWorkers("analyzeWorkers", req.AnalyzeWorkers); err != nil {
+		s.writeValidationError(w, err)
+		return
+	}
+	// Neither workers field is part of the content key: the sweep's
+	// output is deterministic at every parallelism setting.
 	h := cache.NewHasher("mamps/req/dse/v1")
 	workloadHash(h, req.AppXML, req.Workload)
 	h.Int(int64(req.MinTiles)).Int(int64(req.MaxTiles)).
@@ -427,6 +495,8 @@ func (s *Server) dseJob(ctx context.Context, req modelio.DSERequestJSON) (any, e
 		WithCA:           req.WithCA,
 		UseSolver:        req.Solver,
 		SolverNodeBudget: req.SolverNodeBudget,
+		Workers:          req.Workers,
+		AnalyzeWorkers:   s.analyzeWorkers(req.AnalyzeWorkers),
 		Cache:            s.cache,
 		Obs:              &obs.Set{Explorer: s.explorer, Solver: s.solverStat},
 	}

@@ -132,6 +132,7 @@ func (s *Server) recordFlowRun(req modelio.FlowRequestJSON, app, graphKey string
 			Iterations: req.Iterations, RefActor: req.RefActor,
 			UseCA: req.UseCA, Faults: req.Faults,
 			TargetThroughput: req.TargetThroughput,
+			AnalyzeWorkers:   req.AnalyzeWorkers,
 		},
 		Counters: runlog.CountersFrom(rt.set),
 	}
@@ -191,9 +192,10 @@ func (s *Server) recordDSERun(req modelio.DSERequestJSON, app, graphKey string,
 		GraphKey:    graphKey,
 		BaselineKey: "graph/" + graphKey + "/dse/" + h.Sum()[:12],
 		Config: runlog.ConfigSummary{
-			Tiles:        req.MaxTiles,
-			Interconnect: strings.Join(req.Interconnects, ","),
-			UseCA:        req.WithCA,
+			Tiles:          req.MaxTiles,
+			Interconnect:   strings.Join(req.Interconnects, ","),
+			UseCA:          req.WithCA,
+			AnalyzeWorkers: req.AnalyzeWorkers,
 		},
 		Counters: runlog.CountersFrom(rt.set),
 	}

@@ -36,6 +36,7 @@ import (
 	"mamps/internal/service/cache"
 	"mamps/internal/sim"
 	"mamps/internal/statespace"
+	"mamps/internal/statespace/warm"
 )
 
 // Config configures a Server.
@@ -50,6 +51,16 @@ type Config struct {
 	// CacheCapacity bounds the analysis cache in entries (default
 	// cache.DefaultCapacity).
 	CacheCapacity int
+	// AnalyzeWorkers is the default state-space exploration parallelism
+	// applied to jobs that do not request their own analyzeWorkers
+	// (statespace Options.Workers; results are bit-identical at any
+	// setting). Zero keeps the analysis kernel's sequential default.
+	AnalyzeWorkers int
+	// WarmCapacity bounds the warm-start cache of prior explorations
+	// shared by non-recorded jobs (default 256 entries; negative
+	// disables warm-start entirely). Recorded runs (RunLog set) always
+	// analyze cold so their counters stay reproducible.
+	WarmCapacity int
 	// Clock is the time source for latency measurement and flow step
 	// timing; nil selects the system monotonic clock.
 	Clock clock.Clock
@@ -143,6 +154,7 @@ type Server struct {
 	explorer   *obs.ExplorerStats
 	simStats   *obs.SimStats
 	solverStat *obs.SolverStats
+	warm       *warm.Cache // nil when disabled
 	runlog     *runlog.Registry
 
 	baseCtx context.Context // cancelled only by forced shutdown
@@ -182,6 +194,13 @@ func New(cfg Config) *Server {
 		baseCtx:    ctx,
 		abort:      abort,
 		jobs:       make(chan *job, cfg.QueueDepth),
+	}
+	if cfg.WarmCapacity >= 0 {
+		wc := cfg.WarmCapacity
+		if wc == 0 {
+			wc = 256
+		}
+		s.warm = warm.New(wc, obs.NewWarmStats(reg))
 	}
 	if s.runlog != nil {
 		s.runlog.AttachMetrics(reg)

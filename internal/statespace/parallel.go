@@ -1,0 +1,333 @@
+// Parallel exploration: a producer/sharded-consumer pipeline over the
+// sequential kernel's trajectory.
+//
+// Self-timed execution is deterministic, so the state sequence is a single
+// linear trajectory — there is no frontier to fan out. What parallelism can
+// offload is the seen-table work: packing, hashing, storing and comparing
+// state keys. The producer goroutine simulates the trajectory exactly as
+// the sequential kernel does and hashes each packed key once; the hash's
+// top bits route the key to one of N shard workers, each owning a private
+// shard.Segment, in batched hand-offs. Equal keys always hash equally, so
+// the first revisited state is detected by whichever shard owns it.
+//
+// Determinism argument: the producer dispatches states in trajectory order
+// 0,1,2,…, and every state reaches exactly one shard. A shard therefore
+// sees its subset of the trajectory in trajectory order, and a revisit is
+// detected with the same (first-occurrence visit, revisit index) pair the
+// sequential kernel would record. The reduction takes the hit with the
+// minimum trajectory index over all shards — exactly the first revisit of
+// the sequential kernel. The producer may overrun that first revisit by
+// the states still in flight when the hit is raised, but every overrun
+// state replays a transition already taken from the equal earlier state
+// (deterministic execution), so overrun states are duplicates: they hit,
+// are never inserted, and change neither MaxTokens nor the per-shard
+// insert totals. Hence StatesExplored (= Σ shard inserts = min hit index)
+// and every other Result field are bit-identical to the sequential kernel
+// at any worker count.
+package statespace
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"mamps/internal/obs"
+	"mamps/internal/sdf"
+	"mamps/internal/statespace/shard"
+)
+
+// Hand-off batch sizing: big enough to amortize channel operations, small
+// enough that a hit is observed promptly and batches recycle through the
+// pool while staying cache-resident.
+const (
+	batchStates = 256
+	batchBytes  = 16 << 10
+)
+
+// stateRec is one dispatched state. Key bytes live in the batch's shared
+// buffer: rec i's key ends at keys[end] and starts at rec i-1's end.
+type stateRec struct {
+	hash  uint64
+	end   uint32
+	visit shard.Visit
+	index int64
+}
+
+type batch struct {
+	keys []byte
+	recs []stateRec
+}
+
+var batchPool = sync.Pool{New: func() any {
+	return &batch{keys: make([]byte, 0, batchBytes+512), recs: make([]stateRec, 0, batchStates)}
+}}
+
+// hitRec is a detected revisit: the trajectory index of the revisiting
+// state, the stored visit of its first occurrence, and the revisiting
+// state's own visit.
+type hitRec struct {
+	index int64
+	prior shard.Visit
+	cur   shard.Visit
+}
+
+// shardRun is one worker's state. The atomics publish sampled sizes to the
+// producer's telemetry without touching the worker-owned segment.
+type shardRun struct {
+	seg        *shard.Segment
+	in         chan *batch
+	hits       []hitRec
+	states     atomic.Int64
+	arenaBytes atomic.Int64
+	slots      atomic.Int64
+	_          [24]byte // keep adjacent shardRuns off one cache line
+}
+
+type parRun struct {
+	shards []shardRun
+	hit    atomic.Bool
+	wg     sync.WaitGroup
+}
+
+func (p *parRun) worker(si int) {
+	defer p.wg.Done()
+	sh := &p.shards[si]
+	for b := range sh.in {
+		start := uint32(0)
+		for i := range b.recs {
+			r := &b.recs[i]
+			key := b.keys[start:r.end]
+			start = r.end
+			if v, ok := sh.seg.LookupOrInsert(r.hash, key, r.visit); ok {
+				sh.hits = append(sh.hits, hitRec{index: r.index, prior: v, cur: r.visit})
+				p.hit.Store(true)
+			}
+		}
+		sh.states.Store(int64(sh.seg.Len()))
+		sh.arenaBytes.Store(int64(sh.seg.ArenaBytes()))
+		sh.slots.Store(int64(sh.seg.Slots()))
+		b.keys = b.keys[:0]
+		b.recs = b.recs[:0]
+		batchPool.Put(b)
+	}
+}
+
+// flush sends the open batch for shard si, if any, and reports whether a
+// hand-off happened.
+func flush(p *parRun, open []*batch, si int) bool {
+	if b := open[si]; b != nil && len(b.recs) > 0 {
+		p.shards[si].in <- b
+		open[si] = nil
+		return true
+	}
+	return false
+}
+
+// drain closes every shard channel and waits for the workers to finish
+// their remaining batches.
+func (p *parRun) drain() {
+	for i := range p.shards {
+		close(p.shards[i].in)
+	}
+	p.wg.Wait()
+}
+
+// release returns every segment (and any still-open batch) to the pools.
+func (p *parRun) release(open []*batch) {
+	for i := range p.shards {
+		p.shards[i].seg.Release()
+	}
+	for _, b := range open {
+		if b != nil {
+			b.keys = b.keys[:0]
+			b.recs = b.recs[:0]
+			batchPool.Put(b)
+		}
+	}
+}
+
+// inserted sums the distinct states stored across shards. Call only after
+// drain: the segments are worker-owned until then.
+func (p *parRun) inserted() int64 {
+	var n int64
+	for i := range p.shards {
+		n += int64(p.shards[i].seg.Len())
+	}
+	return n
+}
+
+// publishProgressParallel mirrors the sampled per-shard sizes into the
+// telemetry gauges, including the fullest shard's occupancy.
+func publishProgressParallel(tel *obs.ExplorerStats, p *parRun) {
+	var states, arena, slots, occ int64
+	for i := range p.shards {
+		sh := &p.shards[i]
+		s := sh.states.Load()
+		states += s
+		arena += sh.arenaBytes.Load()
+		slots += sh.slots.Load()
+		if s > occ {
+			occ = s
+		}
+	}
+	tel.States.Store(states)
+	tel.ArenaBytes.Store(arena)
+	tel.TableSlots.Store(slots)
+	tel.ShardStates.Store(occ)
+}
+
+// publishFinalParallel mirrors the sequential publishFinal using the
+// post-drain insert totals.
+func publishFinalParallel(tel *obs.ExplorerStats, p *parRun, handoffs int64, deadlocked, interrupted bool) {
+	if tel == nil {
+		return
+	}
+	publishProgressParallel(tel, p)
+	tel.StatesTotal.Add(p.inserted())
+	tel.ParallelRuns.Add(1)
+	tel.ShardHandoffs.Add(handoffs)
+	if interrupted {
+		tel.Interrupted.Add(1)
+		return
+	}
+	tel.Analyses.Add(1)
+	if deadlocked {
+		tel.Deadlocks.Add(1)
+	}
+}
+
+// analyzeParallel explores the trajectory with `workers` hash-partitioned
+// seen-table shards. workers is a power of two in [2, maxShards]; the
+// result is bit-identical to the sequential kernel.
+func analyzeParallel(g *sdf.Graph, opt Options, q []int64, maxStates, workers int) (Result, error) {
+	var e explorer
+	if err := e.setup(g, opt, opt.ReferenceActor); err != nil {
+		return Result{}, err
+	}
+	shift := uint(64)
+	for w := workers; w > 1; w >>= 1 {
+		shift--
+	}
+	seed := maphash.MakeSeed()
+	perShard := opt.SizeHint.States / workers
+	p := &parRun{shards: make([]shardRun, workers)}
+	for i := range p.shards {
+		p.shards[i].seg = shard.Get(shard.Hint{States: perShard, KeyBytes: e.keyHint()})
+		p.shards[i].in = make(chan *batch, 4)
+	}
+	p.wg.Add(workers)
+	for i := range p.shards {
+		go p.worker(i)
+	}
+
+	open := make([]*batch, workers)
+	var handoffs int64
+	var produced int64
+	tel := opt.Telemetry
+
+	for states := 0; states < maxStates; states++ {
+		if e.zeroTimeErr != nil {
+			p.drain()
+			p.release(open)
+			return Result{}, e.zeroTimeErr
+		}
+		if opt.Interrupt != nil {
+			select {
+			case <-opt.Interrupt:
+				p.drain()
+				publishFinalParallel(tel, p, handoffs, false, true)
+				p.release(open)
+				return Result{}, ErrInterrupted
+			default:
+			}
+		}
+		if tel != nil && states&(telemetrySample-1) == 0 {
+			publishProgressParallel(tel, p)
+		}
+		if p.hit.Load() {
+			break
+		}
+		key := e.stateKey()
+		h := maphash.Bytes(seed, key)
+		si := int(h >> shift)
+		b := open[si]
+		if b == nil {
+			b = batchPool.Get().(*batch)
+			open[si] = b
+		}
+		b.keys = append(b.keys, key...)
+		b.recs = append(b.recs, stateRec{
+			hash:  h,
+			end:   uint32(len(b.keys)),
+			visit: shard.Visit{Time: e.now, Completions: e.refCompletions},
+			index: int64(states),
+		})
+		if len(b.recs) >= batchStates || len(b.keys) >= batchBytes {
+			p.shards[si].in <- b
+			open[si] = nil
+			handoffs++
+		}
+		produced++
+
+		if len(e.events) == 0 {
+			// Nothing in flight and nothing could start: deadlock. Every
+			// state of a deadlocking trajectory is distinct (a revisit
+			// would imply the earlier occurrence's longer future), so the
+			// in-flight states all insert and the store size equals the
+			// produced count, as in the sequential kernel.
+			for si := range open {
+				if flush(p, open, si) {
+					handoffs++
+				}
+			}
+			p.drain()
+			res := Result{Deadlocked: true, DeadlockReport: e.deadlockReport(), StatesExplored: int(produced), TransientCycles: e.now, MaxTokens: e.maxTokens}
+			publishFinalParallel(tel, p, handoffs, true, false)
+			p.release(open)
+			return res, nil
+		}
+		e.now = e.events[0].at
+		e.finishZero()
+	}
+
+	// Budget exhausted or a hit was raised: flush the in-flight states and
+	// reduce. States the producer dispatched past the first revisit are
+	// replays and only ever hit; the minimum hit index is the sequential
+	// kernel's first revisit.
+	for si := range open {
+		if flush(p, open, si) {
+			handoffs++
+		}
+	}
+	p.drain()
+	best := hitRec{index: -1}
+	for i := range p.shards {
+		for _, hr := range p.shards[i].hits {
+			if best.index < 0 || hr.index < best.index {
+				best = hr
+			}
+		}
+	}
+	if best.index < 0 {
+		p.release(open)
+		return Result{}, exceededErr(g, maxStates)
+	}
+	period := best.cur.Time - best.prior.Time
+	firings := best.cur.Completions - best.prior.Completions
+	res := Result{
+		FiringsPerPeriod: firings,
+		PeriodCycles:     period,
+		TransientCycles:  best.prior.Time,
+		StatesExplored:   int(best.index),
+		MaxTokens:        e.maxTokens,
+	}
+	if period > 0 && firings > 0 {
+		res.Throughput = float64(firings) / float64(q[opt.ReferenceActor]) / float64(period)
+	}
+	if firings == 0 {
+		res.Deadlocked = true
+	}
+	publishFinalParallel(tel, p, handoffs, res.Deadlocked, false)
+	p.release(open)
+	return res, nil
+}

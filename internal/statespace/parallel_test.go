@@ -1,0 +1,280 @@
+// Parallel/sequential equivalence: the sharded pipeline must return
+// bit-identical Results at every worker count, on every termination path
+// (recurrence, deadlock-by-recurrence, deadlock-by-stall, budget
+// exceeded, interrupt).
+package statespace_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mamps/internal/arch"
+	"mamps/internal/mapping"
+	"mamps/internal/mjpeg"
+	"mamps/internal/obs"
+	"mamps/internal/sdf"
+	"mamps/internal/statespace"
+)
+
+// equivalenceCase is one (graph, options) pair replayed at several worker
+// counts.
+type equivalenceCase struct {
+	name  string
+	build func(t *testing.T) (*sdf.Graph, statespace.Options)
+}
+
+func smallGraphCases() []equivalenceCase {
+	return []equivalenceCase{
+		{"cycle", func(t *testing.T) (*sdf.Graph, statespace.Options) {
+			g := sdf.NewGraph("cycle")
+			a := g.AddActor("a", 2)
+			b := g.AddActor("b", 3)
+			g.Connect(a, b, 1, 1, 0)
+			g.Connect(b, a, 1, 1, 1)
+			return g, statespace.Options{}
+		}},
+		{"pipe", func(t *testing.T) (*sdf.Graph, statespace.Options) {
+			g := sdf.NewGraph("pipe")
+			a := g.AddActor("a", 2)
+			b := g.AddActor("b", 3)
+			g.Connect(a, b, 1, 1, 0)
+			g.Connect(b, a, 1, 1, 2)
+			return g, statespace.Options{}
+		}},
+		{"mr", func(t *testing.T) (*sdf.Graph, statespace.Options) {
+			g := sdf.NewGraph("mr")
+			a := g.AddActor("a", 2)
+			b := g.AddActor("b", 3)
+			a.MaxConcurrent = 1
+			b.MaxConcurrent = 1
+			g.Connect(a, b, 2, 1, 0)
+			g.Connect(b, a, 1, 2, 2)
+			return g, statespace.Options{}
+		}},
+		{"sched", func(t *testing.T) (*sdf.Graph, statespace.Options) {
+			g := sdf.NewGraph("sched")
+			a := g.AddActor("a", 2)
+			b := g.AddActor("b", 3)
+			g.Connect(a, b, 1, 1, 1)
+			g.Connect(b, a, 1, 1, 1)
+			return g, statespace.Options{
+				Schedules: []statespace.Schedule{{Tile: "t0", Entries: []sdf.ActorID{a.ID, b.ID}}}}
+		}},
+		{"chain", func(t *testing.T) (*sdf.Graph, statespace.Options) {
+			g := sdf.NewGraph("chain")
+			a := g.AddActor("a", 3)
+			b := g.AddActor("b", 5)
+			c := g.AddActor("c", 2)
+			g.Connect(a, b, 1, 1, 0)
+			g.Connect(b, c, 1, 1, 0)
+			g.Connect(c, a, 1, 1, 4)
+			return g, statespace.Options{ReferenceActor: c.ID}
+		}},
+		{"diamond", func(t *testing.T) (*sdf.Graph, statespace.Options) {
+			g := sdf.NewGraph("diamond")
+			a := g.AddActor("a", 2)
+			b := g.AddActor("b", 7)
+			c := g.AddActor("c", 3)
+			d := g.AddActor("d", 1)
+			g.Connect(a, b, 1, 1, 0)
+			g.Connect(a, c, 1, 1, 0)
+			g.Connect(b, d, 1, 1, 0)
+			g.Connect(c, d, 1, 1, 0)
+			g.Connect(d, a, 1, 1, 3)
+			return g, statespace.Options{ReferenceActor: d.ID}
+		}},
+		{"dead", func(t *testing.T) (*sdf.Graph, statespace.Options) {
+			g := sdf.NewGraph("dead")
+			a := g.AddActor("a", 1)
+			b := g.AddActor("b", 1)
+			g.Connect(a, b, 1, 1, 0)
+			g.Connect(b, a, 1, 1, 0)
+			return g, statespace.Options{}
+		}},
+		{"deadsched", func(t *testing.T) (*sdf.Graph, statespace.Options) {
+			g := sdf.NewGraph("deadsched")
+			a := g.AddActor("a", 1)
+			b := g.AddActor("b", 1)
+			g.Connect(a, b, 1, 1, 0)
+			g.Connect(b, a, 1, 1, 1)
+			return g, statespace.Options{
+				Schedules: []statespace.Schedule{{Tile: "t0", Entries: []sdf.ActorID{b.ID, a.ID}}}}
+		}},
+	}
+}
+
+// mjpegCases builds the binding-aware MJPEG analyses on both
+// interconnects — the largest state spaces in the suite.
+func mjpegCases(t *testing.T) []equivalenceCase {
+	t.Helper()
+	var cases []equivalenceCase
+	for _, ic := range []arch.InterconnectKind{arch.FSL, arch.NoC} {
+		ic := ic
+		cases = append(cases, equivalenceCase{
+			name: "mjpeg-" + ic.String(),
+			build: func(t *testing.T) (*sdf.Graph, statespace.Options) {
+				stream, _, err := mjpeg.EncodeSequence(mjpeg.SeqGradient, 32, 32, 2, 90, mjpeg.Sampling420)
+				if err != nil {
+					t.Fatal(err)
+				}
+				app, _, err := mjpeg.BuildApp(stream)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := arch.DefaultTemplate().Generate("p", 5, ic)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := mapping.Map(app, p, mapping.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m.Expanded.Graph, statespace.Options{Schedules: m.ExpandedSchedules, MaxStates: 1 << 22}
+			},
+		})
+	}
+	return cases
+}
+
+var equivalenceWorkers = []int{2, 4, 8}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	cases := append(smallGraphCases(), mjpegCases(t)...)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, opt := c.build(t)
+			opt.Workers = 1
+			want, err := statespace.Analyze(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range equivalenceWorkers {
+				opt.Workers = w
+				got, err := statespace.Analyze(g, opt)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("workers=%d: result diverged\n got %+v\nwant %+v", w, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelBudgetExceeded pins the budget boundary: at MaxStates equal
+// to the first-revisit index the sequential kernel errors, and so must
+// every parallel run, even though the revisit was "one state away".
+func TestParallelBudgetExceeded(t *testing.T) {
+	g := sdf.NewGraph("cycle")
+	a := g.AddActor("a", 2)
+	b := g.AddActor("b", 3)
+	g.Connect(a, b, 1, 1, 0)
+	g.Connect(b, a, 1, 1, 1)
+	for _, w := range append([]int{1}, equivalenceWorkers...) {
+		_, err := statespace.Analyze(g, statespace.Options{MaxStates: 2, Workers: w})
+		if err == nil || !strings.Contains(err.Error(), "exceeded 2 states") {
+			t.Errorf("workers=%d: err = %v, want exceeded-states error", w, err)
+		}
+	}
+}
+
+// TestParallelTelemetryStates checks that the parallel reduction accounts
+// states exactly like the sequential kernel: the per-analysis totals added
+// to StatesTotal must match at every worker count even though the
+// producer overruns the first revisit.
+func TestParallelTelemetryStates(t *testing.T) {
+	cases := mjpegCases(t)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, opt := c.build(t)
+			opt.Workers = 1
+			seq := obs.NewExplorerStats(nil)
+			opt.Telemetry = seq
+			if _, err := statespace.Analyze(g, opt); err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range equivalenceWorkers {
+				par := obs.NewExplorerStats(nil)
+				opt.Workers = w
+				opt.Telemetry = par
+				if _, err := statespace.Analyze(g, opt); err != nil {
+					t.Fatal(err)
+				}
+				if got, want := par.StatesTotal.Value(), seq.StatesTotal.Value(); got != want {
+					t.Errorf("workers=%d: StatesTotal = %d, want %d", w, got, want)
+				}
+				if par.ParallelRuns.Value() != 1 {
+					t.Errorf("workers=%d: ParallelRuns = %d, want 1", w, par.ParallelRuns.Value())
+				}
+				if par.ShardHandoffs.Value() == 0 {
+					t.Errorf("workers=%d: no shard hand-offs recorded", w)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelInterruptStorm interrupts parallel explorations at varying
+// points; run under -race it exercises producer/worker shutdown. Every
+// outcome must be either ErrInterrupted or the exact sequential result.
+func TestParallelInterruptStorm(t *testing.T) {
+	g, opt := mjpegCases(t)[0].build(t)
+	opt.Workers = 1
+	want, err := statespace.Analyze(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	interrupted, completed := 0, 0
+	for i := 0; i < 40; i++ {
+		stop := make(chan struct{})
+		timer := time.AfterFunc(time.Duration(rng.Intn(12000))*time.Microsecond, func() { close(stop) })
+		opt.Workers = equivalenceWorkers[i%len(equivalenceWorkers)]
+		opt.Interrupt = stop
+		got, err := statespace.Analyze(g, opt)
+		timer.Stop()
+		switch {
+		case errors.Is(err, statespace.ErrInterrupted):
+			interrupted++
+		case err != nil:
+			t.Fatalf("iteration %d: %v", i, err)
+		default:
+			completed++
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("iteration %d: completed result diverged\n got %+v\nwant %+v", i, got, want)
+			}
+		}
+	}
+	t.Logf("interrupted=%d completed=%d", interrupted, completed)
+}
+
+// TestParallelOnCompleteSequential: OnComplete forces the sequential path
+// (the producer would overrun the first revisit and fire extra hooks), so
+// the hook must see exactly the sequential completion sequence.
+func TestParallelOnCompleteSequential(t *testing.T) {
+	build := smallGraphCases()[0].build
+	g, opt := build(t)
+	var seq []int64
+	opt.OnComplete = func(a sdf.ActorID, now int64) { seq = append(seq, int64(a)<<32|now) }
+	opt.Workers = 1
+	want, err := statespace.Analyze(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeq := append([]int64(nil), seq...)
+
+	seq = seq[:0]
+	opt.Workers = 8
+	got, err := statespace.Analyze(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) || !reflect.DeepEqual(seq, wantSeq) {
+		t.Errorf("OnComplete run diverged between Workers=1 and Workers=8")
+	}
+}

@@ -1,0 +1,274 @@
+// Package shard provides the state store of the state-space explorer: an
+// open-addressing hash segment over an append-only packed-key arena.
+// Collisions are resolved by byte comparison, so the segment never stores
+// per-state heap objects or string keys.
+//
+// A Segment is the unit of sharding for parallel exploration: the producer
+// hashes every packed state key once and routes it by the hash's top bits
+// to the worker owning that segment, so each segment is only ever touched
+// by one goroutine and needs no locks. The sequential kernel is the
+// one-segment special case.
+//
+// Segments recycle through a size-classed pool: a released segment keeps
+// the capacity its last exploration grew to, so repeated analyses (buffer
+// minimization, DSE sweeps, the service) and concurrent shards reuse grown
+// storage instead of each cold-allocating. Arena doubling likewise releases
+// the outgrown buffer into the pool eagerly instead of waiting for GC.
+package shard
+
+import (
+	"bytes"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// Visit is the record stored per distinct state: the absolute time the
+// state was first reached and the reference actor's completion count at
+// that instant.
+type Visit struct {
+	Time        int64
+	Completions int64
+}
+
+// Hint pre-sizes a segment from prior knowledge of an exploration's size.
+// Zero fields select the defaults (a few hundred states of KeyBytes each).
+type Hint struct {
+	// States is the expected number of distinct states.
+	States int
+	// KeyBytes is the typical packed-key length.
+	KeyBytes int
+}
+
+// Segment is one open-addressing hash segment over an append-only state
+// arena. It is not safe for concurrent use; parallel exploration gives
+// each worker exclusive ownership of its segment.
+type Segment struct {
+	seed   maphash.Seed
+	mask   uint64
+	slots  []int32 // arena index + 1; 0 = empty
+	hashes []uint64
+	offs   []uint32 // offs[i]..offs[i+1] is state i's key in arena
+	arena  []byte
+	visits []Visit
+}
+
+// Size classes are powers of two over the arena byte capacity; everything
+// below the smallest class shares it, everything above the largest shares
+// that.
+const (
+	minClassBits = 12 // 4 KiB, the arena-doubling floor
+	maxClassBits = 27 // 128 MiB
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+func classFor(n int) int {
+	c := 0
+	for c < numClasses-1 && n > 1<<(minClassBits+c) {
+		c++
+	}
+	return c
+}
+
+// segPool recycles whole segments, bucketed by the size class of the arena
+// capacity they grew to. classMask records which classes have ever held a
+// segment: Get probes only those pools, so the class scan normally touches
+// one pool — probing an empty sync.Pool is not free (its per-P local array
+// is re-pinned after every GC).
+var (
+	segPool   [numClasses]sync.Pool
+	classMask atomic.Uint32
+)
+
+// bufPool recycles raw arena buffers retired by growArena, so a doubling
+// in one shard reuses the buffer another shard (or a previous analysis)
+// outgrew.
+var (
+	bufPool [numClasses]sync.Pool
+	bufMask atomic.Uint32
+)
+
+// Get returns an empty segment sized for the hint. It prefers a recycled
+// segment near the hinted size class — scanning larger classes first, then
+// smaller, because any recycled segment beats a cold allocation: a small
+// one grows, a large one simply has headroom.
+func Get(h Hint) *Segment {
+	if h.KeyBytes < 4 {
+		h.KeyBytes = 4
+	}
+	if h.States <= 0 {
+		h.States = 1 << 8
+	}
+	want := classFor(h.States * h.KeyBytes)
+	mask := classMask.Load()
+	for c := want; c < numClasses; c++ {
+		if mask&(1<<c) == 0 {
+			continue
+		}
+		if v := segPool[c].Get(); v != nil {
+			s := v.(*Segment)
+			s.Reset()
+			return s
+		}
+	}
+	for c := want - 1; c >= 0; c-- {
+		if mask&(1<<c) == 0 {
+			continue
+		}
+		if v := segPool[c].Get(); v != nil {
+			s := v.(*Segment)
+			s.Reset()
+			return s
+		}
+	}
+	s := &Segment{seed: maphash.MakeSeed()}
+	slots := 1 << 10
+	for slots*3 < h.States*4 {
+		slots *= 2
+	}
+	s.slots = make([]int32, slots)
+	s.mask = uint64(slots - 1)
+	s.offs = make([]uint32, 1, h.States+1)
+	s.arena = make([]byte, 0, h.States*h.KeyBytes)
+	s.visits = make([]Visit, 0, h.States)
+	s.hashes = make([]uint64, 0, h.States)
+	return s
+}
+
+// Release returns the segment to the pool. The caller must not touch it
+// afterwards; nothing in an analysis Result aliases segment memory.
+func (s *Segment) Release() {
+	c := classFor(cap(s.arena))
+	segPool[c].Put(s)
+	orBit(&classMask, c)
+}
+
+// orBit sets bit c in m (compare-and-swap loop; atomic Or needs go1.23).
+func orBit(m *atomic.Uint32, c int) {
+	for {
+		old := m.Load()
+		if old&(1<<c) != 0 || m.CompareAndSwap(old, old|1<<c) {
+			return
+		}
+	}
+}
+
+// Reset empties the segment, keeping every backing array.
+func (s *Segment) Reset() {
+	clear(s.slots)
+	s.offs = s.offs[:1]
+	s.arena = s.arena[:0]
+	s.visits = s.visits[:0]
+	s.hashes = s.hashes[:0]
+}
+
+// Hash returns the segment's hash of key. Parallel exploration hashes with
+// the producer's seed instead and passes the result to every segment, so
+// routing and probing agree on one hash per key.
+func (s *Segment) Hash(key []byte) uint64 { return maphash.Bytes(s.seed, key) }
+
+// Seed exposes the segment's hash seed for producers that hash centrally.
+func (s *Segment) Seed() maphash.Seed { return s.seed }
+
+// Len is the number of distinct states stored.
+func (s *Segment) Len() int { return len(s.visits) }
+
+// ArenaBytes is the number of packed key bytes stored.
+func (s *Segment) ArenaBytes() int { return len(s.arena) }
+
+// Slots is the current slot-array size.
+func (s *Segment) Slots() int { return len(s.slots) }
+
+// LookupOrInsert returns the stored visit and true when key (with
+// precomputed hash h) is already present; otherwise it records (key, v)
+// and returns false.
+func (s *Segment) LookupOrInsert(h uint64, key []byte, v Visit) (Visit, bool) {
+	i := h & s.mask
+	for {
+		e := s.slots[i]
+		if e == 0 {
+			break
+		}
+		j := e - 1
+		if s.hashes[j] == h && bytes.Equal(key, s.arena[s.offs[j]:s.offs[j+1]]) {
+			return s.visits[j], true
+		}
+		i = (i + 1) & s.mask
+	}
+	n := len(s.visits)
+	if len(s.arena)+len(key) > cap(s.arena) {
+		s.growArena(len(key))
+	}
+	s.arena = append(s.arena, key...)
+	s.offs = append(s.offs, uint32(len(s.arena)))
+	s.visits = append(s.visits, v)
+	s.hashes = append(s.hashes, h)
+	s.slots[i] = int32(n + 1)
+	if uint64(len(s.visits))*4 >= uint64(len(s.slots))*3 {
+		s.grow()
+	}
+	return Visit{}, false
+}
+
+// growArena doubles the arena. Doubling (instead of append's shrinking
+// growth factor) bounds re-copies; routing the buffers through the pool
+// means the outgrown buffer is released eagerly for the next doubling —
+// under parallel exploration every shard doubles on a similar schedule,
+// so one shard's retired buffer becomes another's replacement.
+func (s *Segment) growArena(need int) {
+	nc := 2 * cap(s.arena)
+	if nc < 1<<minClassBits {
+		nc = 1 << minClassBits
+	}
+	for nc < len(s.arena)+need {
+		nc *= 2
+	}
+	na := getBuf(nc)[:len(s.arena)]
+	copy(na, s.arena)
+	putBuf(s.arena)
+	s.arena = na
+}
+
+// grow doubles the slot array and rehashes the stored indices (the arena
+// itself never moves entries).
+func (s *Segment) grow() {
+	slots := make([]int32, len(s.slots)*2)
+	mask := uint64(len(slots) - 1)
+	for j, h := range s.hashes {
+		i := h & mask
+		for slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		slots[i] = int32(j + 1)
+	}
+	s.slots, s.mask = slots, mask
+}
+
+// getBuf returns a zero-length buffer with capacity at least n, recycled
+// when the matching size class has one.
+func getBuf(n int) []byte {
+	c := classFor(n)
+	if bufMask.Load()&(1<<c) != 0 {
+		if v := bufPool[c].Get(); v != nil {
+			if b := *v.(*[]byte); cap(b) >= n {
+				return b[:0]
+			}
+		}
+	}
+	size := 1 << (minClassBits + c)
+	if size < n {
+		size = n
+	}
+	return make([]byte, 0, size)
+}
+
+// putBuf releases an outgrown buffer into its size class.
+func putBuf(b []byte) {
+	if cap(b) < 1<<minClassBits {
+		return
+	}
+	b = b[:0]
+	c := classFor(cap(b))
+	bufPool[c].Put(&b)
+	orBit(&bufMask, c)
+}

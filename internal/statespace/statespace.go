@@ -22,16 +22,15 @@
 package statespace
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/maphash"
+	"runtime"
 	"strings"
-	"sync"
 
 	"mamps/internal/obs"
 	"mamps/internal/sdf"
+	"mamps/internal/statespace/shard"
 )
 
 // Schedule is a cyclic static-order schedule for one tile: the tile fires
@@ -84,6 +83,30 @@ type Options struct {
 	// every publication behind a single pointer check, preserving the
 	// hot loop's allocation-free guarantee.
 	Telemetry *obs.ExplorerStats
+
+	// Workers selects the exploration parallelism. 1 runs the sequential
+	// kernel — the legacy path, byte for byte. Larger values shard the
+	// seen-table by state-key hash across a bounded pool of goroutines
+	// (rounded down to a power of two, at most maxShards), with a
+	// deterministic reduction that keeps the Result bit-identical to the
+	// sequential kernel at every worker count. Zero selects
+	// min(GOMAXPROCS, maxShards). Values beyond 4×GOMAXPROCS are clamped;
+	// callers exposed to untrusted input should validate before calling.
+	// When OnComplete is set the analysis always runs sequentially: the
+	// parallel producer may overrun the first recurrent state by a few
+	// states before the hit is detected, which would fire extra hooks.
+	Workers int
+
+	// SizeHint pre-sizes the state store from prior knowledge (typically a
+	// warm-start cache's record of a structurally identical exploration),
+	// avoiding growth reallocations. It never changes the result.
+	SizeHint SizeHint
+}
+
+// SizeHint carries prior knowledge of an exploration's final size.
+type SizeHint struct {
+	// States is the expected number of distinct states.
+	States int
 }
 
 // telemetrySample is the state-count interval between progress
@@ -154,130 +177,6 @@ func (t *tileState) advanceEntry() {
 	if t.pos == len(t.sched) {
 		t.pos = 0
 	}
-}
-
-// visit is the record stored per distinct state.
-type visit struct {
-	time        int64
-	completions int64
-}
-
-// stateTable is an open-addressing hash table over an append-only state
-// arena: the packed key bytes of every distinct state live contiguously in
-// one buffer, table slots hold indices into the arena, and collisions are
-// resolved by byte comparison. No per-state heap objects, no string keys.
-type stateTable struct {
-	seed   maphash.Seed
-	mask   uint64
-	slots  []int32 // arena index + 1; 0 = empty
-	hashes []uint64
-	offs   []uint32 // offs[i]..offs[i+1] is state i's key in arena
-	arena  []byte
-	visits []visit
-}
-
-// tablePool recycles state tables between analyses: a recycled table keeps
-// the capacity its last exploration grew to, so repeated analyses (the
-// steady state of buffer minimization, DSE sweeps, and the service) run
-// the whole exploration without growth reallocations.
-var tablePool sync.Pool
-
-// newStateTable sizes the store for a few hundred states of keyHint bytes
-// each up front: small explorations never reallocate, and larger ones
-// amortize growth from a realistic base instead of doubling up from a
-// page. Recycled tables keep their previous capacity instead.
-func newStateTable(keyHint int) *stateTable {
-	if v := tablePool.Get(); v != nil {
-		t := v.(*stateTable)
-		t.reset()
-		return t
-	}
-	const hintStates = 1 << 8
-	if keyHint < 4 {
-		keyHint = 4
-	}
-	t := &stateTable{seed: maphash.MakeSeed()}
-	t.slots = make([]int32, 1<<10)
-	t.mask = uint64(len(t.slots) - 1)
-	t.offs = make([]uint32, 1, hintStates)
-	t.arena = make([]byte, 0, hintStates*keyHint)
-	t.visits = make([]visit, 0, hintStates)
-	t.hashes = make([]uint64, 0, hintStates)
-	return t
-}
-
-// reset empties a recycled table, keeping every backing array.
-func (t *stateTable) reset() {
-	clear(t.slots)
-	t.offs = t.offs[:1]
-	t.arena = t.arena[:0]
-	t.visits = t.visits[:0]
-	t.hashes = t.hashes[:0]
-}
-
-// release returns the table to the pool. The caller must not touch it
-// afterwards; nothing in a Result aliases table memory.
-func (t *stateTable) release() {
-	tablePool.Put(t)
-}
-
-func (t *stateTable) len() int { return len(t.visits) }
-
-// lookupOrInsert returns the stored visit and true when key is already
-// present; otherwise it records (key, v) and returns false.
-func (t *stateTable) lookupOrInsert(key []byte, v visit) (visit, bool) {
-	h := maphash.Bytes(t.seed, key)
-	i := h & t.mask
-	for {
-		e := t.slots[i]
-		if e == 0 {
-			break
-		}
-		j := e - 1
-		if t.hashes[j] == h && bytes.Equal(key, t.arena[t.offs[j]:t.offs[j+1]]) {
-			return t.visits[j], true
-		}
-		i = (i + 1) & t.mask
-	}
-	n := len(t.visits)
-	// Grow the arena by doubling: for large buffers append's growth factor
-	// shrinks towards 1.25x, which would re-copy the arena far more often.
-	if len(t.arena)+len(key) > cap(t.arena) {
-		nc := 2 * cap(t.arena)
-		if nc < 4096 {
-			nc = 4096
-		}
-		for nc < len(t.arena)+len(key) {
-			nc *= 2
-		}
-		na := make([]byte, len(t.arena), nc)
-		copy(na, t.arena)
-		t.arena = na
-	}
-	t.arena = append(t.arena, key...)
-	t.offs = append(t.offs, uint32(len(t.arena)))
-	t.visits = append(t.visits, v)
-	t.hashes = append(t.hashes, h)
-	t.slots[i] = int32(n + 1)
-	if uint64(len(t.visits))*4 >= uint64(len(t.slots))*3 {
-		t.grow()
-	}
-	return visit{}, false
-}
-
-// grow doubles the slot array and rehashes the stored indices (the arena
-// itself never moves entries).
-func (t *stateTable) grow() {
-	slots := make([]int32, len(t.slots)*2)
-	mask := uint64(len(slots) - 1)
-	for j, h := range t.hashes {
-		i := h & mask
-		for slots[i] != 0 {
-			i = (i + 1) & mask
-		}
-		slots[i] = int32(j + 1)
-	}
-	t.slots, t.mask = slots, mask
 }
 
 // fireQueue holds the in-flight firings of one self-timed actor as
@@ -409,7 +308,31 @@ type explorer struct {
 	nTokBig   int
 	slowBuf   []byte
 	wide      []uint64 // oversized components diverted to the key's wide tail
-	table     *stateTable
+	table     *shard.Segment
+}
+
+// maxShards bounds the number of seen-table segments (and so the worker
+// pool) of a parallel exploration: beyond this the single producer that
+// simulates the deterministic trajectory saturates first.
+const maxShards = 8
+
+// normalizeWorkers resolves Options.Workers: zero selects the automatic
+// default, absurd values are clamped, and the result is rounded down to a
+// power of two so the hash-partitioned shard routing is a shift.
+func normalizeWorkers(w int) int {
+	if limit := 4 * runtime.GOMAXPROCS(0); w > limit {
+		w = limit
+	}
+	if w <= 0 {
+		w = min(runtime.GOMAXPROCS(0), maxShards)
+	}
+	if w > maxShards {
+		w = maxShards
+	}
+	for w&(w-1) != 0 {
+		w &= w - 1 // round down to a power of two
+	}
+	return w
 }
 
 // Analyze explores the self-timed state space of g and returns its
@@ -417,6 +340,9 @@ type explorer struct {
 // bounded (strongly connected graph, or buffer back-edges present, or all
 // actors scheduled); otherwise the exploration aborts with an error after
 // MaxStates states.
+//
+// The result is bit-identical at every Options.Workers setting; Workers=1
+// reproduces the original sequential kernel byte for byte.
 func Analyze(g *sdf.Graph, opt Options) (Result, error) {
 	q, err := g.RepetitionVector()
 	if err != nil {
@@ -430,8 +356,103 @@ func Analyze(g *sdf.Graph, opt Options) (Result, error) {
 	if int(ref) >= g.NumActors() {
 		return Result{}, fmt.Errorf("statespace: reference actor %d out of range", ref)
 	}
+	if w := normalizeWorkers(opt.Workers); w > 1 && opt.OnComplete == nil {
+		return analyzeParallel(g, opt, q, maxStates, w)
+	}
 
-	e := &explorer{g: g, opt: opt, ref: ref}
+	var e explorer
+	if err := e.setup(g, opt, ref); err != nil {
+		return Result{}, err
+	}
+	e.table = shard.Get(shard.Hint{States: opt.SizeHint.States, KeyBytes: e.keyHint()})
+	defer e.table.Release()
+
+	for states := 0; states < maxStates; states++ {
+		if e.zeroTimeErr != nil {
+			return Result{}, e.zeroTimeErr
+		}
+		if opt.Interrupt != nil {
+			select {
+			case <-opt.Interrupt:
+				e.publishFinal(opt.Telemetry, false, true)
+				return Result{}, ErrInterrupted
+			default:
+			}
+		}
+		if tel := opt.Telemetry; tel != nil && states&(telemetrySample-1) == 0 {
+			e.publishProgress(tel)
+		}
+		key := e.stateKey()
+		h := e.table.Hash(key)
+		if v, ok := e.table.LookupOrInsert(h, key, shard.Visit{Time: e.now, Completions: e.refCompletions}); ok {
+			period := e.now - v.Time
+			firings := e.refCompletions - v.Completions
+			res := Result{
+				FiringsPerPeriod: firings,
+				PeriodCycles:     period,
+				TransientCycles:  v.Time,
+				StatesExplored:   e.table.Len(),
+				MaxTokens:        e.maxTokens,
+			}
+			if period > 0 && firings > 0 {
+				res.Throughput = float64(firings) / float64(q[ref]) / float64(period)
+			}
+			if firings == 0 {
+				// Recurrent state with no progress: deadlock (all
+				// remaining structure is stalled).
+				res.Deadlocked = true
+			}
+			e.publishFinal(opt.Telemetry, res.Deadlocked, false)
+			return res, nil
+		}
+
+		// Advance to the next event.
+		if len(e.events) == 0 {
+			// Nothing in flight and nothing could start: deadlock.
+			e.publishFinal(opt.Telemetry, true, false)
+			return Result{Deadlocked: true, DeadlockReport: e.deadlockReport(), StatesExplored: e.table.Len(), TransientCycles: e.now, MaxTokens: e.maxTokens}, nil
+		}
+		e.now = e.events[0].at
+		e.finishZero()
+	}
+	return Result{}, exceededErr(g, maxStates)
+}
+
+func exceededErr(g *sdf.Graph, maxStates int) error {
+	return fmt.Errorf("statespace: graph %q exceeded %d states (unbounded execution?)", g.Name, maxStates)
+}
+
+// keyHint estimates the packed-key length for store pre-sizing.
+func (e *explorer) keyHint() int {
+	return e.tokPrefix + 2*(2*len(e.tiles)+2*len(e.selfTimed)) + 1
+}
+
+// deadlockReport describes, for a deadlocked execution, what every
+// scheduled tile is blocked on.
+func (e *explorer) deadlockReport() string {
+	var rep strings.Builder
+	for ti, t := range e.tiles {
+		a := e.g.Actor(t.currentEntry())
+		fmt.Fprintf(&rep, "tile %q pos %d blocked on %q:", e.opt.Schedules[ti].Tile, t.pos, a.Name)
+		for _, cid := range a.In() {
+			c := e.g.Channel(cid)
+			if e.tokens[cid] < int64(c.DstRate) {
+				fmt.Fprintf(&rep, " %s(%d/%d)", c.Name, e.tokens[cid], c.DstRate)
+			}
+		}
+		rep.WriteString("\n")
+	}
+	return rep.String()
+}
+
+// setup flattens the graph and schedules into the dense explorer runtime
+// and runs the start fixpoint to the first stable instant. It does not
+// create the state store: the sequential path owns one segment, the
+// parallel path one per shard. A method on a caller-owned value (rather
+// than a constructor) so the sequential path keeps its explorer on the
+// stack.
+func (e *explorer) setup(g *sdf.Graph, opt Options, ref sdf.ActorID) error {
+	*e = explorer{g: g, opt: opt, ref: ref}
 
 	// Assign actors to tiles.
 	e.tileOf = make([]int, g.NumActors())
@@ -441,7 +462,7 @@ func Analyze(g *sdf.Graph, opt Options) (Result, error) {
 	e.tiles = make([]tileState, len(opt.Schedules))
 	for ti, s := range opt.Schedules {
 		if len(s.Entries) == 0 {
-			return Result{}, fmt.Errorf("statespace: empty schedule for tile %q", s.Tile)
+			return fmt.Errorf("statespace: empty schedule for tile %q", s.Tile)
 		}
 		e.tiles[ti] = tileState{
 			prologue: s.Prologue,
@@ -450,10 +471,10 @@ func Analyze(g *sdf.Graph, opt Options) (Result, error) {
 		}
 		for _, a := range append(append([]sdf.ActorID(nil), s.Prologue...), s.Entries...) {
 			if int(a) >= g.NumActors() {
-				return Result{}, fmt.Errorf("statespace: schedule for tile %q names unknown actor %d", s.Tile, a)
+				return fmt.Errorf("statespace: schedule for tile %q names unknown actor %d", s.Tile, a)
 			}
 			if e.tileOf[a] != -1 && e.tileOf[a] != ti {
-				return Result{}, fmt.Errorf("statespace: actor %q scheduled on two tiles", g.Actor(a).Name)
+				return fmt.Errorf("statespace: actor %q scheduled on two tiles", g.Actor(a).Name)
 			}
 			e.tileOf[a] = ti
 		}
@@ -511,8 +532,6 @@ func Analyze(g *sdf.Graph, opt Options) (Result, error) {
 	e.inCandA = make([]bool, n)
 	e.inCandT = make([]bool, len(e.tiles))
 	e.tokPrefix = 2 * len(e.tokens)
-	e.table = newStateTable(e.tokPrefix + 2*(2*len(e.tiles)+2*len(e.selfTimed)) + 1)
-	defer e.table.release()
 	e.buf = make([]byte, e.tokPrefix+512)
 	for ch, tk := range e.tokens {
 		e.setTok(int32(ch), 0, tk)
@@ -528,76 +547,16 @@ func Analyze(g *sdf.Graph, opt Options) (Result, error) {
 	}
 	e.startAll()
 	e.finishZero()
-
-	for states := 0; states < maxStates; states++ {
-		if e.zeroTimeErr != nil {
-			return Result{}, e.zeroTimeErr
-		}
-		if opt.Interrupt != nil {
-			select {
-			case <-opt.Interrupt:
-				e.publishFinal(opt.Telemetry, false, true)
-				return Result{}, ErrInterrupted
-			default:
-			}
-		}
-		if tel := opt.Telemetry; tel != nil && states&(telemetrySample-1) == 0 {
-			e.publishProgress(tel)
-		}
-		key := e.stateKey()
-		if v, ok := e.table.lookupOrInsert(key, visit{e.now, e.refCompletions}); ok {
-			period := e.now - v.time
-			firings := e.refCompletions - v.completions
-			res := Result{
-				FiringsPerPeriod: firings,
-				PeriodCycles:     period,
-				TransientCycles:  v.time,
-				StatesExplored:   e.table.len(),
-				MaxTokens:        e.maxTokens,
-			}
-			if period > 0 && firings > 0 {
-				res.Throughput = float64(firings) / float64(q[ref]) / float64(period)
-			}
-			if firings == 0 {
-				// Recurrent state with no progress: deadlock (all
-				// remaining structure is stalled).
-				res.Deadlocked = true
-			}
-			e.publishFinal(opt.Telemetry, res.Deadlocked, false)
-			return res, nil
-		}
-
-		// Advance to the next event.
-		if len(e.events) == 0 {
-			// Nothing in flight and nothing could start: deadlock.
-			var rep strings.Builder
-			for ti, t := range e.tiles {
-				a := g.Actor(t.currentEntry())
-				fmt.Fprintf(&rep, "tile %q pos %d blocked on %q:", opt.Schedules[ti].Tile, t.pos, a.Name)
-				for _, cid := range a.In() {
-					c := g.Channel(cid)
-					if e.tokens[cid] < int64(c.DstRate) {
-						fmt.Fprintf(&rep, " %s(%d/%d)", c.Name, e.tokens[cid], c.DstRate)
-					}
-				}
-				rep.WriteString("\n")
-			}
-			e.publishFinal(opt.Telemetry, true, false)
-			return Result{Deadlocked: true, DeadlockReport: rep.String(), StatesExplored: e.table.len(), TransientCycles: e.now, MaxTokens: e.maxTokens}, nil
-		}
-		e.now = e.events[0].at
-		e.finishZero()
-	}
-	return Result{}, fmt.Errorf("statespace: graph %q exceeded %d states (unbounded execution?)", g.Name, maxStates)
+	return nil
 }
 
 // publishProgress mirrors the exploration's current sizes into the
 // telemetry gauges; called at a sampled interval so the hot loop's cost
 // is one pointer check per state.
 func (e *explorer) publishProgress(tel *obs.ExplorerStats) {
-	tel.States.Store(int64(e.table.len()))
-	tel.ArenaBytes.Store(int64(len(e.table.arena)))
-	tel.TableSlots.Store(int64(len(e.table.slots)))
+	tel.States.Store(int64(e.table.Len()))
+	tel.ArenaBytes.Store(int64(e.table.ArenaBytes()))
+	tel.TableSlots.Store(int64(e.table.Slots()))
 }
 
 // publishFinal records a terminated exploration: the last progress
@@ -608,7 +567,7 @@ func (e *explorer) publishFinal(tel *obs.ExplorerStats, deadlocked, interrupted 
 		return
 	}
 	e.publishProgress(tel)
-	tel.StatesTotal.Add(int64(e.table.len()))
+	tel.StatesTotal.Add(int64(e.table.Len()))
 	if interrupted {
 		tel.Interrupted.Add(1)
 		return

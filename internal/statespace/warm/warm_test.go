@@ -1,0 +1,205 @@
+// Soundness tests: every warm-tier result must be bit-identical to the
+// cold analysis of the same request.
+package warm_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mamps/internal/obs"
+	"mamps/internal/sdf"
+	"mamps/internal/statespace"
+	"mamps/internal/statespace/warm"
+)
+
+// pipeline builds a 3-actor cycle with the given WCETs.
+func pipeline(wcets [3]int64, tokens int) *sdf.Graph {
+	g := sdf.NewGraph("pipe3")
+	a := g.AddActor("a", wcets[0])
+	b := g.AddActor("b", wcets[1])
+	c := g.AddActor("c", wcets[2])
+	g.Connect(a, b, 1, 1, 0)
+	g.Connect(b, c, 1, 1, 0)
+	g.Connect(c, a, 1, 1, tokens)
+	return g
+}
+
+// check runs the request warm and cold and fails on any divergence.
+func check(t *testing.T, an warm.AnalyzeFunc, g *sdf.Graph, opt statespace.Options) statespace.Result {
+	t.Helper()
+	got, err := an(g, opt)
+	if err != nil {
+		t.Fatalf("warm analyze: %v", err)
+	}
+	want, err := statespace.Analyze(g, opt)
+	if err != nil {
+		t.Fatalf("cold analyze: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("warm result diverged from cold\n got %+v\nwant %+v", got, want)
+	}
+	return got
+}
+
+func TestTiers(t *testing.T) {
+	stats := obs.NewWarmStats(nil)
+	an := warm.New(8, stats).Analyzer(statespace.Analyze)
+
+	// Cold: first sight of the structure.
+	check(t, an, pipeline([3]int64{3, 5, 2}, 4), statespace.Options{})
+	if stats.Misses.Value() != 1 {
+		t.Fatalf("Misses = %d, want 1", stats.Misses.Value())
+	}
+
+	// Exact: the identical request again.
+	check(t, an, pipeline([3]int64{3, 5, 2}, 4), statespace.Options{})
+	if stats.Exact.Value() != 1 {
+		t.Fatalf("Exact = %d, want 1", stats.Exact.Value())
+	}
+
+	// Scaled: all WCETs times 7/1.
+	check(t, an, pipeline([3]int64{21, 35, 14}, 4), statespace.Options{})
+	if stats.Scaled.Value() != 1 {
+		t.Fatalf("Scaled = %d, want 1", stats.Scaled.Value())
+	}
+
+	// Scaled down: 21,35,14 is now the latest structural entry; 3,5,2 is
+	// the factor 1/7 from it (exercises q > p and divisibility).
+	check(t, an, pipeline([3]int64{3, 5, 2}, 4), statespace.Options{})
+	if stats.Exact.Value() != 2 { // identical to the first request ⇒ exact, not scaled
+		t.Fatalf("Exact = %d, want 2", stats.Exact.Value())
+	}
+	check(t, an, pipeline([3]int64{6, 10, 4}, 4), statespace.Options{})
+	if stats.Scaled.Value() != 2 {
+		t.Fatalf("Scaled = %d, want 2", stats.Scaled.Value())
+	}
+
+	// Hint: same structure, unrelated WCETs — runs cold but pre-sized.
+	check(t, an, pipeline([3]int64{3, 5, 7}, 4), statespace.Options{})
+	if stats.Hint.Value() != 1 {
+		t.Fatalf("Hint = %d, want 1", stats.Hint.Value())
+	}
+
+	// Different structure (token count) is a miss, not a hint.
+	check(t, an, pipeline([3]int64{3, 5, 2}, 3), statespace.Options{})
+	if stats.Misses.Value() != 2 {
+		t.Fatalf("Misses = %d, want 2", stats.Misses.Value())
+	}
+}
+
+func TestScaledMatchesColdExactly(t *testing.T) {
+	// Sweep factors including non-integer rationals; every scaled result
+	// must equal cold bit for bit (float Throughput included).
+	an := warm.New(8, nil).Analyzer(statespace.Analyze)
+	base := [3]int64{6, 10, 4}
+	check(t, an, pipeline(base, 2), statespace.Options{})
+	for _, f := range []struct{ p, q int64 }{{2, 1}, {3, 2}, {1, 2}, {7, 2}, {5, 1}} {
+		w := [3]int64{base[0] * f.p / f.q, base[1] * f.p / f.q, base[2] * f.p / f.q}
+		check(t, an, pipeline(w, 2), statespace.Options{})
+	}
+}
+
+func TestDeadlockNeverScaled(t *testing.T) {
+	stats := obs.NewWarmStats(nil)
+	an := warm.New(8, stats).Analyzer(statespace.Analyze)
+	dead := func(wcet int64) *sdf.Graph {
+		g := sdf.NewGraph("dead")
+		a := g.AddActor("a", wcet)
+		b := g.AddActor("b", wcet)
+		g.Connect(a, b, 1, 1, 0)
+		g.Connect(b, a, 1, 1, 0)
+		return g
+	}
+	check(t, an, dead(1), statespace.Options{})
+	// Same structure, scaled WCETs: must bail out of the scaled tier and
+	// run cold (with a hint), never transform the deadlock.
+	check(t, an, dead(2), statespace.Options{})
+	if stats.Scaled.Value() != 0 {
+		t.Fatalf("Scaled = %d, want 0 for deadlocks", stats.Scaled.Value())
+	}
+	if stats.Bailouts.Value() == 0 {
+		t.Fatal("expected a recorded bailout for the refused deadlock scaling")
+	}
+	// The exact tier still serves deadlocks verbatim.
+	check(t, an, dead(1), statespace.Options{})
+	if stats.Exact.Value() != 1 {
+		t.Fatalf("Exact = %d, want 1", stats.Exact.Value())
+	}
+}
+
+func TestBudgetGuard(t *testing.T) {
+	// A cached exploration must not satisfy a request whose MaxStates
+	// budget the cold kernel would exceed.
+	an := warm.New(8, nil).Analyzer(statespace.Analyze)
+	g := pipeline([3]int64{3, 5, 2}, 4)
+	res, err := an(g, statespace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := statespace.Options{MaxStates: res.StatesExplored}
+	if _, err := an(pipeline([3]int64{3, 5, 2}, 4), tight); err == nil {
+		t.Fatal("warm analyzer served a result the cold kernel would refuse (budget exceeded)")
+	}
+	if _, err := statespace.Analyze(g, tight); err == nil {
+		t.Fatal("cold kernel accepted the tight budget; test premise broken")
+	}
+	// One more state of budget and both succeed again.
+	check(t, an, pipeline([3]int64{3, 5, 2}, 4), statespace.Options{MaxStates: res.StatesExplored + 1})
+}
+
+func TestOnCompleteBypassesCache(t *testing.T) {
+	stats := obs.NewWarmStats(nil)
+	an := warm.New(8, stats).Analyzer(statespace.Analyze)
+	g := pipeline([3]int64{3, 5, 2}, 4)
+	if _, err := an(g, statespace.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	opt := statespace.Options{OnComplete: func(sdf.ActorID, int64) { fired++ }}
+	if _, err := an(pipeline([3]int64{3, 5, 2}, 4), opt); err != nil {
+		t.Fatal(err)
+	}
+	if fired == 0 {
+		t.Fatal("OnComplete never fired: cache served a side-effecting analysis")
+	}
+	if stats.Bailouts.Value() != 1 {
+		t.Fatalf("Bailouts = %d, want 1", stats.Bailouts.Value())
+	}
+}
+
+func TestResultIsolation(t *testing.T) {
+	// Mutating a returned Result must not corrupt the cache.
+	an := warm.New(8, nil).Analyzer(statespace.Analyze)
+	g := pipeline([3]int64{3, 5, 2}, 4)
+	first, err := an(g, statespace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first.MaxTokens {
+		first.MaxTokens[i] = -1
+	}
+	second, err := an(pipeline([3]int64{3, 5, 2}, 4), statespace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range second.MaxTokens {
+		if v == -1 {
+			t.Fatalf("MaxTokens[%d] aliases the first caller's slice", i)
+		}
+	}
+}
+
+func TestEviction(t *testing.T) {
+	stats := obs.NewWarmStats(nil)
+	an := warm.New(2, stats).Analyzer(statespace.Analyze)
+	check(t, an, pipeline([3]int64{3, 5, 2}, 4), statespace.Options{})
+	check(t, an, pipeline([3]int64{3, 5, 2}, 3), statespace.Options{})
+	check(t, an, pipeline([3]int64{3, 5, 2}, 2), statespace.Options{}) // evicts the first
+	check(t, an, pipeline([3]int64{3, 5, 2}, 4), statespace.Options{})
+	if stats.Exact.Value() != 0 {
+		t.Fatalf("Exact = %d, want 0 after eviction", stats.Exact.Value())
+	}
+	if stats.Misses.Value() != 4 {
+		t.Fatalf("Misses = %d, want 4", stats.Misses.Value())
+	}
+}
