@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-json bench-smoke obs-smoke par-smoke faults-smoke dse-smoke regress regress-update vuln serve ci
+.PHONY: all build test race vet fmt fmt-check bench bench-json bench-smoke obs-smoke obs-agg-smoke par-smoke faults-smoke dse-smoke regress regress-update staticcheck vuln serve ci
 
 all: build
 
@@ -64,6 +64,20 @@ obs-smoke:
 		-benchmem -benchtime=5x -json . \
 		| $(GO) run ./cmd/benchjson -compare $(OBS_BASELINE) -gate '$(OBS_GATES)'
 
+# Run-lake determinism smoke: replay the quick corpus into two fresh
+# registries and require the aggregated stats to be byte-identical —
+# the fixed-bucket histograms, sorted groups and stable JSON rendering
+# of internal/obs/agg leave no room for drift.
+obs-agg-smoke:
+	@rm -rf /tmp/obs-agg-a /tmp/obs-agg-b
+	$(GO) run ./cmd/mamps-runs regress -quick -keep /tmp/obs-agg-a
+	$(GO) run ./cmd/mamps-runs regress -quick -keep /tmp/obs-agg-b
+	$(GO) run ./cmd/mamps-runs -dir /tmp/obs-agg-a stats -group-by corpus -json > /tmp/obs-agg-a.json
+	$(GO) run ./cmd/mamps-runs -dir /tmp/obs-agg-b stats -group-by corpus -json > /tmp/obs-agg-b.json
+	cmp /tmp/obs-agg-a.json /tmp/obs-agg-b.json
+	@rm -rf /tmp/obs-agg-a /tmp/obs-agg-b /tmp/obs-agg-a.json /tmp/obs-agg-b.json
+	@echo "obs-agg-smoke: aggregated stats byte-identical across replays"
+
 # Parallel-equivalence smoke: the sharded explorer must return results
 # bit-identical to the sequential kernel (workers 2/4/8 vs 1 over the
 # full equivalence corpus, MJPEG included) and survive an interrupt
@@ -99,6 +113,11 @@ regress:
 regress-update:
 	$(GO) run ./cmd/mamps-runs regress -update -baselines regress/baselines.json
 
+# Static analysis beyond go vet (requires network to fetch the tool;
+# CI runs it as its own job).
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@latest ./...
+
 # Vulnerability scan (requires network for the vuln DB; CI runs it as
 # its own job).
 vuln:
@@ -107,4 +126,4 @@ vuln:
 serve:
 	$(GO) run ./cmd/mamps-serve
 
-ci: build vet fmt-check race obs-smoke par-smoke faults-smoke dse-smoke regress
+ci: build vet fmt-check race obs-smoke obs-agg-smoke par-smoke faults-smoke dse-smoke regress

@@ -1,12 +1,23 @@
 // Command mamps-runs inspects and gates the persistent run registry
 // written by mamps-serve -runlog (and by the regress replay itself).
 //
-//	mamps-runs -dir RUNLOG list [-app A] [-kind K] [-regressed] [-limit N] [-offset N]
+//	mamps-runs -dir RUNLOG list [-app A] [-kind K] [-graph-key P] [-regressed] [-degraded]
+//	                            [-since T] [-until T] [-limit N] [-offset N]
+//	mamps-runs -dir RUNLOG stats [-group-by DIM] [-json] [same filters as list]
 //	mamps-runs -dir RUNLOG show ID
 //	mamps-runs -dir RUNLOG diff ID-A ID-B
 //	mamps-runs -dir RUNLOG gc [-max-records N] [-max-age D]
 //	mamps-runs -dir RUNLOG baseline [ID]
 //	mamps-runs regress [-baselines FILE] [-update] [-perturb N] [-perturb-energy PJ] [-quick]
+//
+// `stats` is the offline entry point of the run-lake aggregation
+// engine (internal/obs/agg): it streams the registry's JSONL index —
+// no registry lock, scales past RAM — and prints per-group
+// count/min/max/mean/p50/p95/p99 summaries of the flow's throughput
+// bound, measured throughput, cycles, energy, exploration rate and
+// per-stage wall times. `-json` renders the deterministic agg.Report
+// wire form — byte-identical across replays of the same records, the
+// property `make obs-agg-smoke` checks.
 //
 // `regress` replays the example-graph corpus and compares each entry
 // against the checked-in baselines with zero tolerance — the flow's
@@ -24,9 +35,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"text/tabwriter"
+	"time"
 
 	"mamps/internal/corpus"
+	"mamps/internal/obs/agg"
 	"mamps/internal/runlog"
 )
 
@@ -43,6 +58,8 @@ func main() {
 	switch cmd {
 	case "list":
 		err = cmdList(*dir, args)
+	case "stats":
+		err = cmdStats(*dir, args)
 	case "show":
 		err = cmdShow(*dir, args)
 	case "diff":
@@ -68,7 +85,10 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage: mamps-runs [-dir RUNLOG] COMMAND [ARGS]
 
 Commands:
-  list      list recorded runs (filters: -app, -kind, -regressed, -limit, -offset)
+  list      list recorded runs (filters: -app, -kind, -graph-key, -regressed,
+            -degraded, -since, -until, -limit, -offset)
+  stats     aggregate the run history: percentile summaries per group
+            (-group-by graphKey|app|kind|baselineKey|corpus|outcome|none, -json)
   show ID   print one run record as JSON
   diff A B  structured comparison of two runs
   gc        enforce retention bounds (-max-records, -max-age)
@@ -84,25 +104,50 @@ func openRegistry(dir string, opt runlog.Options) (*runlog.Registry, error) {
 	return runlog.Open(dir, opt)
 }
 
+// timeFlag parses an optional RFC 3339 time flag value.
+func timeFlag(name, v string) (time.Time, error) {
+	if v == "" {
+		return time.Time{}, nil
+	}
+	t, err := time.Parse(time.RFC3339, v)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("bad -%s %q: want RFC 3339 (%v)", name, v, err)
+	}
+	return t, nil
+}
+
 func cmdList(dir string, args []string) error {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
 	app := fs.String("app", "", "filter by application name")
 	kind := fs.String("kind", "", "filter by run kind (flow, dse, analysis)")
+	graphKey := fs.String("graph-key", "", "filter by graph key (prefix match)")
 	regressed := fs.Bool("regressed", false, "only runs tagged as regressions")
+	degraded := fs.Bool("degraded", false, "only runs that ended in degraded mode")
+	since := fs.String("since", "", "only runs at or after this RFC 3339 time")
+	until := fs.String("until", "", "only runs before this RFC 3339 time")
 	limit := fs.Int("limit", 20, "page size (0 = all)")
 	offset := fs.Int("offset", 0, "page offset")
 	fs.Parse(args)
+	f := runlog.Filter{
+		App: *app, Kind: *kind, GraphKey: *graphKey,
+		Regressed: *regressed, Degraded: *degraded,
+		Limit: *limit, Offset: *offset,
+	}
+	var err error
+	if f.Since, err = timeFlag("since", *since); err != nil {
+		return err
+	}
+	if f.Until, err = timeFlag("until", *until); err != nil {
+		return err
+	}
 	r, err := openRegistry(dir, runlog.Options{})
 	if err != nil {
 		return err
 	}
 	defer r.Close()
-	recs, total := r.List(runlog.Filter{
-		App: *app, Kind: *kind, Regressed: *regressed,
-		Limit: *limit, Offset: *offset,
-	})
-	fmt.Printf("%-20s %-20s %-8s %-12s %-9s %-12s %s\n",
-		"ID", "TIME", "KIND", "APP", "OUTCOME", "BOUND", "REGRESSION")
+	recs, total := r.List(f)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "ID\tTIME\tKIND\tAPP\tOUTCOME\tBOUND\tTRACE\tREGRESSION")
 	for _, rec := range recs {
 		reg := "-"
 		if rec.Regression != nil {
@@ -111,12 +156,110 @@ func cmdList(dir string, args []string) error {
 				reg = "REGRESSED"
 			}
 		}
-		fmt.Printf("%-20s %-20s %-8s %-12s %-9s %-12.6g %s\n",
-			rec.ID, rec.Time.Format("2006-01-02T15:04:05Z"), rec.Kind,
-			rec.App, rec.Outcome, rec.Bound, reg)
+		trace := "-"
+		if rec.TraceRetained != "" {
+			trace = rec.TraceRetained
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%.6g\t%s\t%s\n",
+			rec.ID, rec.Time.Format(time.RFC3339), rec.Kind,
+			rec.App, rec.Outcome, rec.Bound, trace, reg)
 	}
+	w.Flush()
 	fmt.Printf("%d of %d run(s)\n", len(recs), total)
 	return nil
+}
+
+// cmdStats streams the registry's JSONL index through the run-lake
+// aggregation engine. It reads index.jsonl directly rather than opening
+// the registry: no lock is taken, and memory stays flat however many
+// records the lake holds.
+func cmdStats(dir string, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	app := fs.String("app", "", "filter by application name")
+	kind := fs.String("kind", "", "filter by run kind (flow, dse, analysis)")
+	graphKey := fs.String("graph-key", "", "filter by graph key (prefix match)")
+	baselineKey := fs.String("baseline-key", "", "filter by baseline key")
+	corpusName := fs.String("corpus", "", "filter by corpus entry name")
+	degraded := fs.Bool("degraded", false, "only runs that ended in degraded mode")
+	deadlocked := fs.Bool("deadlocked", false, "only deadlocked runs")
+	regressed := fs.Bool("regressed", false, "only runs tagged as regressions")
+	faulted := fs.Bool("faulted", false, "only runs executed under an injected fault")
+	since := fs.String("since", "", "only runs at or after this RFC 3339 time")
+	until := fs.String("until", "", "only runs before this RFC 3339 time")
+	groupBy := fs.String("group-by", "", "grouping dimension: graphKey (default), app, kind, baselineKey, corpus, outcome, none")
+	asJSON := fs.Bool("json", false, "print the deterministic agg.Report wire form")
+	fs.Parse(args)
+	if dir == "" {
+		return fmt.Errorf("stats needs -dir (the run registry directory)")
+	}
+	q := agg.Query{
+		App: *app, Kind: *kind, GraphKey: *graphKey,
+		BaselineKey: *baselineKey, Corpus: *corpusName,
+		Degraded: *degraded, Deadlocked: *deadlocked,
+		Regressed: *regressed, Faulted: *faulted,
+		GroupBy: *groupBy,
+	}
+	var err error
+	if q.Since, err = timeFlag("since", *since); err != nil {
+		return err
+	}
+	if q.Until, err = timeFlag("until", *until); err != nil {
+		return err
+	}
+	f, err := os.Open(filepath.Join(dir, "index.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep, err := agg.ScanJSONL(f, q)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	printReport(rep)
+	return nil
+}
+
+// printReport renders an agg.Report as an aligned table: one row per
+// group per metric that has observations, then the rollup.
+func printReport(rep *agg.Report) {
+	fmt.Printf("group by %s: %d of %d record(s) matched", rep.GroupBy, rep.Matched, rep.Scanned)
+	if rep.Truncated {
+		fmt.Print(" (index truncated)")
+	}
+	fmt.Println()
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "GROUP\tRUNS\tREGR\tMETRIC\tCOUNT\tMIN\tMEAN\tP50\tP95\tP99\tMAX")
+	row := func(g agg.GroupStats) {
+		names := make([]string, 0, len(g.Metrics))
+		for name := range g.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			d := g.Metrics[name]
+			fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%d\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\n",
+				g.Key, g.Runs, g.Regressed, name,
+				d.Count, d.Min, d.Mean, d.P50, d.P95, d.P99, d.Max)
+		}
+		if len(names) == 0 {
+			fmt.Fprintf(w, "%s\t%d\t%d\t-\t0\t-\t-\t-\t-\t-\t-\n", g.Key, g.Runs, g.Regressed)
+		}
+	}
+	for _, g := range rep.Groups {
+		row(g)
+	}
+	if len(rep.Groups) > 1 {
+		row(rep.Total)
+	}
+	w.Flush()
 }
 
 func cmdShow(dir string, args []string) error {

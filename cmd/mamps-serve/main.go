@@ -12,8 +12,15 @@
 //	POST /v1/flow     {"workload":{"name":"mjpeg"}, "tiles":5, "iterations":-1}
 //	POST /v1/dse      {"workload":{"name":"mjpeg"}, "maxTiles":6}
 //	GET  /v1/runs     (with -runlog: list recorded runs; /{id}, /{id}/trace, /compare?a=&b=)
+//	GET  /v1/stats    (with -runlog: per-group percentile summaries of the run history)
 //	GET  /healthz
-//	GET  /metrics
+//	GET  /metrics     (includes the mamps_slo_* burn-rate board)
+//
+// With -trace-retention, the registry keeps execution traces only for
+// runs worth debugging — degraded, deadlocked, errored, regression-
+// tagged, tail-slow for their graph key, or the bounded always-keep
+// sample — and drops the rest at append time. Every run's index record
+// stays resolvable either way.
 //
 // See README.md for a worked curl session.
 package main
@@ -49,6 +56,14 @@ func main() {
 	runlogAge := flag.Duration("runlog-max-age", 0, "run registry retention: max record age (0 = unlimited)")
 	analyzeWorkers := flag.Int("analyze-workers", 0, "default state-space analysis workers for jobs that don't set analyzeWorkers (0: one per CPU; 1: sequential — every setting yields bit-identical results)")
 	warmCap := flag.Int("warm-entries", 0, "warm-start analysis cache capacity (0: default 256, negative: disable)")
+	traceRetention := flag.Bool("trace-retention", false, "tail-based trace retention: keep traces only for degraded/deadlocked/slow/regressed/sampled runs")
+	traceSlowQ := flag.Float64("trace-slow-quantile", 0, "retention: keep traces slower than this quantile of their graph key's history (0: default 0.95)")
+	traceMinHist := flag.Int("trace-min-history", 0, "retention: keep every trace until a key has this many runs (0: default 20)")
+	traceSample := flag.Int64("trace-sample-every", 0, "retention: always keep every Nth run's trace (0: default 100, negative: disable)")
+	sloLatencyTarget := flag.Duration("slo-latency-target", 0, "SLO: analyze/flow/dse latency threshold counted as good (0: default 2s)")
+	sloLatencyGoal := flag.Float64("slo-latency-goal", 0, "SLO: target fraction of requests under the latency threshold (0: default 0.99)")
+	sloThroughputGoal := flag.Float64("slo-throughput-goal", 0, "SLO: target fraction of runs meeting their requested throughput (0: default 0.95)")
+	sloRegressionGoal := flag.Float64("slo-regression-goal", 0, "SLO: target fraction of regression-free runs (0: default 0.99)")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -59,10 +74,18 @@ func main() {
 
 	var runs *runlog.Registry
 	if *runlogDir != "" {
-		runs, err = runlog.Open(*runlogDir, runlog.Options{
+		opt := runlog.Options{
 			MaxRecords: *runlogMax,
 			MaxAge:     *runlogAge,
-		})
+		}
+		if *traceRetention {
+			opt.TraceRetention = &runlog.TraceRetention{
+				SlowQuantile: *traceSlowQ,
+				MinHistory:   *traceMinHist,
+				SampleEvery:  *traceSample,
+			}
+		}
+		runs, err = runlog.Open(*runlogDir, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -71,15 +94,19 @@ func main() {
 	}
 
 	srv := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		JobTimeout:     *jobTimeout,
-		CacheCapacity:  *cacheCap,
-		Logger:         logger,
-		EnablePprof:    *enablePprof,
-		RunLog:         runs,
-		AnalyzeWorkers: *analyzeWorkers,
-		WarmCapacity:   *warmCap,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		JobTimeout:        *jobTimeout,
+		CacheCapacity:     *cacheCap,
+		Logger:            logger,
+		EnablePprof:       *enablePprof,
+		RunLog:            runs,
+		AnalyzeWorkers:    *analyzeWorkers,
+		WarmCapacity:      *warmCap,
+		SLOLatencyTarget:  *sloLatencyTarget,
+		SLOLatencyGoal:    *sloLatencyGoal,
+		SLOThroughputGoal: *sloThroughputGoal,
+		SLORegressionGoal: *sloRegressionGoal,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,0 +1,126 @@
+// Command mamps-top is a live terminal view of a running mamps-serve:
+// it polls GET /v1/stats and redraws a per-group percentile table, the
+// fleet operator's `top` for the design flow.
+//
+//	mamps-top -url http://localhost:8080 [-interval 2s] [-group-by app] [-metric bound]
+//
+// Each refresh shows, per group, the run count, outcome split,
+// regression count and the min/p50/p95/p99/max of the selected metric.
+// `-once` prints a single snapshot without clearing the screen — the
+// scriptable (and testable) mode.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"mamps/internal/obs/agg"
+)
+
+func main() {
+	base := flag.String("url", "http://localhost:8080", "mamps-serve base URL")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
+	groupBy := flag.String("group-by", "", "grouping dimension: graphKey (default), app, kind, baselineKey, corpus, outcome, none")
+	metric := flag.String("metric", agg.MetricBound, "metric to tabulate: bound, measured, expected, cycles, energyPJ, statesPerSec, stageTotalMicros")
+	once := flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	flag.Parse()
+
+	q := url.Values{}
+	if *groupBy != "" {
+		q.Set("groupBy", *groupBy)
+	}
+	statsURL := strings.TrimRight(*base, "/") + "/v1/stats"
+	if len(q) > 0 {
+		statsURL += "?" + q.Encode()
+	}
+
+	for {
+		rep, err := fetch(statsURL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if *once {
+				os.Exit(1)
+			}
+		} else {
+			if !*once {
+				fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+			}
+			render(os.Stdout, rep, *metric, *once)
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func fetch(statsURL string) (*agg.Report, error) {
+	resp, err := http.Get(statsURL)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", statsURL, resp.Status, strings.TrimSpace(string(data)))
+	}
+	var rep agg.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("decoding stats: %w", err)
+	}
+	return &rep, nil
+}
+
+func render(w io.Writer, rep *agg.Report, metric string, once bool) {
+	if !once {
+		fmt.Fprintf(w, "mamps-top  %s  ", time.Now().Format("15:04:05"))
+	}
+	fmt.Fprintf(w, "group by %s: %d run(s) matched, metric %s\n", rep.GroupBy, rep.Matched, metric)
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "GROUP\tRUNS\tOUTCOMES\tREGR\tMIN\tP50\tP95\tP99\tMAX")
+	row := func(g agg.GroupStats) {
+		d, ok := g.Metrics[metric]
+		vals := "-\t-\t-\t-\t-"
+		if ok {
+			vals = fmt.Sprintf("%.4g\t%.4g\t%.4g\t%.4g\t%.4g", d.Min, d.P50, d.P95, d.P99, d.Max)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%s\n", g.Key, g.Runs, outcomeSplit(g.Outcomes), g.Regressed, vals)
+	}
+	for _, g := range rep.Groups {
+		row(g)
+	}
+	if len(rep.Groups) > 1 {
+		row(rep.Total)
+	}
+	tw.Flush()
+}
+
+// outcomeSplit renders {"ok": 3, "degraded": 1} as "ok:3 degraded:1",
+// sorted for a stable display.
+func outcomeSplit(outcomes map[string]int) string {
+	if len(outcomes) == 0 {
+		return "-"
+	}
+	names := make([]string, 0, len(outcomes))
+	for name := range outcomes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s:%d", name, outcomes[name]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync"
 )
 
@@ -77,24 +78,27 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
-// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
-// within the bucket containing it, the standard fixed-bucket estimate.
-// Returns 0 for an empty histogram; observations in the overflow bucket
-// are attributed to the last finite bound (the estimate saturates).
+// Quantile estimates the q-quantile by linear interpolation within the
+// bucket containing it, the standard fixed-bucket estimate. The edge
+// cases return documented values instead of interpolating garbage:
+//
+//   - a nil or empty histogram returns NaN (there is no quantile of
+//     nothing — callers that used to rely on 0 must check Count first);
+//   - q outside [0,1] (or NaN) returns NaN;
+//   - mass at or beyond the quantile rank that sits in the +Inf overflow
+//     bucket saturates at the last finite bound — or +Inf when the
+//     histogram has no finite bounds at all.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
-		return 0
+		return math.NaN()
 	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.n == 0 {
-		return 0
+		return math.NaN()
 	}
 	rank := q * float64(h.n)
 	cum := 0.0
@@ -107,8 +111,8 @@ func (h *Histogram) Quantile(q float64) float64 {
 		if cum < rank {
 			continue
 		}
-		if i == len(h.bounds) { // overflow: saturate at the last bound
-			return h.bounds[len(h.bounds)-1]
+		if i == len(h.bounds) { // overflow: saturate at the last finite bound
+			return h.saturated()
 		}
 		lo := 0.0
 		if i > 0 {
@@ -121,7 +125,56 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		return lo + (hi-lo)*frac
 	}
+	return h.saturated()
+}
+
+// saturated is the value an over-range quantile estimate clips to: the
+// last finite bound, or +Inf for a histogram with no finite buckets.
+// Callers hold h.mu.
+func (h *Histogram) saturated() float64 {
+	if len(h.bounds) == 0 {
+		return math.Inf(1)
+	}
 	return h.bounds[len(h.bounds)-1]
+}
+
+// Merge adds another histogram's observations into h. Both histograms
+// must share the same bucket bounds (merging distributions recorded over
+// different layouts has no meaningful result); a mismatch is reported as
+// an error and h is left unchanged. Merging a nil or empty histogram is
+// a no-op; merging into a nil histogram is a no-op only when other is
+// also empty (the observations would be silently lost otherwise).
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	other.mu.Lock()
+	bounds := other.bounds
+	counts := append([]uint64(nil), other.counts...)
+	sum, n := other.sum, other.n
+	other.mu.Unlock()
+	if n == 0 {
+		return nil
+	}
+	if h == nil {
+		return fmt.Errorf("obs: merging %d observations into a nil histogram", n)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.bounds) != len(bounds) {
+		return fmt.Errorf("obs: histogram bucket layouts differ (%d vs %d bounds)", len(h.bounds), len(bounds))
+	}
+	for i, b := range h.bounds {
+		if b != bounds[i] {
+			return fmt.Errorf("obs: histogram bucket layouts differ at bound %d (%g vs %g)", i, b, bounds[i])
+		}
+	}
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	h.sum += sum
+	h.n += n
+	return nil
 }
 
 // WritePrometheus renders the histogram's _bucket/_sum/_count series

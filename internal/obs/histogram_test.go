@@ -52,8 +52,8 @@ func TestHistogramPrometheusNoLabels(t *testing.T) {
 
 func TestHistogramQuantile(t *testing.T) {
 	h := NewHistogram(10, 20, 40)
-	if q := h.Quantile(0.5); q != 0 {
-		t.Errorf("empty Quantile = %g, want 0", q)
+	if q := h.Quantile(0.5); !math.IsNaN(q) {
+		t.Errorf("empty Quantile = %g, want NaN", q)
 	}
 	// 100 observations uniform over the first bucket's count: all in
 	// le=10, so the median interpolates to ~5.
@@ -78,10 +78,111 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// The documented edge cases: out-of-range q is NaN, all mass in the +Inf
+// bucket saturates, and a boundless histogram saturates to +Inf.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(0.5)
+	for _, q := range []float64{-0.01, 1.01, math.NaN()} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("Quantile(%g) = %g, want NaN", q, got)
+		}
+	}
+	// Valid endpoints still answer.
+	if got := h.Quantile(0); math.IsNaN(got) {
+		t.Errorf("Quantile(0) = NaN for a populated histogram")
+	}
+	if got := h.Quantile(1); math.IsNaN(got) {
+		t.Errorf("Quantile(1) = NaN for a populated histogram")
+	}
+
+	// Every observation beyond the last finite bound: every quantile
+	// saturates at that bound instead of interpolating inside buckets
+	// that hold nothing.
+	over := NewHistogram(1, 2)
+	over.Observe(50)
+	over.Observe(60)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := over.Quantile(q); got != 2 {
+			t.Errorf("all-overflow Quantile(%g) = %g, want 2", q, got)
+		}
+	}
+
+	// No finite bounds at all: the only bucket is +Inf.
+	none := NewHistogram()
+	none.Observe(3)
+	if got := none.Quantile(0.5); !math.IsInf(got, 1) {
+		t.Errorf("boundless Quantile = %g, want +Inf", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(1, 2, 4)
+	b := NewHistogram(1, 2, 4)
+	for _, v := range []float64{0.5, 1.5} {
+		a.Observe(v)
+	}
+	for _, v := range []float64{3, 100} {
+		b.Observe(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if got := a.Count(); got != 4 {
+		t.Errorf("merged Count = %d, want 4", got)
+	}
+	if got := a.Sum(); got != 105 {
+		t.Errorf("merged Sum = %g, want 105", got)
+	}
+	// The merged exposition carries both halves' buckets.
+	var w strings.Builder
+	a.WritePrometheus(&w, "m", "")
+	for _, want := range []string{`m_bucket{le="1"} 1`, `m_bucket{le="2"} 2`, `m_bucket{le="4"} 3`, `m_bucket{le="+Inf"} 4`} {
+		if !strings.Contains(w.String(), want) {
+			t.Errorf("merged exposition missing %q:\n%s", want, w.String())
+		}
+	}
+	// b is unchanged by being merged from.
+	if got := b.Count(); got != 2 {
+		t.Errorf("source Count = %d, want 2", got)
+	}
+
+	// Layout mismatches refuse instead of corrupting.
+	c := NewHistogram(1, 3)
+	c.Observe(1)
+	if err := a.Merge(c); err == nil {
+		t.Error("Merge across different layouts did not error")
+	}
+	d := NewHistogram(1, 2)
+	d.Observe(1)
+	if err := a.Merge(d); err == nil {
+		t.Error("Merge across different bound counts did not error")
+	}
+	if got := a.Count(); got != 4 {
+		t.Errorf("failed Merge changed the target: Count = %d, want 4", got)
+	}
+
+	// nil handling: empty sources are no-ops everywhere, but observations
+	// cannot vanish into a nil target.
+	var nilH *Histogram
+	if err := nilH.Merge(nil); err != nil {
+		t.Errorf("nil.Merge(nil) = %v", err)
+	}
+	if err := nilH.Merge(NewHistogram(1)); err != nil {
+		t.Errorf("nil.Merge(empty) = %v", err)
+	}
+	if err := nilH.Merge(d); err == nil {
+		t.Error("nil.Merge(populated) must error: the observations would be lost")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("Merge(nil) = %v", err)
+	}
+}
+
 func TestHistogramNilAndConcurrent(t *testing.T) {
 	var nilH *Histogram
 	nilH.Observe(1) // must not panic
-	if nilH.Count() != 0 || nilH.Sum() != 0 || nilH.Quantile(0.5) != 0 {
+	if nilH.Count() != 0 || nilH.Sum() != 0 || !math.IsNaN(nilH.Quantile(0.5)) {
 		t.Error("nil histogram not a no-op")
 	}
 	nilH.WritePrometheus(&strings.Builder{}, "n", "")

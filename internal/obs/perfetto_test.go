@@ -135,6 +135,82 @@ func TestWritePerfettoNilTrace(t *testing.T) {
 
 // Concurrent recording from many scopes while the exporter snapshots —
 // the DSE worker-pool pattern. Run with -race.
+// TestConcurrentExportWithOpenSpans exports while every recorder holds
+// a span that has NOT ended — the snapshot in mid-flight state. The
+// export must stay well-formed JSON with each in-flight span flagged
+// open, and ending the spans afterwards must still work. Run with -race.
+func TestConcurrentExportWithOpenSpans(t *testing.T) {
+	tr := New()
+	const workers = 8
+	open := make([]Span, workers)
+	var started, release, done sync.WaitGroup
+	started.Add(workers)
+	release.Add(1)
+	done.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer done.Done()
+			scope := tr.Scope(fmt.Sprintf("holder-%d", w))
+			open[w] = scope.Begin("inflight", Int("worker", int64(w)))
+			started.Done()
+			release.Wait() // hold the span open across the exports
+			open[w].End()
+		}(w)
+	}
+	started.Wait()
+
+	var exportWG sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		exportWG.Add(1)
+		go func() {
+			defer exportWG.Done()
+			var b bytes.Buffer
+			if err := tr.WritePerfetto(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			if !json.Valid(b.Bytes()) {
+				t.Error("export with open spans produced invalid JSON")
+				return
+			}
+			var doc traceDoc
+			if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+				t.Error(err)
+				return
+			}
+			for _, ev := range doc.TraceEvents {
+				if ev.Ph != "X" || ev.Name != "inflight" {
+					continue
+				}
+				if open, _ := ev.Args["open"].(bool); !open {
+					t.Errorf("in-flight span exported without open flag: %+v", ev)
+				}
+				if ev.Dur == nil || *ev.Dur < 0 {
+					t.Errorf("in-flight span has no closed duration: %+v", ev)
+				}
+			}
+		}()
+	}
+	exportWG.Wait()
+	release.Done()
+	done.Wait()
+
+	// After the holders end their spans, a final export shows them closed.
+	_, doc := exportDoc(t, tr)
+	inflight := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "inflight" {
+			inflight++
+			if open, _ := ev.Args["open"].(bool); open {
+				t.Errorf("ended span still flagged open: %+v", ev)
+			}
+		}
+	}
+	if inflight != workers {
+		t.Fatalf("final export has %d inflight spans, want %d", inflight, workers)
+	}
+}
+
 func TestConcurrentRecordingAndExport(t *testing.T) {
 	tr := New()
 	const workers, spansPer = 8, 50

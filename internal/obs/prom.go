@@ -13,14 +13,16 @@ type metricKind uint8
 const (
 	kindCounter metricKind = iota
 	kindGauge
+	kindHistogram
 )
 
-// metric is one named, registered counter or gauge.
+// metric is one named, registered counter, gauge or histogram.
 type metric struct {
 	name, help string
 	kind       metricKind
 	c          *Counter
 	g          *Gauge
+	h          *Histogram
 }
 
 // Registry is a named collection of counters and gauges with a
@@ -103,8 +105,26 @@ func (r *Registry) RegisterGauge(name, help string, g *Gauge) *Gauge {
 	return g
 }
 
+// RegisterHistogram registers an existing histogram under name; the
+// exposition renders its # HELP/# TYPE header followed by the
+// _bucket/_sum/_count series. If the name is already registered the
+// existing histogram wins and is returned.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram) *Histogram {
+	if r == nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m.h
+	}
+	r.metrics[name] = &metric{name: name, help: help, kind: kindHistogram, h: h}
+	return h
+}
+
 // WritePrometheus renders every registered metric in the Prometheus text
-// exposition format, sorted by name. A nil registry writes nothing.
+// exposition format — a # HELP and # TYPE line for each followed by its
+// samples — sorted by name. A nil registry writes nothing.
 func (r *Registry) WritePrometheus(w io.Writer) {
 	if r == nil {
 		return
@@ -117,12 +137,14 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	r.mu.Unlock()
 	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
 	for _, m := range ms {
-		typ, val := "gauge", int64(0)
-		if m.kind == kindCounter {
-			typ, val = "counter", m.c.Value()
-		} else {
-			val = m.g.Value()
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, m.c.Value())
+		case kindGauge:
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", m.name, m.help, m.name, m.name, m.g.Value())
+		case kindHistogram:
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", m.name, m.help, m.name)
+			m.h.WritePrometheus(w, m.name, "")
 		}
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, typ, m.name, val)
 	}
 }

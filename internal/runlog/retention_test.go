@@ -1,0 +1,248 @@
+package runlog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mamps/internal/clock"
+)
+
+// timedRecord is a flow record with one stage of the given wall time
+// and a trace artifact attached by the caller.
+func timedRecord(graphKey, outcome string, micros float64) Record {
+	return Record{
+		Kind: "flow", App: "mjpeg", GraphKey: graphKey, Outcome: outcome,
+		Bound: 0.01,
+		Steps: []StageTime{{Name: "Executing on platform", Micros: micros}},
+	}
+}
+
+func traceArt() Artifact { return Artifact{Name: "trace.json", Data: []byte(`{"traceEvents":[]}`)} }
+
+// TestTraceRetentionTailBased is the policy's acceptance test: with
+// retention on, healthy fast runs lose their trace while degraded,
+// deadlocked, slow and sampled runs keep theirs — and every run's index
+// record stays resolvable either way.
+func TestTraceRetentionTailBased(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{TraceRetention: &TraceRetention{
+		SlowQuantile: 0.9, MinHistory: 3, SampleEvery: -1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	hasTrace := func(rec Record) bool {
+		_, err := os.Stat(filepath.Join(dir, "runs", rec.ID, "trace.json"))
+		return err == nil
+	}
+
+	// Warm-up: the first MinHistory runs of a key keep their traces —
+	// the gate has nothing to rank against yet.
+	for i := 0; i < 3; i++ {
+		rec, err := r.Append(timedRecord("gkey", "ok", 100), traceArt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.TraceRetained != "warmup" || !hasTrace(rec) {
+			t.Fatalf("warm-up run %d: retained=%q trace=%v", i, rec.TraceRetained, hasTrace(rec))
+		}
+	}
+
+	// A fast healthy run after warm-up: trace dropped, record intact.
+	fast, err := r.Append(timedRecord("gkey", "ok", 40), traceArt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.TraceRetained != "" || len(fast.Artifacts) != 0 || hasTrace(fast) {
+		t.Fatalf("fast run kept its trace: %+v", fast)
+	}
+	if got, ok := r.Get(fast.ID); !ok || got.Outcome != "ok" {
+		t.Fatalf("dropped-trace run not resolvable: %+v %v", got, ok)
+	}
+
+	// A slow run (far above the history) keeps its trace.
+	slow, err := r.Append(timedRecord("gkey", "ok", 50000), traceArt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.TraceRetained != "slow" || !hasTrace(slow) {
+		t.Fatalf("slow run: retained=%q trace=%v", slow.TraceRetained, hasTrace(slow))
+	}
+
+	// Degraded and deadlocked runs always keep theirs, however fast.
+	for _, outcome := range []string{"degraded", "deadlock"} {
+		rec, err := r.Append(timedRecord("gkey", outcome, 10), traceArt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.TraceRetained != outcome || !hasTrace(rec) {
+			t.Fatalf("%s run: retained=%q trace=%v", outcome, rec.TraceRetained, hasTrace(rec))
+		}
+	}
+
+	// Non-trace artifacts pass through even when the trace is dropped.
+	mixed, err := r.Append(timedRecord("gkey", "ok", 40),
+		traceArt(), Artifact{Name: "deadlock.txt", Data: []byte("report")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixed.Artifacts) != 1 || mixed.Artifacts[0] != "deadlock.txt" {
+		t.Fatalf("non-trace artifact lost: %+v", mixed.Artifacts)
+	}
+
+	// A fresh graph key re-enters warm-up independently.
+	other, err := r.Append(timedRecord("otherkey", "ok", 40), traceArt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.TraceRetained != "warmup" {
+		t.Fatalf("new key did not warm up: %q", other.TraceRetained)
+	}
+
+	if kept, dropped := r.tracesKept.Value(), r.tracesDropped.Value(); kept != 7 || dropped != 2 {
+		t.Errorf("kept/dropped = %d/%d, want 7/2", kept, dropped)
+	}
+}
+
+// TestTraceRetentionRegressedAndSample covers the remaining keep gates:
+// regression-tagged runs and the bounded always-keep sample.
+func TestTraceRetentionRegressedAndSample(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{TraceRetention: &TraceRetention{
+		SlowQuantile: 0.9, MinHistory: 1, SampleEvery: 5,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	first, err := r.Append(timedRecord("gkey", "ok", 1000), traceArt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SetBaseline(first.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// A regressed run (different bound under zero tolerance) keeps its
+	// trace even though it is fast.
+	reg := timedRecord("gkey", "ok", 10)
+	reg.Bound = 0.005
+	reg.BaselineKey = first.BaselineKey
+	stored, err := r.Append(reg, traceArt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored.Regression == nil || !stored.Regression.Regressed {
+		t.Fatalf("run not regressed: %+v", stored.Regression)
+	}
+	if stored.TraceRetained != "regressed" {
+		t.Fatalf("regressed run: retained=%q", stored.TraceRetained)
+	}
+
+	// Seqs 3 and 4 are fast clean runs (dropped); seq 5 hits the sample.
+	for seq := int64(3); seq <= 5; seq++ {
+		ok := timedRecord("gkey", "ok", 10)
+		ok.Bound = 0.01
+		ok.BaselineKey = "graph/unrelated" // dodge the baseline
+		rec, err := r.Append(ok, traceArt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ""
+		if seq == 5 {
+			want = "sample"
+		}
+		if rec.TraceRetained != want {
+			t.Fatalf("seq %d: retained=%q, want %q", seq, rec.TraceRetained, want)
+		}
+	}
+}
+
+// TestTraceRetentionSurvivesReopen pins that the slow gate's history is
+// rebuilt from the recovered index: after a restart the gate keeps
+// judging instead of re-entering warm-up.
+func TestTraceRetentionSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	pol := &TraceRetention{SlowQuantile: 0.9, MinHistory: 3, SampleEvery: -1}
+	r, err := Open(dir, Options{TraceRetention: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := r.Append(timedRecord("gkey", "ok", 100), traceArt()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Close()
+
+	r2, err := Open(dir, Options{TraceRetention: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	rec, err := r2.Append(timedRecord("gkey", "ok", 40), traceArt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TraceRetained != "" || len(rec.Artifacts) != 0 {
+		t.Fatalf("reopened gate re-entered warm-up: %+v", rec)
+	}
+}
+
+// TestRetentionOffKeepsEverything pins the default: no policy, every
+// trace stored, counters untouched.
+func TestRetentionOffKeepsEverything(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rec, err := r.Append(timedRecord("gkey", "ok", 10), traceArt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Artifacts) != 1 || rec.TraceRetained != "" {
+		t.Fatalf("retention off altered artifacts: %+v", rec)
+	}
+	if r.tracesKept.Value() != 0 || r.tracesDropped.Value() != 0 {
+		t.Error("retention counters moved while off")
+	}
+}
+
+// TestFilterDegradedAndUntil covers the filter parity fields backing
+// `mamps-runs list` and GET /v1/runs.
+func TestFilterDegradedAndUntil(t *testing.T) {
+	clk := &clock.Fake{}
+	r, err := Open(t.TempDir(), Options{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var times []time.Time
+	for i, outcome := range []string{"ok", "degraded", "ok"} {
+		clk.Advance(time.Hour)
+		rec, err := r.Append(timedRecord("gkey", outcome, float64(100*(i+1))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, rec.Time)
+	}
+
+	recs, total := r.List(Filter{Degraded: true})
+	if total != 1 || recs[0].Outcome != "degraded" {
+		t.Fatalf("Degraded filter = %d matches: %+v", total, recs)
+	}
+	if _, total = r.List(Filter{Until: times[1]}); total != 1 {
+		t.Errorf("Until (exclusive) = %d matches, want 1", total)
+	}
+	if _, total = r.List(Filter{Since: times[1], Until: times[2]}); total != 1 {
+		t.Errorf("window = %d matches, want 1", total)
+	}
+}

@@ -31,6 +31,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
 	mux.HandleFunc("POST /v1/flow", s.instrument("flow", s.handleFlow))
 	mux.HandleFunc("POST /v1/dse", s.instrument("dse", s.handleDSE))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /v1/runs", s.instrument("runs", s.handleRunsList))
 	mux.HandleFunc("GET /v1/runs/compare", s.instrument("runs_compare", s.handleRunsCompare))
 	mux.HandleFunc("GET /v1/runs/{id}", s.instrument("runs_get", s.handleRunGet))
@@ -95,6 +96,12 @@ func (s *Server) instrument(endpoint string, fn http.HandlerFunc) http.HandlerFu
 			}
 			elapsed := s.clk.Since(start)
 			s.metrics.observeRequest(endpoint, rec.code, elapsed)
+			// Compute endpoints feed the latency SLO: good = answered in
+			// time and not by a server-side failure. Client errors (4xx)
+			// are the caller's problem, not budget burn.
+			if endpoint == "analyze" || endpoint == "flow" || endpoint == "dse" {
+				s.sloLatency.Observe(elapsed <= s.cfg.SLOLatencyTarget && rec.code < 500)
+			}
 			level := slog.LevelInfo
 			if endpoint == "healthz" || endpoint == "readyz" {
 				level = slog.LevelDebug
@@ -193,6 +200,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// The kernel counter groups (mamps_statespace_*, mamps_sim_*) live in
 	// the obs registry, fed by every job's analyses and simulations.
 	s.obsReg.WritePrometheus(w)
+	// The SLO board: mamps_slo_target/good/bad/burn_rate/budget/burning
+	// per objective.
+	s.slos.WritePrometheus(w)
 }
 
 // elapsedMS measures a handler's wall time for the response envelope.

@@ -228,11 +228,18 @@ func (s *Server) appendRun(rec runlog.Record, artifacts []runlog.Artifact) {
 		s.log.Error("runlog append failed", "kind", rec.Kind, "app", rec.App, "err", err)
 		return
 	}
-	if stored.Regression != nil && stored.Regression.Regressed {
+	regressed := stored.Regression != nil && stored.Regression.Regressed
+	if regressed {
 		s.log.Warn("run regressed against baseline",
 			"run", stored.ID, "baseline", stored.Regression.BaselineID,
 			"baselineKey", stored.Regression.BaselineKey,
 			"reasons", strings.Join(stored.Regression.Reasons, "; "))
+	}
+	// Every recorded run is a regression-free SLO event; runs carrying a
+	// throughput constraint also feed the throughput_met objective.
+	s.sloRegression.Observe(!regressed)
+	if t := stored.Config.TargetThroughput; t > 0 {
+		s.sloThroughput.Observe(stored.Bound >= t)
 	}
 }
 
@@ -260,6 +267,7 @@ func (s *Server) handleRunsList(w http.ResponseWriter, r *http.Request) {
 		GraphKey:    q.Get("graphKey"),
 		BaselineKey: q.Get("baselineKey"),
 		Regressed:   q.Get("regressed") == "true" || q.Get("regressed") == "1",
+		Degraded:    q.Get("degraded") == "true" || q.Get("degraded") == "1",
 		Limit:       50,
 	}
 	for name, dst := range map[string]*int{"limit": &f.Limit, "offset": &f.Offset} {
@@ -276,15 +284,19 @@ func (s *Server) handleRunsList(w http.ResponseWriter, r *http.Request) {
 		}
 		*dst = n
 	}
-	if v := q.Get("since"); v != "" {
+	for name, dst := range map[string]*time.Time{"since": &f.Since, "until": &f.Until} {
+		v := q.Get(name)
+		if v == "" {
+			continue
+		}
 		t, err := time.Parse(time.RFC3339, v)
 		if err != nil {
 			s.writeJSON(w, http.StatusBadRequest, modelio.ErrorJSON{
-				Error: fmt.Sprintf("bad since %q: want RFC 3339 (%v)", v, err),
+				Error: fmt.Sprintf("bad %s %q: want RFC 3339 (%v)", name, v, err),
 			})
 			return
 		}
-		f.Since = t
+		*dst = t
 	}
 	recs, total := s.runlog.List(f)
 	s.writeJSON(w, http.StatusOK, modelio.RunListJSON{Total: total, Count: len(recs), Runs: recs})

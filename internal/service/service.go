@@ -32,6 +32,7 @@ import (
 	"mamps/internal/clock"
 	"mamps/internal/faults"
 	"mamps/internal/obs"
+	"mamps/internal/obs/slo"
 	"mamps/internal/runlog"
 	"mamps/internal/service/cache"
 	"mamps/internal/sim"
@@ -88,6 +89,22 @@ type Config struct {
 	// to the service's /metrics exposition. Cache hits replay a stored
 	// computation and do not append new runs.
 	RunLog *runlog.Registry
+	// SLOLatencyTarget is the request-latency bound of the
+	// "analyze_latency" objective: a compute request (analyze/flow/dse)
+	// answered within the bound is a good event (default 2s). The
+	// objective targets SLOLatencyGoal (default 0.99). The board's
+	// burn-rate and budget series are published as mamps_slo_* on
+	// /metrics.
+	SLOLatencyTarget time.Duration
+	SLOLatencyGoal   float64
+	// SLOThroughputGoal is the target fraction of recorded runs with a
+	// throughput constraint whose guaranteed bound meets it (objective
+	// "throughput_met", default 0.95); SLORegressionGoal the target
+	// fraction of recorded runs not tagged as regressions (objective
+	// "regression_free", default 0.99). Both objectives only observe
+	// events when a run registry is attached.
+	SLOThroughputGoal float64
+	SLORegressionGoal float64
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +128,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBase <= 0 {
 		c.RetryBase = 25 * time.Millisecond
+	}
+	if c.SLOLatencyTarget <= 0 {
+		c.SLOLatencyTarget = 2 * time.Second
+	}
+	if c.SLOLatencyGoal <= 0 || c.SLOLatencyGoal >= 1 {
+		c.SLOLatencyGoal = 0.99
+	}
+	if c.SLOThroughputGoal <= 0 || c.SLOThroughputGoal >= 1 {
+		c.SLOThroughputGoal = 0.95
+	}
+	if c.SLORegressionGoal <= 0 || c.SLORegressionGoal >= 1 {
+		c.SLORegressionGoal = 0.99
 	}
 	return c
 }
@@ -156,6 +185,11 @@ type Server struct {
 	solverStat *obs.SolverStats
 	warm       *warm.Cache // nil when disabled
 	runlog     *runlog.Registry
+
+	slos          *slo.Board
+	sloLatency    *slo.Tracker
+	sloThroughput *slo.Tracker
+	sloRegression *slo.Tracker
 
 	baseCtx context.Context // cancelled only by forced shutdown
 	abort   context.CancelFunc
@@ -205,6 +239,19 @@ func New(cfg Config) *Server {
 	if s.runlog != nil {
 		s.runlog.AttachMetrics(reg)
 	}
+	s.slos = slo.NewBoard(cfg.Clock)
+	s.sloLatency = s.slos.Add(slo.Objective{
+		Name: "analyze_latency", Target: cfg.SLOLatencyGoal,
+		Help: fmt.Sprintf("Compute requests answered within %v.", cfg.SLOLatencyTarget),
+	})
+	s.sloThroughput = s.slos.Add(slo.Objective{
+		Name: "throughput_met", Target: cfg.SLOThroughputGoal,
+		Help: "Recorded runs whose guaranteed bound meets their throughput constraint.",
+	})
+	s.sloRegression = s.slos.Add(slo.Objective{
+		Name: "regression_free", Target: cfg.SLORegressionGoal,
+		Help: "Recorded runs not tagged by the baseline regression detector.",
+	})
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()

@@ -42,3 +42,42 @@ func TestCloseOpen(t *testing.T) {
 		t.Errorf("render lost the open lane:\n%s", out)
 	}
 }
+
+// CloseOpen on an empty or fully-closed chart is a no-op, and the
+// collector can keep recording afterwards — the interrupted-then-resumed
+// simulation pattern.
+func TestCloseOpenEmptyAndResume(t *testing.T) {
+	g := New()
+	if n := g.CloseOpen(100); n != 0 {
+		t.Fatalf("CloseOpen on empty chart closed %d spans", n)
+	}
+	c := g.Collector()
+	c("exec-start", "VLD", 10)
+	c("exec-end", "VLD", 20)
+	if n := g.CloseOpen(100); n != 0 {
+		t.Fatalf("CloseOpen with no open spans closed %d", n)
+	}
+	// A lane closed by CloseOpen can start a fresh firing afterwards.
+	c("exec-start", "IDCT", 30)
+	g.CloseOpen(40)
+	c("exec-start", "IDCT", 50)
+	c("exec-end", "IDCT", 70)
+	var open, closed int
+	for _, s := range g.Spans() {
+		if s.Lane != "IDCT" {
+			continue
+		}
+		if s.Label == "exec (open)" {
+			open++
+		} else {
+			closed++
+		}
+	}
+	if open != 1 || closed != 1 {
+		t.Errorf("IDCT spans after resume: open=%d closed=%d, want 1 and 1", open, closed)
+	}
+	// Utilization counts both the closed-open and the completed span.
+	if u := g.Utilization()["IDCT"]; u <= 0 {
+		t.Errorf("IDCT utilization = %v, want > 0", u)
+	}
+}
