@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-json bench-smoke obs-smoke obs-agg-smoke par-smoke faults-smoke dse-smoke regress regress-update staticcheck vuln serve ci
+.PHONY: all build test race vet fmt fmt-check bench bench-json bench-smoke obs-smoke obs-agg-smoke par-smoke faults-smoke dse-smoke ledger-smoke fuzz-smoke regress regress-update staticcheck vuln serve ci
 
 all: build
 
@@ -101,6 +101,37 @@ faults-smoke:
 dse-smoke:
 	$(GO) run ./cmd/experiments -run dse
 
+# Ledger-integrity smoke: two deterministic replays of the quick corpus
+# must produce identical Merkle roots (and byte-identical indexes); a
+# single flipped byte in the index must make fsck fail naming the exact
+# record; `fsck -repair` must quarantine the damage and leave a clean
+# chain behind.
+ledger-smoke:
+	@rm -rf /tmp/ledger-a /tmp/ledger-b
+	$(GO) run ./cmd/mamps-runs regress -quick -deterministic -keep /tmp/ledger-a
+	$(GO) run ./cmd/mamps-runs regress -quick -deterministic -keep /tmp/ledger-b
+	cmp /tmp/ledger-a/index.jsonl /tmp/ledger-b/index.jsonl
+	$(GO) run ./cmd/mamps-runs -dir /tmp/ledger-a root > /tmp/ledger-a.root
+	$(GO) run ./cmd/mamps-runs -dir /tmp/ledger-b root > /tmp/ledger-b.root
+	cmp /tmp/ledger-a.root /tmp/ledger-b.root
+	$(GO) run ./cmd/mamps-runs -dir /tmp/ledger-a fsck
+	@size=$$(wc -c < /tmp/ledger-a/index.jsonl); \
+	printf 'X' | dd of=/tmp/ledger-a/index.jsonl bs=1 seek=$$((size-20)) conv=notrunc status=none
+	@if $(GO) run ./cmd/mamps-runs -dir /tmp/ledger-a fsck; then \
+		echo "ledger-smoke: fsck missed a corrupted byte"; exit 1; \
+	fi
+	$(GO) run ./cmd/mamps-runs -dir /tmp/ledger-a fsck -repair
+	$(GO) run ./cmd/mamps-runs -dir /tmp/ledger-a fsck
+	@rm -rf /tmp/ledger-a /tmp/ledger-b /tmp/ledger-a.root /tmp/ledger-b.root
+	@echo "ledger-smoke: replays identical, corruption detected, repair clean"
+
+# Short fuzz runs of the two wire-facing parsers: the index recovery
+# scanner and the inclusion-proof decoder. Ten seconds each is enough to
+# guard against panics/regressions without stalling CI.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseIndex$$' -fuzztime 10s ./internal/runlog
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeProof$$' -fuzztime 10s ./internal/runlog/ledger
+
 # Throughput-regression gate: replay the example-graph corpus (small
 # analysis graphs + the full MJPEG flow on FSL and NoC) and compare every
 # deterministic quantity — throughput bound, measured throughput,
@@ -126,4 +157,4 @@ vuln:
 serve:
 	$(GO) run ./cmd/mamps-serve
 
-ci: build vet fmt-check race obs-smoke obs-agg-smoke par-smoke faults-smoke dse-smoke regress
+ci: build vet fmt-check race obs-smoke obs-agg-smoke par-smoke faults-smoke dse-smoke ledger-smoke fuzz-smoke regress

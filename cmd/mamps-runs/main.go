@@ -8,7 +8,11 @@
 //	mamps-runs -dir RUNLOG diff ID-A ID-B
 //	mamps-runs -dir RUNLOG gc [-max-records N] [-max-age D]
 //	mamps-runs -dir RUNLOG baseline [ID]
+//	mamps-runs -dir RUNLOG fsck [-repair] [-strict] [-json]
+//	mamps-runs -dir RUNLOG prove ID
+//	mamps-runs -dir RUNLOG root
 //	mamps-runs regress [-baselines FILE] [-update] [-perturb N] [-perturb-energy PJ] [-quick]
+//	                   [-deterministic] [-keep DIR]
 //
 // `stats` is the offline entry point of the run-lake aggregation
 // engine (internal/obs/agg): it streams the registry's JSONL index —
@@ -27,7 +31,18 @@
 // `-update` refreshes the baseline file instead; `-perturb N` adds N
 // cycles to one WCET per entry and `-perturb-energy PJ` shifts the
 // energy model's PE constant, each proving its gate fires. `make
-// regress` wraps the gate for CI.
+// regress` wraps the gate for CI. `-deterministic` strips wall-clock
+// content (timestamps, stage wall times) before recording, so two
+// replays of the same corpus produce byte-identical indexes and the
+// same ledger chain root — the property `make ledger-smoke` checks.
+//
+// `fsck`, `prove` and `root` are the integrity surface of the run
+// ledger (internal/runlog/ledger): fsck verifies the hash chain and
+// every artifact blob, naming the exact corrupted record or blob, and
+// with -repair quarantines the damage and re-chains the verified
+// prefix; prove prints a Merkle inclusion proof of one run against the
+// registry's chain root; root prints the current root for external
+// pinning.
 package main
 
 import (
@@ -40,6 +55,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"mamps/internal/clock"
 	"mamps/internal/corpus"
 	"mamps/internal/obs/agg"
 	"mamps/internal/runlog"
@@ -68,6 +84,12 @@ func main() {
 		err = cmdGC(*dir, args)
 	case "baseline":
 		err = cmdBaseline(*dir, args)
+	case "fsck":
+		err = cmdFsck(*dir, args)
+	case "prove":
+		err = cmdProve(*dir, args)
+	case "root":
+		err = cmdRoot(*dir, args)
 	case "regress":
 		err = cmdRegress(args)
 	default:
@@ -93,7 +115,12 @@ Commands:
   diff A B  structured comparison of two runs
   gc        enforce retention bounds (-max-records, -max-age)
   baseline  [ID] freeze a run as the reference for its key; no ID lists baselines
+  fsck      verify the run ledger: hash chain, every blob (-repair quarantines
+            damage and re-chains; -strict makes missing blobs fatal; -json)
+  prove ID  print the run's Merkle inclusion proof against the chain root
+  root      print the ledger's chain root (for external pinning)
   regress   replay the example-graph corpus against checked-in baselines
+            (-deterministic for byte-identical replays, -keep DIR to keep them)
 `)
 }
 
@@ -368,6 +395,98 @@ func cmdBaseline(dir string, args []string) error {
 	return nil
 }
 
+func cmdFsck(dir string, args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	repair := fs.Bool("repair", false, "quarantine damaged records/blobs and re-chain the verified prefix")
+	strict := fs.Bool("strict", false, "treat a referenced-but-missing blob as a problem, not a warning")
+	asJSON := fs.Bool("json", false, "print the full report as JSON")
+	fs.Parse(args)
+	if dir == "" {
+		return fmt.Errorf("fsck needs -dir (the run registry directory)")
+	}
+	rep, err := runlog.Fsck(dir, runlog.FsckOptions{Repair: *repair, Strict: *strict})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, p := range rep.Problems {
+			fmt.Printf("PROBLEM  %s\n", p)
+		}
+		for _, w := range rep.Warnings {
+			fmt.Printf("warning  %s\n", w)
+		}
+		fmt.Printf("%d record(s) verified (%d chained, %d legacy), %d blob(s)\n",
+			rep.Records, rep.Chained, rep.Legacy, rep.Blobs)
+		if rep.Repaired {
+			fmt.Printf("repaired: %d index line(s) and %d blob(s) quarantined, %d legacy record(s) adopted\n",
+				rep.QuarantinedLines, rep.QuarantinedBlobs, rep.Adopted)
+		}
+		fmt.Printf("root %s\n", rep.Root)
+	}
+	// -repair resolves what it found; without it, problems gate the exit
+	// code so CI and scripts can rely on `fsck` alone.
+	if !rep.OK() && !*repair {
+		return fmt.Errorf("fsck: %d problem(s) found", len(rep.Problems))
+	}
+	return nil
+}
+
+func cmdProve(dir string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: mamps-runs -dir DIR prove ID")
+	}
+	if !runlog.ValidID(args[0]) {
+		return fmt.Errorf("malformed run id %q", args[0])
+	}
+	r, err := openRegistry(dir, runlog.Options{})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	p, err := r.Prove(args[0])
+	if err != nil {
+		return err
+	}
+	// Self-check before printing: a proof this binary cannot verify is a
+	// bug, not a deliverable.
+	if err := p.Proof.Verify(); err != nil {
+		return fmt.Errorf("proof self-check failed: %w", err)
+	}
+	out, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+// cmdRoot verifies the on-disk chain (file-level, no registry lock) and
+// prints the Merkle root — the value to pin externally next to
+// published results.
+func cmdRoot(dir string, args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("usage: mamps-runs -dir DIR root")
+	}
+	if dir == "" {
+		return fmt.Errorf("root needs -dir (the run registry directory)")
+	}
+	rep, err := runlog.Fsck(dir, runlog.FsckOptions{})
+	if err != nil {
+		return err
+	}
+	if !rep.OK() {
+		return fmt.Errorf("registry fails verification (%d problem(s)); run `mamps-runs -dir %s fsck` for details", len(rep.Problems), dir)
+	}
+	fmt.Println(rep.Root)
+	return nil
+}
+
 func cmdRegress(args []string) error {
 	fs := flag.NewFlagSet("regress", flag.ExitOnError)
 	baselines := fs.String("baselines", "regress/baselines.json", "checked-in baseline records")
@@ -376,6 +495,7 @@ func cmdRegress(args []string) error {
 	perturbEnergy := fs.Float64("perturb-energy", 0, "add N pJ/cycle to the PE energy constant (to demonstrate the energy gate)")
 	quick := fs.Bool("quick", false, "skip the MJPEG flow entries")
 	keep := fs.String("keep", "", "record the replay into this registry directory (default: a temp dir)")
+	deterministic := fs.Bool("deterministic", false, "strip wall-clock content and use a fixed clock, so replays are byte-identical")
 	fs.Parse(args)
 
 	recs, err := corpus.Run(corpus.Options{PerturbWCET: *perturb, PerturbEnergy: *perturbEnergy, Quick: *quick})
@@ -420,7 +540,13 @@ func cmdRegress(args []string) error {
 	}
 	// Zero tolerances: the kernels are deterministic, so the gate demands
 	// bit-identical numbers.
-	r, err := runlog.Open(dir, runlog.Options{})
+	opt := runlog.Options{}
+	if *deterministic {
+		// A fixed clock plus Strip'd records makes the whole index — and
+		// therefore the ledger chain root — a pure function of the corpus.
+		opt.Clock = clock.NewFake(time.Time{})
+	}
+	r, err := runlog.Open(dir, opt)
 	if err != nil {
 		return err
 	}
@@ -433,6 +559,9 @@ func cmdRegress(args []string) error {
 
 	failed := 0
 	for _, rec := range recs {
+		if *deterministic {
+			rec = corpus.Strip(rec)
+		}
 		stored, err := r.Append(rec)
 		if err != nil {
 			return err

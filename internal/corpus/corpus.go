@@ -363,14 +363,19 @@ func warmEntry(name string) Entry {
 }
 
 // Strip removes the nondeterministic parts of a record — identity,
-// timestamps, per-stage wall times, stored artifacts and the regression
-// verdict — leaving exactly what a checked-in baseline should pin.
+// timestamps, per-stage wall times, stored artifacts, the regression
+// verdict and the ledger chain fields — leaving exactly what a
+// checked-in baseline should pin.
 func Strip(rec runlog.Record) runlog.Record {
 	rec.ID = ""
 	rec.Seq = 0
 	rec.Time = time.Time{}
 	rec.Steps = nil
 	rec.Artifacts = nil
+	rec.ArtifactBlobs = nil
 	rec.Regression = nil
+	rec.Format = 0
+	rec.PrevHash = ""
+	rec.RecordHash = ""
 	return rec
 }

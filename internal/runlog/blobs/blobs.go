@@ -1,0 +1,238 @@
+// Package blobs is the content-addressed artifact store of the run
+// registry. Every artifact (Perfetto trace, deadlock report, ...) is
+// stored exactly once as an immutable file named by the SHA-256 of its
+// content — blobs/<aa>/<64-hex>, with <aa> the first two hex chars —
+// so every blob is self-verifying (hash the file, compare to its name)
+// and identical artifacts across runs are deduplicated for free.
+//
+// Writes are crash-safe: the content goes to a temp file in the store
+// root, is fsynced, then renamed into place, so a crash mid-Put leaves
+// at worst a temp file (swept by GC), never a half-written blob under a
+// valid name. Reclamation is reference-counted at collection time: GC
+// receives the digest reference counts derived from the live index
+// records and removes only blobs no record references.
+package blobs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mamps/internal/obs"
+)
+
+// tmpPrefix marks in-flight Put temp files; GC sweeps leftovers.
+const tmpPrefix = ".tmp-"
+
+// Digest returns the store address of a byte string: 64 lowercase hex
+// chars of its SHA-256.
+func Digest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// ValidDigest reports whether s is a well-formed blob address. Path
+// operations reject anything else, so a digest read from an untrusted
+// record can never escape the store directory.
+func ValidDigest(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Store is a content-addressed blob store rooted at one directory. All
+// methods are safe for concurrent use (the store is immutable-by-name;
+// the only races are idempotent Puts, which rename identical content).
+type Store struct {
+	dir string
+
+	// writeFile is the storage seam: tests substitute a failing writer
+	// to drive disk-full and torn-write faults through Put.
+	writeFile func(path string, data []byte) error
+
+	writes    *obs.Counter
+	dedups    *obs.Counter
+	gcRemoved *obs.Counter
+}
+
+// Open creates or opens the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blobs: %w", err)
+	}
+	s := &Store{
+		dir:    dir,
+		writes: &obs.Counter{}, dedups: &obs.Counter{}, gcRemoved: &obs.Counter{},
+	}
+	s.writeFile = s.atomicWrite
+	return s, nil
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string { return s.dir }
+
+// Metrics returns the store's counters — blobs written, Puts answered
+// by an existing blob, blobs removed by GC — for registration with an
+// obs registry.
+func (s *Store) Metrics() (writes, dedups, gcRemoved *obs.Counter) {
+	return s.writes, s.dedups, s.gcRemoved
+}
+
+// path maps a digest to its file path.
+func (s *Store) path(digest string) string {
+	return filepath.Join(s.dir, digest[:2], digest)
+}
+
+// Path returns the on-disk path of a blob after validating the digest
+// and that the blob exists.
+func (s *Store) Path(digest string) (string, error) {
+	if !ValidDigest(digest) {
+		return "", fmt.Errorf("blobs: invalid digest %q", digest)
+	}
+	p := s.path(digest)
+	if _, err := os.Stat(p); err != nil {
+		return "", fmt.Errorf("blobs: no blob %s", digest)
+	}
+	return p, nil
+}
+
+// Put stores data under its digest and returns the digest. Storing
+// content that is already present is a no-op (deduplication).
+func (s *Store) Put(data []byte) (string, error) {
+	digest := Digest(data)
+	p := s.path(digest)
+	if _, err := os.Stat(p); err == nil {
+		s.dedups.Add(1)
+		return digest, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return "", fmt.Errorf("blobs: %w", err)
+	}
+	if err := s.writeFile(p, data); err != nil {
+		return "", fmt.Errorf("blobs: storing %s: %w", digest, err)
+	}
+	s.writes.Add(1)
+	return digest, nil
+}
+
+// atomicWrite is the default storage backend: temp file + fsync +
+// rename, with the temp file removed on any failure.
+func (s *Store) atomicWrite(path string, data []byte) error {
+	f, err := os.CreateTemp(s.dir, tmpPrefix)
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	return nil
+}
+
+// Read returns a blob's content, verified against its digest: corrupted
+// bytes on disk are an error, never silently returned.
+func (s *Store) Read(digest string) ([]byte, error) {
+	p, err := s.Path(digest)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, fmt.Errorf("blobs: %w", err)
+	}
+	if got := Digest(data); got != digest {
+		return nil, fmt.Errorf("blobs: blob %s corrupted on disk (content hashes to %s)", digest, got)
+	}
+	return data, nil
+}
+
+// Verify rehashes a blob's file and compares it to its name.
+func (s *Store) Verify(digest string) error {
+	_, err := s.Read(digest)
+	return err
+}
+
+// List returns the digests of every stored blob, plus the paths of any
+// alien files in the store (wrong name, leftover temp files) so fsck
+// can report them.
+func (s *Store) List() (digests []string, aliens []string, err error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("blobs: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() {
+			// Leftover temp files are expected debris of a crash mid-Put;
+			// anything else is alien.
+			if !strings.HasPrefix(name, tmpPrefix) {
+				aliens = append(aliens, filepath.Join(s.dir, name))
+			}
+			continue
+		}
+		sub, err := os.ReadDir(filepath.Join(s.dir, name))
+		if err != nil {
+			return nil, nil, fmt.Errorf("blobs: %w", err)
+		}
+		for _, f := range sub {
+			fname := f.Name()
+			if ValidDigest(fname) && strings.HasPrefix(fname, name) {
+				digests = append(digests, fname)
+			} else {
+				aliens = append(aliens, filepath.Join(s.dir, name, fname))
+			}
+		}
+	}
+	return digests, aliens, nil
+}
+
+// GC removes every blob whose reference count in refs is zero (or
+// absent), plus leftover temp files from crashed Puts. refs is derived
+// by the caller from the live index records. Returns the number of
+// blobs removed.
+func (s *Store) GC(refs map[string]int) (int, error) {
+	digests, _, err := s.List()
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, d := range digests {
+		if refs[d] > 0 {
+			continue
+		}
+		if err := os.Remove(s.path(d)); err != nil {
+			return removed, fmt.Errorf("blobs: gc: %w", err)
+		}
+		removed++
+	}
+	// Sweep crashed-Put debris.
+	if entries, err := os.ReadDir(s.dir); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasPrefix(e.Name(), tmpPrefix) {
+				os.Remove(filepath.Join(s.dir, e.Name()))
+			}
+		}
+	}
+	s.gcRemoved.Add(int64(removed))
+	return removed, nil
+}

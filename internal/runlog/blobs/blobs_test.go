@@ -1,0 +1,203 @@
+package blobs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mamps/internal/runlog/faultio"
+)
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "blobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutReadRoundTrip(t *testing.T) {
+	s := open(t)
+	data := []byte("trace bytes")
+	digest, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != Digest(data) {
+		t.Fatalf("digest %s != %s", digest, Digest(data))
+	}
+	back, err := s.Read(digest)
+	if err != nil || string(back) != string(data) {
+		t.Fatalf("read: %q %v", back, err)
+	}
+	if err := s.Verify(digest); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutDeduplicates(t *testing.T) {
+	s := open(t)
+	d1, err := s.Put([]byte("same"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s.Put([]byte("same"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digests differ: %s %s", d1, d2)
+	}
+	writes, dedups, _ := s.Metrics()
+	if writes.Value() != 1 || dedups.Value() != 1 {
+		t.Fatalf("writes=%d dedups=%d, want 1/1", writes.Value(), dedups.Value())
+	}
+	digests, _, err := s.List()
+	if err != nil || len(digests) != 1 {
+		t.Fatalf("list: %v %v", digests, err)
+	}
+}
+
+// TestPathRejectsNonDigests is the traversal guard: only a well-formed
+// digest may reach the path join, so no untrusted record field can
+// escape the store.
+func TestPathRejectsNonDigests(t *testing.T) {
+	s := open(t)
+	for _, bad := range []string{
+		"", "..", "../../etc/passwd",
+		"ABCDEF" + strings.Repeat("0", 58),        // uppercase
+		strings.Repeat("0", 63),                   // short
+		strings.Repeat("0", 65),                   // long
+		strings.Repeat("0", 62) + "/x",            // separator
+		strings.Repeat("0", 60) + ".." + "00"[:2], // dots
+	} {
+		if _, err := s.Path(bad); err == nil {
+			t.Errorf("Path(%q) accepted", bad)
+		}
+	}
+}
+
+func TestReadDetectsCorruption(t *testing.T) {
+	s := open(t)
+	digest, err := s.Put([]byte("pristine content"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Path(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultio.FlipByte(p, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(digest); err == nil {
+		t.Fatal("read of corrupted blob succeeded")
+	}
+	if err := s.Verify(digest); err == nil {
+		t.Fatal("verify of corrupted blob succeeded")
+	}
+}
+
+func TestGCKeepsReferenced(t *testing.T) {
+	s := open(t)
+	keep, err := s.Put([]byte("referenced"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop, err := s.Put([]byte("orphan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crashed-Put debris should be swept too.
+	debris := filepath.Join(s.Dir(), tmpPrefix+"123")
+	if err := os.WriteFile(debris, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := s.GC(map[string]int{keep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("removed %d blobs, want 1", removed)
+	}
+	if err := s.Verify(keep); err != nil {
+		t.Fatalf("referenced blob gone: %v", err)
+	}
+	if _, err := s.Path(drop); err == nil {
+		t.Fatal("unreferenced blob survived GC")
+	}
+	if _, err := os.Stat(debris); !os.IsNotExist(err) {
+		t.Fatal("temp debris survived GC")
+	}
+	_, _, gcRemoved := s.Metrics()
+	if gcRemoved.Value() != 1 {
+		t.Fatalf("gcRemoved=%d, want 1", gcRemoved.Value())
+	}
+}
+
+// TestPutFaultLeavesNoBlob drives a write failure through the storage
+// seam: a failed Put must not leave a blob under a valid name (a later
+// Put of the same content must actually store it).
+func TestPutFaultLeavesNoBlob(t *testing.T) {
+	s := open(t)
+	realWrite := s.writeFile
+	s.writeFile = func(path string, data []byte) error {
+		return faultio.ErrNoSpace
+	}
+	if _, err := s.Put([]byte("doomed")); err == nil {
+		t.Fatal("Put with failing writer succeeded")
+	}
+	digests, _, err := s.List()
+	if err != nil || len(digests) != 0 {
+		t.Fatalf("store not empty after failed Put: %v %v", digests, err)
+	}
+	s.writeFile = realWrite
+	digest, err := s.Put([]byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(digest); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAtomicWriteTornTemp simulates a crash mid-atomicWrite (temp file
+// written but never renamed): List must not report it as a blob and GC
+// must sweep it.
+func TestAtomicWriteTornTemp(t *testing.T) {
+	s := open(t)
+	tmp := filepath.Join(s.Dir(), tmpPrefix+"crashed")
+	if err := os.WriteFile(tmp, []byte("half a blo"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	digests, aliens, err := s.List()
+	if err != nil || len(digests) != 0 || len(aliens) != 0 {
+		t.Fatalf("torn temp misreported: digests=%v aliens=%v err=%v", digests, aliens, err)
+	}
+	if _, err := s.GC(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("torn temp survived GC")
+	}
+}
+
+func TestListReportsAliens(t *testing.T) {
+	s := open(t)
+	if _, err := s.Put([]byte("legit")); err != nil {
+		t.Fatal(err)
+	}
+	alien := filepath.Join(s.Dir(), "aa", "not-a-digest")
+	if err := os.MkdirAll(filepath.Dir(alien), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(alien, []byte("?"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	digests, aliens, err := s.List()
+	if err != nil || len(digests) != 1 || len(aliens) != 1 {
+		t.Fatalf("digests=%v aliens=%v err=%v", digests, aliens, err)
+	}
+}

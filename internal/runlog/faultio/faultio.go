@@ -1,0 +1,79 @@
+// Package faultio is the deterministic storage-fault injector behind
+// the run-lake robustness tests: failing and short io.Writers (the
+// ENOSPC shape), torn writes truncated at arbitrary byte offsets, and
+// post-hoc bit flips in files. The same fault set that PR 4's seeded
+// engine injects into the simulated platform, applied to the storage
+// layer: every fault is explicit and reproducible, so tests can drive
+// the append/GC/fsck paths through exact failure points.
+package faultio
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// ErrNoSpace is the injected "disk full" error.
+var ErrNoSpace = errors.New("faultio: no space left on device (injected)")
+
+// Writer wraps an io.Writer with a byte budget: writes succeed until
+// Budget bytes have been written in total, then the write that crosses
+// the budget is short (the bytes up to the budget are written — a torn
+// write) and fails with Err. A nil Err fails with ErrNoSpace.
+type Writer struct {
+	W      io.Writer
+	Budget int
+	Err    error
+
+	written int
+}
+
+// Written returns the total bytes successfully written.
+func (w *Writer) Written() int { return w.written }
+
+func (w *Writer) Write(p []byte) (int, error) {
+	fail := w.Err
+	if fail == nil {
+		fail = ErrNoSpace
+	}
+	remaining := w.Budget - w.written
+	if remaining <= 0 {
+		return 0, fail
+	}
+	if len(p) <= remaining {
+		n, err := w.W.Write(p)
+		w.written += n
+		return n, err
+	}
+	// Torn write: only the budgeted prefix reaches the medium.
+	n, err := w.W.Write(p[:remaining])
+	w.written += n
+	if err != nil {
+		return n, err
+	}
+	return n, fail
+}
+
+// FlipByte XORs the byte at offset off in the named file with 0xff —
+// the canonical single-byte corruption every tamper-evidence test
+// injects. The flip always changes the byte.
+func FlipByte(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 0xff
+	_, err = f.WriteAt(b[:], off)
+	return err
+}
+
+// TruncateAt cuts the named file to n bytes — a torn append observed
+// after a crash.
+func TruncateAt(path string, n int64) error {
+	return os.Truncate(path, n)
+}

@@ -1,0 +1,81 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriterTornWrite(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, Budget: 5}
+	n, err := w.Write([]byte("abc"))
+	if n != 3 || err != nil {
+		t.Fatalf("within budget: n=%d err=%v", n, err)
+	}
+	// This write crosses the budget: 2 bytes land, then ErrNoSpace.
+	n, err = w.Write([]byte("defgh"))
+	if n != 2 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	if got := buf.String(); got != "abcde" {
+		t.Fatalf("medium holds %q, want %q", got, "abcde")
+	}
+	if w.Written() != 5 {
+		t.Fatalf("Written()=%d, want 5", w.Written())
+	}
+	// Exhausted budget: nothing lands.
+	n, err = w.Write([]byte("x"))
+	if n != 0 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("after budget: n=%d err=%v", n, err)
+	}
+}
+
+func TestWriterCustomError(t *testing.T) {
+	sentinel := errors.New("injected EIO")
+	w := &Writer{W: &bytes.Buffer{}, Budget: 0, Err: sentinel}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, sentinel) {
+		t.Fatalf("err=%v, want sentinel", err)
+	}
+}
+
+func TestFlipByte(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(p, []byte("abcd"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipByte(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(p)
+	if data[2] == 'c' || data[0] != 'a' || len(data) != 4 {
+		t.Fatalf("flip failed: %q", data)
+	}
+	// Flipping back restores the original.
+	if err := FlipByte(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(p)
+	if string(data) != "abcd" {
+		t.Fatalf("double flip: %q", data)
+	}
+	if err := FlipByte(p, 99); err == nil {
+		t.Fatal("flip past EOF succeeded")
+	}
+}
+
+func TestTruncateAt(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(p, []byte("abcdef"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateAt(p, 4); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(p)
+	if string(data) != "abcd" {
+		t.Fatalf("truncate: %q", data)
+	}
+}

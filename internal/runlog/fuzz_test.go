@@ -1,0 +1,55 @@
+package runlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseIndex feeds arbitrary bytes to the index-line parser:
+// whatever the damage, it must never panic, the verified prefix length
+// must stay within the input, and each returned record must correspond
+// to a parseable line inside that prefix.
+func FuzzParseIndex(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"id":"r000001-abc"}` + "\n"))
+	f.Add([]byte(`{"id":"r000001-abc"}` + "\n" + `{"id":"r0000`)) // torn tail
+	f.Add([]byte(`garbage` + "\n" + `{"id":"r000002-def"}` + "\n"))
+	rec := testRecord("fuzz", 0.5)
+	rec.PrevHash, rec.RecordHash = "00", "11"
+	line, _ := json.Marshal(rec)
+	f.Add(append(line, '\n'))
+	f.Add(bytes.Repeat(line, 3))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, raws, good, fragKept := parseIndexBytes(data)
+		if good < 0 || good > len(data) {
+			t.Fatalf("good=%d outside input of %d bytes", good, len(data))
+		}
+		if len(raws) != len(recs) {
+			t.Fatalf("%d raws for %d recs", len(raws), len(recs))
+		}
+		withNewline := len(recs)
+		if fragKept {
+			withNewline--
+		}
+		// Count parseable content lines inside the verified prefix.
+		lines := 0
+		for _, ln := range bytes.Split(data[:good], []byte("\n")) {
+			if len(bytes.TrimSpace(ln)) > 0 {
+				lines++
+			}
+		}
+		if lines != withNewline {
+			t.Fatalf("prefix holds %d lines but parser returned %d terminated records", lines, withNewline)
+		}
+		// Every raw must re-parse — the parser only returns lines it
+		// accepted.
+		for i, raw := range raws {
+			var rec Record
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				t.Fatalf("raw %d does not re-parse: %v", i, err)
+			}
+		}
+	})
+}

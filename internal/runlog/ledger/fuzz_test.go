@@ -1,0 +1,40 @@
+package ledger
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeProof feeds arbitrary bytes to the proof decoder: it must
+// never panic, and any proof it accepts must be structurally sound
+// enough for Verify to run without panicking (Verify may of course
+// reject it cryptographically).
+func FuzzDecodeProof(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"index":0,"size":1,"leaf":"00","root":"00"}`))
+	var tr Tree
+	for _, s := range []string{"a", "b", "c", "d", "e"} {
+		tr.Append(HashBytes([]byte(s)))
+	}
+	for i := 0; i < tr.Size(); i++ {
+		p, _ := tr.Prove(i)
+		wire, _ := json.Marshal(p)
+		f.Add(wire)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeProof(data)
+		if err != nil {
+			return
+		}
+		// Accepted proofs must round-trip and be safe to verify.
+		_ = p.Verify()
+		wire, merr := json.Marshal(p)
+		if merr != nil {
+			t.Fatalf("accepted proof does not re-encode: %v", merr)
+		}
+		if _, derr := DecodeProof(wire); derr != nil {
+			t.Fatalf("accepted proof does not re-decode: %v", derr)
+		}
+	})
+}

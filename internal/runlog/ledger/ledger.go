@@ -1,0 +1,194 @@
+// Package ledger implements the tamper-evidence primitives of the run
+// registry: a SHA-256 hash chain over record content hashes and an
+// incremental Merkle tree over the chain hashes, yielding a single chain
+// root plus O(log n) inclusion proofs in the RFC 6962/9162 style.
+//
+// The chain makes partial corruption evident: record i carries
+// prevHash (the chain hash of record i-1, or the genesis hash) and
+// recordHash = H(0x02 || prevHash || contentHash(i)), so flipping any
+// byte of any record breaks verification at exactly that record. The
+// Merkle tree over the recordHash leaves gives a compact root that a
+// consumer can pin externally (scrape it from /metrics, publish it next
+// to results); an inclusion proof then convinces the consumer that a
+// specific record is part of the history behind that root without
+// shipping the whole index.
+//
+// Threat model: the chain defends against accidental corruption (bit
+// rot, torn writes, truncation) and casual tampering of individual
+// records. An attacker with write access to the whole index can always
+// re-chain a rewritten history — that rewrite is only detectable by
+// comparing the advertised root against an externally pinned copy,
+// which is exactly what the root is for.
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// HashLen is the byte length of all ledger hashes (SHA-256).
+const HashLen = 32
+
+// Domain-separation prefixes, RFC 6962 style: leaves and interior nodes
+// of the Merkle tree hash differently (second-preimage hardening), and
+// chain links differently from both.
+const (
+	leafPrefix = 0x00
+	nodePrefix = 0x01
+	linkPrefix = 0x02
+)
+
+// Hash is one SHA-256 ledger hash.
+type Hash [HashLen]byte
+
+// Hex renders the hash as 64 lowercase hex characters — the wire and
+// on-disk form used in record fields, proofs and blob names.
+func (h Hash) Hex() string { return hex.EncodeToString(h[:]) }
+
+// ParseHex parses the 64-lowercase-hex wire form of a hash.
+func ParseHex(s string) (Hash, error) {
+	var h Hash
+	if len(s) != 2*HashLen {
+		return h, fmt.Errorf("ledger: hash %q: want %d hex chars, have %d", s, 2*HashLen, len(s))
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return h, fmt.Errorf("ledger: hash %q: want lowercase hex", s)
+		}
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return h, fmt.Errorf("ledger: hash %q: %w", s, err)
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+// HashBytes hashes raw bytes (used for record content hashes).
+func HashBytes(p []byte) Hash { return sha256.Sum256(p) }
+
+// Genesis is the chain anchor of a fresh (or re-chained) index: the
+// prevHash of the first record. Versioned so a future chain format can
+// change the rules without colliding with v1 chains.
+func Genesis() Hash { return HashBytes([]byte("mamps/ledger/genesis/v1")) }
+
+// Link computes the chain hash of a record from its predecessor's chain
+// hash and its own content hash.
+func Link(prev, content Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{linkPrefix})
+	h.Write(prev[:])
+	h.Write(content[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// leafHash and nodeHash are the RFC 6962 tree hashes.
+func leafHash(leaf Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{leafPrefix})
+	h.Write(leaf[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func nodeHash(l, r Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{nodePrefix})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// Tree is an incremental Merkle tree over an append-only leaf sequence.
+// The zero value is an empty tree. Not safe for concurrent use; callers
+// (the registry) serialize access.
+type Tree struct {
+	leaves    []Hash
+	root      Hash
+	rootValid bool
+}
+
+// Append adds one leaf (a record's chain hash) to the tree.
+func (t *Tree) Append(leaf Hash) {
+	t.leaves = append(t.leaves, leaf)
+	t.rootValid = false
+}
+
+// Size returns the number of leaves.
+func (t *Tree) Size() int { return len(t.leaves) }
+
+// Leaf returns the i-th leaf.
+func (t *Tree) Leaf(i int) Hash { return t.leaves[i] }
+
+// Root returns the Merkle tree hash of the current leaves (the hash of
+// the empty string for an empty tree, per RFC 6962). The root is cached
+// between appends.
+func (t *Tree) Root() Hash {
+	if !t.rootValid {
+		t.root = merkleRoot(t.leaves)
+		t.rootValid = true
+	}
+	return t.root
+}
+
+// merkleRoot is the RFC 6962 MTH: split at the largest power of two
+// strictly below n.
+func merkleRoot(leaves []Hash) Hash {
+	switch len(leaves) {
+	case 0:
+		return HashBytes(nil)
+	case 1:
+		return leafHash(leaves[0])
+	}
+	k := largestPow2Below(len(leaves))
+	return nodeHash(merkleRoot(leaves[:k]), merkleRoot(leaves[k:]))
+}
+
+// largestPow2Below returns the largest power of two strictly less than
+// n (n must be >= 2).
+func largestPow2Below(n int) int {
+	k := 1
+	for k*2 < n {
+		k *= 2
+	}
+	return k
+}
+
+// Prove returns the inclusion proof of the i-th leaf against the
+// current root.
+func (t *Tree) Prove(i int) (*Proof, error) {
+	if i < 0 || i >= len(t.leaves) {
+		return nil, fmt.Errorf("ledger: proof index %d out of range (tree size %d)", i, len(t.leaves))
+	}
+	path := provePath(t.leaves, i)
+	hexPath := make([]string, len(path))
+	for j, h := range path {
+		hexPath[j] = h.Hex()
+	}
+	return &Proof{
+		Index: i,
+		Size:  len(t.leaves),
+		Leaf:  t.leaves[i].Hex(),
+		Path:  hexPath,
+		Root:  t.Root().Hex(),
+	}, nil
+}
+
+// provePath is the RFC 6962 PATH(m, D): sibling subtree roots from the
+// leaf up.
+func provePath(leaves []Hash, i int) []Hash {
+	if len(leaves) <= 1 {
+		return nil
+	}
+	k := largestPow2Below(len(leaves))
+	if i < k {
+		return append(provePath(leaves[:k], i), merkleRoot(leaves[k:]))
+	}
+	return append(provePath(leaves[k:], i-k), merkleRoot(leaves[:k]))
+}

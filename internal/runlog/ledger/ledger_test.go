@@ -1,0 +1,172 @@
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// testLeaves returns n distinct deterministic leaves.
+func testLeaves(n int) []Hash {
+	leaves := make([]Hash, n)
+	for i := range leaves {
+		leaves[i] = HashBytes([]byte(fmt.Sprintf("leaf-%d", i)))
+	}
+	return leaves
+}
+
+// TestKnownAnswers pins the primitive hashes so the on-disk chain
+// format can never drift silently: these values are what every
+// persisted index in the wild already contains.
+func TestKnownAnswers(t *testing.T) {
+	if got, want := Genesis().Hex(), HashBytes([]byte("mamps/ledger/genesis/v1")).Hex(); got != want {
+		t.Errorf("genesis: %s != %s", got, want)
+	}
+	// Empty tree root is SHA-256 of the empty string (RFC 6962).
+	empty := sha256.Sum256(nil)
+	var tr Tree
+	if got := tr.Root(); got != Hash(empty) {
+		t.Errorf("empty root: %s != %x", got.Hex(), empty)
+	}
+	// Single-leaf root is H(0x00 || leaf).
+	leaf := HashBytes([]byte("x"))
+	tr.Append(leaf)
+	want := sha256.Sum256(append([]byte{0x00}, leaf[:]...))
+	if got := tr.Root(); got != Hash(want) {
+		t.Errorf("1-leaf root: %s != %x", got.Hex(), want)
+	}
+	// Link is H(0x02 || prev || content).
+	prev, content := HashBytes([]byte("p")), HashBytes([]byte("c"))
+	wl := sha256.Sum256(append([]byte{0x02}, append(prev[:], content[:]...)...))
+	if got := Link(prev, content); got != Hash(wl) {
+		t.Errorf("link: %s != %x", got.Hex(), wl)
+	}
+}
+
+func TestParseHex(t *testing.T) {
+	h := HashBytes([]byte("round-trip"))
+	back, err := ParseHex(h.Hex())
+	if err != nil || back != h {
+		t.Fatalf("round-trip: %v %v", back, err)
+	}
+	for _, bad := range []string{
+		"", "00", strings.Repeat("0", 63), strings.Repeat("0", 65),
+		strings.ToUpper(h.Hex()),               // uppercase rejected
+		strings.Repeat("0", 63) + "g",          // non-hex
+		strings.Repeat("0", 62) + "\x00" + "0", // control char
+	} {
+		if _, err := ParseHex(bad); err == nil {
+			t.Errorf("ParseHex(%q) accepted", bad)
+		}
+	}
+}
+
+// TestIncrementalRootMatchesBatch grows a tree leaf by leaf and checks
+// the incremental root always equals a from-scratch recompute.
+func TestIncrementalRootMatchesBatch(t *testing.T) {
+	leaves := testLeaves(65)
+	var tr Tree
+	for i, l := range leaves {
+		tr.Append(l)
+		if got, want := tr.Root(), merkleRoot(leaves[:i+1]); got != want {
+			t.Fatalf("size %d: incremental root %s != batch %s", i+1, got.Hex(), want.Hex())
+		}
+	}
+}
+
+// TestProofsAllSizes verifies every inclusion proof for every index of
+// every tree size up to 65 (crossing several power-of-two boundaries),
+// and that each proof survives its JSON wire round-trip.
+func TestProofsAllSizes(t *testing.T) {
+	leaves := testLeaves(65)
+	for n := 1; n <= len(leaves); n++ {
+		var tr Tree
+		for _, l := range leaves[:n] {
+			tr.Append(l)
+		}
+		for i := 0; i < n; i++ {
+			p, err := tr.Prove(i)
+			if err != nil {
+				t.Fatalf("size %d index %d: %v", n, i, err)
+			}
+			if err := p.Verify(); err != nil {
+				t.Fatalf("size %d index %d: %v", n, i, err)
+			}
+			wire, err := json.Marshal(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := DecodeProof(wire)
+			if err != nil {
+				t.Fatalf("size %d index %d: decode: %v", n, i, err)
+			}
+			if err := back.Verify(); err != nil {
+				t.Fatalf("size %d index %d: decoded proof: %v", n, i, err)
+			}
+		}
+	}
+}
+
+// TestProofTamperDetected mutates each component of a valid proof and
+// checks verification fails: a proof must bind leaf, index, size, path
+// and root together.
+func TestProofTamperDetected(t *testing.T) {
+	var tr Tree
+	for _, l := range testLeaves(13) {
+		tr.Append(l)
+	}
+	base, err := tr.Prove(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := HashBytes([]byte("not-in-tree")).Hex()
+	mutate := []struct {
+		name string
+		fn   func(p *Proof)
+	}{
+		{"leaf", func(p *Proof) { p.Leaf = other }},
+		{"root", func(p *Proof) { p.Root = other }},
+		{"index", func(p *Proof) { p.Index = 6 }},
+		// The RFC 9162 algorithm binds the size only as far as it changes
+		// the path shape; 13 -> 8 shortens the expected path, 12 would not.
+		{"size", func(p *Proof) { p.Size = 8 }},
+		{"path-element", func(p *Proof) { p.Path[0] = other }},
+		{"path-short", func(p *Proof) { p.Path = p.Path[:len(p.Path)-1] }},
+		{"path-long", func(p *Proof) { p.Path = append(p.Path, other) }},
+	}
+	for _, m := range mutate {
+		p := *base
+		p.Path = append([]string(nil), base.Path...)
+		m.fn(&p)
+		if err := p.Verify(); err == nil {
+			t.Errorf("tampered %s proof verified", m.name)
+		}
+	}
+	if err := base.Verify(); err != nil {
+		t.Fatalf("untampered proof broken by mutation loop: %v", err)
+	}
+}
+
+func TestDecodeProofRejects(t *testing.T) {
+	valid := HashBytes(nil).Hex()
+	cases := []string{
+		``, `not json`, `[]`, `"str"`,
+		`{}`, // size 0
+		fmt.Sprintf(`{"index":0,"size":0,"leaf":%q,"root":%q}`, valid, valid),
+		fmt.Sprintf(`{"index":-1,"size":4,"leaf":%q,"root":%q}`, valid, valid),
+		fmt.Sprintf(`{"index":4,"size":4,"leaf":%q,"root":%q}`, valid, valid),
+		fmt.Sprintf(`{"index":0,"size":1,"leaf":"zz","root":%q}`, valid),
+		fmt.Sprintf(`{"index":0,"size":1,"leaf":%q,"root":"zz"}`, valid),
+		fmt.Sprintf(`{"index":0,"size":2,"leaf":%q,"root":%q,"path":["zz"]}`, valid, valid),
+		// Path longer than any 2^64-leaf tree could produce.
+		fmt.Sprintf(`{"index":0,"size":2,"leaf":%q,"root":%q,"path":[%s]}`,
+			valid, valid, strings.TrimSuffix(strings.Repeat(fmt.Sprintf("%q,", valid), 65), ",")),
+	}
+	for _, c := range cases {
+		if _, err := DecodeProof([]byte(c)); err == nil {
+			t.Errorf("DecodeProof(%.60q) accepted", c)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Proof is a verifiable Merkle inclusion proof: the claim that Leaf is
+// the Index-th of Size leaves in the tree whose root is Root, witnessed
+// by the sibling hashes in Path. The wire form is JSON with all hashes
+// as 64-char lowercase hex.
+type Proof struct {
+	Index int      `json:"index"`
+	Size  int      `json:"size"`
+	Leaf  string   `json:"leaf"`
+	Path  []string `json:"path,omitempty"`
+	Root  string   `json:"root"`
+}
+
+// maxPathLen bounds a decoded proof's path: a tree would need 2^64
+// leaves to produce a longer one, so anything beyond is garbage.
+const maxPathLen = 64
+
+// DecodeProof parses and validates the wire form of a proof. Arbitrary
+// bytes never panic — they produce an error. A nil error guarantees the
+// proof is structurally sound (indices in range, every hash parseable,
+// path length plausible); Verify then checks it cryptographically.
+func DecodeProof(data []byte) (*Proof, error) {
+	var p Proof
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("ledger: decoding proof: %w", err)
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+func (p *Proof) validate() error {
+	if p.Size < 1 {
+		return fmt.Errorf("ledger: proof size %d: want >= 1", p.Size)
+	}
+	if p.Index < 0 || p.Index >= p.Size {
+		return fmt.Errorf("ledger: proof index %d out of range (size %d)", p.Index, p.Size)
+	}
+	if len(p.Path) > maxPathLen {
+		return fmt.Errorf("ledger: proof path length %d exceeds %d", len(p.Path), maxPathLen)
+	}
+	if _, err := ParseHex(p.Leaf); err != nil {
+		return fmt.Errorf("ledger: proof leaf: %w", err)
+	}
+	if _, err := ParseHex(p.Root); err != nil {
+		return fmt.Errorf("ledger: proof root: %w", err)
+	}
+	for i, s := range p.Path {
+		if _, err := ParseHex(s); err != nil {
+			return fmt.Errorf("ledger: proof path[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Verify recomputes the root from the leaf and path (the RFC 9162
+// §2.1.3.2 algorithm) and compares it to the claimed root. A nil return
+// means the leaf is provably included in the tree behind Root.
+func (p *Proof) Verify() error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	leaf, _ := ParseHex(p.Leaf)
+	root, _ := ParseHex(p.Root)
+	r := leafHash(leaf)
+	fn, sn := uint64(p.Index), uint64(p.Size-1)
+	for i, s := range p.Path {
+		sib, _ := ParseHex(s)
+		if sn == 0 {
+			return fmt.Errorf("ledger: proof path too long at element %d", i)
+		}
+		if fn&1 == 1 || fn == sn {
+			r = nodeHash(sib, r)
+			if fn&1 == 0 {
+				for fn&1 == 0 && fn != 0 {
+					fn >>= 1
+					sn >>= 1
+				}
+			}
+		} else {
+			r = nodeHash(r, sib)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	if sn != 0 {
+		return fmt.Errorf("ledger: proof path too short (size %d needs more than %d siblings)", p.Size, len(p.Path))
+	}
+	if r != root {
+		return fmt.Errorf("ledger: proof does not verify: computed root %s != claimed %s", r.Hex(), p.Root)
+	}
+	return nil
+}

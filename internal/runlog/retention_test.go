@@ -1,8 +1,6 @@
 package runlog
 
 import (
-	"os"
-	"path/filepath"
 	"testing"
 	"time"
 
@@ -36,7 +34,7 @@ func TestTraceRetentionTailBased(t *testing.T) {
 	defer r.Close()
 
 	hasTrace := func(rec Record) bool {
-		_, err := os.Stat(filepath.Join(dir, "runs", rec.ID, "trace.json"))
+		_, err := r.ArtifactPath(rec.ID, "trace.json")
 		return err == nil
 	}
 

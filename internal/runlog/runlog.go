@@ -39,6 +39,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 	"sync"
@@ -47,6 +48,8 @@ import (
 	"mamps/internal/clock"
 	"mamps/internal/faults"
 	"mamps/internal/obs"
+	"mamps/internal/runlog/blobs"
+	"mamps/internal/runlog/ledger"
 )
 
 // Record is one completed (or failed) run.
@@ -115,6 +118,60 @@ type Record struct {
 	// Regression is attached by Append when a baseline exists for the
 	// run's key; Regression.Regressed marks drift beyond tolerance.
 	Regression *Regression `json:"regression,omitempty"`
+
+	// ArtifactBlobs maps artifact names to the SHA-256 digests under
+	// which their bytes live in the content-addressed blob store
+	// (blobs/<aa>/<digest>). Records predating the blob store keep their
+	// artifacts under runs/<id>/ and have no entries here.
+	ArtifactBlobs map[string]string `json:"artifactBlobs,omitempty"`
+
+	// Format versions the record's wire schema: 0 is the pre-ledger
+	// format; FormatChained records carry the chain fields below and
+	// blob-addressed artifacts.
+	Format int `json:"format,omitempty"`
+
+	// PrevHash is the chain hash of the preceding record (the ledger
+	// genesis hash for the first record); RecordHash is this record's
+	// chain hash, Link(PrevHash, contentHash) where contentHash covers
+	// the record's canonical JSON with both chain fields cleared.
+	// Assigned by Append; empty on legacy records until fsck (or GC)
+	// adopts them into the chain.
+	PrevHash   string `json:"prevHash,omitempty"`
+	RecordHash string `json:"recordHash,omitempty"`
+}
+
+// FormatChained marks records whose index line participates in the
+// Merkle-chained ledger (PR 9). Legacy records are Format 0.
+const FormatChained = 2
+
+// contentHash computes the record hash the chain links over: SHA-256 of
+// the record's canonical JSON with the chain fields themselves cleared
+// (they describe the chain, not the content). Every other field —
+// including Format — is covered, so any single flipped byte of a stored
+// line changes the hash.
+func contentHash(rec *Record) (ledger.Hash, error) {
+	c := *rec
+	c.PrevHash, c.RecordHash = "", ""
+	b, err := json.Marshal(&c)
+	if err != nil {
+		return ledger.Hash{}, fmt.Errorf("runlog: hashing record: %w", err)
+	}
+	return ledger.HashBytes(b), nil
+}
+
+// idPattern is the strict shape of run IDs assigned by Append:
+// "r<seq, >=6 digits>-<key>", key a sanitized graph-key prefix (shortKey
+// maps everything outside [0-9a-z] to '-') or "nokey". Service handlers
+// and the CLI validate untrusted IDs against it before any filesystem
+// path is derived from them.
+var idPattern = regexp.MustCompile(`^r[0-9]{6,19}-[0-9a-z-]{1,64}$`)
+
+// ValidID reports whether id is a well-formed run ID. Anything else —
+// path separators, "..", empty strings, overlong junk — is rejected at
+// the boundary, so an untrusted ID can never traverse outside the
+// registry directory.
+func ValidID(id string) bool {
+	return len(id) <= 90 && idPattern.MatchString(id)
 }
 
 // ConfigSummary is the part of a run's configuration worth keeping: what
@@ -307,6 +364,28 @@ type Registry struct {
 	seq       int64
 	index     *os.File
 
+	// indexLen is the byte length of the intact index — the truncation
+	// target when an append fails partway (self-healing torn appends).
+	// broken marks a registry whose self-heal truncate itself failed;
+	// further appends are refused until reopen.
+	indexLen int64
+	broken   bool
+
+	// testAppendFault, when set by tests, intercepts index-line writes
+	// to inject short/failing writes (the ENOSPC and torn-append
+	// faults) without touching the production path.
+	testAppendFault func(f *os.File, p []byte) (int, error)
+
+	// tip is the chain hash of the last record; tree is the Merkle tree
+	// over all record chain hashes (leaves in append order); blobs is
+	// the content-addressed artifact store; legacy counts recovered
+	// records that predate the ledger (chained in memory, adopted on
+	// disk by fsck -repair or the next GC rewrite).
+	tip    ledger.Hash
+	tree   *ledger.Tree
+	blobs  *blobs.Store
+	legacy int
+
 	// Per-graph-key total stage wall-time histograms feeding the
 	// tail-based trace retention slow gate. Nil map when retention is
 	// off.
@@ -317,12 +396,15 @@ type Registry struct {
 	gcRemoved     *obs.Counter
 	tracesKept    *obs.Counter
 	tracesDropped *obs.Counter
+	ledgerAppends *obs.Counter
+	legacyGauge   *obs.Gauge
 }
 
 const (
 	indexName     = "index.jsonl"
 	baselinesName = "baselines.jsonl"
 	runsDirName   = "runs"
+	blobsDirName  = "blobs"
 )
 
 // Open creates or recovers the registry rooted at dir.
@@ -338,17 +420,40 @@ func Open(dir string, opt Options) (*Registry, error) {
 		dir: dir, clk: opt.Clock, opt: opt,
 		byID:      make(map[string]int),
 		baselines: make(map[string]Record),
+		tree:      &ledger.Tree{},
+		tip:       ledger.Genesis(),
 		records:   &obs.Gauge{}, regressions: &obs.Counter{}, gcRemoved: &obs.Counter{},
 		tracesKept: &obs.Counter{}, tracesDropped: &obs.Counter{},
+		ledgerAppends: &obs.Counter{}, legacyGauge: &obs.Gauge{},
 	}
 	if opt.TraceRetention != nil {
 		r.durByKey = make(map[string]*obs.Histogram)
 	}
-	recs, err := recoverJSONL(filepath.Join(dir, indexName))
+	bs, err := blobs.Open(filepath.Join(dir, blobsDirName))
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	r.blobs = bs
+	recs, raws, err := recoverJSONL(filepath.Join(dir, indexName))
 	if err != nil {
 		return nil, err
 	}
-	for _, rec := range recs {
+	for i := range recs {
+		rec := recs[i]
+		// Extend the in-memory chain over the recovered record, verifying
+		// chained records as we go: tampering that survives JSON parsing
+		// (the crash-recovery layer) is refused here, with a pointer to
+		// the repair tool. Legacy (pre-ledger) records are adopted into
+		// the chain in memory and on disk by the next GC or fsck -repair.
+		leaf, legacy, cerr := chainStep(r.tip, &rec, raws[i], i == 0)
+		if cerr != nil {
+			return nil, fmt.Errorf("runlog: record %d (%s): %w; run `mamps-runs fsck -repair` to quarantine the damage", i+1, rec.ID, cerr)
+		}
+		if legacy {
+			r.legacy++
+		}
+		r.tip = leaf
+		r.tree.Append(leaf)
 		r.byID[rec.ID] = len(r.recs)
 		r.recs = append(r.recs, rec)
 		if rec.Seq > r.seq {
@@ -358,7 +463,7 @@ func Open(dir string, opt Options) (*Registry, error) {
 		// decisions survive restarts instead of re-entering warm-up.
 		r.observeDurationLocked(&rec)
 	}
-	bases, err := recoverJSONL(filepath.Join(dir, baselinesName))
+	bases, _, err := recoverJSONL(filepath.Join(dir, baselinesName))
 	if err != nil {
 		return nil, err
 	}
@@ -369,8 +474,61 @@ func Open(dir string, opt Options) (*Registry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runlog: %w", err)
 	}
+	if st, err := r.index.Stat(); err == nil {
+		r.indexLen = st.Size()
+	}
 	r.records.Store(int64(len(r.recs)))
+	r.legacyGauge.Store(int64(r.legacy))
 	return r, nil
+}
+
+// chainStep verifies (or, for a legacy record, computes) one record's
+// place in the hash chain given the running tip, returning the record's
+// chain hash. raw is the record's trimmed on-disk line: a chained line
+// must byte-equal the re-marshal of its parsed form (appendLine and GC
+// only ever write canonical lines), which catches corruption the parse
+// forgives — a flipped byte in the key of a zero-valued field parses to
+// the identical record. first relaxes nothing — the first record's
+// PrevHash must be the genesis hash, the invariant Append preserves and
+// GC restores after dropping old records.
+func chainStep(tip ledger.Hash, rec *Record, raw []byte, first bool) (leaf ledger.Hash, legacy bool, err error) {
+	content, err := contentHash(rec)
+	if err != nil {
+		return ledger.Hash{}, false, err
+	}
+	if rec.RecordHash == "" {
+		if rec.PrevHash != "" {
+			return ledger.Hash{}, false, fmt.Errorf("prevHash present without recordHash")
+		}
+		// Pre-ledger record: chain over its computed content hash, with no
+		// canonical-form requirement (older writers may have used other
+		// field sets). A flipped byte in a legacy record still surfaces —
+		// the next chained record's stored prevHash no longer matches.
+		return ledger.Link(tip, content), true, nil
+	}
+	if canon, merr := json.Marshal(rec); merr != nil {
+		return ledger.Hash{}, false, merr
+	} else if !bytes.Equal(canon, raw) {
+		return ledger.Hash{}, false, fmt.Errorf("non-canonical record encoding (corrupted bytes the parse forgives)")
+	}
+	prev, perr := ledger.ParseHex(rec.PrevHash)
+	if perr != nil {
+		return ledger.Hash{}, false, fmt.Errorf("bad prevHash: %v", perr)
+	}
+	stored, serr := ledger.ParseHex(rec.RecordHash)
+	if serr != nil {
+		return ledger.Hash{}, false, fmt.Errorf("bad recordHash: %v", serr)
+	}
+	if want := ledger.Link(prev, content); stored != want {
+		return ledger.Hash{}, false, fmt.Errorf("record hash mismatch (content or chain fields corrupted): stored %s, computed %s", rec.RecordHash, want.Hex())
+	}
+	if prev != tip {
+		if first {
+			return ledger.Hash{}, false, fmt.Errorf("chain anchor mismatch: first record's prevHash %s is not the genesis hash %s", rec.PrevHash, tip.Hex())
+		}
+		return ledger.Hash{}, false, fmt.Errorf("chain broken: prevHash %s does not match predecessor's hash %s", rec.PrevHash, tip.Hex())
+	}
+	return stored, false, nil
 }
 
 // Close releases the index file. The registry must not be used after.
@@ -398,6 +556,45 @@ func (r *Registry) AttachMetrics(reg *obs.Registry) {
 	reg.RegisterCounter("mamps_runlog_gc_removed_total", "Run records removed by retention GC.", r.gcRemoved)
 	reg.RegisterCounter("mamps_runlog_traces_kept_total", "Trace artifacts stored by the tail-based retention policy.", r.tracesKept)
 	reg.RegisterCounter("mamps_runlog_traces_dropped_total", "Trace artifacts dropped by the tail-based retention policy.", r.tracesDropped)
+	reg.RegisterCounter("mamps_ledger_appends_total", "Records appended to the Merkle-chained ledger.", r.ledgerAppends)
+	reg.RegisterGauge("mamps_ledger_legacy_records", "Recovered pre-ledger records awaiting chain adoption.", r.legacyGauge)
+	writes, dedups, gcRemoved := r.blobs.Metrics()
+	reg.RegisterCounter("mamps_blob_writes_total", "Artifact blobs written to the content-addressed store.", writes)
+	reg.RegisterCounter("mamps_blob_dedup_total", "Artifact stores answered by an existing identical blob.", dedups)
+	reg.RegisterCounter("mamps_blob_gc_removed_total", "Unreferenced artifact blobs removed by GC.", gcRemoved)
+}
+
+// Root returns the current Merkle chain root over all record hashes, as
+// 64 hex chars — the value a consumer pins externally (it is published
+// on /metrics) and verifies inclusion proofs against.
+func (r *Registry) Root() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tree.Root().Hex()
+}
+
+// InclusionProof is a run's verifiable membership claim: the Merkle
+// inclusion proof of its record's chain hash against the registry's
+// current root. Returned by Prove and GET /v1/runs/{id}/proof.
+type InclusionProof struct {
+	RunID string       `json:"runId"`
+	Proof ledger.Proof `json:"proof"`
+}
+
+// Prove returns the inclusion proof of the identified run against the
+// current chain root.
+func (r *Registry) Prove(id string) (InclusionProof, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.byID[id]
+	if !ok {
+		return InclusionProof{}, fmt.Errorf("runlog: no run %q", id)
+	}
+	p, err := r.tree.Prove(i)
+	if err != nil {
+		return InclusionProof{}, fmt.Errorf("runlog: %w", err)
+	}
+	return InclusionProof{RunID: id, Proof: *p}, nil
 }
 
 // Regressions returns the number of regressions detected since Open.
@@ -408,25 +605,57 @@ func (r *Registry) Regressions() int64 { return r.regressions.Value() }
 // (no newline, or garbage) is dropped and the file truncated back to the
 // last intact line. A parseable final line that merely lost its newline
 // is kept and the newline restored.
-func recoverJSONL(path string) ([]Record, error) {
+func recoverJSONL(path string) ([]Record, [][]byte, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("runlog: %w", err)
+		return nil, nil, fmt.Errorf("runlog: %w", err)
 	}
-	var recs []Record
-	good := 0 // bytes of intact, newline-terminated records
+	recs, raws, good, fragKept := parseIndexBytes(data)
+	if good == len(data) {
+		return recs, raws, nil
+	}
+	if fragKept {
+		// The trailing fragment parses: it only lost its newline. Keep it
+		// and normalize the file.
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("runlog: %w", err)
+		}
+		_, werr := f.WriteString("\n")
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			return nil, nil, fmt.Errorf("runlog: repairing %s: %v, %v", path, werr, cerr)
+		}
+		return recs, raws, nil
+	}
+	if err := os.Truncate(path, int64(good)); err != nil {
+		return nil, nil, fmt.Errorf("runlog: truncating damaged tail of %s: %w", path, err)
+	}
+	return recs, raws, nil
+}
+
+// parseIndexBytes is the pure index-line parser under recoverJSONL
+// (and the fuzz target guarding it): recs are the records of the
+// longest intact prefix with raws their trimmed line bytes (kept so
+// chain verification can check canonical encoding), good the byte
+// length of that intact, newline-terminated prefix, and fragKept
+// reports that a trailing unterminated fragment parsed as a record and
+// was appended to recs (the signature of a crash between write and
+// newline). Arbitrary input bytes must never panic — only shorten the
+// result.
+func parseIndexBytes(data []byte) (recs []Record, raws [][]byte, good int, fragKept bool) {
 	rest := data
 	for {
 		nl := bytes.IndexByte(rest, '\n')
 		if nl < 0 {
 			break
 		}
-		line := rest[:nl]
+		line := bytes.TrimSpace(rest[:nl])
 		rest = rest[nl+1:]
-		if len(bytes.TrimSpace(line)) == 0 {
+		if len(line) == 0 {
 			good += nl + 1
 			continue
 		}
@@ -434,35 +663,23 @@ func recoverJSONL(path string) ([]Record, error) {
 		if err := json.Unmarshal(line, &rec); err != nil {
 			// A garbled line mid-file means everything after it is
 			// suspect; drop from here.
-			break
+			return recs, raws, good, false
 		}
 		recs = append(recs, rec)
+		raws = append(raws, line)
 		good += nl + 1
 	}
 	if good == len(data) {
-		return recs, nil
+		return recs, raws, good, false
 	}
-	// A trailing fragment. If it parses it only lost its newline; keep it
-	// and normalize. Otherwise truncate it away.
 	frag := bytes.TrimSpace(data[good:])
 	var rec Record
 	if len(frag) > 0 && json.Unmarshal(frag, &rec) == nil {
 		recs = append(recs, rec)
-		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return nil, fmt.Errorf("runlog: %w", err)
-		}
-		_, werr := f.WriteString("\n")
-		cerr := f.Close()
-		if werr != nil || cerr != nil {
-			return nil, fmt.Errorf("runlog: repairing %s: %v, %v", path, werr, cerr)
-		}
-		return recs, nil
+		raws = append(raws, frag)
+		return recs, raws, good, true
 	}
-	if err := os.Truncate(path, int64(good)); err != nil {
-		return nil, fmt.Errorf("runlog: truncating damaged tail of %s: %w", path, err)
-	}
-	return recs, nil
+	return recs, raws, good, false
 }
 
 // baselineKey returns the key a record is baseline-matched under.
@@ -476,15 +693,28 @@ func (rec *Record) baselineKey() string {
 	return "graph/" + rec.GraphKey
 }
 
-// shortKey abbreviates a graph key for run IDs.
+// shortKey abbreviates a graph key for run IDs, sanitized so minted
+// IDs always satisfy ValidID: anything outside [0-9a-z] becomes '-',
+// so a graph key can never smuggle a path separator or dot into an ID
+// (and thus into a filesystem path).
 func shortKey(key string) string {
 	if len(key) > 8 {
-		return key[:8]
+		key = key[:8]
 	}
 	if key == "" {
 		return "nokey"
 	}
-	return key
+	b := []byte(key)
+	for i, c := range b {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z':
+		case c >= 'A' && c <= 'Z':
+			b[i] = c + ('a' - 'A')
+		default:
+			b[i] = '-'
+		}
+	}
+	return string(b)
 }
 
 // Append assigns the record its identity (ID, Seq, Time), runs the
@@ -517,27 +747,41 @@ func (r *Registry) Append(rec Record, artifacts ...Artifact) (Record, error) {
 	}
 	artifacts = r.applyTraceRetention(&rec, artifacts)
 
-	// Artifacts before the index append: a crash between the two leaves
-	// an orphan directory that the next GC sweeps, never a dangling
-	// index entry.
+	// Artifacts go to the content-addressed blob store before the index
+	// append: a crash between the two leaves unreferenced blobs that the
+	// next GC sweeps, never a dangling index entry. Identical artifact
+	// bytes across runs share one blob.
 	if len(artifacts) > 0 {
-		adir := filepath.Join(r.dir, runsDirName, rec.ID)
-		if err := os.MkdirAll(adir, 0o755); err != nil {
-			return Record{}, fmt.Errorf("runlog: %w", err)
-		}
+		rec.ArtifactBlobs = make(map[string]string, len(artifacts))
 		for _, a := range artifacts {
-			name := filepath.Base(a.Name) // no path traversal out of the run dir
-			if err := os.WriteFile(filepath.Join(adir, name), a.Data, 0o644); err != nil {
+			name := filepath.Base(a.Name) // no path traversal out of the store
+			digest, err := r.blobs.Put(a.Data)
+			if err != nil {
 				return Record{}, fmt.Errorf("runlog: artifact %s: %w", name, err)
 			}
+			rec.ArtifactBlobs[name] = digest
 			rec.Artifacts = append(rec.Artifacts, name)
 		}
 		sort.Strings(rec.Artifacts)
 	}
 
+	// Chain the record: its content hash (over every field above) links
+	// from the current tip.
+	rec.Format = FormatChained
+	content, err := contentHash(&rec)
+	if err != nil {
+		return Record{}, err
+	}
+	h := ledger.Link(r.tip, content)
+	rec.PrevHash = r.tip.Hex()
+	rec.RecordHash = h.Hex()
+
 	if err := r.appendLine(rec); err != nil {
 		return Record{}, err
 	}
+	r.tip = h
+	r.tree.Append(h)
+	r.ledgerAppends.Add(1)
 	r.byID[rec.ID] = len(r.recs)
 	r.recs = append(r.recs, rec)
 	r.records.Store(int64(len(r.recs)))
@@ -636,19 +880,38 @@ func (r *Registry) applyTraceRetention(rec *Record, artifacts []Artifact) []Arti
 	return artifacts
 }
 
-// appendLine writes one record to the index and syncs it to disk.
+// appendLine writes one record to the index and syncs it to disk. A
+// failed or short write (disk full, I/O error) is self-healed: the
+// index is truncated back to the last intact line, so the torn bytes
+// never corrupt subsequent appends and the registry stays usable once
+// space frees up. Only if that truncation itself fails is the registry
+// marked broken (reopen required).
 func (r *Registry) appendLine(rec Record) error {
+	if r.broken {
+		return fmt.Errorf("runlog: index is in an unknown state after a failed self-heal; reopen the registry")
+	}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("runlog: %w", err)
 	}
 	line = append(line, '\n')
-	if _, err := r.index.Write(line); err != nil {
-		return fmt.Errorf("runlog: appending index: %w", err)
+	write := r.index.Write
+	if r.testAppendFault != nil {
+		f := r.index
+		write = func(p []byte) (int, error) { return r.testAppendFault(f, p) }
 	}
-	if err := r.index.Sync(); err != nil {
-		return fmt.Errorf("runlog: syncing index: %w", err)
+	_, werr := write(line)
+	if werr == nil {
+		werr = r.index.Sync()
 	}
+	if werr != nil {
+		if terr := r.index.Truncate(r.indexLen); terr != nil {
+			r.broken = true
+			return fmt.Errorf("runlog: appending index: %v (self-heal truncate also failed: %v; reopen the registry)", werr, terr)
+		}
+		return fmt.Errorf("runlog: appending index: %w (torn bytes truncated away)", werr)
+	}
+	r.indexLen += int64(len(line))
 	return nil
 }
 
@@ -664,18 +927,51 @@ func (r *Registry) Get(id string) (Record, bool) {
 }
 
 // ArtifactPath returns the on-disk path of a run's artifact, verifying
-// the record lists it.
+// the record lists it. Blob-backed artifacts resolve into the
+// content-addressed store; legacy records resolve under runs/<id>/.
 func (r *Registry) ArtifactPath(id, name string) (string, error) {
 	rec, ok := r.Get(id)
 	if !ok {
 		return "", fmt.Errorf("runlog: no run %q", id)
 	}
+	if digest, ok := rec.ArtifactBlobs[name]; ok {
+		return r.blobs.Path(digest)
+	}
 	for _, a := range rec.Artifacts {
 		if a == name {
+			if !ValidID(id) { // belt and braces before the path join
+				return "", fmt.Errorf("runlog: invalid run id %q", id)
+			}
 			return filepath.Join(r.dir, runsDirName, id, name), nil
 		}
 	}
 	return "", fmt.Errorf("runlog: run %s has no artifact %q", id, name)
+}
+
+// ReadArtifact returns an artifact's bytes. Blob-backed content is
+// verified against its digest on every read — corruption on disk is an
+// error, never silently served.
+func (r *Registry) ReadArtifact(id, name string) ([]byte, error) {
+	rec, ok := r.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("runlog: no run %q", id)
+	}
+	if digest, ok := rec.ArtifactBlobs[name]; ok {
+		data, err := r.blobs.Read(digest)
+		if err != nil {
+			return nil, fmt.Errorf("runlog: run %s artifact %q: %w", id, name, err)
+		}
+		return data, nil
+	}
+	path, err := r.ArtifactPath(id, name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("runlog: run %s artifact %q: %w", id, name, err)
+	}
+	return data, nil
 }
 
 // Filter selects records for List. Zero fields match everything.
@@ -861,33 +1157,17 @@ func (r *Registry) gcLocked() (int, error) {
 	}
 
 	// Rewrite the index atomically even when nothing was dropped from
-	// the in-memory view: GC doubles as the orphan sweep and compaction
-	// entry point.
-	tmp := filepath.Join(r.dir, indexName+".tmp")
-	f, err := os.Create(tmp)
+	// the in-memory view: GC doubles as the orphan sweep, compaction and
+	// chain-migration entry point. The kept records are re-chained from
+	// genesis — dropping the oldest records moves the anchor, and any
+	// legacy (pre-ledger) record is adopted into the chain here, which
+	// is the automatic half of the versioned migration path (fsck
+	// -repair is the explicit half). When nothing was dropped and no
+	// record is legacy, the re-chain reproduces the stored hashes
+	// byte-identically.
+	tip, tree, indexLen, err := chainAndWriteIndex(r.dir, keep)
 	if err != nil {
-		return 0, fmt.Errorf("runlog: %w", err)
-	}
-	for _, rec := range keep {
-		line, err := json.Marshal(rec)
-		if err != nil {
-			f.Close()
-			return 0, fmt.Errorf("runlog: %w", err)
-		}
-		if _, err := f.Write(append(line, '\n')); err != nil {
-			f.Close()
-			return 0, fmt.Errorf("runlog: %w", err)
-		}
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("runlog: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return 0, fmt.Errorf("runlog: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(r.dir, indexName)); err != nil {
-		return 0, fmt.Errorf("runlog: %w", err)
+		return 0, err
 	}
 	// Reopen the append handle on the renamed file.
 	r.index.Close()
@@ -895,6 +1175,11 @@ func (r *Registry) gcLocked() (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("runlog: %w", err)
 	}
+	r.indexLen = indexLen
+	r.broken = false
+	r.tip, r.tree = tip, tree
+	r.legacy = 0
+	r.legacyGauge.Store(0)
 
 	r.recs = keep
 	r.byID = make(map[string]int, len(keep))
@@ -904,7 +1189,7 @@ func (r *Registry) gcLocked() (int, error) {
 	r.records.Store(int64(len(r.recs)))
 	r.gcRemoved.Add(int64(len(dropped)))
 
-	// Remove expired and orphan artifact directories.
+	// Remove expired and orphan legacy artifact directories.
 	runsDir := filepath.Join(r.dir, runsDirName)
 	for _, rec := range dropped {
 		os.RemoveAll(filepath.Join(runsDir, rec.ID))
@@ -916,5 +1201,69 @@ func (r *Registry) gcLocked() (int, error) {
 			}
 		}
 	}
+	// Reference-counted blob sweep: count every digest the kept records
+	// reference and remove the rest (expired runs' artifacts, orphans of
+	// a crash between blob write and index append, crashed-Put debris).
+	refs := make(map[string]int)
+	for i := range keep {
+		for _, d := range keep[i].ArtifactBlobs {
+			refs[d]++
+		}
+	}
+	if _, err := r.blobs.GC(refs); err != nil {
+		return 0, fmt.Errorf("runlog: %w", err)
+	}
 	return len(dropped), nil
+}
+
+// chainAndWriteIndex re-chains recs from genesis — adopting any legacy
+// record (Format becomes FormatChained) — and writes the result
+// atomically (temp + fsync + rename) to dir's index. recs is modified
+// in place with the recomputed chain fields. Shared by GC and fsck
+// -repair: both restore the invariant that the on-disk index chains
+// from the genesis anchor. For an input that is already fully chained
+// and unchanged, the rewrite is byte-identical.
+func chainAndWriteIndex(dir string, recs []Record) (tip ledger.Hash, tree *ledger.Tree, n int64, err error) {
+	tip = ledger.Genesis()
+	tree = &ledger.Tree{}
+	tmp := filepath.Join(dir, indexName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return tip, tree, 0, fmt.Errorf("runlog: %w", err)
+	}
+	for i := range recs {
+		rec := &recs[i]
+		rec.PrevHash, rec.RecordHash = "", ""
+		rec.Format = FormatChained
+		content, cerr := contentHash(rec)
+		if cerr != nil {
+			f.Close()
+			return tip, tree, 0, cerr
+		}
+		h := ledger.Link(tip, content)
+		rec.PrevHash, rec.RecordHash = tip.Hex(), h.Hex()
+		tip = h
+		tree.Append(h)
+		line, merr := json.Marshal(rec)
+		if merr != nil {
+			f.Close()
+			return tip, tree, 0, fmt.Errorf("runlog: %w", merr)
+		}
+		if _, werr := f.Write(append(line, '\n')); werr != nil {
+			f.Close()
+			return tip, tree, 0, fmt.Errorf("runlog: %w", werr)
+		}
+		n += int64(len(line)) + 1
+	}
+	if serr := f.Sync(); serr != nil {
+		f.Close()
+		return tip, tree, 0, fmt.Errorf("runlog: %w", serr)
+	}
+	if cerr := f.Close(); cerr != nil {
+		return tip, tree, 0, fmt.Errorf("runlog: %w", cerr)
+	}
+	if rerr := os.Rename(tmp, filepath.Join(dir, indexName)); rerr != nil {
+		return tip, tree, 0, fmt.Errorf("runlog: %w", rerr)
+	}
+	return tip, tree, n, nil
 }

@@ -1,6 +1,7 @@
 package runlog
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -447,5 +448,164 @@ func TestCompareAndDiff(t *testing.T) {
 	}
 	if !back.Regression.Regressed || back.Regression.Diff.Bound.Rel != -0.5 {
 		t.Errorf("round-trip lost regression data: %+v", back.Regression)
+	}
+}
+
+func TestValidID(t *testing.T) {
+	valid := []string{"r000001-nokey", "r000001-abcd1234", "r123456-00ff"}
+	for _, id := range valid {
+		if !ValidID(id) {
+			t.Errorf("ValidID(%q) = false", id)
+		}
+	}
+	invalid := []string{
+		"", "r", "abc", "r000001", "r000001-", "r1-abcd",
+		"r000001-ABCD",                       // uppercase key
+		"r000001-ab/cd",                      // separator
+		"r000001-..",                         // dots
+		"../r000001-abcd",                    // traversal prefix
+		"r000001-abcd/../../x",               // traversal suffix
+		"r000001-abcd%2F..",                  // encoded separator (decoded by ServeMux)
+		"r000001-abcd\x00",                   // NUL
+		"r00000000000000000001-abcd",         // seq too long
+		"r000001-" + strings.Repeat("a", 90), // over length cap
+	}
+	for _, id := range invalid {
+		if ValidID(id) {
+			t.Errorf("ValidID(%q) = true", id)
+		}
+	}
+	// Every ID the registry mints must validate.
+	r, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rec, err := r.Append(testRecord("some-app", 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValidID(rec.ID) {
+		t.Errorf("minted ID %q fails ValidID", rec.ID)
+	}
+}
+
+// TestProveAndRoot: every appended record gets a proof that verifies
+// against the advertised root, the proof's leaf is the record's chain
+// hash, and both survive reopen and GC (which re-anchors the chain).
+func TestProveAndRoot(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	for i := 0; i < 5; i++ {
+		rec, err := r.Append(testRecord(fmt.Sprintf("app%d", i), 0.1*float64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	root := r.Root()
+	if root == "" {
+		t.Fatal("empty root")
+	}
+	for _, rec := range recs {
+		p, err := r.Prove(rec.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.RunID != rec.ID || p.Proof.Leaf != rec.RecordHash || p.Proof.Root != root {
+			t.Fatalf("proof fields: %+v vs record %+v root %s", p, rec, root)
+		}
+		if err := p.Proof.Verify(); err != nil {
+			t.Fatalf("proof for %s: %v", rec.ID, err)
+		}
+	}
+	if _, err := r.Prove("r999999-nosuch"); err == nil {
+		t.Error("Prove of unknown run succeeded")
+	}
+	r.Close()
+
+	// Reopen reproduces the identical root (the chain is deterministic).
+	r2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Root(); got != root {
+		t.Fatalf("root after reopen %s != %s", got, root)
+	}
+	// fsck agrees with the registry's own root.
+	r2.Close()
+	rep, err := Fsck(dir, FsckOptions{})
+	if err != nil || rep.Root != root {
+		t.Fatalf("fsck root %s != %s (%v)", rep.Root, root, err)
+	}
+	r2, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+
+	// GC drops the two oldest records and re-anchors: proofs still
+	// verify against the new root.
+	r2.opt.MaxRecords = 3
+	if _, err := r2.GC(); err != nil {
+		t.Fatal(err)
+	}
+	newRoot := r2.Root()
+	if newRoot == root {
+		t.Fatal("root unchanged after GC dropped records")
+	}
+	p, err := r2.Prove(recs[4].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Proof.Root != newRoot {
+		t.Fatalf("proof root %s != %s", p.Proof.Root, newRoot)
+	}
+	if err := p.Proof.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArtifactDedupAcrossRuns: identical artifact bytes in different
+// runs share one blob, and each run still reads its own copy back.
+func TestArtifactDedupAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	payload := []byte(`{"traceEvents":["shared"]}`)
+	a, err := r.Append(testRecord("a", 0.1), Artifact{Name: "trace.json", Data: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Append(testRecord("b", 0.2), Artifact{Name: "trace.json", Data: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ArtifactBlobs["trace.json"] != b.ArtifactBlobs["trace.json"] {
+		t.Fatalf("identical artifacts not deduplicated: %v %v", a.ArtifactBlobs, b.ArtifactBlobs)
+	}
+	digests, _, err := r.blobs.List()
+	if err != nil || len(digests) != 1 {
+		t.Fatalf("blob count = %d (%v)", len(digests), err)
+	}
+	for _, id := range []string{a.ID, b.ID} {
+		data, err := r.ReadArtifact(id, "trace.json")
+		if err != nil || !bytes.Equal(data, payload) {
+			t.Fatalf("ReadArtifact(%s): %q %v", id, data, err)
+		}
+	}
+	// GC with both runs live keeps the shared blob; dropping both drops it.
+	if _, err := r.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadArtifact(a.ID, "trace.json"); err != nil {
+		t.Fatalf("shared blob lost by GC: %v", err)
 	}
 }

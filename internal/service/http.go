@@ -36,6 +36,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/compare", s.instrument("runs_compare", s.handleRunsCompare))
 	mux.HandleFunc("GET /v1/runs/{id}", s.instrument("runs_get", s.handleRunGet))
 	mux.HandleFunc("GET /v1/runs/{id}/trace", s.instrument("runs_trace", s.handleRunTrace))
+	mux.HandleFunc("GET /v1/runs/{id}/proof", s.instrument("runs_proof", s.handleRunProof))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -181,7 +182,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, []gauge{
+	gauges := []gauge{
 		{name: "mamps_workers", help: "Size of the worker pool.", value: float64(st.Workers)},
 		{name: "mamps_workers_busy", help: "Workers currently executing a job.", value: float64(st.BusyWork)},
 		{name: "mamps_queue_depth", help: "Jobs waiting for a worker.", value: float64(st.QueueDepth)},
@@ -196,7 +197,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{name: "mamps_process_start_time_seconds", help: "Unix time the server process started.", value: float64(s.start.Unix())},
 		{name: "mamps_build_info", help: "Build metadata; the value is always 1.",
 			labels: fmt.Sprintf("version=%q,go_version=%q", buildVersion, buildGoVersion), value: 1},
-	})
+	}
+	if s.runlog != nil {
+		// The chain root, info-style: scrape and pin it externally to make
+		// whole-history rewrites of the run ledger detectable.
+		gauges = append(gauges, gauge{
+			name: "mamps_ledger_root", help: "Merkle root of the run ledger; the value is always 1.",
+			labels: fmt.Sprintf("root=%q", s.runlog.Root()), value: 1,
+		})
+	}
+	s.metrics.write(w, gauges)
 	// The kernel counter groups (mamps_statespace_*, mamps_sim_*) live in
 	// the obs registry, fed by every job's analyses and simulations.
 	s.obsReg.WritePrometheus(w)

@@ -19,9 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
-	"os"
 	"runtime"
 	"runtime/debug"
 	"strconv"
@@ -302,11 +300,27 @@ func (s *Server) handleRunsList(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, modelio.RunListJSON{Total: total, Count: len(recs), Runs: recs})
 }
 
+// runID extracts and validates the {id} path segment. Go 1.22's
+// ServeMux decodes %2F inside a path value, so the raw segment can
+// contain separators and dot-dots; nothing that fails the strict run-ID
+// shape may reach a filesystem path join.
+func (s *Server) runID(w http.ResponseWriter, r *http.Request) (string, bool) {
+	id := r.PathValue("id")
+	if !runlog.ValidID(id) {
+		s.writeJSON(w, http.StatusBadRequest, modelio.ErrorJSON{Error: fmt.Sprintf("malformed run id %q", id)})
+		return "", false
+	}
+	return id, true
+}
+
 func (s *Server) handleRunGet(w http.ResponseWriter, r *http.Request) {
 	if !s.runlogOr404(w) {
 		return
 	}
-	id := r.PathValue("id")
+	id, ok := s.runID(w, r)
+	if !ok {
+		return
+	}
 	rec, ok := s.runlog.Get(id)
 	if !ok {
 		s.writeJSON(w, http.StatusNotFound, modelio.ErrorJSON{Error: fmt.Sprintf("no run %q", id)})
@@ -319,20 +333,38 @@ func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
 	if !s.runlogOr404(w) {
 		return
 	}
-	id := r.PathValue("id")
-	path, err := s.runlog.ArtifactPath(id, "trace.json")
+	id, ok := s.runID(w, r)
+	if !ok {
+		return
+	}
+	// ReadArtifact verifies blob-backed content against its digest, so a
+	// corrupted trace is an error here, never silently served bytes.
+	data, err := s.runlog.ReadArtifact(id, "trace.json")
 	if err != nil {
 		s.writeJSON(w, http.StatusNotFound, modelio.ErrorJSON{Error: err.Error()})
 		return
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		s.writeJSON(w, http.StatusNotFound, modelio.ErrorJSON{Error: fmt.Sprintf("run %s: trace artifact missing on disk", id)})
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+// handleRunProof serves the Merkle inclusion proof of one run against
+// the registry's current chain root: the verifiable half of "these are
+// the numbers we published" (see the ledger package).
+func (s *Server) handleRunProof(w http.ResponseWriter, r *http.Request) {
+	if !s.runlogOr404(w) {
 		return
 	}
-	defer f.Close()
-	w.Header().Set("Content-Type", "application/json")
-	_, _ = io.Copy(w, f)
+	id, ok := s.runID(w, r)
+	if !ok {
+		return
+	}
+	proof, err := s.runlog.Prove(id)
+	if err != nil {
+		s.writeJSON(w, http.StatusNotFound, modelio.ErrorJSON{Error: err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, proof)
 }
 
 func (s *Server) handleRunsCompare(w http.ResponseWriter, r *http.Request) {

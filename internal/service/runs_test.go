@@ -11,6 +11,7 @@ import (
 
 	"mamps/internal/modelio"
 	"mamps/internal/runlog"
+	"mamps/internal/runlog/ledger"
 )
 
 func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
@@ -116,7 +117,13 @@ func TestRunsEndpointsRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(data, &rec); err != nil || rec.ID != oldest.ID {
 		t.Fatalf("get by ID = %+v, %v", rec, err)
 	}
+	// A malformed ID is rejected before any lookup; a well-formed but
+	// unknown one is a plain miss.
 	resp, _ = get(t, ts, "/v1/runs/nosuch")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed run id: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = get(t, ts, "/v1/runs/r999999-nokey")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown run: status %d, want 404", resp.StatusCode)
 	}
@@ -221,5 +228,100 @@ func TestDSERunRecorded(t *testing.T) {
 	}
 	if !strings.HasPrefix(rec.BaselineKey, "graph/") || !strings.Contains(rec.BaselineKey, "/dse/") {
 		t.Errorf("dse baseline key = %q", rec.BaselineKey)
+	}
+}
+
+// TestRunProofEndpoint: the proof endpoint returns a decodable
+// inclusion proof whose leaf is the record's chain hash and which
+// verifies against the root advertised on /metrics.
+func TestRunProofEndpoint(t *testing.T) {
+	reg, err := runlog.Open(t.TempDir(), runlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	var recs []runlog.Record
+	for i := 0; i < 3; i++ {
+		rec, err := reg.Append(runlog.Record{Kind: "flow", App: "mjpeg", GraphKey: "gk", Outcome: "ok", Bound: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	s := New(Config{Workers: 1, RunLog: reg})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := get(t, ts, "/v1/runs/"+recs[1].ID+"/proof")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET proof: %d: %s", resp.StatusCode, data)
+	}
+	var ip runlog.InclusionProof
+	if err := json.Unmarshal(data, &ip); err != nil {
+		t.Fatal(err)
+	}
+	if ip.RunID != recs[1].ID || ip.Proof.Leaf != recs[1].RecordHash {
+		t.Fatalf("proof identity: %+v vs %+v", ip, recs[1])
+	}
+	// The wire form round-trips through the strict decoder and verifies.
+	wire, _ := json.Marshal(ip.Proof)
+	p, err := ledger.DecodeProof(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("proof does not verify: %v", err)
+	}
+
+	// /metrics advertises the same root, pinned as an info gauge.
+	resp, data = get(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	want := `mamps_ledger_root{root="` + p.Root + `"} 1`
+	if !strings.Contains(string(data), want) {
+		t.Fatalf("/metrics lacks %q", want)
+	}
+	if !strings.Contains(string(data), "mamps_ledger_appends_total 3") {
+		t.Error("/metrics lacks mamps_ledger_appends_total")
+	}
+
+	// Proof requests are subject to the same ID validation.
+	if resp, _ := get(t, ts, "/v1/runs/r999999-nokey/proof"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown run proof: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/v1/runs/../proof"); resp.StatusCode == http.StatusOK {
+		t.Error("traversal proof request succeeded")
+	}
+}
+
+// TestRunIDTraversalRejected: percent-encoded separators decode inside
+// a Go 1.22 path value, so the handlers must reject IDs that fail the
+// strict pattern before any path join — with a 400, not a filesystem
+// probe.
+func TestRunIDTraversalRejected(t *testing.T) {
+	reg, err := runlog.Open(t.TempDir(), runlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	s := New(Config{Workers: 1, RunLog: reg})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{
+		"/v1/runs/..%2F..%2Fsecret",
+		"/v1/runs/..%2F..%2Fsecret/trace",
+		"/v1/runs/..%2F..%2Fsecret/proof",
+		"/v1/runs/r000001-abcd%2F..%2F..%2Fx/trace",
+		"/v1/runs/R000001-ABCD",
+		"/v1/runs/r000001-abcd%00/trace",
+	} {
+		resp, data := get(t, ts, path)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400 (%s)", path, resp.StatusCode, data)
+		}
 	}
 }
