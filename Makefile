@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-json bench-smoke obs-smoke obs-agg-smoke par-smoke faults-smoke dse-smoke ledger-smoke fuzz-smoke regress regress-update staticcheck vuln serve ci
+.PHONY: all build test race vet fmt fmt-check bench bench-json bench-smoke obs-smoke obs-agg-smoke par-smoke faults-smoke dse-smoke ledger-smoke diag-smoke fuzz-smoke regress regress-update staticcheck vuln serve ci
 
 all: build
 
@@ -125,6 +125,33 @@ ledger-smoke:
 	@rm -rf /tmp/ledger-a /tmp/ledger-b /tmp/ledger-a.root /tmp/ledger-b.root
 	@echo "ledger-smoke: replays identical, corruption detected, repair clean"
 
+# Adaptive-diagnostics smoke. Two halves:
+#  1. Dump path: an induced deadlock (and a manual dump, and an SLO burn)
+#     must produce a diagnostic bundle carrying the deadlock report and
+#     blob-addressed profiles, byte-identical across deterministic
+#     replays — the race detector rides along over the flight recorder.
+#  2. Drift path: three clean deterministic replays of the quick corpus
+#     into one registry must flag zero anomalies (identical runs are the
+#     steady state), and a fourth replay with perturbed WCETs must raise
+#     mamps_anomalies_total for the drifted keys. The perturbed replay
+#     also trips the regression gate by design, hence the tolerated exit.
+DIAG_DIR ?= /tmp/mamps-diag-smoke
+diag-smoke:
+	$(GO) test -race -run 'TestRecorder|TestBundle|TestSampler' ./internal/obs/diag
+	$(GO) test -race -run 'TestProfileOnBurn|TestDebugDumpEndpoint|TestDeadlockDump|TestAnomalyPipeline' ./internal/service
+	$(GO) test -run 'TestDeadlockBundleDeterministic' ./internal/corpus
+	@rm -rf $(DIAG_DIR)
+	$(GO) run ./cmd/mamps-runs regress -quick -deterministic -baselines regress/baselines.json -keep $(DIAG_DIR)
+	$(GO) run ./cmd/mamps-runs regress -quick -deterministic -baselines regress/baselines.json -keep $(DIAG_DIR)
+	$(GO) run ./cmd/mamps-runs regress -quick -deterministic -baselines regress/baselines.json -keep $(DIAG_DIR)
+	@if $(GO) run ./cmd/mamps-runs -dir $(DIAG_DIR) stats -anomalies | grep -q ANOMALY; then \
+		echo "diag-smoke: clean replays flagged anomalies"; exit 1; \
+	fi
+	-$(GO) run ./cmd/mamps-runs regress -quick -deterministic -perturb 3 -baselines regress/baselines.json -keep $(DIAG_DIR)
+	$(GO) run ./cmd/mamps-runs -dir $(DIAG_DIR) stats -anomalies | grep -q ANOMALY
+	@rm -rf $(DIAG_DIR)
+	@echo "diag-smoke: bundles deterministic, clean replays quiet, drift flagged"
+
 # Short fuzz runs of the two wire-facing parsers: the index recovery
 # scanner and the inclusion-proof decoder. Ten seconds each is enough to
 # guard against panics/regressions without stalling CI.
@@ -157,4 +184,4 @@ vuln:
 serve:
 	$(GO) run ./cmd/mamps-serve
 
-ci: build vet fmt-check race obs-smoke obs-agg-smoke par-smoke faults-smoke dse-smoke ledger-smoke fuzz-smoke regress
+ci: build vet fmt-check race obs-smoke obs-agg-smoke par-smoke faults-smoke dse-smoke ledger-smoke diag-smoke fuzz-smoke regress

@@ -215,6 +215,7 @@ func cmdStats(dir string, args []string) error {
 	until := fs.String("until", "", "only runs before this RFC 3339 time")
 	groupBy := fs.String("group-by", "", "grouping dimension: graphKey (default), app, kind, baselineKey, corpus, outcome, none")
 	asJSON := fs.Bool("json", false, "print the deterministic agg.Report wire form")
+	anomalies := fs.Bool("anomalies", false, "score every matched run for per-key drift (EWMA/MAD) and report the flagged anomalies")
 	fs.Parse(args)
 	if dir == "" {
 		return fmt.Errorf("stats needs -dir (the run registry directory)")
@@ -224,7 +225,7 @@ func cmdStats(dir string, args []string) error {
 		BaselineKey: *baselineKey, Corpus: *corpusName,
 		Degraded: *degraded, Deadlocked: *deadlocked,
 		Regressed: *regressed, Faulted: *faulted,
-		GroupBy: *groupBy,
+		GroupBy: *groupBy, Anomalies: *anomalies,
 	}
 	var err error
 	if q.Since, err = timeFlag("since", *since); err != nil {
@@ -287,6 +288,13 @@ func printReport(rep *agg.Report) {
 		row(rep.Total)
 	}
 	w.Flush()
+	if rep.AnomalyCount > 0 || len(rep.Anomalies) > 0 {
+		fmt.Printf("%d anomal(ies) flagged (mamps_anomalies_total)\n", rep.AnomalyCount)
+		for _, a := range rep.Anomalies {
+			fmt.Printf("  ANOMALY %-14s %-16s %s: value=%.6g mean=%.6g score=%.3g\n",
+				a.RunID, a.Metric, a.Key, a.Value, a.Mean, a.Score)
+		}
+	}
 }
 
 func cmdShow(dir string, args []string) error {
@@ -498,15 +506,15 @@ func cmdRegress(args []string) error {
 	deterministic := fs.Bool("deterministic", false, "strip wall-clock content and use a fixed clock, so replays are byte-identical")
 	fs.Parse(args)
 
-	recs, err := corpus.Run(corpus.Options{PerturbWCET: *perturb, PerturbEnergy: *perturbEnergy, Quick: *quick})
+	results, err := corpus.Run(corpus.Options{PerturbWCET: *perturb, PerturbEnergy: *perturbEnergy, Quick: *quick})
 	if err != nil {
 		return err
 	}
 
 	if *update {
-		out := make([]runlog.Record, 0, len(recs))
-		for _, rec := range recs {
-			out = append(out, corpus.Strip(rec))
+		out := make([]runlog.Record, 0, len(results))
+		for _, res := range results {
+			out = append(out, corpus.Strip(res.Record))
 		}
 		sort.Slice(out, func(i, j int) bool { return out[i].Corpus < out[j].Corpus })
 		data, err := json.MarshalIndent(out, "", "  ")
@@ -558,11 +566,12 @@ func cmdRegress(args []string) error {
 	}
 
 	failed := 0
-	for _, rec := range recs {
+	for _, res := range results {
+		rec := res.Record
 		if *deterministic {
 			rec = corpus.Strip(rec)
 		}
-		stored, err := r.Append(rec)
+		stored, err := r.Append(rec, res.Artifacts...)
 		if err != nil {
 			return err
 		}
@@ -591,7 +600,7 @@ func cmdRegress(args []string) error {
 		}
 	}
 	fmt.Printf("%d entr(ies) replayed, %d regressed (mamps_regressions_total %d)\n",
-		len(recs), failed, r.Regressions())
+		len(results), failed, r.Regressions())
 	if failed > 0 {
 		return fmt.Errorf("regression gate failed")
 	}

@@ -15,6 +15,7 @@
 //	GET  /v1/stats    (with -runlog: per-group percentile summaries of the run history)
 //	GET  /healthz
 //	GET  /metrics     (includes the mamps_slo_* burn-rate board)
+//	POST /debug/dump  (diagnostic bundle: flight-recorder ring + profiles; SIGQUIT does the same)
 //
 // With -trace-retention, the registry keeps execution traces only for
 // runs worth debugging — degraded, deadlocked, errored, regression-
@@ -64,6 +65,13 @@ func main() {
 	sloLatencyGoal := flag.Float64("slo-latency-goal", 0, "SLO: target fraction of requests under the latency threshold (0: default 0.99)")
 	sloThroughputGoal := flag.Float64("slo-throughput-goal", 0, "SLO: target fraction of runs meeting their requested throughput (0: default 0.95)")
 	sloRegressionGoal := flag.Float64("slo-regression-goal", 0, "SLO: target fraction of regression-free runs (0: default 0.99)")
+	recorderSize := flag.Int("flight-recorder", 0, "flight recorder ring capacity in events (0: default 256, negative: disable)")
+	mutexFraction := flag.Int("mutex-profile-fraction", 0, "with -pprof: runtime mutex profile fraction (0: default 100, negative: leave runtime default)")
+	blockRate := flag.Int("block-profile-rate", 0, "with -pprof: runtime block profile rate in ns (0: default 1000000, negative: leave runtime default)")
+	profilePeriod := flag.Duration("profile-period", 0, "with -runlog: steady-state period of the background profile sampler (0: default 60s, negative: disable)")
+	profileBurnPeriod := flag.Duration("profile-burn-period", 0, "with -runlog: escalated sampler period while an SLO objective burns (0: default 5s)")
+	profileRing := flag.Int("profile-ring", 0, "with -runlog: profile captures retained (0: default 4)")
+	profileCPU := flag.Duration("profile-cpu-duration", 0, "CPU profile length per capture/dump (0: default 200ms, negative: heap only)")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -107,11 +115,33 @@ func main() {
 		SLOLatencyGoal:    *sloLatencyGoal,
 		SLOThroughputGoal: *sloThroughputGoal,
 		SLORegressionGoal: *sloRegressionGoal,
+
+		FlightRecorderSize:   *recorderSize,
+		MutexProfileFraction: *mutexFraction,
+		BlockProfileRate:     *blockRate,
+		ProfilePeriod:        *profilePeriod,
+		ProfileBurnPeriod:    *profileBurnPeriod,
+		ProfileRing:          *profileRing,
+		ProfileCPUDuration:   *profileCPU,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	// SIGQUIT dumps diagnostics (flight recorder + profiles, persisted
+	// into the run registry when one is attached) and keeps serving.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			if id := srv.DumpDiagnostics("sigquit"); id != "" {
+				log.Printf("diagnostic dump recorded as %s", id)
+			} else {
+				log.Printf("diagnostic dump captured (not persisted: no -runlog)")
+			}
+		}
+	}()
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()

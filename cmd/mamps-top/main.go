@@ -2,12 +2,15 @@
 // it polls GET /v1/stats and redraws a per-group percentile table, the
 // fleet operator's `top` for the design flow.
 //
-//	mamps-top -url http://localhost:8080 [-interval 2s] [-group-by app] [-metric bound]
+//	mamps-top -url http://localhost:8080 [-interval 2s] [-group-by app] [-metric bound] [-sort runs]
 //
 // Each refresh shows, per group, the run count, outcome split,
-// regression count and the min/p50/p95/p99/max of the selected metric.
-// `-once` prints a single snapshot without clearing the screen — the
-// scriptable (and testable) mode.
+// regression count, drift-anomaly count and the min/p50/p95/p99/max of
+// the selected metric. `-once` prints a single snapshot without
+// clearing the screen — the scriptable (and testable) mode. The
+// screen-clearing escape sequence is suppressed when stdout is not a
+// terminal or NO_COLOR is set (https://no-color.org), so piped output
+// stays clean even without -once.
 package main
 
 import (
@@ -31,18 +34,23 @@ func main() {
 	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
 	groupBy := flag.String("group-by", "", "grouping dimension: graphKey (default), app, kind, baselineKey, corpus, outcome, none")
 	metric := flag.String("metric", agg.MetricBound, "metric to tabulate: bound, measured, expected, cycles, energyPJ, statesPerSec, stageTotalMicros")
+	sortBy := flag.String("sort", "group", "row order: group, runs, regr, anom, p50, p95, p99, max")
 	once := flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
 	flag.Parse()
+
+	if err := validSort(*sortBy); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	q := url.Values{}
 	if *groupBy != "" {
 		q.Set("groupBy", *groupBy)
 	}
-	statsURL := strings.TrimRight(*base, "/") + "/v1/stats"
-	if len(q) > 0 {
-		statsURL += "?" + q.Encode()
-	}
+	q.Set("anomalies", "1")
+	statsURL := strings.TrimRight(*base, "/") + "/v1/stats?" + q.Encode()
 
+	clear := !*once && useEscapes(os.Stdout)
 	for {
 		rep, err := fetch(statsURL)
 		if err != nil {
@@ -51,16 +59,34 @@ func main() {
 				os.Exit(1)
 			}
 		} else {
-			if !*once {
+			if clear {
 				fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
 			}
-			render(os.Stdout, rep, *metric, *once)
+			render(os.Stdout, rep, *metric, *sortBy, *once)
 		}
 		if *once {
 			return
 		}
 		time.Sleep(*interval)
 	}
+}
+
+// useEscapes reports whether the terminal control sequences should be
+// emitted: only to a character device, and never under NO_COLOR.
+func useEscapes(f *os.File) bool {
+	if os.Getenv("NO_COLOR") != "" {
+		return false
+	}
+	fi, err := f.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+func validSort(s string) error {
+	switch s {
+	case "group", "runs", "regr", "anom", "p50", "p95", "p99", "max":
+		return nil
+	}
+	return fmt.Errorf("unknown -sort %q (group, runs, regr, anom, p50, p95, p99, max)", s)
 }
 
 func fetch(statsURL string) (*agg.Report, error) {
@@ -83,20 +109,61 @@ func fetch(statsURL string) (*agg.Report, error) {
 	return &rep, nil
 }
 
-func render(w io.Writer, rep *agg.Report, metric string, once bool) {
+// sortGroups orders the rows. The server already emits groups sorted by
+// key; the numeric orders sort descending (biggest first, like top) and
+// fall back to the key so equal values render in a stable order.
+func sortGroups(groups []agg.GroupStats, metric, by string) {
+	if by == "group" {
+		return
+	}
+	val := func(g agg.GroupStats) float64 {
+		switch by {
+		case "runs":
+			return float64(g.Runs)
+		case "regr":
+			return float64(g.Regressed)
+		case "anom":
+			return float64(g.Anomalies)
+		}
+		d, ok := g.Metrics[metric]
+		if !ok {
+			return 0
+		}
+		switch by {
+		case "p50":
+			return d.P50
+		case "p95":
+			return d.P95
+		case "p99":
+			return d.P99
+		default: // max
+			return d.Max
+		}
+	}
+	sort.SliceStable(groups, func(i, j int) bool {
+		vi, vj := val(groups[i]), val(groups[j])
+		if vi != vj {
+			return vi > vj
+		}
+		return groups[i].Key < groups[j].Key
+	})
+}
+
+func render(w io.Writer, rep *agg.Report, metric, sortBy string, once bool) {
 	if !once {
 		fmt.Fprintf(w, "mamps-top  %s  ", time.Now().Format("15:04:05"))
 	}
 	fmt.Fprintf(w, "group by %s: %d run(s) matched, metric %s\n", rep.GroupBy, rep.Matched, metric)
+	sortGroups(rep.Groups, metric, sortBy)
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "GROUP\tRUNS\tOUTCOMES\tREGR\tMIN\tP50\tP95\tP99\tMAX")
+	fmt.Fprintln(tw, "GROUP\tRUNS\tOUTCOMES\tREGR\tANOM\tMIN\tP50\tP95\tP99\tMAX")
 	row := func(g agg.GroupStats) {
 		d, ok := g.Metrics[metric]
 		vals := "-\t-\t-\t-\t-"
 		if ok {
 			vals = fmt.Sprintf("%.4g\t%.4g\t%.4g\t%.4g\t%.4g", d.Min, d.P50, d.P95, d.P99, d.Max)
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%s\n", g.Key, g.Runs, outcomeSplit(g.Outcomes), g.Regressed, vals)
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%d\t%s\n", g.Key, g.Runs, outcomeSplit(g.Outcomes), g.Regressed, g.Anomalies, vals)
 	}
 	for _, g := range rep.Groups {
 		row(g)

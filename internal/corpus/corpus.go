@@ -25,6 +25,7 @@ import (
 	"mamps/internal/flow"
 	"mamps/internal/mjpeg"
 	"mamps/internal/obs"
+	"mamps/internal/obs/diag"
 	"mamps/internal/runlog"
 	"mamps/internal/sdf"
 	"mamps/internal/service/cache"
@@ -56,8 +57,16 @@ type Entry struct {
 	// Kind is "analysis" or "flow".
 	Kind string
 	// Run replays the entry and returns its record (ID/Seq/Time unset;
-	// the registry assigns them on Append).
-	Run func(opt Options) (runlog.Record, error)
+	// the registry assigns them on Append) plus any artifacts to store
+	// with it (e.g. the deadlock entry's diagnostic bundle). Artifact
+	// bytes must be as deterministic as the record.
+	Run func(opt Options) (runlog.Record, []runlog.Artifact, error)
+}
+
+// Result pairs one replayed entry's record with its artifacts.
+type Result struct {
+	Record    runlog.Record
+	Artifacts []runlog.Artifact
 }
 
 // Entries returns the corpus in a fixed order.
@@ -103,25 +112,26 @@ func Entries() []Entry {
 		mjpegEntry("mjpeg-noc", arch.NoC),
 		solverEntry("mjpeg-solver"),
 		warmEntry("warmstart"),
+		deadlockEntry("deadlock"),
 	}
 }
 
 // Run replays the selected corpus entries in order, stopping at the
 // first entry that fails to execute (a failing entry is a broken build,
 // not a regression).
-func Run(opt Options) ([]runlog.Record, error) {
-	var recs []runlog.Record
+func Run(opt Options) ([]Result, error) {
+	var out []Result
 	for _, e := range Entries() {
 		if opt.Quick && e.Kind == "flow" {
 			continue
 		}
-		rec, err := e.Run(opt)
+		rec, arts, err := e.Run(opt)
 		if err != nil {
-			return recs, fmt.Errorf("corpus %s: %w", e.Name, err)
+			return out, fmt.Errorf("corpus %s: %w", e.Name, err)
 		}
-		recs = append(recs, rec)
+		out = append(out, Result{Record: rec, Artifacts: arts})
 	}
-	return recs, nil
+	return out, nil
 }
 
 // perturbGraph adds delta cycles to the execution time of the graph's
@@ -149,7 +159,7 @@ func perturbApp(app *appmodel.App, delta int64) {
 }
 
 func analysisEntry(name string, build func() (*sdf.Graph, statespace.Options)) Entry {
-	return Entry{Name: name, Kind: "analysis", Run: func(opt Options) (runlog.Record, error) {
+	return Entry{Name: name, Kind: "analysis", Run: func(opt Options) (runlog.Record, []runlog.Artifact, error) {
 		g, sopt := build()
 		perturbGraph(g, opt.PerturbWCET)
 		stats := obs.NewExplorerStats(nil)
@@ -157,7 +167,7 @@ func analysisEntry(name string, build func() (*sdf.Graph, statespace.Options)) E
 		key := cache.GraphKey(g)
 		r, err := statespace.Analyze(g, sopt)
 		if err != nil {
-			return runlog.Record{}, err
+			return runlog.Record{}, nil, err
 		}
 		rec := runlog.Record{
 			Kind:     "analysis",
@@ -171,7 +181,7 @@ func analysisEntry(name string, build func() (*sdf.Graph, statespace.Options)) E
 		if r.Deadlocked {
 			rec.Outcome = "deadlock"
 		}
-		return rec, nil
+		return rec, nil, nil
 	}}
 }
 
@@ -179,14 +189,14 @@ func analysisEntry(name string, build func() (*sdf.Graph, statespace.Options)) E
 // re-analyze — on the MJPEG decoder (32x32 gradient, 2 frames) over 5
 // tiles, the configuration the statespace and simulator goldens pin.
 func mjpegEntry(name string, ic arch.InterconnectKind) Entry {
-	return Entry{Name: name, Kind: "flow", Run: func(opt Options) (runlog.Record, error) {
+	return Entry{Name: name, Kind: "flow", Run: func(opt Options) (runlog.Record, []runlog.Artifact, error) {
 		stream, _, err := mjpeg.EncodeSequence(mjpeg.SeqGradient, 32, 32, 2, 90, mjpeg.Sampling420)
 		if err != nil {
-			return runlog.Record{}, err
+			return runlog.Record{}, nil, err
 		}
 		app, actors, err := mjpeg.BuildApp(stream)
 		if err != nil {
-			return runlog.Record{}, err
+			return runlog.Record{}, nil, err
 		}
 		perturbApp(app, opt.PerturbWCET)
 		si := actors.VLD.Info()
@@ -207,7 +217,7 @@ func mjpegEntry(name string, ic arch.InterconnectKind) Entry {
 		key := cache.GraphKey(app.Graph)
 		res, err := flow.RunContext(ctx, cfg)
 		if err != nil {
-			return runlog.Record{}, err
+			return runlog.Record{}, nil, err
 		}
 		rec := runlog.Record{
 			Kind:     "flow",
@@ -233,7 +243,7 @@ func mjpegEntry(name string, ic arch.InterconnectKind) Entry {
 				Micros: float64(st.Elapsed.Microseconds()),
 			})
 		}
-		return rec, nil
+		return rec, nil, nil
 	}}
 }
 
@@ -243,19 +253,19 @@ func mjpegEntry(name string, ic arch.InterconnectKind) Entry {
 // deterministic, so the gate pins the solver's traversal and the energy
 // model's calibration bit-for-bit.
 func solverEntry(name string) Entry {
-	return Entry{Name: name, Kind: "flow", Run: func(opt Options) (runlog.Record, error) {
+	return Entry{Name: name, Kind: "flow", Run: func(opt Options) (runlog.Record, []runlog.Artifact, error) {
 		stream, _, err := mjpeg.EncodeSequence(mjpeg.SeqGradient, 32, 32, 2, 90, mjpeg.Sampling420)
 		if err != nil {
-			return runlog.Record{}, err
+			return runlog.Record{}, nil, err
 		}
 		app, _, err := mjpeg.BuildApp(stream)
 		if err != nil {
-			return runlog.Record{}, err
+			return runlog.Record{}, nil, err
 		}
 		perturbApp(app, opt.PerturbWCET)
 		plat, err := arch.DefaultTemplate().Generate("mjpeg_solver_3fsl", 3, arch.FSL)
 		if err != nil {
-			return runlog.Record{}, err
+			return runlog.Record{}, nil, err
 		}
 
 		ctx := context.Background()
@@ -268,10 +278,10 @@ func solverEntry(name string) Entry {
 		key := cache.GraphKey(app.Graph)
 		res, err := solver.Solve(ctx, app, plat, sopt)
 		if err != nil {
-			return runlog.Record{}, err
+			return runlog.Record{}, nil, err
 		}
 		if res.Best == nil {
-			return runlog.Record{}, fmt.Errorf("solver found no feasible binding")
+			return runlog.Record{}, nil, fmt.Errorf("solver found no feasible binding")
 		}
 		return runlog.Record{
 			Kind:     "dse",
@@ -286,7 +296,7 @@ func solverEntry(name string) Entry {
 				Tiles: 3, Interconnect: arch.FSL.String(),
 			},
 			Counters: runlog.CountersFrom(set),
-		}, nil
+		}, nil, nil
 	}}
 }
 
@@ -299,7 +309,7 @@ func solverEntry(name string) Entry {
 // drift), while a silently changed reuse decision shows up as warm-counter
 // drift against the checked-in baseline.
 func warmEntry(name string) Entry {
-	return Entry{Name: name, Kind: "analysis", Run: func(opt Options) (runlog.Record, error) {
+	return Entry{Name: name, Kind: "analysis", Run: func(opt Options) (runlog.Record, []runlog.Artifact, error) {
 		build := func(w0, w1, w2 int64, tokens int) (*sdf.Graph, statespace.Options) {
 			g := sdf.NewGraph("warmpipe")
 			a := g.AddActor("a", w0)
@@ -335,15 +345,15 @@ func warmEntry(name string) Entry {
 			wg, wopt := req()
 			got, err := analyze(wg, wopt)
 			if err != nil {
-				return runlog.Record{}, fmt.Errorf("warm request %d: %w", i, err)
+				return runlog.Record{}, nil, fmt.Errorf("warm request %d: %w", i, err)
 			}
 			cg, copt := req()
 			want, err := statespace.Analyze(cg, copt)
 			if err != nil {
-				return runlog.Record{}, fmt.Errorf("cold request %d: %w", i, err)
+				return runlog.Record{}, nil, fmt.Errorf("cold request %d: %w", i, err)
 			}
 			if !reflect.DeepEqual(got, want) {
-				return runlog.Record{}, fmt.Errorf(
+				return runlog.Record{}, nil, fmt.Errorf(
 					"warm-start reuse is UNSOUND: request %d warm result %+v != cold result %+v", i, got, want)
 			}
 			if i == 0 {
@@ -358,14 +368,85 @@ func warmEntry(name string) Entry {
 			Outcome:  "ok",
 			Bound:    bound,
 			Counters: runlog.CountersFrom(&obs.Set{Warm: stats}),
-		}, nil
+		}, nil, nil
+	}}
+}
+
+// deadlockEntry analyzes a two-actor cycle with no initial tokens —
+// guaranteed deadlock — and captures a flight-recorder diagnostic
+// bundle of the event, stored as the run's "diag.json" artifact. The
+// recorder runs on a synthetic counter clock and the capture skips
+// profiles, so the bundle bytes are a pure function of the corpus:
+// `make ledger-smoke`'s byte-compare of two deterministic replays
+// covers the bundle's blob digest, and TestDeadlockBundleDeterministic
+// compares the bundles themselves.
+func deadlockEntry(name string) Entry {
+	return Entry{Name: name, Kind: "analysis", Run: func(opt Options) (runlog.Record, []runlog.Artifact, error) {
+		g := sdf.NewGraph("diagdead")
+		a := g.AddActor("a", 2)
+		b := g.AddActor("b", 3)
+		g.Connect(a, b, 1, 1, 0)
+		g.Connect(b, a, 1, 1, 0)
+		perturbGraph(g, opt.PerturbWCET)
+
+		// A deterministic flight recorder: event times are a counter, not
+		// a wall clock.
+		var tick int64
+		now := func() int64 { tick++; return tick }
+		rec := diag.NewRecorder(64, diag.WithNow(now))
+		rec.Record(diag.KindEvent, "corpus/"+name, "analyze start")
+
+		stats := obs.NewExplorerStats(nil)
+		key := cache.GraphKey(g)
+		r, err := statespace.Analyze(g, statespace.Options{Telemetry: stats})
+		if err != nil {
+			return runlog.Record{}, nil, err
+		}
+		if !r.Deadlocked {
+			return runlog.Record{}, nil, fmt.Errorf("deadlock entry did not deadlock")
+		}
+		report := r.DeadlockReport
+		if report == "" {
+			// The unscheduled analysis path detects the deadlock as a
+			// recurrent state with zero firings and has no per-tile
+			// blocking report; synthesize a deterministic one.
+			report = fmt.Sprintf("deadlock: no actor can fire after %d state(s)", r.StatesExplored)
+		}
+		rec.Record(diag.KindEvent, "deadlock",
+			fmt.Sprintf("states=%d", r.StatesExplored))
+
+		bundle, _ := diag.Capture(diag.CaptureOptions{
+			Reason:   "deadlock",
+			NowNS:    tick,
+			Recorder: rec,
+			Counters: map[string]int64{
+				"statesExplored": int64(r.StatesExplored),
+				"deadlocks":      1,
+			},
+			Deadlock: report,
+		})
+		data, err := bundle.Marshal()
+		if err != nil {
+			return runlog.Record{}, nil, err
+		}
+
+		record := runlog.Record{
+			Kind:     "analysis",
+			App:      name,
+			Corpus:   name,
+			GraphKey: key,
+			Outcome:  "deadlock",
+			Error:    report,
+			Counters: runlog.CountersFrom(&obs.Set{Explorer: stats}),
+		}
+		return record, []runlog.Artifact{{Name: "diag.json", Data: data}}, nil
 	}}
 }
 
 // Strip removes the nondeterministic parts of a record — identity,
 // timestamps, per-stage wall times, stored artifacts, the regression
-// verdict and the ledger chain fields — leaving exactly what a
-// checked-in baseline should pin.
+// verdict, trace-context IDs, attached profile digests and the ledger
+// chain fields — leaving exactly what a checked-in baseline should pin.
 func Strip(rec runlog.Record) runlog.Record {
 	rec.ID = ""
 	rec.Seq = 0
@@ -374,6 +455,9 @@ func Strip(rec runlog.Record) runlog.Record {
 	rec.Artifacts = nil
 	rec.ArtifactBlobs = nil
 	rec.Regression = nil
+	rec.TraceID = ""
+	rec.SpanID = ""
+	rec.Profiles = nil
 	rec.Format = 0
 	rec.PrevHash = ""
 	rec.RecordHash = ""

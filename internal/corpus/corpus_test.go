@@ -1,9 +1,12 @@
 package corpus
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
+	"mamps/internal/obs/diag"
 	"mamps/internal/runlog"
 )
 
@@ -22,13 +25,13 @@ func TestQuickRunDeterministic(t *testing.T) {
 		t.Fatalf("quick corpus sizes: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
-		x, y := Strip(a[i]), Strip(b[i])
+		x, y := Strip(a[i].Record), Strip(b[i].Record)
 		if x.GraphKey != y.GraphKey || x.Bound != y.Bound ||
 			x.Counters.StatesExplored != y.Counters.StatesExplored {
 			t.Errorf("%s: rerun differs: %+v vs %+v", x.Corpus, x, y)
 		}
 		// BaselineKey is derived from Corpus by the registry on Append.
-		if x.GraphKey == "" || x.Corpus == "" || x.Bound <= 0 {
+		if x.GraphKey == "" || x.Corpus == "" || (x.Bound <= 0 && x.Outcome != "deadlock") {
 			t.Errorf("%s: incomplete record: %+v", x.Corpus, x)
 		}
 	}
@@ -47,8 +50,8 @@ func TestPerturbationChangesKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range base {
-		if base[i].GraphKey == pert[i].GraphKey {
-			t.Errorf("%s: +1 WCET did not change the graph key", base[i].Corpus)
+		if base[i].Record.GraphKey == pert[i].Record.GraphKey {
+			t.Errorf("%s: +1 WCET did not change the graph key", base[i].Record.Corpus)
 		}
 	}
 }
@@ -72,11 +75,11 @@ func TestSolverEntryDeterministic(t *testing.T) {
 		t.Skip("full MJPEG solver search")
 	}
 	e := solverCorpusEntry(t)
-	a, err := e.Run(Options{})
+	a, _, err := e.Run(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := e.Run(Options{})
+	b, _, err := e.Run(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,6 +97,84 @@ func TestSolverEntryDeterministic(t *testing.T) {
 	}
 }
 
+// deadlockCorpusEntry fetches the deadlock diagnostics entry.
+func deadlockCorpusEntry(t *testing.T) Entry {
+	t.Helper()
+	for _, e := range Entries() {
+		if e.Name == "deadlock" {
+			return e
+		}
+	}
+	t.Fatal("deadlock entry missing from corpus")
+	return Entry{}
+}
+
+// TestDeadlockBundleDeterministic replays the deadlock entry twice and
+// requires the diagnostic bundles to be byte-identical — the property
+// that lets `regress -deterministic` cover the bundle's blob digest.
+// It also checks the bundle actually carries the evidence: the deadlock
+// report, the flight-recorder events and the counters.
+func TestDeadlockBundleDeterministic(t *testing.T) {
+	e := deadlockCorpusEntry(t)
+	r1, a1, err := e.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, a2, err := e.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Outcome != "deadlock" || r1.Error == "" {
+		t.Fatalf("record = %+v, want deadlock outcome with report", r1)
+	}
+	if len(a1) != 1 || a1[0].Name != "diag.json" {
+		t.Fatalf("artifacts = %+v, want one diag.json", a1)
+	}
+	if !bytes.Equal(a1[0].Data, a2[0].Data) {
+		t.Fatalf("replayed bundles differ:\n%s\nvs\n%s", a1[0].Data, a2[0].Data)
+	}
+	if r1.GraphKey != r2.GraphKey {
+		t.Fatal("replayed records differ in graph key")
+	}
+
+	var b diag.Bundle
+	if err := json.Unmarshal(a1[0].Data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Reason != "deadlock" || b.Deadlock != r1.Error {
+		t.Fatalf("bundle reason/deadlock = %q/%q, want deadlock/%q", b.Reason, b.Deadlock, r1.Error)
+	}
+	if len(b.Events) != 2 || b.Events[0].Name != "corpus/deadlock" || b.Events[1].Name != "deadlock" {
+		t.Fatalf("bundle events = %+v", b.Events)
+	}
+	if b.Counters["deadlocks"] != 1 || b.Counters["statesExplored"] <= 0 {
+		t.Fatalf("bundle counters = %+v", b.Counters)
+	}
+	if b.Profiles != nil || b.Goroutines != 0 {
+		t.Fatalf("deterministic bundle carries volatile data: %+v", b)
+	}
+
+	// The strip-then-compare form (the one `make diag-smoke` would need
+	// if bundles ever grew volatile fields here) also holds.
+	var b2 diag.Bundle
+	if err := json.Unmarshal(a2[0].Data, &b2); err != nil {
+		t.Fatal(err)
+	}
+	b.StripVolatile()
+	b2.StripVolatile()
+	s1, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := b2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatalf("stripped bundles differ:\n%s\nvs\n%s", s1, s2)
+	}
+}
+
 // TestEnergyPerturbationTripsGate proves a silent energy-model
 // recalibration fails the zero-tolerance regression gate with a clear
 // reason: the graph key and the throughput bound are unchanged, only the
@@ -103,11 +184,11 @@ func TestEnergyPerturbationTripsGate(t *testing.T) {
 		t.Skip("full MJPEG solver search")
 	}
 	e := solverCorpusEntry(t)
-	base, err := e.Run(Options{})
+	base, _, err := e.Run(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pert, err := e.Run(Options{PerturbEnergy: 10})
+	pert, _, err := e.Run(Options{PerturbEnergy: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

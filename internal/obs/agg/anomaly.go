@@ -1,0 +1,191 @@
+package agg
+
+import (
+	"math"
+
+	"mamps/internal/runlog"
+)
+
+// Run-lake anomaly detection: per-key robust drift scoring without a
+// frozen baseline. For every (key, metric) pair the detector maintains
+// an exponentially weighted moving mean m and an exponentially weighted
+// mean absolute deviation d (the streaming analogue of the median
+// absolute deviation — robust in the sense that one outlier moves the
+// scale estimate by at most its weight, unlike a variance). A new
+// sample x is scored BEFORE the state updates:
+//
+//	score = |x - m| / max(d, eps·max(|m|, 1))
+//
+// and flagged when score > Threshold once the pair has MinHistory
+// samples of warm-up behind it. The eps floor makes a history of
+// perfectly identical samples (the deterministic-replay steady state,
+// where d = 0) score any deviation as a large finite number instead of
+// dividing by zero — exactly the "this run drifted and no baseline
+// exists" signal the run lake needs. The fold is pure float arithmetic
+// over the input order, so a chronological feed of a deterministic
+// index yields a deterministic anomaly list.
+//
+// Keys follow the baseline-matching identity: BaselineKey when set,
+// else Corpus, else GraphKey — per-workload drift, as motivated by
+// mode-transition behavior changing per workload rather than globally.
+
+// Anomaly metric names beyond the Metric* constants: quantities that
+// drift deterministically even when wall times are stripped.
+const (
+	MetricStates = "statesExplored"
+)
+
+// AnomalyConfig tunes the detector. Zero fields take the noted
+// defaults.
+type AnomalyConfig struct {
+	// Alpha is the EWMA weight of the newest sample (default 0.3).
+	Alpha float64
+	// Threshold is the score above which a sample is flagged (default 8).
+	Threshold float64
+	// MinHistory is how many samples a (key, metric) pair must have seen
+	// before scoring arms (default 3).
+	MinHistory int
+}
+
+func (c AnomalyConfig) withDefaults() AnomalyConfig {
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		c.Alpha = 0.3
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 8
+	}
+	if c.MinHistory <= 0 {
+		c.MinHistory = 3
+	}
+	return c
+}
+
+// Anomaly is one flagged drift: a record whose value of one watched
+// metric sits far outside its key's exponentially weighted history.
+type Anomaly struct {
+	RunID  string  `json:"runID,omitempty"`
+	Key    string  `json:"key"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Mean   float64 `json:"mean"`
+	Scale  float64 `json:"scale"`
+	Score  float64 `json:"score"`
+}
+
+// driftState is the streaming EWMA/EW-MAD state of one (key, metric).
+type driftState struct {
+	n    int
+	mean float64
+	dev  float64
+}
+
+// Detector scores records for drift. Not safe for concurrent use (the
+// service serializes feeds under its append path); feed records in
+// chronological order.
+type Detector struct {
+	cfg   AnomalyConfig
+	state map[string]*driftState
+	total int64
+}
+
+// NewDetector returns an empty detector.
+func NewDetector(cfg AnomalyConfig) *Detector {
+	return &Detector{cfg: cfg.withDefaults(), state: map[string]*driftState{}}
+}
+
+// Total reports how many anomalies the detector has flagged.
+func (d *Detector) Total() int64 {
+	if d == nil {
+		return 0
+	}
+	return d.total
+}
+
+// anomalyKey is the per-workload identity drift is tracked under.
+func anomalyKey(rec *runlog.Record) string {
+	if rec.BaselineKey != "" {
+		return rec.BaselineKey
+	}
+	if rec.Corpus != "" {
+		return "corpus/" + rec.Corpus
+	}
+	if rec.GraphKey != "" {
+		return rec.GraphKey
+	}
+	return rec.App
+}
+
+// Add scores one record over every watched metric present on it,
+// returning the flagged anomalies (usually none) and advancing the
+// per-key state. Nil detector ignores everything.
+func (d *Detector) Add(rec *runlog.Record) []Anomaly {
+	if d == nil {
+		return nil
+	}
+	key := anomalyKey(rec)
+	if key == "" {
+		return nil
+	}
+	var out []Anomaly
+	observe := func(metric string, v float64) {
+		if a, ok := d.observe(key, metric, v); ok {
+			a.RunID = rec.ID
+			out = append(out, a)
+			d.total++
+		}
+	}
+	if rec.Bound > 0 {
+		observe(MetricBound, rec.Bound)
+	}
+	if rec.Measured > 0 {
+		observe(MetricMeasured, rec.Measured)
+	}
+	if rec.Cycles > 0 {
+		observe(MetricCycles, float64(rec.Cycles))
+	}
+	if rec.EnergyPJ > 0 {
+		observe(MetricEnergyPJ, rec.EnergyPJ)
+	}
+	if rec.Counters.StatesExplored > 0 {
+		observe(MetricStates, float64(rec.Counters.StatesExplored))
+	}
+	var totalMicros float64
+	for _, st := range rec.Steps {
+		if st.Micros > 0 {
+			totalMicros += st.Micros
+		}
+	}
+	if totalMicros > 0 {
+		observe(MetricStageMicros, totalMicros)
+		if rec.Counters.StatesExplored > 0 {
+			observe(MetricStatesPerS, float64(rec.Counters.StatesExplored)/(totalMicros/1e6))
+		}
+	}
+	return out
+}
+
+// observe scores one sample and updates the (key, metric) state.
+func (d *Detector) observe(key, metric string, x float64) (Anomaly, bool) {
+	sk := key + "\x00" + metric
+	st, ok := d.state[sk]
+	if !ok {
+		st = &driftState{}
+		d.state[sk] = st
+	}
+	st.n++
+	if st.n == 1 {
+		st.mean = x
+		return Anomaly{}, false
+	}
+	// Score against the state as it stood before this sample.
+	floor := 1e-9 * math.Max(math.Abs(st.mean), 1)
+	scale := math.Max(st.dev, floor)
+	score := math.Abs(x-st.mean) / scale
+	a := Anomaly{Key: key, Metric: metric, Value: x, Mean: st.mean, Scale: scale, Score: score}
+	flagged := st.n > d.cfg.MinHistory && score > d.cfg.Threshold
+	// Then fold the sample in.
+	diff := x - st.mean
+	st.mean += d.cfg.Alpha * diff
+	st.dev = (1-d.cfg.Alpha)*st.dev + d.cfg.Alpha*math.Abs(diff)
+	return a, flagged
+}

@@ -1,0 +1,186 @@
+package agg
+
+import (
+	"fmt"
+	"testing"
+
+	"mamps/internal/runlog"
+)
+
+// steadyRec builds one record of the deterministic-replay steady state:
+// identical metrics every run for the same corpus key.
+func steadyRec(i int, bound float64) runlog.Record {
+	rec := runlog.Record{
+		ID:       fmt.Sprintf("run-%03d", i),
+		Corpus:   "mjpeg",
+		GraphKey: "sha256:abc",
+		Outcome:  "ok",
+		Bound:    bound,
+	}
+	rec.Counters.StatesExplored = 400
+	return rec
+}
+
+// TestDetectorCleanStream proves the no-false-positives property the
+// diag-smoke gate relies on: replaying identical records forever never
+// flags, no matter how tight the eps floor gets.
+func TestDetectorCleanStream(t *testing.T) {
+	d := NewDetector(AnomalyConfig{})
+	for i := 0; i < 50; i++ {
+		rec := steadyRec(i, 1.25e-4)
+		if flagged := d.Add(&rec); len(flagged) != 0 {
+			t.Fatalf("sample %d of a constant stream flagged: %+v", i, flagged)
+		}
+	}
+	if d.Total() != 0 {
+		t.Fatalf("Total = %d, want 0", d.Total())
+	}
+}
+
+// TestDetectorFlagsDrift pins the arming math: with MinHistory 3, the
+// fourth sample is the first scorable one, and after three identical
+// samples the deviation is zero, so the eps floor turns any real drift
+// into a huge score.
+func TestDetectorFlagsDrift(t *testing.T) {
+	d := NewDetector(AnomalyConfig{})
+	for i := 0; i < 3; i++ {
+		rec := steadyRec(i, 1.25e-4)
+		if flagged := d.Add(&rec); len(flagged) != 0 {
+			t.Fatalf("warm-up sample %d flagged: %+v", i, flagged)
+		}
+	}
+	pert := steadyRec(3, 1.5e-4) // bound drifted, states steady
+	flagged := d.Add(&pert)
+	if len(flagged) != 1 {
+		t.Fatalf("perturbed 4th sample: %d flags (%+v), want exactly the bound", len(flagged), flagged)
+	}
+	a := flagged[0]
+	if a.Metric != MetricBound || a.RunID != "run-003" || a.Key != "corpus/mjpeg" {
+		t.Fatalf("flag = %+v", a)
+	}
+	if a.Score <= 8 || a.Value != 1.5e-4 {
+		t.Fatalf("score/value = %+v", a)
+	}
+	if d.Total() != 1 {
+		t.Fatalf("Total = %d, want 1", d.Total())
+	}
+}
+
+// TestDetectorMinHistorySuppresses shows a deviant sample inside the
+// warm-up window stays silent: scoring only arms after MinHistory.
+func TestDetectorMinHistorySuppresses(t *testing.T) {
+	d := NewDetector(AnomalyConfig{MinHistory: 5})
+	vals := []float64{1, 1, 500, 1, 1} // wild 3rd sample, still warming up
+	for i, v := range vals {
+		rec := steadyRec(i, v)
+		if flagged := d.Add(&rec); len(flagged) != 0 {
+			t.Fatalf("sample %d flagged during warm-up: %+v", i, flagged)
+		}
+	}
+}
+
+// TestDetectorDeterministic feeds the same stream to two detectors and
+// requires identical flag sequences — the property that makes anomaly
+// counts reproducible across replicas scanning the same index.
+func TestDetectorDeterministic(t *testing.T) {
+	stream := make([]runlog.Record, 20)
+	for i := range stream {
+		bound := 1e-4
+		if i%7 == 6 {
+			bound = 3e-4
+		}
+		stream[i] = steadyRec(i, bound)
+	}
+	d1, d2 := NewDetector(AnomalyConfig{}), NewDetector(AnomalyConfig{})
+	for i := range stream {
+		r1, r2 := stream[i], stream[i]
+		f1, f2 := d1.Add(&r1), d2.Add(&r2)
+		if len(f1) != len(f2) {
+			t.Fatalf("sample %d: %d vs %d flags", i, len(f1), len(f2))
+		}
+		for j := range f1 {
+			if f1[j] != f2[j] {
+				t.Fatalf("sample %d flag %d: %+v vs %+v", i, j, f1[j], f2[j])
+			}
+		}
+	}
+	if d1.Total() != d2.Total() || d1.Total() == 0 {
+		t.Fatalf("totals %d vs %d (want equal, nonzero)", d1.Total(), d2.Total())
+	}
+}
+
+// TestDetectorKeyIsolation checks drift tracking is per workload key: a
+// different corpus starting at a new level is its own fresh history, not
+// an anomaly against the first one.
+func TestDetectorKeyIsolation(t *testing.T) {
+	d := NewDetector(AnomalyConfig{})
+	for i := 0; i < 6; i++ {
+		rec := steadyRec(i, 1e-4)
+		d.Add(&rec)
+	}
+	other := steadyRec(6, 5.0) // 50000x the first key's level
+	other.Corpus = "h263"
+	if flagged := d.Add(&other); len(flagged) != 0 {
+		t.Fatalf("fresh key flagged against another key's history: %+v", flagged)
+	}
+}
+
+// TestDetectorNil checks the nil-tolerant surface.
+func TestDetectorNil(t *testing.T) {
+	var d *Detector
+	rec := steadyRec(0, 1)
+	if d.Add(&rec) != nil || d.Total() != 0 {
+		t.Fatal("nil detector not inert")
+	}
+}
+
+// TestAggregateAnomalies runs the query-level integration: a
+// chronological scan with Anomalies set populates the report's anomaly
+// count, listing and per-group column, while a clean stream stays zero.
+func TestAggregateAnomalies(t *testing.T) {
+	clean := make([]runlog.Record, 8)
+	for i := range clean {
+		clean[i] = steadyRec(i, 1e-4)
+	}
+	rep, err := Aggregate(clean, Query{Anomalies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AnomalyCount != 0 || len(rep.Anomalies) != 0 {
+		t.Fatalf("clean stream: count %d, list %+v", rep.AnomalyCount, rep.Anomalies)
+	}
+
+	drifted := append([]runlog.Record{}, clean...)
+	pert := steadyRec(len(drifted), 9e-4)
+	drifted = append(drifted, pert)
+	rep, err = Aggregate(drifted, Query{Anomalies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AnomalyCount == 0 || len(rep.Anomalies) == 0 {
+		t.Fatal("drifted stream raised no anomalies")
+	}
+	if rep.Total.Anomalies != rep.AnomalyCount {
+		t.Fatalf("total column %d != count %d", rep.Total.Anomalies, rep.AnomalyCount)
+	}
+	var flaggedRuns int
+	for _, g := range rep.Groups {
+		flaggedRuns += g.Anomalies
+	}
+	if flaggedRuns != 1 {
+		t.Fatalf("per-group flagged runs = %d, want 1", flaggedRuns)
+	}
+	if rep.Anomalies[0].RunID != pert.ID {
+		t.Fatalf("anomaly %+v, want run %s", rep.Anomalies[0], pert.ID)
+	}
+
+	// Without the query flag the same stream reports nothing — scoring
+	// is strictly opt-in, so default stats stay cheap.
+	rep, err = Aggregate(drifted, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AnomalyCount != 0 || rep.Total.Anomalies != 0 {
+		t.Fatalf("opt-out query scored anyway: %+v", rep)
+	}
+}

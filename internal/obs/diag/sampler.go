@@ -1,0 +1,210 @@
+package diag
+
+import (
+	"bytes"
+	"context"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// Sampler is the profile-on-burn background profiler: it keeps a
+// bounded ring of periodic pprof CPU/heap captures and escalates the
+// capture rate while any SLO objective is burning. Profile bytes are
+// handed to a sink (the service wires the content-addressed blob
+// store), and the digests of the freshest capture are attached to
+// runlog records appended during a burn window.
+type Sampler struct {
+	cfg SamplerConfig
+
+	mu   sync.Mutex
+	ring []Sample
+	n    uint64 // total captures taken
+}
+
+// SamplerConfig parameterizes a Sampler. Zero fields take the noted
+// defaults.
+type SamplerConfig struct {
+	// Ring is how many captures are retained (default 4).
+	Ring int
+	// BasePeriod is the steady-state capture period (default 60s);
+	// BurnPeriod the escalated period while burning (default 5s).
+	BasePeriod, BurnPeriod time.Duration
+	// CPUDuration is how long each CPU profile records (default 200ms;
+	// negative disables CPU capture, leaving heap only).
+	CPUDuration time.Duration
+	// Burning reports whether any SLO objective is in the multiwindow
+	// alert state (nil: never burning).
+	Burning func() bool
+	// Sink persists one profile's bytes and returns its digest (the
+	// service wires the blob store's Put). Nil: digests are computed
+	// locally and the bytes are dropped.
+	Sink func(data []byte) (string, error)
+	// NowNS stamps captures (nil: time.Now().UnixNano).
+	NowNS func() int64
+}
+
+func (c SamplerConfig) withDefaults() SamplerConfig {
+	if c.Ring <= 0 {
+		c.Ring = 4
+	}
+	if c.BasePeriod <= 0 {
+		c.BasePeriod = 60 * time.Second
+	}
+	if c.BurnPeriod <= 0 {
+		c.BurnPeriod = 5 * time.Second
+	}
+	if c.CPUDuration == 0 {
+		c.CPUDuration = 200 * time.Millisecond
+	}
+	if c.NowNS == nil {
+		c.NowNS = func() int64 { return time.Now().UnixNano() }
+	}
+	return c
+}
+
+// Sample is one sampler capture: the digests of the profiles taken in
+// one pass and whether the board was burning at the time.
+type Sample struct {
+	TimeNS  int64             `json:"timeNS"`
+	Burning bool              `json:"burning"`
+	Digests map[string]string `json:"digests"`
+}
+
+// NewSampler returns a sampler; call Run to drive it, or Tick from
+// tests. A nil *Sampler is a valid disabled sampler.
+func NewSampler(cfg SamplerConfig) *Sampler {
+	cfg = cfg.withDefaults()
+	return &Sampler{cfg: cfg}
+}
+
+// Run drives periodic captures until ctx is cancelled. The period
+// re-evaluates after every capture: BurnPeriod while the board burns,
+// BasePeriod otherwise. No-op on nil.
+func (s *Sampler) Run(ctx context.Context) {
+	if s == nil {
+		return
+	}
+	for {
+		period := s.cfg.BasePeriod
+		if s.burning() {
+			period = s.cfg.BurnPeriod
+		}
+		t := time.NewTimer(period)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+			s.Tick()
+		}
+	}
+}
+
+func (s *Sampler) burning() bool {
+	return s != nil && s.cfg.Burning != nil && s.cfg.Burning()
+}
+
+// Tick takes one capture: a heap profile plus (unless disabled) a CPU
+// profile of the configured duration, pushes the bytes through the
+// sink, and records the digests in the ring. Returns the capture.
+// No-op on nil.
+func (s *Sampler) Tick() Sample {
+	if s == nil {
+		return Sample{}
+	}
+	c := Sample{TimeNS: s.cfg.NowNS(), Burning: s.burning(), Digests: map[string]string{}}
+	if p := pprof.Lookup("heap"); p != nil {
+		var buf bytes.Buffer
+		if err := p.WriteTo(&buf, 0); err == nil {
+			s.store(&c, ProfileHeap, buf.Bytes())
+		}
+	}
+	if s.cfg.CPUDuration > 0 {
+		if data, err := captureCPU(s.cfg.CPUDuration); err == nil {
+			s.store(&c, ProfileCPU, data)
+		}
+	}
+	s.mu.Lock()
+	if len(s.ring) < s.cfg.Ring {
+		s.ring = append(s.ring, c)
+	} else {
+		s.ring[s.n%uint64(s.cfg.Ring)] = c
+	}
+	s.n++
+	s.mu.Unlock()
+	return c
+}
+
+func (s *Sampler) store(c *Sample, name string, data []byte) {
+	if s.cfg.Sink != nil {
+		if d, err := s.cfg.Sink(data); err == nil {
+			c.Digests[name] = d
+		}
+		return
+	}
+	c.Digests[name] = DigestOf(data)
+}
+
+// Captures reports how many captures were ever taken.
+func (s *Sampler) Captures() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Latest returns the most recent capture (ok=false before the first).
+func (s *Sampler) Latest() (Sample, bool) {
+	if s == nil {
+		return Sample{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return Sample{}, false
+	}
+	idx := (s.n - 1) % uint64(s.cfg.Ring)
+	if s.n <= uint64(len(s.ring)) {
+		idx = s.n - 1
+	}
+	return s.ring[idx], true
+}
+
+// BurnDigests returns a copy of the freshest capture's profile digests
+// when the board is currently burning and a capture exists — the map a
+// runlog record appended during the burn window carries. Nil otherwise.
+func (s *Sampler) BurnDigests() map[string]string {
+	if s == nil || !s.burning() {
+		return nil
+	}
+	c, ok := s.Latest()
+	if !ok || len(c.Digests) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(c.Digests))
+	for k, v := range c.Digests {
+		out[k] = v
+	}
+	return out
+}
+
+// Ring snapshots the capture ring, oldest first.
+func (s *Sampler) Ring() []Sample {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, 0, len(s.ring))
+	start := uint64(0)
+	if s.n > uint64(len(s.ring)) {
+		start = s.n % uint64(len(s.ring))
+	}
+	for i := uint64(0); i < uint64(len(s.ring)); i++ {
+		out = append(out, s.ring[(start+i)%uint64(len(s.ring))])
+	}
+	return out
+}

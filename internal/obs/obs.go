@@ -80,7 +80,8 @@ type Scope struct {
 // not usable; create with New. A nil *Trace is a valid disabled trace:
 // Scope returns nil and all recording is a no-op.
 type Trace struct {
-	now func() int64 // wall nanoseconds since the trace epoch
+	now     func() int64 // wall nanoseconds since the trace epoch
+	traceID string       // W3C trace-id this recording belongs to, "" if none
 
 	mu     sync.Mutex
 	scopes []*Scope
@@ -94,6 +95,22 @@ type Option func(*Trace)
 // counter so exported timestamps are reproducible.
 func WithNow(now func() int64) Option {
 	return func(t *Trace) { t.now = now }
+}
+
+// WithTraceID tags the trace with the W3C trace-id of the request it
+// records, so the Perfetto export and any cross-process stitching can
+// correlate it with upstream and downstream traces.
+func WithTraceID(id string) Option {
+	return func(t *Trace) { t.traceID = id }
+}
+
+// TraceID returns the W3C trace-id the trace was tagged with ("" when
+// untagged or nil).
+func (t *Trace) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
 }
 
 // New returns an empty trace whose wall clock starts now.

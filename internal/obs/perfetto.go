@@ -83,6 +83,12 @@ func (t *Trace) WritePerfetto(w io.Writer) error {
 	}
 	meta(pidWall, "flow (wall clock)")
 	meta(pidCycles, "platform (cycles)")
+	if t.traceID != "" {
+		// Tag the export with the W3C trace-id so cross-process traces
+		// stitch; emitted only when set, keeping untagged goldens stable.
+		events = append(events, teEvent{Name: "trace_context", Ph: "M", Pid: pidWall,
+			Args: map[string]any{"traceID": t.traceID}})
+	}
 
 	tid := map[Domain]int{Wall: 0, Cycles: 0}
 	for _, sn := range snaps {

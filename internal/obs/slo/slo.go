@@ -232,6 +232,73 @@ func (b *Board) Tracker(name string) *Tracker {
 	return b.trackers[name]
 }
 
+// State is a point-in-time snapshot of one objective, as embedded in
+// diagnostic bundles.
+type State struct {
+	Name       string  `json:"name"`
+	Target     float64 `json:"target"`
+	Good       int64   `json:"good"`
+	Bad        int64   `json:"bad"`
+	BudgetUsed float64 `json:"budgetUsed"`
+	FastBurn   float64 `json:"fastBurn"`
+	SlowBurn   float64 `json:"slowBurn"`
+	Burning    bool    `json:"burning"`
+}
+
+// States snapshots every tracker, sorted by objective name. A nil board
+// returns nil.
+func (b *Board) States() []State {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	names := make([]string, 0, len(b.trackers))
+	for name := range b.trackers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ts := make([]*Tracker, 0, len(names))
+	for _, name := range names {
+		ts = append(ts, b.trackers[name])
+	}
+	b.mu.Unlock()
+	states := make([]State, 0, len(ts))
+	for i, t := range ts {
+		good, bad := t.Totals()
+		states = append(states, State{
+			Name:       names[i],
+			Target:     t.obj.Target,
+			Good:       good,
+			Bad:        bad,
+			BudgetUsed: t.BudgetUsed(),
+			FastBurn:   t.BurnRate(t.obj.FastWindow),
+			SlowBurn:   t.BurnRate(t.obj.SlowWindow),
+			Burning:    t.Burning(),
+		})
+	}
+	return states
+}
+
+// Burning reports whether any objective on the board is currently in
+// the multiwindow alert state. A nil board is never burning.
+func (b *Board) Burning() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	ts := make([]*Tracker, 0, len(b.trackers))
+	for _, t := range b.trackers {
+		ts = append(ts, t)
+	}
+	b.mu.Unlock()
+	for _, t := range ts {
+		if t.Burning() {
+			return true
+		}
+	}
+	return false
+}
+
 // WritePrometheus renders the board as mamps_slo_* series, one label
 // set per objective, sorted by name. A nil board writes nothing.
 func (b *Board) WritePrometheus(w io.Writer) {

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) propagation.
+// The service accepts a `traceparent` header on every route, threads the
+// IDs through the request context, span attributes and runlog records,
+// and emits a child `traceparent` on the response — so traces stitch
+// across processes once requests hop between fleet shards.
+
+// TraceContext is a parsed traceparent: a 16-byte trace ID and an 8-byte
+// parent span ID, both lower-hex, plus the sampled flag. The zero value
+// is "no trace context".
+type TraceContext struct {
+	TraceID string // 32 lower-hex chars, not all-zero
+	SpanID  string // 16 lower-hex chars, not all-zero
+	Sampled bool
+}
+
+// Valid reports whether the context carries usable IDs.
+func (tc TraceContext) Valid() bool {
+	return len(tc.TraceID) == 32 && len(tc.SpanID) == 16
+}
+
+// Header renders the context as a version-00 traceparent header value.
+func (tc TraceContext) Header() string {
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-" + flags
+}
+
+// Child returns a copy of the context with a fresh span ID, keeping the
+// trace ID: the value to emit downstream for work done on behalf of the
+// incoming request.
+func (tc TraceContext) Child() TraceContext {
+	tc.SpanID = randHex(8)
+	return tc
+}
+
+// NewTraceContext mints a fresh sampled trace context (for requests that
+// arrive without one).
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: randHex(16), SpanID: randHex(8), Sampled: true}
+}
+
+// ParseTraceparent parses a version-00 traceparent header value. Per the
+// spec, unknown versions with the 00 layout are accepted; all-zero IDs
+// and malformed fields are rejected.
+func ParseTraceparent(s string) (TraceContext, error) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) < 4 {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: want version-traceid-spanid-flags", s)
+	}
+	ver, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(ver) != 2 || !isLowerHex(ver) || ver == "ff" {
+		return TraceContext{}, fmt.Errorf("obs: traceparent version %q invalid", ver)
+	}
+	if len(traceID) != 32 || !isLowerHex(traceID) || allZero(traceID) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent trace-id %q invalid", traceID)
+	}
+	if len(spanID) != 16 || !isLowerHex(spanID) || allZero(spanID) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent parent-id %q invalid", spanID)
+	}
+	if len(flags) != 2 || !isLowerHex(flags) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent flags %q invalid", flags)
+	}
+	var f byte
+	b, err := hex.DecodeString(flags)
+	if err == nil && len(b) == 1 {
+		f = b[0]
+	}
+	return TraceContext{TraceID: traceID, SpanID: spanID, Sampled: f&1 == 1}, nil
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// Entropy failure: fall back to a fixed non-zero pattern rather
+		// than an invalid all-zero ID.
+		for i := range b {
+			b[i] = byte(i + 1)
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+// traceContextKey is the context key trace contexts travel under.
+type traceContextKey struct{}
+
+// WithTraceContext returns a context carrying the trace context.
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceContextKey{}, tc)
+}
+
+// TraceContextFrom returns the context's trace context (zero when absent).
+func TraceContextFrom(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceContextKey{}).(TraceContext)
+	return tc
+}

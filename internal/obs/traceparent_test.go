@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	const hdr = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc, err := ParseTraceparent(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" || tc.SpanID != "00f067aa0ba902b7" || !tc.Sampled {
+		t.Fatalf("parsed %+v", tc)
+	}
+	if !tc.Valid() {
+		t.Fatal("parsed context not Valid")
+	}
+	if got := tc.Header(); got != hdr {
+		t.Fatalf("Header round-trip: %q != %q", got, hdr)
+	}
+
+	// Unsampled flags parse, and future versions with the 00 layout are
+	// accepted per the spec.
+	if tc, err := ParseTraceparent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"); err != nil || tc.Sampled {
+		t.Fatalf("future version: %+v, %v", tc, err)
+	}
+
+	bad := []string{
+		"",
+		"not-a-header",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // missing flags
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // forbidden version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // all-zero trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // all-zero span ID
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase hex
+		"00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01",   // short trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz", // bad flags
+	}
+	for _, s := range bad {
+		if _, err := ParseTraceparent(s); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted, want error", s)
+		}
+	}
+}
+
+func TestTraceContextChild(t *testing.T) {
+	parent := NewTraceContext()
+	if !parent.Valid() || !parent.Sampled {
+		t.Fatalf("NewTraceContext = %+v", parent)
+	}
+	child := parent.Child()
+	if child.TraceID != parent.TraceID {
+		t.Fatal("child changed the trace ID")
+	}
+	if child.SpanID == parent.SpanID {
+		t.Fatal("child kept the parent span ID")
+	}
+	// The child header must itself parse.
+	if _, err := ParseTraceparent(child.Header()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceContextOnContext(t *testing.T) {
+	if tc := TraceContextFrom(context.Background()); tc.Valid() {
+		t.Fatalf("empty context yielded %+v", tc)
+	}
+	want := NewTraceContext()
+	ctx := WithTraceContext(context.Background(), want)
+	if got := TraceContextFrom(ctx); got != want {
+		t.Fatalf("round-trip: %+v != %+v", got, want)
+	}
+}

@@ -202,6 +202,17 @@ func Fsck(dir string, opt FsckOptions) (*Report, error) {
 				}
 			}
 		}
+		for name, d := range rec.Profiles {
+			if _, perr := bs.Path(d); perr != nil {
+				pr := Problem{RecordID: rec.ID, Blob: d, Kind: "blob-missing",
+					Detail: fmt.Sprintf("profile %q: %v", name, perr)}
+				if opt.Strict {
+					rep.Problems = append(rep.Problems, pr)
+				} else {
+					rep.Warnings = append(rep.Warnings, pr)
+				}
+			}
+		}
 	}
 
 	if !opt.Repair {

@@ -125,6 +125,20 @@ type Record struct {
 	// artifacts under runs/<id>/ and have no entries here.
 	ArtifactBlobs map[string]string `json:"artifactBlobs,omitempty"`
 
+	// TraceID and SpanID are the W3C trace-context identifiers of the
+	// request that produced the run, when it arrived (or was issued) with
+	// a traceparent — the hook that stitches a run to its cross-process
+	// distributed trace.
+	TraceID string `json:"traceID,omitempty"`
+	SpanID  string `json:"spanID,omitempty"`
+
+	// Profiles maps pprof profile names ("profile/cpu", "profile/heap")
+	// to blob-store digests, attached by the profile-on-burn sampler to
+	// runs recorded while an SLO objective was burning (and by diagnostic
+	// bundle records to their captured profiles). The referenced blobs
+	// are GC-pinned and fsck-checked like artifact blobs.
+	Profiles map[string]string `json:"profiles,omitempty"`
+
 	// Format versions the record's wire schema: 0 is the pre-ledger
 	// format; FormatChained records carry the chain fields below and
 	// blob-addressed artifacts.
@@ -794,6 +808,32 @@ func (r *Registry) Append(rec Record, artifacts ...Artifact) (Record, error) {
 	return rec, nil
 }
 
+// PutBlob writes raw bytes through the content-addressed blob store and
+// returns their digest — the hook the profile-on-burn sampler stores
+// pprof captures with before their digests land on records' Profiles
+// maps. A blob written here is unreferenced (and GC-sweepable) until
+// some record's Profiles or ArtifactBlobs names its digest.
+func (r *Registry) PutBlob(data []byte) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.index == nil {
+		return "", fmt.Errorf("runlog: registry is closed")
+	}
+	return r.blobs.Put(data)
+}
+
+// ReadBlob returns the digest-verified bytes of one blob — profile
+// captures are digest-addressed rather than run-addressed, so readers
+// resolve them here.
+func (r *Registry) ReadBlob(digest string) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.index == nil {
+		return nil, fmt.Errorf("runlog: registry is closed")
+	}
+	return r.blobs.Read(digest)
+}
+
 // totalStageMicros sums a record's Table 1 stage wall times — the
 // "how slow was this run" quantity the retention slow gate ranks.
 func totalStageMicros(rec *Record) float64 {
@@ -1207,6 +1247,9 @@ func (r *Registry) gcLocked() (int, error) {
 	refs := make(map[string]int)
 	for i := range keep {
 		for _, d := range keep[i].ArtifactBlobs {
+			refs[d]++
+		}
+		for _, d := range keep[i].Profiles {
 			refs[d]++
 		}
 	}

@@ -1,0 +1,150 @@
+package service
+
+// Adaptive diagnostics surface of the service: a flight recorder keeps
+// the most recent request/anomaly events in a fixed ring, and a dump —
+// triggered by a handler panic, a structured deadlock (422), SIGQUIT
+// (via DumpDiagnostics from mamps-serve) or POST /debug/dump — captures
+// the ring together with kernel counters, the SLO board state and
+// goroutine/heap/CPU profiles into a diagnostic bundle. When a run
+// registry is attached the bundle is appended as a kind "diag" record:
+// the manifest and every profile land in the content-addressed blob
+// store, deduplicated and covered by the ledger chain, so "what was the
+// process doing when it broke" is retrievable and verifiable later.
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"time"
+
+	"mamps/internal/obs"
+	"mamps/internal/obs/diag"
+	"mamps/internal/runlog"
+)
+
+// gcPauseBuckets span sub-microsecond young collections up to
+// second-long stop-the-world stalls.
+var gcPauseBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1,
+}
+
+// dumpCPUDuration resolves the CPU-profile duration of a dump: the
+// configured sampler duration, its default when unset, nothing when
+// disabled.
+func (s *Server) dumpCPUDuration() time.Duration {
+	d := s.cfg.ProfileCPUDuration
+	if d == 0 {
+		d = 200 * time.Millisecond
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// diagCounters snapshots the service-level counters a bundle carries.
+func (s *Server) diagCounters() map[string]int64 {
+	st := s.Stats()
+	return map[string]int64{
+		"workersBusy":  st.BusyWork,
+		"queueDepth":   st.QueueDepth,
+		"cacheEntries": int64(st.Cache.Entries),
+		"cacheHits":    int64(st.Cache.Hits),
+		"cacheMisses":  int64(st.Cache.Misses),
+		"anomalies":    s.anomalies.Value(),
+	}
+}
+
+// dumpDiagnostics captures a diagnostic bundle and, when a run registry
+// is attached, appends it as a kind "diag" record whose manifest and
+// profiles are content-addressed blobs. Returns the stored record ID
+// ("" when not persisted) and the bundle. Never fails: diagnostics must
+// not take the serving path down with them.
+func (s *Server) dumpDiagnostics(ctx context.Context, reason, deadlock string) (string, *diag.Bundle) {
+	tc := obs.TraceContextFrom(ctx)
+	bundle, arts := diag.Capture(diag.CaptureOptions{
+		Reason:     reason,
+		NowNS:      s.clk.Now().UnixNano(),
+		TraceID:    tc.TraceID,
+		SpanID:     tc.SpanID,
+		RequestID:  obs.RequestID(ctx),
+		Recorder:   s.recorder,
+		Counters:   s.diagCounters(),
+		SLO:        s.slos.States(),
+		Deadlock:   deadlock,
+		Profiles:   true,
+		CPUProfile: s.dumpCPUDuration(),
+	})
+	data, err := bundle.Marshal()
+	if err != nil {
+		s.log.Error("diagnostic bundle marshal failed", "reason", reason, "err", err)
+		return "", bundle
+	}
+	s.log.Warn("diagnostic dump captured",
+		"reason", reason, "events", len(bundle.Events), "profiles", len(bundle.Profiles))
+	if s.runlog == nil {
+		return "", bundle
+	}
+	rec := runlog.Record{
+		Kind:        "diag",
+		App:         "service",
+		Outcome:     reason,
+		BaselineKey: "diag/" + reason,
+		Profiles:    bundle.Profiles,
+	}
+	artifacts := make([]runlog.Artifact, 0, len(arts)+1)
+	artifacts = append(artifacts, runlog.Artifact{Name: "diag.json", Data: data})
+	for _, a := range arts {
+		artifacts = append(artifacts, runlog.Artifact{Name: a.Name, Data: a.Data})
+	}
+	stored, ok := s.appendRun(ctx, rec, artifacts)
+	if !ok {
+		return "", bundle
+	}
+	return stored.ID, bundle
+}
+
+// DumpDiagnostics triggers a manual diagnostic dump outside any request
+// (the SIGQUIT hook of mamps-serve). Returns the stored record ID, or
+// "" when no run registry is attached.
+func (s *Server) DumpDiagnostics(reason string) string {
+	if reason == "" {
+		reason = "manual"
+	}
+	id, _ := s.dumpDiagnostics(context.Background(), reason, "")
+	return id
+}
+
+// Sampler exposes the background profile sampler (nil when disabled);
+// tests drive Tick directly.
+func (s *Server) Sampler() *diag.Sampler { return s.sampler }
+
+// handleDebugDump is POST /debug/dump: an on-demand diagnostic dump.
+func (s *Server) handleDebugDump(w http.ResponseWriter, r *http.Request) {
+	id, bundle := s.dumpDiagnostics(r.Context(), "manual", "")
+	s.writeJSON(w, http.StatusOK, struct {
+		Record   string            `json:"record,omitempty"`
+		Reason   string            `json:"reason"`
+		Events   int               `json:"events"`
+		Profiles map[string]string `json:"profiles,omitempty"`
+	}{id, bundle.Reason, len(bundle.Events), bundle.Profiles})
+}
+
+// observeGCPauses folds the pauses of collections since the last scrape
+// into the GC-pause histogram. MemStats keeps the most recent 256
+// pauses in a circular buffer; a CAS keeps concurrent scrapes from
+// double-counting a window.
+func (s *Server) observeGCPauses(ms *runtime.MemStats) {
+	last := s.lastNumGC.Load()
+	n := ms.NumGC
+	if n <= last || !s.lastNumGC.CompareAndSwap(last, n) {
+		return
+	}
+	span := n - last
+	if span > 256 {
+		span = 256
+	}
+	for i := n - span; i < n; i++ {
+		s.gcPause.Observe(float64(ms.PauseNs[i%256]) / 1e9)
+	}
+}

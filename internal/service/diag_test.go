@@ -1,0 +1,385 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mamps/internal/obs"
+	"mamps/internal/obs/diag"
+	"mamps/internal/runlog"
+	"mamps/internal/sim"
+)
+
+// diagTestServer builds a server wired to a fresh run registry with CPU
+// profiling disabled (heap/goroutine only) so dumps are fast.
+func diagTestServer(t *testing.T) (*Server, *runlog.Registry, string) {
+	t.Helper()
+	dir := t.TempDir()
+	reg, err := runlog.Open(dir, runlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close() })
+	s := New(Config{Workers: 1, RunLog: reg, ProfileCPUDuration: -1})
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+	return s, reg, dir
+}
+
+// TestProfileOnBurn is the acceptance path of the profile sampler: an
+// SLO objective enters burn, a sampler capture lands in the blob store,
+// and the next appended run carries the capture's profile digests —
+// resolvable, ledger-covered, fsck-clean.
+func TestProfileOnBurn(t *testing.T) {
+	s, reg, dir := diagTestServer(t)
+	sampler := s.Sampler()
+	if sampler == nil {
+		t.Fatal("sampler not running despite an attached run registry")
+	}
+	if sampler.BurnDigests() != nil {
+		t.Fatal("burn digests before any capture")
+	}
+
+	// Steady state: captures happen but runs don't carry digests.
+	if c := sampler.Tick(); c.Burning {
+		t.Fatalf("steady capture marked burning: %+v", c)
+	}
+	steady, ok := s.appendRun(context.Background(), runlog.Record{
+		Kind: "analysis", App: "burnapp", GraphKey: "sha256:k", Outcome: "ok", Bound: 1,
+	}, nil)
+	if !ok || steady.Profiles != nil {
+		t.Fatalf("steady run carries profiles: %+v", steady.Profiles)
+	}
+
+	// One blown latency event: burn = (1-0)/(1-0.99) = 100 on both
+	// windows, far past the 14.4/6 gates.
+	s.sloLatency.Observe(false)
+	if !s.slos.Burning() {
+		t.Fatal("board not burning after a blown latency budget")
+	}
+	if c := sampler.Tick(); !c.Burning || len(c.Digests) == 0 {
+		t.Fatalf("burn capture = %+v, want burning with digests", c)
+	}
+
+	rec, ok := s.appendRun(context.Background(), runlog.Record{
+		Kind: "analysis", App: "burnapp", GraphKey: "sha256:k", Outcome: "ok", Bound: 1,
+	}, nil)
+	if !ok {
+		t.Fatal("append failed")
+	}
+	if len(rec.Profiles) == 0 {
+		t.Fatal("burn-window run carries no profile digests")
+	}
+	for name, digest := range rec.Profiles {
+		data, err := reg.ReadBlob(digest)
+		if err != nil {
+			t.Fatalf("profile %s digest %s unresolvable: %v", name, digest, err)
+		}
+		if diag.DigestOf(data) != digest {
+			t.Fatalf("profile %s content does not match its digest", name)
+		}
+	}
+	if _, err := reg.Prove(rec.ID); err != nil {
+		t.Fatalf("burn-window run has no inclusion proof: %v", err)
+	}
+
+	// The whole store — records, profile blobs, chain — verifies.
+	s.Shutdown(context.Background())
+	reg.Close()
+	rep, err := runlog.Fsck(dir, runlog.FsckOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Problems) != 0 {
+		t.Fatalf("fsck problems: %+v", rep.Problems)
+	}
+}
+
+// TestDebugDumpEndpoint drives POST /debug/dump over the wire: the
+// response names the stored kind "diag" record, the bundle is readable
+// back as the run's diag.json artifact, and every profile digest in the
+// manifest resolves in the blob store.
+func TestDebugDumpEndpoint(t *testing.T) {
+	s, reg, _ := diagTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := post(t, ts, "/debug/dump", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /debug/dump: %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Record   string            `json:"record"`
+		Reason   string            `json:"reason"`
+		Profiles map[string]string `json:"profiles"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("dump response not JSON: %v\n%s", err, data)
+	}
+	if out.Reason != "manual" || out.Record == "" || len(out.Profiles) == 0 {
+		t.Fatalf("dump response = %+v", out)
+	}
+
+	rec, ok := reg.Get(out.Record)
+	if !ok {
+		t.Fatalf("dump record %s not in registry", out.Record)
+	}
+	if rec.Kind != "diag" || rec.Outcome != "manual" || rec.BaselineKey != "diag/manual" {
+		t.Fatalf("dump record = %+v", rec)
+	}
+	if len(rec.Profiles) != len(out.Profiles) {
+		t.Fatalf("record profiles %v != response profiles %v", rec.Profiles, out.Profiles)
+	}
+	manifest, err := reg.ReadArtifact(out.Record, "diag.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b diag.Bundle
+	if err := json.Unmarshal(manifest, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Reason != "manual" || b.FormatVersion != 1 {
+		t.Fatalf("bundle = %+v", b)
+	}
+	for name, digest := range b.Profiles {
+		if _, err := reg.ReadBlob(digest); err != nil {
+			t.Fatalf("bundle profile %s (%s) unresolvable: %v", name, digest, err)
+		}
+	}
+	// The dump rides the instrumented path, so its record carries the
+	// request's trace context.
+	if rec.TraceID == "" || rec.SpanID == "" {
+		t.Fatalf("dump record lacks trace context: %+v", rec)
+	}
+}
+
+// TestDeadlockDump checks the 422 path: a structured deadlock error
+// triggers a diagnostic dump whose bundle carries the deadlock report
+// and the flight-recorder's deadlock event.
+func TestDeadlockDump(t *testing.T) {
+	s, reg, _ := diagTestServer(t)
+
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/flow", nil)
+	const report = "tile 0: actor dct blocked on full channel"
+	s.writeError(rr, req, &sim.DeadlockError{Cycle: 42, Report: report})
+	if rr.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("deadlock status = %d, want 422", rr.Code)
+	}
+
+	recs, total := reg.List(runlog.Filter{Kind: "diag"})
+	if total != 1 {
+		t.Fatalf("%d diag records after deadlock, want 1", total)
+	}
+	rec := recs[0]
+	if rec.Outcome != "deadlock" || rec.BaselineKey != "diag/deadlock" {
+		t.Fatalf("deadlock dump record = %+v", rec)
+	}
+	manifest, err := reg.ReadArtifact(rec.ID, "diag.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b diag.Bundle
+	if err := json.Unmarshal(manifest, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Deadlock != report {
+		t.Fatalf("bundle deadlock = %q, want %q", b.Deadlock, report)
+	}
+	found := false
+	for _, e := range b.Events {
+		if e.Name == "deadlock" && e.Detail == report {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no deadlock event in bundle ring: %+v", b.Events)
+	}
+}
+
+// TestTraceparentPropagation checks the W3C trace-context contract on
+// the wire: an incoming traceparent is continued as a child span and
+// echoed on the response, a malformed one is replaced by a fresh trace,
+// and the IDs land on the recorded run.
+func TestTraceparentPropagation(t *testing.T) {
+	s, reg, _ := diagTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const parent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	body := `{"workload":` + smallMJPEG + `,"tiles":5,"iterations":-1}`
+	req, err := http.NewRequest("POST", ts.URL+"/v1/flow", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", parent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flow: status %d", resp.StatusCode)
+	}
+	child, err := obs.ParseTraceparent(resp.Header.Get("traceparent"))
+	if err != nil {
+		t.Fatalf("response traceparent invalid: %v", err)
+	}
+	if child.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("response trace ID %s, want the incoming trace continued", child.TraceID)
+	}
+	if child.SpanID == "00f067aa0ba902b7" {
+		t.Fatal("response span ID equals the parent's — no child span was minted")
+	}
+
+	recs, total := reg.List(runlog.Filter{Kind: "flow"})
+	if total != 1 {
+		t.Fatalf("%d flow records, want 1", total)
+	}
+	if recs[0].TraceID != child.TraceID || recs[0].SpanID != child.SpanID {
+		t.Fatalf("record trace %s/%s, want %s/%s",
+			recs[0].TraceID, recs[0].SpanID, child.TraceID, child.SpanID)
+	}
+
+	// A malformed traceparent must not poison the response: a fresh
+	// trace is minted instead.
+	req, _ = http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("traceparent", "garbage")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	fresh, err := obs.ParseTraceparent(resp.Header.Get("traceparent"))
+	if err != nil {
+		t.Fatalf("fresh traceparent invalid: %v", err)
+	}
+	if fresh.TraceID == child.TraceID {
+		t.Fatal("malformed traceparent reused another request's trace ID")
+	}
+}
+
+// TestAnomalyPipeline exercises the streaming drift detector behind the
+// append path end-to-end: identical runs stay silent, a drifted fourth
+// run raises mamps_anomalies_total and shows up in /v1/stats?anomalies=1
+// and in the flight recorder.
+func TestAnomalyPipeline(t *testing.T) {
+	s, _, _ := diagTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	mk := func(bound float64) runlog.Record {
+		return runlog.Record{
+			Kind: "analysis", App: "drifter", Corpus: "drifter",
+			GraphKey: "sha256:d", Outcome: "ok", Bound: bound,
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := s.appendRun(context.Background(), mk(1e-4), nil); !ok {
+			t.Fatal("append failed")
+		}
+	}
+	if got := s.anomalies.Value(); got != 0 {
+		t.Fatalf("anomalies after identical runs = %d, want 0", got)
+	}
+	if _, ok := s.appendRun(context.Background(), mk(5e-4), nil); !ok {
+		t.Fatal("append failed")
+	}
+	if got := s.anomalies.Value(); got == 0 {
+		t.Fatal("drifted run raised no anomaly")
+	}
+
+	// The counter is on /metrics…
+	resp, data := get(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(data), "mamps_anomalies_total 1") {
+		t.Error("mamps_anomalies_total not exported with the flagged count")
+	}
+
+	// …the flagged run is in the stats report…
+	resp, data = get(t, ts, "/v1/stats?anomalies=1&groupBy=corpus")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/stats: %d: %s", resp.StatusCode, data)
+	}
+	var rep struct {
+		AnomalyCount int `json:"anomalyCount"`
+		Anomalies    []struct {
+			Metric string `json:"metric"`
+			Key    string `json:"key"`
+		} `json:"anomalies"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.AnomalyCount == 0 || len(rep.Anomalies) == 0 {
+		t.Fatalf("stats report has no anomalies: %s", data)
+	}
+	if rep.Anomalies[0].Metric != "bound" {
+		t.Fatalf("anomaly = %+v, want metric bound", rep.Anomalies[0])
+	}
+
+	// …and the flight recorder logged it.
+	evs := s.recorder.Snapshot()
+	found := false
+	for _, e := range evs {
+		if e.Name == "anomaly" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no anomaly event in flight recorder: %+v", evs)
+	}
+}
+
+// TestProcessHealthMetrics checks the runtime-health gauges ride the
+// existing scrape contract: present, typed, and parseable by the same
+// checker the obs smoke test runs.
+func TestProcessHealthMetrics(t *testing.T) {
+	s, _, _ := diagTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, data := get(t, ts, "/metrics")
+	text := string(data)
+	for _, want := range []string{
+		"mamps_goroutines ",
+		"mamps_heap_bytes ",
+		"mamps_gc_pause_seconds_bucket",
+		"mamps_anomalies_total ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+	if err := obs.CheckPrometheusText(bytes.NewReader(data)); err != nil {
+		t.Fatalf("scrape not well-formed: %v", err)
+	}
+}
+
+// TestRecorderDisabled checks a negative flight-recorder size turns the
+// ring off without breaking any instrumented path.
+func TestRecorderDisabled(t *testing.T) {
+	s := New(Config{Workers: 1, FlightRecorderSize: -1, ProfileCPUDuration: -1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, _ := get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz with recorder off: %d", resp.StatusCode)
+	}
+	if s.recorder != nil {
+		t.Fatal("recorder allocated despite negative size")
+	}
+	// A dump still works — it just has no events and is not persisted.
+	resp, data := post(t, ts, "/debug/dump", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dump with recorder off: %d: %s", resp.StatusCode, data)
+	}
+}

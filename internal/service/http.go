@@ -18,6 +18,7 @@ import (
 	"mamps/internal/flow"
 	"mamps/internal/modelio"
 	"mamps/internal/obs"
+	"mamps/internal/obs/diag"
 	"mamps/internal/sdf"
 	"mamps/internal/service/cache"
 	"mamps/internal/sim"
@@ -40,6 +41,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /debug/dump", s.instrument("debug_dump", s.handleDebugDump))
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -81,7 +83,20 @@ func (s *Server) instrument(endpoint string, fn http.HandlerFunc) http.HandlerFu
 		start := s.clk.Now()
 		id := s.reqIDs.Next()
 		w.Header().Set("X-Request-ID", id)
-		r = r.WithContext(obs.WithRequestID(r.Context(), id))
+		// W3C trace-context propagation: continue an incoming trace with
+		// a child span, or mint a fresh one, and answer with the value a
+		// downstream hop should use. The IDs travel the request context
+		// into span attributes and runlog records.
+		tc, err := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if err != nil {
+			tc = obs.NewTraceContext()
+		} else {
+			tc = tc.Child()
+		}
+		w.Header().Set("traceparent", tc.Header())
+		ctx := obs.WithRequestID(r.Context(), id)
+		ctx = obs.WithTraceContext(ctx, tc)
+		r = r.WithContext(ctx)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		defer func() {
 			if p := recover(); p != nil {
@@ -94,8 +109,12 @@ func (s *Server) instrument(endpoint string, fn http.HandlerFunc) http.HandlerFu
 						Error: fmt.Sprintf("internal error (request %s)", id), Kind: "panic",
 					})
 				}
+				s.recorder.Record(diag.KindEvent, "panic/"+endpoint, fmt.Sprint(p))
+				s.dumpDiagnostics(r.Context(), "panic", "")
 			}
 			elapsed := s.clk.Since(start)
+			s.recorder.Record(diag.KindEvent, "http/"+endpoint,
+				fmt.Sprintf("%s status=%d trace=%s", id, rec.code, tc.TraceID))
 			s.metrics.observeRequest(endpoint, rec.code, elapsed)
 			// Compute endpoints feed the latency SLO: good = answered in
 			// time and not by a server-side failure. Client errors (4xx)
@@ -126,7 +145,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 // over), drain is 503 with Retry-After (this instance is going away),
 // timeouts 504, deadlocks a structured 422 carrying the cycle and the
 // per-engine report, other infeasible or invalid models a plain 422.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	code := http.StatusUnprocessableEntity
 	body := modelio.ErrorJSON{Error: err.Error()}
 	var de *sim.DeadlockError
@@ -144,6 +163,10 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		body.Kind = "deadlock"
 		body.Cycle = de.Cycle
 		body.Report = de.Report
+		// A structured deadlock is a diagnosable event: snapshot the
+		// flight recorder and profiles alongside the 422.
+		s.recorder.Record(diag.KindEvent, "deadlock", de.Report)
+		s.dumpDiagnostics(r.Context(), "deadlock", de.Report)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, statespace.ErrInterrupted),
 		errors.Is(err, sim.ErrInterrupted):
 		code = http.StatusGatewayTimeout
@@ -181,8 +204,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.observeGCPauses(&ms)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	gauges := []gauge{
+		{name: "mamps_goroutines", help: "Live goroutines in the process.", value: float64(runtime.NumGoroutine())},
+		{name: "mamps_heap_bytes", help: "Bytes of allocated heap objects.", value: float64(ms.HeapAlloc)},
 		{name: "mamps_workers", help: "Size of the worker pool.", value: float64(st.Workers)},
 		{name: "mamps_workers_busy", help: "Workers currently executing a job.", value: float64(st.BusyWork)},
 		{name: "mamps_queue_depth", help: "Jobs waiting for a worker.", value: float64(st.QueueDepth)},
@@ -271,7 +299,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return s.analyzeJob(ctx, req)
 	})
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	resp := val.(modelio.AnalyzeResponseJSON)
@@ -361,7 +389,7 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 		return s.flowJob(ctx, req)
 	})
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	resp := val.(modelio.FlowResponseJSON)
@@ -391,7 +419,7 @@ func (s *Server) flowJob(ctx context.Context, req modelio.FlowRequestJSON) (any,
 	cfg.Faults = req.Faults
 	cfg.TargetThroughput = req.TargetThroughput
 	cfg.AnalyzeWorkers = s.analyzeWorkers(req.AnalyzeWorkers)
-	rt := s.newRunTelemetry()
+	rt := s.newRunTelemetry(ctx)
 	var graphKey string
 	if rt != nil {
 		// Recorded runs get a private telemetry set (trace + fresh counter
@@ -458,7 +486,7 @@ func (s *Server) flowJob(ctx context.Context, req modelio.FlowRequestJSON) (any,
 	res, err := flow.RunContext(ctx, cfg)
 	if rt != nil {
 		rt.fold(s)
-		s.recordFlowRun(req, built.app.Name, graphKey, rt, res, err)
+		s.recordFlowRun(ctx, req, built.app.Name, graphKey, rt, res, err)
 	}
 	if err != nil {
 		return nil, err
@@ -495,7 +523,7 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 		return s.dseJob(ctx, req)
 	})
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	resp := val.(modelio.DSEResponseJSON)
@@ -520,7 +548,7 @@ func (s *Server) dseJob(ctx context.Context, req modelio.DSERequestJSON) (any, e
 		Cache:            s.cache,
 		Obs:              &obs.Set{Explorer: s.explorer, Solver: s.solverStat},
 	}
-	rt := s.newRunTelemetry()
+	rt := s.newRunTelemetry(ctx)
 	var graphKey string
 	if rt != nil {
 		// Recorded sweeps use private telemetry and a private per-run cache:
@@ -541,7 +569,7 @@ func (s *Server) dseJob(ctx context.Context, req modelio.DSERequestJSON) (any, e
 	points, err := dse.SweepContext(ctx, built.app, cfg)
 	if rt != nil {
 		rt.fold(s)
-		s.recordDSERun(req, built.app.Name, graphKey, rt, points, err)
+		s.recordDSERun(ctx, req, built.app.Name, graphKey, rt, points, err)
 	}
 	if err != nil {
 		return nil, err

@@ -232,7 +232,7 @@ func TestWriteErrorMapping(t *testing.T) {
 	defer s.Shutdown(context.Background())
 
 	rr := httptest.NewRecorder()
-	s.writeError(rr, &sim.DeadlockError{Cycle: 1234, Report: "  tile0: tokens on ab (0/1)\n"})
+	s.writeError(rr, httptest.NewRequest("POST", "/v1/flow", nil), &sim.DeadlockError{Cycle: 1234, Report: "  tile0: tokens on ab (0/1)\n"})
 	if rr.Code != http.StatusUnprocessableEntity {
 		t.Errorf("deadlock status = %d, want 422", rr.Code)
 	}
@@ -245,7 +245,7 @@ func TestWriteErrorMapping(t *testing.T) {
 	}
 
 	rr = httptest.NewRecorder()
-	s.writeError(rr, ErrDraining)
+	s.writeError(rr, httptest.NewRequest("POST", "/v1/flow", nil), ErrDraining)
 	if rr.Code != http.StatusServiceUnavailable || rr.Header().Get("Retry-After") == "" {
 		t.Errorf("draining = %d Retry-After=%q, want 503 with header", rr.Code, rr.Header().Get("Retry-After"))
 	}

@@ -16,6 +16,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	"mamps/internal/flow"
 	"mamps/internal/modelio"
 	"mamps/internal/obs"
+	"mamps/internal/obs/diag"
 	"mamps/internal/runlog"
 	"mamps/internal/service/cache"
 	"mamps/internal/sim"
@@ -66,11 +68,13 @@ type runTelemetry struct {
 	set   *obs.Set
 }
 
-func (s *Server) newRunTelemetry() *runTelemetry {
+func (s *Server) newRunTelemetry(ctx context.Context) *runTelemetry {
 	if s.runlog == nil {
 		return nil
 	}
-	tr := obs.New()
+	// The request's W3C trace ID rides on the run's trace, so the
+	// Perfetto export can be stitched back to the distributed trace.
+	tr := obs.New(obs.WithTraceID(obs.TraceContextFrom(ctx).TraceID))
 	return &runTelemetry{
 		trace: tr,
 		set: &obs.Set{
@@ -118,7 +122,7 @@ func flowBaselineKey(graphKey string, req modelio.FlowRequestJSON) string {
 // recordFlowRun appends one computed flow run (successful or not) to the
 // run registry. Recording failures are logged, never surfaced to the
 // client — the registry is observability, not the serving path.
-func (s *Server) recordFlowRun(req modelio.FlowRequestJSON, app, graphKey string,
+func (s *Server) recordFlowRun(ctx context.Context, req modelio.FlowRequestJSON, app, graphKey string,
 	rt *runTelemetry, res *flow.Result, runErr error) {
 	rec := runlog.Record{
 		Kind:        "flow",
@@ -174,11 +178,11 @@ func (s *Server) recordFlowRun(req modelio.FlowRequestJSON, app, graphKey string
 	if a := rt.traceArtifact(); a != nil {
 		artifacts = append(artifacts, *a)
 	}
-	s.appendRun(rec, artifacts)
+	s.appendRun(ctx, rec, artifacts)
 }
 
 // recordDSERun appends one computed DSE sweep to the run registry.
-func (s *Server) recordDSERun(req modelio.DSERequestJSON, app, graphKey string,
+func (s *Server) recordDSERun(ctx context.Context, req modelio.DSERequestJSON, app, graphKey string,
 	rt *runTelemetry, points []dse.Point, runErr error) {
 	h := cache.NewHasher("mamps/runlog/dsecfg/v1")
 	h.Int(int64(req.MinTiles)).Int(int64(req.MaxTiles)).
@@ -217,14 +221,23 @@ func (s *Server) recordDSERun(req modelio.DSERequestJSON, app, graphKey string,
 	if a := rt.traceArtifact(); a != nil {
 		artifacts = append(artifacts, *a)
 	}
-	s.appendRun(rec, artifacts)
+	s.appendRun(ctx, rec, artifacts)
 }
 
-func (s *Server) appendRun(rec runlog.Record, artifacts []runlog.Artifact) {
+func (s *Server) appendRun(ctx context.Context, rec runlog.Record, artifacts []runlog.Artifact) (runlog.Record, bool) {
+	if tc := obs.TraceContextFrom(ctx); tc.Valid() {
+		rec.TraceID, rec.SpanID = tc.TraceID, tc.SpanID
+	}
+	if rec.Profiles == nil {
+		// During an SLO burn window the record carries the freshest
+		// sampler capture's profile digests: the profile of the process
+		// while things were going wrong, addressable in the blob store.
+		rec.Profiles = s.sampler.BurnDigests()
+	}
 	stored, err := s.runlog.Append(rec, artifacts...)
 	if err != nil {
 		s.log.Error("runlog append failed", "kind", rec.Kind, "app", rec.App, "err", err)
-		return
+		return runlog.Record{}, false
 	}
 	regressed := stored.Regression != nil && stored.Regression.Regressed
 	if regressed {
@@ -233,12 +246,28 @@ func (s *Server) appendRun(rec runlog.Record, artifacts []runlog.Artifact) {
 			"baselineKey", stored.Regression.BaselineKey,
 			"reasons", strings.Join(stored.Regression.Reasons, "; "))
 	}
+	// The streaming drift detector scores every appended record against
+	// its group's rolling profile — no frozen baseline needed. Appends
+	// are chronological by construction, which is what the EWMA wants.
+	s.anomalyMu.Lock()
+	flagged := s.anomaly.Add(&stored)
+	s.anomalyMu.Unlock()
+	if len(flagged) > 0 {
+		s.anomalies.Add(int64(len(flagged)))
+		s.recorder.Record(diag.KindEvent, "anomaly", stored.ID)
+		for _, a := range flagged {
+			s.log.Warn("run drifted from its rolling profile",
+				"run", a.RunID, "metric", a.Metric, "key", a.Key,
+				"value", a.Value, "mean", a.Mean, "score", a.Score)
+		}
+	}
 	// Every recorded run is a regression-free SLO event; runs carrying a
 	// throughput constraint also feed the throughput_met objective.
 	s.sloRegression.Observe(!regressed)
 	if t := stored.Config.TargetThroughput; t > 0 {
 		s.sloThroughput.Observe(stored.Bound >= t)
 	}
+	return stored, true
 }
 
 // ---- /v1/runs ----

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math/rand"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,8 @@ import (
 	"mamps/internal/clock"
 	"mamps/internal/faults"
 	"mamps/internal/obs"
+	"mamps/internal/obs/agg"
+	"mamps/internal/obs/diag"
 	"mamps/internal/obs/slo"
 	"mamps/internal/runlog"
 	"mamps/internal/service/cache"
@@ -105,6 +108,31 @@ type Config struct {
 	// events when a run registry is attached.
 	SLOThroughputGoal float64
 	SLORegressionGoal float64
+	// FlightRecorderSize is the event capacity of the in-process flight
+	// recorder whose ring every diagnostic bundle snapshots (default
+	// 256; negative disables the recorder).
+	FlightRecorderSize int
+	// MutexProfileFraction and BlockProfileRate tune the runtime's
+	// mutex-contention and blocking profiles, applied only when
+	// EnablePprof is set (the profiles are served under /debug/pprof/).
+	// Defaults: fraction 100 (1 in 100 contention events), rate 1e6
+	// (one sample per millisecond blocked). Negative leaves the runtime
+	// default untouched.
+	MutexProfileFraction int
+	BlockProfileRate     int
+	// ProfilePeriod is the steady-state period of the background
+	// profile-on-burn sampler (default 60s; negative disables the
+	// sampler). ProfileBurnPeriod is the escalated period while any SLO
+	// objective is burning (default 5s). ProfileRing bounds the retained
+	// captures (default 4). ProfileCPUDuration is the length of each CPU
+	// capture (default 200ms; negative captures heap only). The sampler
+	// runs only when a run registry is attached: profile bytes are
+	// stored as content-addressed blobs, and records appended during a
+	// burn window carry the freshest capture's digests.
+	ProfilePeriod      time.Duration
+	ProfileBurnPeriod  time.Duration
+	ProfileRing        int
+	ProfileCPUDuration time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +168,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SLORegressionGoal <= 0 || c.SLORegressionGoal >= 1 {
 		c.SLORegressionGoal = 0.99
+	}
+	if c.FlightRecorderSize == 0 {
+		c.FlightRecorderSize = 256
+	}
+	if c.MutexProfileFraction == 0 {
+		c.MutexProfileFraction = 100
+	}
+	if c.BlockProfileRate == 0 {
+		c.BlockProfileRate = 1_000_000
 	}
 	return c
 }
@@ -190,6 +227,18 @@ type Server struct {
 	sloLatency    *slo.Tracker
 	sloThroughput *slo.Tracker
 	sloRegression *slo.Tracker
+
+	recorder      *diag.Recorder // flight recorder; nil when disabled
+	sampler       *diag.Sampler  // profile-on-burn; nil without a runlog
+	samplerCancel context.CancelFunc
+	samplerDone   chan struct{}
+
+	anomalyMu sync.Mutex    // the drift detector's EWMA state is order-sensitive
+	anomaly   *agg.Detector // streaming run-lake drift scoring
+	anomalies *obs.Counter  // mamps_anomalies_total
+
+	gcPause   *obs.Histogram // mamps_gc_pause_seconds, fed at scrape time
+	lastNumGC atomic.Uint32
 
 	baseCtx context.Context // cancelled only by forced shutdown
 	abort   context.CancelFunc
@@ -252,6 +301,41 @@ func New(cfg Config) *Server {
 		Name: "regression_free", Target: cfg.SLORegressionGoal,
 		Help: "Recorded runs not tagged by the baseline regression detector.",
 	})
+	if cfg.FlightRecorderSize > 0 {
+		s.recorder = diag.NewRecorder(cfg.FlightRecorderSize,
+			diag.WithNow(func() int64 { return s.clk.Now().UnixNano() }))
+	}
+	s.anomaly = agg.NewDetector(agg.AnomalyConfig{})
+	s.anomalies = reg.Counter("mamps_anomalies_total",
+		"Recorded runs flagged by the run-lake drift detector.")
+	s.gcPause = reg.RegisterHistogram("mamps_gc_pause_seconds",
+		"Stop-the-world GC pause durations.", obs.NewHistogram(gcPauseBuckets...))
+	if cfg.EnablePprof {
+		if cfg.MutexProfileFraction > 0 {
+			runtime.SetMutexProfileFraction(cfg.MutexProfileFraction)
+		}
+		if cfg.BlockProfileRate > 0 {
+			runtime.SetBlockProfileRate(cfg.BlockProfileRate)
+		}
+	}
+	if s.runlog != nil && cfg.ProfilePeriod >= 0 {
+		s.sampler = diag.NewSampler(diag.SamplerConfig{
+			Ring:        cfg.ProfileRing,
+			BasePeriod:  cfg.ProfilePeriod,
+			BurnPeriod:  cfg.ProfileBurnPeriod,
+			CPUDuration: cfg.ProfileCPUDuration,
+			Burning:     s.slos.Burning,
+			Sink:        s.runlog.PutBlob,
+			NowNS:       func() int64 { return s.clk.Now().UnixNano() },
+		})
+		sctx, cancel := context.WithCancel(context.Background())
+		s.samplerCancel = cancel
+		s.samplerDone = make(chan struct{})
+		go func() {
+			defer close(s.samplerDone)
+			s.sampler.Run(sctx)
+		}()
+	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -396,6 +480,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		close(s.jobs)
+		if s.samplerCancel != nil {
+			s.samplerCancel()
+		}
 		s.log.Info("service draining", "queued", s.depth.Load())
 	}
 	s.mu.Unlock()
@@ -403,6 +490,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		if s.samplerDone != nil {
+			<-s.samplerDone
+		}
 		s.stopped.Store(true)
 		close(done)
 	}()
